@@ -1,0 +1,92 @@
+//! Criterion benchmarks for the transport and the end-to-end protocol
+//! rounds — one per panel of Fig. 1 plus the CT building blocks. These
+//! guard against performance regressions in the simulation core; the
+//! *measured system metrics* (latency, radio-on) come from the `fig1`
+//! harness, not from wall-clock times here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ppda_bench::TestbedSetup;
+use ppda_ct::{ChainSpec, Glossy, GlossyConfig, MiniCast, MiniCastConfig};
+use ppda_mpc::{S3Protocol, S4Protocol};
+use ppda_radio::FrameSpec;
+use ppda_sim::Xoshiro256;
+use ppda_topology::Topology;
+
+fn bench_ct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ct");
+    group.sample_size(20);
+    let flocklab = Topology::flocklab();
+    let frame = FrameSpec::new(8, 0).unwrap();
+
+    let glossy = Glossy::new(&flocklab, frame, GlossyConfig::default());
+    group.bench_function("glossy_flood/flocklab", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            glossy.run(&mut Xoshiro256::seed_from(seed))
+        })
+    });
+
+    let chain = ChainSpec::new(frame, (0..flocklab.len() as u16).collect()).unwrap();
+    let minicast = MiniCast::new(&flocklab, chain, MiniCastConfig::default());
+    group.bench_function("minicast_all_to_all/flocklab", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            minicast.run(&mut Xoshiro256::seed_from(seed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round");
+    group.sample_size(10);
+
+    // Fig. 1 (a)/(b): FlockLab at the complete network.
+    let setup = TestbedSetup::flocklab();
+    let topology = setup.topology();
+    let config = setup.config(topology.len()).unwrap();
+    let s3 = S3Protocol::new(config.clone());
+    group.bench_function("fig1ab_s3/flocklab-26src", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            s3.run(&topology, seed).unwrap()
+        })
+    });
+    let s4 = S4Protocol::new(config);
+    group.bench_function("fig1ab_s4/flocklab-26src", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            s4.run(&topology, seed).unwrap()
+        })
+    });
+
+    // Fig. 1 (c)/(d): D-Cube at the complete network.
+    let setup = TestbedSetup::dcube();
+    let topology = setup.topology();
+    let config = setup.config(topology.len()).unwrap();
+    let s3 = S3Protocol::new(config.clone());
+    group.bench_function("fig1cd_s3/dcube-45src", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            s3.run(&topology, seed).unwrap()
+        })
+    });
+    let s4 = S4Protocol::new(config);
+    group.bench_function("fig1cd_s4/dcube-45src", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            s4.run(&topology, seed).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ct, bench_rounds);
+criterion_main!(benches);

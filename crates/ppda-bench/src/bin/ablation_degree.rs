@@ -1,0 +1,74 @@
+//! Ablation: polynomial degree (the privacy/collusion threshold) vs cost.
+//!
+//! ```text
+//! cargo run -p ppda-bench --release --bin ablation_degree -- [--iterations N]
+//! ```
+//!
+//! The paper's closing observation: "further improvement in the latency and
+//! radio-on time would be visible in S4 compared to S3 for an even lesser
+//! degree of the polynomial used". S3's cost is degree-independent (its
+//! chain always spans all nodes); S4's chain scales with k+1, so the
+//! speed-up grows as the deployment accepts a lower collusion threshold.
+
+use ppda_bench::{arg_value, run_campaign, Protocol, TestbedSetup};
+use ppda_metrics::Table;
+use ppda_mpc::ProtocolConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iterations: u64 = arg_value(&args, "--iterations")
+        .map(|v| v.parse().expect("--iterations must be a number"))
+        .unwrap_or(40);
+
+    for setup in [TestbedSetup::flocklab(), TestbedSetup::dcube()] {
+        let topology = setup.topology();
+        let n = topology.len();
+        let paper_degree = n / 3;
+        let degrees: Vec<usize> = [2, 4, paper_degree / 2, paper_degree, paper_degree * 2]
+            .into_iter()
+            .filter(|&k| k >= 1 && k + 1 + setup.redundancy <= n)
+            .collect();
+
+        // S3's cost is independent of the degree: measure once.
+        let s3_config = setup.config(n).expect("valid config");
+        let s3 = run_campaign(Protocol::S3, &topology, &s3_config, iterations, 0xDE6)
+            .expect("S3 campaign");
+
+        let mut table = Table::new(vec![
+            "degree k",
+            "aggregators",
+            "S4 latency ms",
+            "S4 radio-on ms",
+            "latency speed-up vs S3",
+            "S4 node success",
+        ]);
+        for &k in &degrees {
+            let config = ProtocolConfig::builder(n)
+                .degree(k)
+                .ntx_sharing(setup.s4_ntx)
+                .ntx_reconstruction(setup.s4_ntx)
+                .full_coverage_ntx(setup.s3_ntx)
+                .aggregator_redundancy(setup.redundancy)
+                .fading(setup.fading)
+                .build()
+                .expect("degree sweep config");
+            let s4 = run_campaign(Protocol::S4, &topology, &config, iterations, 0xDE6)
+                .expect("S4 campaign");
+            table.row(vec![
+                format!("{k}{}", if k == paper_degree { " (paper)" } else { "" }),
+                config.aggregator_count().to_string(),
+                format!("{:.0}", s4.latency_ms.mean()),
+                format!("{:.0}", s4.radio_on_ms.mean()),
+                format!("{:.1}x", s3.latency_ms.mean() / s4.latency_ms.mean()),
+                format!("{:.3}", s4.node_success),
+            ]);
+        }
+        println!(
+            "\n=== {} — degree sweep at full sources (S3 reference: {:.0} ms latency, {:.0} ms radio-on) ===",
+            setup.name,
+            s3.latency_ms.mean(),
+            s3.radio_on_ms.mean()
+        );
+        print!("{table}");
+    }
+}

@@ -1,0 +1,71 @@
+//! The chain-size analysis of paper §II/III: S3's sharing chain is O(n²)
+//! sub-slots while S4's is O(n·(k+1)); the reconstruction chain is n
+//! (S3) vs k+1+r (S4). This harness prints the slot counts and scheduled
+//! phase durations for both testbeds — the purely deterministic part of
+//! the speed-up.
+//!
+//! ```text
+//! cargo run -p ppda-bench --release --bin chain_sizes
+//! ```
+
+use ppda_bench::{Protocol, TestbedSetup};
+use ppda_metrics::Table;
+
+fn main() {
+    for setup in [TestbedSetup::flocklab(), TestbedSetup::dcube()] {
+        let topology = setup.topology();
+        let n = topology.len();
+        let mut table = Table::new(vec![
+            "protocol",
+            "sharing slots",
+            "sharing cycles",
+            "sharing sched ms",
+            "recon slots",
+            "recon cycles",
+            "recon sched ms",
+        ]);
+        let config = setup.config(n).expect("valid config");
+        for protocol in [Protocol::S3, Protocol::S4] {
+            // One round is enough: the schedule is deterministic.
+            let r = run_one(protocol, &setup);
+            table.row(vec![
+                protocol.name().to_string(),
+                r.0.to_string(),
+                r.1.to_string(),
+                format!("{:.0}", r.2),
+                r.3.to_string(),
+                r.4.to_string(),
+                format!("{:.0}", r.5),
+            ]);
+        }
+        println!(
+            "\n=== {} (n = {}, k = {}, |A| = {}) ===",
+            setup.name,
+            n,
+            config.degree,
+            config.aggregator_count()
+        );
+        print!("{table}");
+    }
+}
+
+fn run_one(
+    protocol: Protocol,
+    setup: &TestbedSetup,
+) -> (usize, u32, f64, usize, u32, f64) {
+    let topology = setup.topology();
+    let config = setup.config(topology.len()).expect("valid config");
+    let outcome = match protocol {
+        Protocol::S3 => ppda_mpc::S3Protocol::new(config).run(&topology, 1),
+        Protocol::S4 => ppda_mpc::S4Protocol::new(config).run(&topology, 1),
+    }
+    .expect("round runs");
+    (
+        outcome.sharing.chain_len,
+        outcome.sharing.cycles_scheduled,
+        outcome.sharing.scheduled_duration.as_millis_f64(),
+        outcome.reconstruction.chain_len,
+        outcome.reconstruction.cycles_scheduled,
+        outcome.reconstruction.scheduled_duration.as_millis_f64(),
+    )
+}

@@ -1,0 +1,121 @@
+//! Regenerates **Fig. 1** of the paper: latency and radio-on time of S3 vs
+//! S4 on FlockLab (panels a, b) and D-Cube (panels c, d), swept over the
+//! number of source nodes.
+//!
+//! ```text
+//! cargo run -p ppda-bench --release --bin fig1 -- \
+//!     [--testbed flocklab|dcube|both] [--metric latency|radio-on|both] \
+//!     [--iterations N] [--seed S]
+//! ```
+//!
+//! The paper uses 2000 iterations per point; the default here is 100
+//! (means are stable to within a few percent — the printed 95% CIs make
+//! that visible). Ratios S3/S4 are printed per sweep point; the paper's
+//! headline claim corresponds to the complete-network row.
+
+use ppda_bench::{arg_value, run_campaign, Protocol, TestbedSetup};
+use ppda_metrics::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let testbed = arg_value(&args, "--testbed").unwrap_or_else(|| "both".into());
+    let metric = arg_value(&args, "--metric").unwrap_or_else(|| "both".into());
+    let iterations: u64 = arg_value(&args, "--iterations")
+        .map(|v| v.parse().expect("--iterations must be a number"))
+        .unwrap_or(100);
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed must be a number"))
+        .unwrap_or(0x1CDC);
+
+    let setups: Vec<TestbedSetup> = match testbed.as_str() {
+        "both" => vec![TestbedSetup::flocklab(), TestbedSetup::dcube()],
+        name => vec![TestbedSetup::by_name(name)
+            .unwrap_or_else(|| panic!("unknown testbed {name} (flocklab|dcube)"))],
+    };
+    let want_latency = metric == "latency" || metric == "both";
+    let want_radio = metric == "radio-on" || metric == "both";
+
+    for setup in setups {
+        let topology = setup.topology();
+        println!(
+            "\n=== {} ({} nodes, degree ⌊n/3⌋ = {}, S4 NTX {}, S3 NTX {}) — {} iterations ===",
+            setup.name,
+            topology.len(),
+            topology.len() / 3,
+            setup.s4_ntx,
+            setup.s3_ntx,
+            iterations
+        );
+
+        let mut latency_table = Table::new(vec![
+            "sources",
+            "S3 latency ms (CI95)",
+            "S4 latency ms (CI95)",
+            "ratio",
+            "S3 ok",
+            "S4 ok",
+        ]);
+        let mut radio_table = Table::new(vec![
+            "sources",
+            "S3 radio-on ms (CI95)",
+            "S4 radio-on ms (CI95)",
+            "ratio",
+        ]);
+
+        for &sources in &setup.source_sweep {
+            let config = setup.config(sources).expect("sweep point is valid");
+            let s3 = run_campaign(Protocol::S3, &topology, &config, iterations, seed)
+                .expect("S3 campaign");
+            let s4 = run_campaign(Protocol::S4, &topology, &config, iterations, seed)
+                .expect("S4 campaign");
+
+            latency_table.row(vec![
+                sources.to_string(),
+                format!(
+                    "{:.0} ± {:.0}",
+                    s3.latency_ms.mean(),
+                    s3.latency_ms.ci95_half_width()
+                ),
+                format!(
+                    "{:.0} ± {:.0}",
+                    s4.latency_ms.mean(),
+                    s4.latency_ms.ci95_half_width()
+                ),
+                format!("{:.1}x", s3.latency_ms.mean() / s4.latency_ms.mean()),
+                format!("{:.2}", s3.node_success),
+                format!("{:.2}", s4.node_success),
+            ]);
+            radio_table.row(vec![
+                sources.to_string(),
+                format!(
+                    "{:.0} ± {:.0}",
+                    s3.radio_on_ms.mean(),
+                    s3.radio_on_ms.ci95_half_width()
+                ),
+                format!(
+                    "{:.0} ± {:.0}",
+                    s4.radio_on_ms.mean(),
+                    s4.radio_on_ms.ci95_half_width()
+                ),
+                format!("{:.1}x", s3.radio_on_ms.mean() / s4.radio_on_ms.mean()),
+            ]);
+        }
+
+        if want_latency {
+            println!(
+                "\nFig. 1({}) — Latency, {}:",
+                if setup.name == "flocklab" { "a" } else { "c" },
+                setup.name
+            );
+            print!("{latency_table}");
+        }
+        if want_radio {
+            println!(
+                "\nFig. 1({}) — Radio-on time, {}:",
+                if setup.name == "flocklab" { "b" } else { "d" },
+                setup.name
+            );
+            print!("{radio_table}");
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Experiment harnesses reproducing the paper's evaluation.
+//!
+//! The paper's entire evaluation is Fig. 1 — latency and radio-on time for
+//! S3 vs S4, swept over source counts on FlockLab (26 nodes) and D-Cube
+//! (45 nodes) — plus in-text claims (speed-up ratios, the non-linear
+//! NTX-coverage relationship, fault tolerance, degree sensitivity). This
+//! crate provides:
+//!
+//! * [`TestbedSetup`] — the frozen per-testbed operating points (topology,
+//!   NTX values, fading profile, source sweep) used by every harness.
+//! * [`run_campaign`] — a seed-parallel Monte-Carlo campaign runner that
+//!   aggregates per-node metrics into [`CampaignResult`] summaries.
+//! * Binaries (`fig1`, `ablation_ntx`, `ablation_degree`,
+//!   `ablation_faults`, `chain_sizes`) that print the paper-style tables;
+//!   see `EXPERIMENTS.md` at the repository root for the recorded outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ppda_metrics::Summary;
+use ppda_mpc::{AggregationOutcome, MpcError, ProtocolConfig, S3Protocol, S4Protocol};
+use ppda_radio::FadingProfile;
+use ppda_topology::Topology;
+
+/// Which protocol variant a campaign exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Naive SSS over MiniCast.
+    S3,
+    /// Scalable SSS over MiniCast.
+    S4,
+}
+
+impl Protocol {
+    /// Display name, as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::S3 => "S3",
+            Protocol::S4 => "S4",
+        }
+    }
+}
+
+/// The frozen operating point of one testbed reproduction.
+///
+/// The NTX values are the outcome of the calibration recorded in
+/// `EXPERIMENTS.md`: S4 uses the smallest NTX that reliably reaches the
+/// aggregator set (paper: 6 on FlockLab, 5 on D-Cube; our synthetic D-Cube
+/// geometry needs 7), S3 uses a full-coverage NTX with the safety margin a
+/// 2000-iteration campaign requires.
+#[derive(Debug, Clone)]
+pub struct TestbedSetup {
+    /// Testbed name (matches `Topology::name`).
+    pub name: &'static str,
+    /// S4 sharing/reconstruction NTX.
+    pub s4_ntx: u32,
+    /// S3 full-coverage NTX.
+    pub s3_ntx: u32,
+    /// Aggregators beyond k+1.
+    pub redundancy: usize,
+    /// Round-scale fading profile of the site.
+    pub fading: FadingProfile,
+    /// The paper's source-count sweep for this testbed.
+    pub source_sweep: Vec<usize>,
+}
+
+impl TestbedSetup {
+    /// FlockLab: 26 nodes, sweep {3, 6, 10, 24}, S4 NTX 6 (as the paper).
+    pub fn flocklab() -> Self {
+        TestbedSetup {
+            name: "flocklab",
+            s4_ntx: 6,
+            s3_ntx: 15,
+            redundancy: 2,
+            fading: FadingProfile::office(),
+            source_sweep: vec![3, 6, 10, 24],
+        }
+    }
+
+    /// D-Cube: 45 nodes, sweep {5, 7, 12, 45}, S4 NTX 7 (paper: 5; our
+    /// synthetic geometry is one hop deeper — see EXPERIMENTS.md).
+    pub fn dcube() -> Self {
+        TestbedSetup {
+            name: "dcube",
+            s4_ntx: 7,
+            s3_ntx: 20,
+            redundancy: 2,
+            fading: FadingProfile::industrial_interference(),
+            source_sweep: vec![5, 7, 12, 45],
+        }
+    }
+
+    /// Look a setup up by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "flocklab" => Some(Self::flocklab()),
+            "dcube" => Some(Self::dcube()),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the testbed topology.
+    pub fn topology(&self) -> Topology {
+        match self.name {
+            "flocklab" => Topology::flocklab(),
+            "dcube" => Topology::dcube(),
+            other => unreachable!("unknown testbed {other}"),
+        }
+    }
+
+    /// Build the protocol configuration for a given source count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn config(&self, sources: usize) -> Result<ProtocolConfig, MpcError> {
+        let topology = self.topology();
+        ProtocolConfig::builder(topology.len())
+            .sources(sources)
+            .ntx_sharing(self.s4_ntx)
+            .ntx_reconstruction(self.s4_ntx)
+            .full_coverage_ntx(self.s3_ntx)
+            .aggregator_redundancy(self.redundancy)
+            .fading(self.fading)
+            .build()
+    }
+}
+
+/// Aggregated results of a Monte-Carlo campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Mean per-node latency per round (ms), over nodes that completed.
+    pub latency_ms: Summary,
+    /// Mean per-node radio-on time per round (ms).
+    pub radio_on_ms: Summary,
+    /// Fraction of (node, round) pairs that obtained the correct aggregate.
+    pub node_success: f64,
+    /// Fraction of rounds where *every* live node was correct.
+    pub round_success: f64,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// Run `iterations` seeded rounds of `protocol` and aggregate the metrics.
+///
+/// Rounds are distributed over all available cores; results are
+/// deterministic for a given `(base_seed, iterations)` regardless of the
+/// thread count.
+///
+/// # Errors
+///
+/// Propagates the first protocol error encountered (configuration
+/// mismatches, disconnected topology).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn run_campaign(
+    protocol: Protocol,
+    topology: &Topology,
+    config: &ProtocolConfig,
+    iterations: u64,
+    base_seed: u64,
+) -> Result<CampaignResult, MpcError> {
+    assert!(iterations > 0, "campaign needs at least one iteration");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(iterations as usize);
+
+    let outcomes: parking_lot::Mutex<Vec<(u64, Result<AggregationOutcome, MpcError>)>> =
+        parking_lot::Mutex::new(Vec::with_capacity(iterations as usize));
+
+    crossbeam::scope(|scope| {
+        for worker in 0..threads {
+            let outcomes = &outcomes;
+            scope.spawn(move |_| {
+                let mut local = Vec::new();
+                let mut seed = base_seed + worker as u64;
+                while seed < base_seed + iterations {
+                    let run = match protocol {
+                        Protocol::S3 => S3Protocol::new(config.clone()).run(topology, seed),
+                        Protocol::S4 => S4Protocol::new(config.clone()).run(topology, seed),
+                    };
+                    local.push((seed, run));
+                    seed += threads as u64;
+                }
+                outcomes.lock().extend(local);
+            });
+        }
+    })
+    .expect("campaign workers do not panic");
+
+    let mut outcomes = outcomes.into_inner();
+    outcomes.sort_by_key(|(seed, _)| *seed);
+
+    let mut latencies = Vec::new();
+    let mut radios = Vec::new();
+    let mut node_ok = 0usize;
+    let mut node_total = 0usize;
+    let mut round_ok = 0usize;
+    let rounds = outcomes.len();
+    for (_, outcome) in outcomes {
+        let outcome = outcome?;
+        if outcome.correct() {
+            round_ok += 1;
+        }
+        for node in outcome.live_nodes() {
+            node_total += 1;
+            if node.aggregate == Some(outcome.expected_sum) {
+                node_ok += 1;
+            }
+            if let Some(latency) = node.latency {
+                latencies.push(latency.as_millis_f64());
+            }
+            radios.push(node.radio_on.as_millis_f64());
+        }
+    }
+
+    Ok(CampaignResult {
+        latency_ms: Summary::of(&latencies),
+        radio_on_ms: Summary::of(&radios),
+        node_success: if node_total == 0 {
+            0.0
+        } else {
+            node_ok as f64 / node_total as f64
+        },
+        round_success: if rounds == 0 {
+            0.0
+        } else {
+            round_ok as f64 / rounds as f64
+        },
+        rounds,
+    })
+}
+
+/// Parse `--key value`-style arguments; returns the value following `key`.
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_resolve() {
+        assert_eq!(TestbedSetup::flocklab().topology().len(), 26);
+        assert_eq!(TestbedSetup::dcube().topology().len(), 45);
+        assert!(TestbedSetup::by_name("flocklab").is_some());
+        assert!(TestbedSetup::by_name("dcube").is_some());
+        assert!(TestbedSetup::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn config_builds_for_sweep_points() {
+        for setup in [TestbedSetup::flocklab(), TestbedSetup::dcube()] {
+            for &s in &setup.source_sweep {
+                let cfg = setup.config(s).unwrap();
+                assert_eq!(cfg.sources.len(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_is_deterministic() {
+        let setup = TestbedSetup::flocklab();
+        let topology = setup.topology();
+        let config = setup.config(3).unwrap();
+        let a = run_campaign(Protocol::S4, &topology, &config, 4, 42).unwrap();
+        let b = run_campaign(Protocol::S4, &topology, &config, 4, 42).unwrap();
+        assert_eq!(a.latency_ms.mean(), b.latency_ms.mean());
+        assert_eq!(a.rounds, 4);
+        assert!(a.node_success > 0.9);
+    }
+
+    #[test]
+    fn s3_slower_than_s4_on_flocklab() {
+        let setup = TestbedSetup::flocklab();
+        let topology = setup.topology();
+        let config = setup.config(24).unwrap();
+        let s3 = run_campaign(Protocol::S3, &topology, &config, 3, 7).unwrap();
+        let s4 = run_campaign(Protocol::S4, &topology, &config, 3, 7).unwrap();
+        assert!(
+            s3.latency_ms.mean() > 3.0 * s4.latency_ms.mean(),
+            "S3 {} vs S4 {}",
+            s3.latency_ms.mean(),
+            s4.latency_ms.mean()
+        );
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--testbed", "dcube", "--iterations", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--testbed").as_deref(), Some("dcube"));
+        assert_eq!(arg_value(&args, "--iterations").as_deref(), Some("5"));
+        assert_eq!(arg_value(&args, "--metric"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let setup = TestbedSetup::flocklab();
+        let topology = setup.topology();
+        let config = setup.config(3).unwrap();
+        let _ = run_campaign(Protocol::S4, &topology, &config, 0, 1);
+    }
+}

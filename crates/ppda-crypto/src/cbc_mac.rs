@@ -1,0 +1,155 @@
+//! CBC-MAC over AES-128, the authentication core of CCM.
+//!
+//! Raw CBC-MAC is only secure for fixed-length (or length-prefixed)
+//! messages; CCM's B₀ block encodes the message length, which is exactly the
+//! discipline this type is used under. It is exposed publicly because the
+//! key-derivation in [`crate::PairwiseKeys`] also uses it as a PRF on
+//! fixed-size inputs.
+
+use crate::aes::{Aes128, Block, BLOCK_LEN};
+
+/// Incremental CBC-MAC computation.
+///
+/// # Example
+///
+/// ```
+/// use ppda_crypto::{Aes128, CbcMac};
+/// let aes = Aes128::new(&[1u8; 16]);
+/// let mut mac = CbcMac::new(&aes);
+/// mac.update(&[0u8; 16]);
+/// mac.update(&[1u8; 16]);
+/// let tag = mac.finalize();
+/// assert_eq!(tag.len(), 16);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CbcMac<'a> {
+    aes: &'a Aes128,
+    state: Block,
+    buffer: Block,
+    buffered: usize,
+}
+
+impl<'a> CbcMac<'a> {
+    /// Start a new MAC with a zero IV (as CCM requires).
+    pub fn new(aes: &'a Aes128) -> Self {
+        CbcMac {
+            aes,
+            state: [0u8; BLOCK_LEN],
+            buffer: [0u8; BLOCK_LEN],
+            buffered: 0,
+        }
+    }
+
+    /// Absorb bytes. Data may arrive in arbitrary-sized chunks.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let space = BLOCK_LEN - self.buffered;
+            let take = space.min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == BLOCK_LEN {
+                self.process_buffer();
+            }
+        }
+    }
+
+    /// Pad the final partial block with zeros (CCM convention) and absorb it.
+    pub fn pad_zero(&mut self) {
+        if self.buffered > 0 {
+            for b in &mut self.buffer[self.buffered..] {
+                *b = 0;
+            }
+            self.buffered = BLOCK_LEN;
+            self.process_buffer();
+        }
+    }
+
+    fn process_buffer(&mut self) {
+        for (s, b) in self.state.iter_mut().zip(self.buffer.iter()) {
+            *s ^= b;
+        }
+        self.state = self.aes.encrypt_block(&self.state);
+        self.buffered = 0;
+    }
+
+    /// Zero-pad any remaining partial block and return the 16-byte tag.
+    pub fn finalize(mut self) -> Block {
+        self.pad_zero();
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_manual_cbc() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let m1 = [0x11u8; 16];
+        let m2 = [0x22u8; 16];
+
+        let mut mac = CbcMac::new(&aes);
+        mac.update(&m1);
+        mac.update(&m2);
+        let tag = mac.finalize();
+
+        // Manual two-block CBC with zero IV.
+        let c1 = aes.encrypt_block(&m1);
+        let mut x = [0u8; 16];
+        for i in 0..16 {
+            x[i] = c1[i] ^ m2[i];
+        }
+        let expect = aes.encrypt_block(&x);
+        assert_eq!(tag, expect);
+    }
+
+    #[test]
+    fn chunking_is_invariant() {
+        let aes = Aes128::new(&[9u8; 16]);
+        let data: Vec<u8> = (0..53).collect();
+
+        let mut whole = CbcMac::new(&aes);
+        whole.update(&data);
+        let tag_whole = whole.finalize();
+
+        let mut parts = CbcMac::new(&aes);
+        for chunk in data.chunks(7) {
+            parts.update(chunk);
+        }
+        let tag_parts = parts.finalize();
+        assert_eq!(tag_whole, tag_parts);
+    }
+
+    #[test]
+    fn zero_padding_distinguishes_from_explicit_zeros_only_by_length_discipline() {
+        // CBC-MAC with zero padding maps "ab" and "ab\0" to the same tag —
+        // documenting why CCM length-prefixes. This test pins that behavior.
+        let aes = Aes128::new(&[5u8; 16]);
+        let mut a = CbcMac::new(&aes);
+        a.update(b"ab");
+        let mut b = CbcMac::new(&aes);
+        b.update(b"ab\0");
+        assert_eq!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn empty_message_tag_is_stable_zero_state_encrypt_free() {
+        let aes = Aes128::new(&[1u8; 16]);
+        let mac = CbcMac::new(&aes);
+        // No data, no padding -> state never processed: all-zero tag.
+        assert_eq!(mac.finalize(), [0u8; 16]);
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        let a = Aes128::new(&[1u8; 16]);
+        let b = Aes128::new(&[2u8; 16]);
+        let mut ma = CbcMac::new(&a);
+        ma.update(&[0x33; 32]);
+        let mut mb = CbcMac::new(&b);
+        mb.update(&[0x33; 32]);
+        assert_ne!(ma.finalize(), mb.finalize());
+    }
+}

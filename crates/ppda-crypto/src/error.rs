@@ -1,0 +1,93 @@
+//! Error types for cryptographic operations.
+
+use core::fmt;
+
+/// Errors from AEAD sealing/opening and key management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// The requested CCM tag length is unsupported.
+    InvalidTagLen {
+        /// The rejected length.
+        got: usize,
+    },
+    /// Payload exceeds the CCM L = 2 length field (2¹⁶ − 1 bytes).
+    PayloadTooLong {
+        /// The rejected length.
+        got: usize,
+    },
+    /// Ciphertext is shorter than the authentication tag.
+    CiphertextTooShort {
+        /// Bytes provided.
+        got: usize,
+        /// Minimum bytes required.
+        need: usize,
+    },
+    /// The authentication tag did not verify; the packet is rejected and no
+    /// plaintext is released.
+    AuthenticationFailed,
+    /// A key was requested for a node pair outside the provisioned network.
+    UnknownNodePair {
+        /// First node id.
+        a: u16,
+        /// Second node id.
+        b: u16,
+    },
+    /// A pairwise key was requested for a node with itself.
+    SelfPairing {
+        /// The node id.
+        node: u16,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidTagLen { got } => {
+                write!(f, "unsupported CCM tag length {got} (want even 4..=16)")
+            }
+            CryptoError::PayloadTooLong { got } => {
+                write!(f, "payload of {got} bytes exceeds CCM L=2 limit")
+            }
+            CryptoError::CiphertextTooShort { got, need } => {
+                write!(f, "ciphertext of {got} bytes shorter than {need}-byte tag")
+            }
+            CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
+            CryptoError::UnknownNodePair { a, b } => {
+                write!(f, "no provisioned key for node pair ({a}, {b})")
+            }
+            CryptoError::SelfPairing { node } => {
+                write!(f, "node {node} cannot share a pairwise key with itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CryptoError::InvalidTagLen { got: 3 }.to_string().contains('3'));
+        assert!(CryptoError::AuthenticationFailed.to_string().contains("mismatch"));
+        assert!(CryptoError::UnknownNodePair { a: 1, b: 9 }
+            .to_string()
+            .contains("(1, 9)"));
+        assert!(CryptoError::SelfPairing { node: 4 }.to_string().contains('4'));
+        assert!(CryptoError::PayloadTooLong { got: 70000 }
+            .to_string()
+            .contains("70000"));
+        assert!(CryptoError::CiphertextTooShort { got: 1, need: 4 }
+            .to_string()
+            .contains("4-byte"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn takes<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes(CryptoError::AuthenticationFailed);
+    }
+}

@@ -1,0 +1,191 @@
+//! Bootstrap-phase pairwise key provisioning.
+//!
+//! The paper assumes every packet in the sharing phase "is encrypted by a
+//! key which is assumed to be already shared with the destination node
+//! during the bootstrapping phase". This module models that bootstrap: a
+//! deployment-wide master secret is expanded into one AES-128 key per
+//! unordered node pair with a CBC-MAC-based PRF, so any two nodes share a
+//! secret channel key while learning nothing about other pairs' keys.
+
+use crate::aes::{Aes128, Key};
+use crate::cbc_mac::CbcMac;
+use crate::error::CryptoError;
+
+/// Pairwise AES-128 keys for all node pairs in a deployment.
+///
+/// Keys are derived eagerly at construction (n·(n−1)/2 PRF calls — cheap at
+/// testbed scale and then O(1) per lookup on the protocol hot path).
+///
+/// # Example
+///
+/// ```
+/// use ppda_crypto::PairwiseKeys;
+/// # fn main() -> Result<(), ppda_crypto::CryptoError> {
+/// let keys = PairwiseKeys::derive(&[1u8; 16], 4);
+/// // Symmetric lookup: {1,3} and {3,1} name the same key.
+/// assert_eq!(keys.key(1, 3)?, keys.key(3, 1)?);
+/// assert_ne!(keys.key(0, 1)?, keys.key(0, 2)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct PairwiseKeys {
+    node_count: u16,
+    keys: Vec<Key>, // upper-triangular, indexed by pair_index
+}
+
+impl core::fmt::Debug for PairwiseKeys {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "PairwiseKeys({} nodes, {} keys, <material redacted>)",
+            self.node_count,
+            self.keys.len()
+        )
+    }
+}
+
+impl PairwiseKeys {
+    /// Expand `master` into keys for all pairs among `node_count` nodes.
+    pub fn derive(master: &Key, node_count: u16) -> Self {
+        let aes = Aes128::new(master);
+        let n = node_count as usize;
+        let mut keys = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for a in 0..node_count {
+            for b in a + 1..node_count {
+                keys.push(Self::prf(&aes, a, b));
+            }
+        }
+        PairwiseKeys { node_count, keys }
+    }
+
+    /// PRF(master, a ‖ b ‖ label) via CBC-MAC on one fixed-size block.
+    fn prf(aes: &Aes128, a: u16, b: u16) -> Key {
+        let mut input = [0u8; 16];
+        input[0..2].copy_from_slice(&a.to_be_bytes());
+        input[2..4].copy_from_slice(&b.to_be_bytes());
+        input[4..12].copy_from_slice(b"ppda-key");
+        let mut mac = CbcMac::new(aes);
+        mac.update(&input);
+        mac.finalize()
+    }
+
+    /// Number of nodes provisioned.
+    pub fn node_count(&self) -> u16 {
+        self.node_count
+    }
+
+    fn pair_index(&self, a: u16, b: u16) -> usize {
+        let (lo, hi) = (a.min(b) as usize, a.max(b) as usize);
+        let n = self.node_count as usize;
+        // Offset of row `lo` in the upper triangle, then column offset.
+        lo * n - lo * (lo + 1) / 2 + (hi - lo - 1)
+    }
+
+    /// The shared key for the unordered pair `{a, b}`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::SelfPairing`] if `a == b`.
+    /// * [`CryptoError::UnknownNodePair`] if either id is outside the
+    ///   provisioned range.
+    pub fn key(&self, a: u16, b: u16) -> Result<Key, CryptoError> {
+        if a == b {
+            return Err(CryptoError::SelfPairing { node: a });
+        }
+        if a >= self.node_count || b >= self.node_count {
+            return Err(CryptoError::UnknownNodePair { a, b });
+        }
+        Ok(self.keys[self.pair_index(a, b)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn symmetric_lookup() {
+        let keys = PairwiseKeys::derive(&[7u8; 16], 10);
+        for a in 0..10u16 {
+            for b in 0..10u16 {
+                if a != b {
+                    assert_eq!(keys.key(a, b).unwrap(), keys.key(b, a).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_distinct() {
+        let keys = PairwiseKeys::derive(&[7u8; 16], 26);
+        let mut seen = HashSet::new();
+        for a in 0..26u16 {
+            for b in a + 1..26u16 {
+                assert!(seen.insert(keys.key(a, b).unwrap()), "collision at ({a},{b})");
+            }
+        }
+        assert_eq!(seen.len(), 26 * 25 / 2);
+    }
+
+    #[test]
+    fn different_masters_different_keys() {
+        let k1 = PairwiseKeys::derive(&[1u8; 16], 4);
+        let k2 = PairwiseKeys::derive(&[2u8; 16], 4);
+        assert_ne!(k1.key(0, 1).unwrap(), k2.key(0, 1).unwrap());
+    }
+
+    #[test]
+    fn deterministic_derivation() {
+        let k1 = PairwiseKeys::derive(&[9u8; 16], 8);
+        let k2 = PairwiseKeys::derive(&[9u8; 16], 8);
+        assert_eq!(k1.key(3, 5).unwrap(), k2.key(3, 5).unwrap());
+    }
+
+    #[test]
+    fn self_pairing_rejected() {
+        let keys = PairwiseKeys::derive(&[7u8; 16], 4);
+        assert_eq!(keys.key(2, 2), Err(CryptoError::SelfPairing { node: 2 }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let keys = PairwiseKeys::derive(&[7u8; 16], 4);
+        assert_eq!(
+            keys.key(0, 4),
+            Err(CryptoError::UnknownNodePair { a: 0, b: 4 })
+        );
+        assert_eq!(
+            keys.key(9, 1),
+            Err(CryptoError::UnknownNodePair { a: 9, b: 1 })
+        );
+    }
+
+    #[test]
+    fn pair_index_is_bijective() {
+        let keys = PairwiseKeys::derive(&[7u8; 16], 45);
+        let mut seen = HashSet::new();
+        for a in 0..45u16 {
+            for b in a + 1..45u16 {
+                assert!(seen.insert(keys.pair_index(a, b)));
+            }
+        }
+        assert_eq!(seen.len(), 45 * 44 / 2);
+        assert_eq!(*seen.iter().max().unwrap(), 45 * 44 / 2 - 1);
+    }
+
+    #[test]
+    fn two_node_network() {
+        let keys = PairwiseKeys::derive(&[7u8; 16], 2);
+        assert!(keys.key(0, 1).is_ok());
+    }
+
+    #[test]
+    fn debug_redacts() {
+        let keys = PairwiseKeys::derive(&[7u8; 16], 3);
+        let s = format!("{keys:?}");
+        assert!(s.contains("redacted"));
+        assert!(s.contains("3 nodes"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Symmetric cryptography for the PPDA protocols, implemented from scratch.
+//!
+//! The paper encrypts every sharing-phase packet with **AES-128** using keys
+//! pre-shared during bootstrapping ("each packet is encrypted using AES-128
+//! … assumed to be already shared with the destination node during the
+//! bootstrapping phase"). This crate provides:
+//!
+//! * [`Aes128`] — the FIPS-197 block cipher (encrypt + decrypt), verified
+//!   against the official test vectors.
+//! * [`ctr`] — CTR keystream mode (NIST SP 800-38A).
+//! * [`CbcMac`] — CBC-MAC over whole blocks, the authentication core of CCM.
+//! * [`Ccm`] — CCM authenticated encryption as used by IEEE 802.15.4
+//!   security (L = 2, 13-byte nonce, 4/8/16-byte tag), verified against
+//!   RFC 3610 vectors.
+//! * [`CtrDrbg`] — a deterministic AES-CTR random bit generator implementing
+//!   [`rand::RngCore`], used for protocol share randomness.
+//! * [`PairwiseKeys`] — the bootstrap-phase pairwise key store: every
+//!   unordered node pair {i, j} owns a distinct AES key derived from a
+//!   network master secret.
+//!
+//! # Example
+//!
+//! ```
+//! use ppda_crypto::{Ccm, PairwiseKeys};
+//!
+//! # fn main() -> Result<(), ppda_crypto::CryptoError> {
+//! let keys = PairwiseKeys::derive(&[7u8; 16], 8);
+//! let ccm = Ccm::new(keys.key(2, 5)?, 4)?;
+//! let nonce = Ccm::nonce(2, 5, 0, 42);
+//! let ct = ccm.seal(&nonce, b"round-42", b"secret share")?;
+//! assert_eq!(ccm.open(&nonce, b"round-42", &ct)?, b"secret share");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+mod cbc_mac;
+mod ccm;
+pub mod ctr;
+mod drbg;
+mod error;
+mod keys;
+
+pub use aes::{Aes128, Block, Key, BLOCK_LEN, KEY_LEN};
+pub use cbc_mac::CbcMac;
+pub use ccm::{Ccm, NONCE_LEN};
+pub use drbg::CtrDrbg;
+pub use error::CryptoError;
+pub use keys::PairwiseKeys;

@@ -1,0 +1,160 @@
+//! The MiniCast TDMA chain: a fixed schedule of sub-slots, one per packet.
+
+use core::fmt;
+
+use ppda_radio::FrameSpec;
+use ppda_sim::SimDuration;
+
+/// A MiniCast chain schedule.
+///
+/// Sub-slot `j` of every chain cycle is reserved for packet `j`, whose
+/// *owner* (`owners[j]`) is the only node that can originate it; other
+/// nodes fill the sub-slot only after they have received the packet.
+///
+/// All packets share one [`FrameSpec`] — the protocols of this workspace
+/// put fixed-size share material in every sub-slot, which keeps the TDMA
+/// schedule trivial to compute on-device.
+///
+/// # Example
+///
+/// ```
+/// use ppda_ct::ChainSpec;
+/// use ppda_radio::FrameSpec;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let chain = ChainSpec::new(FrameSpec::new(4, 4)?, vec![0, 0, 1, 2])?;
+/// assert_eq!(chain.len(), 4);
+/// assert_eq!(chain.owner(1), 0);
+/// assert!(chain.cycle_duration().as_micros() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSpec {
+    frame: FrameSpec,
+    owners: Vec<u16>,
+}
+
+/// Errors constructing a [`ChainSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChainError {
+    /// A chain must contain at least one sub-slot.
+    Empty,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Empty => write!(f, "a chain needs at least one sub-slot"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl ChainSpec {
+    /// Build a chain whose sub-slot `j` is originated by `owners[j]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Empty`] if `owners` is empty.
+    pub fn new(frame: FrameSpec, owners: Vec<u16>) -> Result<Self, ChainError> {
+        if owners.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        Ok(ChainSpec { frame, owners })
+    }
+
+    /// Number of sub-slots (packets) in the chain.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// `true` if the chain has no sub-slots (unconstructible; for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// The frame layout shared by all sub-slots.
+    pub fn frame(&self) -> FrameSpec {
+        self.frame
+    }
+
+    /// The originator of packet `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn owner(&self, j: usize) -> u16 {
+        self.owners[j]
+    }
+
+    /// All owners, indexed by sub-slot.
+    pub fn owners(&self) -> &[u16] {
+        &self.owners
+    }
+
+    /// Duration of one sub-slot (frame airtime + turnaround + processing).
+    pub fn slot_duration(&self) -> SimDuration {
+        self.frame.slot_duration()
+    }
+
+    /// Duration of one full chain cycle.
+    pub fn cycle_duration(&self) -> SimDuration {
+        self.slot_duration() * self.len() as u64
+    }
+
+    /// Sub-slots owned by a given node, in chain order.
+    pub fn slots_of(&self, node: u16) -> Vec<usize> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o == node)
+            .map(|(j, _)| j)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> FrameSpec {
+        FrameSpec::new(8, 4).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let chain = ChainSpec::new(frame(), vec![2, 0, 2, 1]).unwrap();
+        assert_eq!(chain.len(), 4);
+        assert!(!chain.is_empty());
+        assert_eq!(chain.owner(0), 2);
+        assert_eq!(chain.owners(), &[2, 0, 2, 1]);
+        assert_eq!(chain.slots_of(2), vec![0, 2]);
+        assert_eq!(chain.slots_of(9), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert_eq!(ChainSpec::new(frame(), vec![]), Err(ChainError::Empty));
+        assert!(ChainError::Empty.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn durations_scale_with_length() {
+        let short = ChainSpec::new(frame(), vec![0; 3]).unwrap();
+        let long = ChainSpec::new(frame(), vec![0; 12]).unwrap();
+        assert_eq!(short.cycle_duration() * 4, long.cycle_duration());
+        assert_eq!(
+            short.cycle_duration().as_micros(),
+            short.slot_duration().as_micros() * 3
+        );
+    }
+
+    #[test]
+    fn slot_duration_matches_frame() {
+        let chain = ChainSpec::new(frame(), vec![0]).unwrap();
+        assert_eq!(chain.slot_duration(), frame().slot_duration());
+    }
+}

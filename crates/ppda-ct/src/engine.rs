@@ -1,0 +1,115 @@
+//! Shared slot-reception machinery for the CT protocols.
+
+use ppda_radio::channel::CI_RELIABILITY;
+use ppda_topology::Topology;
+
+/// Precomputed per-node neighbor lists (links with non-zero PRR), used to
+/// resolve one TDMA sub-slot in O(degree) instead of O(n).
+#[derive(Debug, Clone)]
+pub(crate) struct LinkTable {
+    neighbors: Vec<Vec<(u16, f64)>>,
+}
+
+impl LinkTable {
+    pub(crate) fn new(topology: &Topology, attenuation_db: f64) -> Self {
+        let n = topology.len();
+        let neighbors = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i)
+                    .filter_map(|j| {
+                        let p = topology.prr_at(i, j, attenuation_db);
+                        (p > 0.0).then_some((j as u16, p))
+                    })
+                    .collect()
+            })
+            .collect();
+        LinkTable { neighbors }
+    }
+
+    /// Probability that `receiver` decodes the packet of the current
+    /// sub-slot, given `is_tx[v]` flags for all transmitters (which all
+    /// carry the *same* packet — the MiniCast/Glossy case).
+    ///
+    /// Sender diversity: `1 − Π(1 − PRRᵢ)` over in-range transmitters, with
+    /// the constructive-interference reliability factor applied when more
+    /// than one copy arrives.
+    pub(crate) fn reception_prob(&self, receiver: usize, is_tx: &[bool]) -> f64 {
+        let mut miss = 1.0;
+        let mut in_range = 0u32;
+        for &(nb, prr) in &self.neighbors[receiver] {
+            if is_tx[nb as usize] {
+                miss *= 1.0 - prr;
+                in_range += 1;
+            }
+        }
+        if in_range == 0 {
+            0.0
+        } else {
+            let combined = 1.0 - miss;
+            if in_range >= 2 {
+                combined * CI_RELIABILITY
+            } else {
+                combined
+            }
+        }
+    }
+
+    /// Neighbor count of a node (non-zero-PRR links).
+    #[cfg(test)]
+    pub(crate) fn degree(&self, node: usize) -> usize {
+        self.neighbors[node].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_transmitters_no_reception() {
+        let t = Topology::line(4, 30.0, 1);
+        let links = LinkTable::new(&t, 0.0);
+        assert_eq!(links.reception_prob(0, &[false; 4]), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_transmitter_is_silent() {
+        let t = Topology::line(4, 30.0, 1);
+        let links = LinkTable::new(&t, 0.0);
+        let mut is_tx = [false; 4];
+        is_tx[3] = true; // 90 m away from node 0
+        assert_eq!(links.reception_prob(0, &is_tx), 0.0);
+    }
+
+    #[test]
+    fn single_neighbor_prob_matches_link_prr() {
+        let t = Topology::line(4, 30.0, 1);
+        let links = LinkTable::new(&t, 0.0);
+        let mut is_tx = [false; 4];
+        is_tx[1] = true;
+        let p = links.reception_prob(0, &is_tx);
+        assert!((p - t.prr(0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_increases_probability() {
+        let t = Topology::grid(3, 3, 12.0, 2);
+        let links = LinkTable::new(&t, 0.0);
+        let mut one = vec![false; 9];
+        one[1] = true;
+        let p1 = links.reception_prob(0, &one);
+        let mut two = one.clone();
+        two[3] = true;
+        let p2 = links.reception_prob(0, &two);
+        assert!(p2 >= p1 * 0.999, "diversity must not hurt: {p1} vs {p2}");
+    }
+
+    #[test]
+    fn degree_counts_nonzero_links() {
+        let t = Topology::line(4, 30.0, 1);
+        let links = LinkTable::new(&t, 0.0);
+        // End node has at least its adjacent neighbor.
+        assert!(links.degree(0) >= 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Concurrent-transmission (CT) communication protocols.
+//!
+//! Low-power CT protocols exploit the physical layer: when several nodes
+//! transmit the *same* packet within ±0.5 µs, receivers decode the
+//! superposition (constructive interference), so a packet can sweep a
+//! multi-hop network hop-by-hop in milliseconds with no routing state.
+//!
+//! Two protocols are implemented on the slot-synchronous engine:
+//!
+//! * [`Glossy`] — the pioneering one-to-all flood (Ferrari et al., IPSN'11):
+//!   a single packet from an initiator; every receiver retransmits in the
+//!   next slot, up to NTX times. Used here for time synchronization and as
+//!   a building block of bootstrapping.
+//! * [`MiniCast`] — many-to-many sharing (Saha et al., DCOSS'17): the
+//!   transmissions of *all* nodes are arranged into a TDMA **chain** of
+//!   sub-slots, one per packet; the whole chain is flooded as a unit and
+//!   each node transmits the chain up to NTX times, filling the sub-slots
+//!   it has data for. This is the transport on which both SSS variants of
+//!   the paper run.
+//!
+//! The key empirical property the paper's S4 exploits — **coverage grows
+//! steeply with NTX, then saturates slowly toward full coverage** — emerges
+//! from the propagation model; see [`MiniCast::coverage_vs_ntx`] and the
+//! `ablation_ntx` harness.
+//!
+//! # Example
+//!
+//! ```
+//! use ppda_ct::{ChainSpec, MiniCast, MiniCastConfig};
+//! use ppda_radio::FrameSpec;
+//! use ppda_sim::Xoshiro256;
+//! use ppda_topology::Topology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topology = Topology::flocklab();
+//! let n = topology.len();
+//! // One packet per node: classic all-to-all sharing.
+//! let chain = ChainSpec::new(FrameSpec::new(8, 0)?, (0..n as u16).collect())?;
+//! let config = MiniCastConfig::default();
+//! let mc = MiniCast::new(&topology, chain, config);
+//! let result = mc.run(&mut Xoshiro256::seed_from(1));
+//! assert!(result.coverage() > 0.95);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod engine;
+mod glossy;
+mod minicast;
+
+pub use chain::{ChainError, ChainSpec};
+pub use glossy::{Glossy, GlossyConfig, GlossyResult};
+pub use minicast::{MiniCast, MiniCastConfig, MiniCastResult, NodeOutcome};

@@ -1,0 +1,74 @@
+//! Error types for field and interpolation operations.
+
+use core::fmt;
+
+/// Errors arising from polynomial / interpolation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FieldError {
+    /// Interpolation requires at least one point.
+    EmptyInterpolation,
+    /// Two interpolation points share the same x-coordinate.
+    DuplicateX {
+        /// The canonical representative of the duplicated abscissa.
+        x: u64,
+    },
+    /// An interpolation point used x = 0, which is reserved for the secret.
+    ZeroAbscissa,
+    /// Not enough points to determine a polynomial of the requested degree.
+    NotEnoughPoints {
+        /// Points required (degree + 1).
+        needed: usize,
+        /// Points supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::EmptyInterpolation => {
+                write!(f, "interpolation requires at least one point")
+            }
+            FieldError::DuplicateX { x } => {
+                write!(f, "duplicate interpolation abscissa {x}")
+            }
+            FieldError::ZeroAbscissa => {
+                write!(f, "interpolation point at x = 0 is reserved for the secret")
+            }
+            FieldError::NotEnoughPoints { needed, got } => {
+                write!(f, "need {needed} interpolation points, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            FieldError::EmptyInterpolation.to_string(),
+            "interpolation requires at least one point"
+        );
+        assert_eq!(
+            FieldError::DuplicateX { x: 5 }.to_string(),
+            "duplicate interpolation abscissa 5"
+        );
+        assert!(FieldError::ZeroAbscissa.to_string().contains("x = 0"));
+        assert_eq!(
+            FieldError::NotEnoughPoints { needed: 4, got: 2 }.to_string(),
+            "need 4 interpolation points, got 2"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(FieldError::EmptyInterpolation);
+    }
+}

@@ -1,0 +1,351 @@
+//! Lagrange interpolation over a prime field.
+//!
+//! SSS reconstruction only ever needs the value at x = 0, for which
+//! [`interpolate_at_zero`] computes the weighted sum
+//! `Σ yᵢ · Πⱼ≠ᵢ xⱼ/(xⱼ−xᵢ)` directly — O(m²) multiplications and a single
+//! batched inversion. [`interpolate`] recovers the full coefficient vector
+//! (used in tests and in the adversary analysis).
+
+use crate::element::{Gf, PrimeField};
+use crate::error::FieldError;
+use crate::poly::Polynomial;
+
+/// Validate interpolation abscissas: non-empty, non-zero, pairwise distinct.
+fn validate_xs<P: PrimeField>(xs: &[Gf<P>]) -> Result<(), FieldError> {
+    validate_xs_allow_zero(xs)?;
+    if xs.iter().any(|x| x.is_zero()) {
+        return Err(FieldError::ZeroAbscissa);
+    }
+    Ok(())
+}
+
+/// Validate abscissas for full interpolation, where x = 0 is a legitimate
+/// constraint point (e.g. pinning a candidate secret): non-empty, distinct.
+fn validate_xs_allow_zero<P: PrimeField>(xs: &[Gf<P>]) -> Result<(), FieldError> {
+    if xs.is_empty() {
+        return Err(FieldError::EmptyInterpolation);
+    }
+    for (i, &xi) in xs.iter().enumerate() {
+        for &xj in &xs[..i] {
+            if xi == xj {
+                return Err(FieldError::DuplicateX { x: xi.value() });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Invert a slice of non-zero elements with Montgomery's batch trick:
+/// one field inversion plus 3(m−1) multiplications.
+///
+/// # Panics
+///
+/// Panics if any input is zero (callers validate first).
+pub fn batch_invert<P: PrimeField>(values: &[Gf<P>]) -> Vec<Gf<P>> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut prefix = Vec::with_capacity(values.len());
+    let mut acc = Gf::ONE;
+    for &v in values {
+        assert!(!v.is_zero(), "batch_invert requires non-zero inputs");
+        prefix.push(acc);
+        acc *= v;
+    }
+    let mut inv_acc = acc
+        .inverse()
+        .expect("product of non-zero elements is non-zero");
+    let mut out = vec![Gf::ZERO; values.len()];
+    for i in (0..values.len()).rev() {
+        out[i] = prefix[i] * inv_acc;
+        inv_acc *= values[i];
+    }
+    out
+}
+
+/// The Lagrange basis weights at x = 0: `wᵢ = Πⱼ≠ᵢ xⱼ / (xⱼ − xᵢ)`.
+///
+/// Reconstruction is then `secret = Σ wᵢ·yᵢ`. Precomputing the weights lets
+/// a node reconstruct many aggregates over the same share-holder set (e.g.
+/// one per sensing epoch) with just m multiplications each.
+///
+/// # Errors
+///
+/// Returns [`FieldError`] if `xs` is empty, contains zero, or has duplicates.
+pub fn basis_at_zero<P: PrimeField>(xs: &[Gf<P>]) -> Result<Vec<Gf<P>>, FieldError> {
+    validate_xs(xs)?;
+    let m = xs.len();
+    // numerator_i = Π_{j≠i} x_j ; denominator_i = Π_{j≠i} (x_j − x_i)
+    let mut denominators = Vec::with_capacity(m);
+    let mut numerators = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut num = Gf::ONE;
+        let mut den = Gf::ONE;
+        for j in 0..m {
+            if i == j {
+                continue;
+            }
+            num *= xs[j];
+            den *= xs[j] - xs[i];
+        }
+        numerators.push(num);
+        denominators.push(den);
+    }
+    let inv_dens = batch_invert(&denominators);
+    Ok(numerators
+        .into_iter()
+        .zip(inv_dens)
+        .map(|(n, d)| n * d)
+        .collect())
+}
+
+/// Interpolate the unique degree-(m−1) polynomial through `points` and
+/// evaluate it at x = 0 (SSS secret reconstruction).
+///
+/// # Errors
+///
+/// Returns [`FieldError`] if the points are empty, share an abscissa, or use
+/// x = 0.
+///
+/// # Example
+///
+/// ```
+/// use ppda_field::{lagrange, Gf31};
+/// // y = 10 + 3x through x = 1, 2
+/// let pts = [(Gf31::new(1), Gf31::new(13)), (Gf31::new(2), Gf31::new(16))];
+/// assert_eq!(lagrange::interpolate_at_zero(&pts)?, Gf31::new(10));
+/// # Ok::<(), ppda_field::FieldError>(())
+/// ```
+pub fn interpolate_at_zero<P: PrimeField>(
+    points: &[(Gf<P>, Gf<P>)],
+) -> Result<Gf<P>, FieldError> {
+    let xs: Vec<Gf<P>> = points.iter().map(|&(x, _)| x).collect();
+    let weights = basis_at_zero(&xs)?;
+    Ok(points
+        .iter()
+        .zip(weights)
+        .map(|(&(_, y), w)| y * w)
+        .sum())
+}
+
+/// Interpolate the full coefficient vector of the unique degree-(m−1)
+/// polynomial through `points`.
+///
+/// Unlike [`interpolate_at_zero`], a point *at* x = 0 is allowed here —
+/// the adversary analysis pins candidate secrets that way.
+///
+/// O(m²); fine for the small m (≤ 46) used by the protocols.
+///
+/// # Errors
+///
+/// [`FieldError`] if the points are empty or share an abscissa.
+pub fn interpolate<P: PrimeField>(
+    points: &[(Gf<P>, Gf<P>)],
+) -> Result<Polynomial<P>, FieldError> {
+    let xs: Vec<Gf<P>> = points.iter().map(|&(x, _)| x).collect();
+    validate_xs_allow_zero(&xs)?;
+    let mut acc = Polynomial::zero();
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // basis_i(x) = Π_{j≠i} (x − x_j) / (x_i − x_j)
+        let mut basis = Polynomial::constant(Gf::ONE);
+        let mut denom = Gf::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            basis = basis.mul(&Polynomial::new(vec![-xj, Gf::ONE]));
+            denom *= xi - xj;
+        }
+        let coeff = yi
+            * denom
+                .inverse()
+                .expect("distinct abscissas give non-zero denominator");
+        acc = acc.add(&basis.scale(coeff));
+    }
+    Ok(acc)
+}
+
+/// Check whether `points` are consistent with a single polynomial of degree
+/// at most `degree` (used to validate received sum shares before
+/// reconstruction, and by the fault-tolerance logic to discard corrupted
+/// shares).
+///
+/// # Errors
+///
+/// Returns [`FieldError::NotEnoughPoints`] when fewer than `degree + 1`
+/// points are supplied, plus the usual abscissa validation errors.
+pub fn consistent_with_degree<P: PrimeField>(
+    points: &[(Gf<P>, Gf<P>)],
+    degree: usize,
+) -> Result<bool, FieldError> {
+    if points.len() < degree + 1 {
+        return Err(FieldError::NotEnoughPoints {
+            needed: degree + 1,
+            got: points.len(),
+        });
+    }
+    let poly = interpolate(&points[..degree + 1])?;
+    // Validate the remaining points too (catches duplicates across the split).
+    let xs: Vec<Gf<P>> = points.iter().map(|&(x, _)| x).collect();
+    validate_xs_allow_zero(&xs)?;
+    Ok(points[degree + 1..]
+        .iter()
+        .all(|&(x, y)| poly.eval(x) == y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Gf31, Mersenne31};
+    use crate::SplitMix64;
+
+    fn pts(raw: &[(u64, u64)]) -> Vec<(Gf31, Gf31)> {
+        raw.iter()
+            .map(|&(x, y)| (Gf31::new(x), Gf31::new(y)))
+            .collect()
+    }
+
+    #[test]
+    fn reconstruct_linear() {
+        // y = 10 + 3x
+        let points = pts(&[(1, 13), (2, 16)]);
+        assert_eq!(interpolate_at_zero(&points).unwrap(), Gf31::new(10));
+    }
+
+    #[test]
+    fn reconstruct_from_any_subset() {
+        let mut rng = SplitMix64::new(17);
+        let secret = Gf31::new(123456);
+        let poly = Polynomial::<Mersenne31>::random_with_constant(secret, 4, &mut rng);
+        let all: Vec<(Gf31, Gf31)> = (1u64..=12)
+            .map(|x| (Gf31::new(x), poly.eval(Gf31::new(x))))
+            .collect();
+        // any 5 points reconstruct
+        for start in 0..7 {
+            let subset = &all[start..start + 5];
+            assert_eq!(interpolate_at_zero(subset).unwrap(), secret);
+        }
+        // non-contiguous subset
+        let subset = [all[0], all[3], all[5], all[8], all[11]];
+        assert_eq!(interpolate_at_zero(&subset).unwrap(), secret);
+    }
+
+    #[test]
+    fn too_few_points_give_wrong_secret_not_error() {
+        // k points for a degree-k polynomial is information-theoretically
+        // insufficient — interpolation succeeds but yields an unrelated value.
+        let mut rng = SplitMix64::new(23);
+        let secret = Gf31::new(999);
+        let poly = Polynomial::<Mersenne31>::random_with_constant(secret, 3, &mut rng);
+        let three: Vec<(Gf31, Gf31)> = (1u64..=3)
+            .map(|x| (Gf31::new(x), poly.eval(Gf31::new(x))))
+            .collect();
+        // With overwhelming probability the degree-2 fit misses the secret.
+        assert_ne!(interpolate_at_zero(&three).unwrap(), secret);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let empty: Vec<(Gf31, Gf31)> = Vec::new();
+        assert_eq!(
+            interpolate_at_zero(&empty),
+            Err(FieldError::EmptyInterpolation)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_x() {
+        let points = pts(&[(1, 5), (1, 6)]);
+        assert_eq!(
+            interpolate_at_zero(&points),
+            Err(FieldError::DuplicateX { x: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_zero_abscissa() {
+        let points = pts(&[(0, 5), (1, 6)]);
+        assert_eq!(interpolate_at_zero(&points), Err(FieldError::ZeroAbscissa));
+    }
+
+    #[test]
+    fn full_interpolation_recovers_coefficients() {
+        let mut rng = SplitMix64::new(31);
+        let poly = Polynomial::<Mersenne31>::random_with_constant(Gf31::new(42), 5, &mut rng);
+        let points: Vec<(Gf31, Gf31)> = (1u64..=6)
+            .map(|x| (Gf31::new(x), poly.eval(Gf31::new(x))))
+            .collect();
+        let rec = interpolate(&points).unwrap();
+        assert_eq!(rec, poly);
+    }
+
+    #[test]
+    fn single_point_interpolation_is_constant() {
+        let points = pts(&[(7, 99)]);
+        let poly = interpolate(&points).unwrap();
+        assert_eq!(poly.degree(), 0);
+        assert_eq!(poly.constant_term(), Gf31::new(99));
+        assert_eq!(interpolate_at_zero(&points).unwrap(), Gf31::new(99));
+    }
+
+    #[test]
+    fn basis_weights_sum_property() {
+        // Interpolating the constant-1 polynomial must give weights that sum
+        // to 1 at x = 0.
+        let xs: Vec<Gf31> = (1u64..=7).map(Gf31::new).collect();
+        let w = basis_at_zero(&xs).unwrap();
+        assert_eq!(w.iter().copied().sum::<Gf31>(), Gf31::ONE);
+    }
+
+    #[test]
+    fn batch_invert_matches_individual() {
+        let mut rng = SplitMix64::new(41);
+        let values: Vec<Gf31> = (0..50).map(|_| Gf31::random_nonzero(&mut rng)).collect();
+        let batch = batch_invert(&values);
+        for (v, inv) in values.iter().zip(&batch) {
+            assert_eq!(v.inverse().unwrap(), *inv);
+        }
+    }
+
+    #[test]
+    fn batch_invert_empty() {
+        let values: Vec<Gf31> = Vec::new();
+        assert!(batch_invert(&values).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn batch_invert_panics_on_zero() {
+        let _ = batch_invert(&[Gf31::ONE, Gf31::ZERO]);
+    }
+
+    #[test]
+    fn consistency_check_accepts_honest_points() {
+        let mut rng = SplitMix64::new(53);
+        let poly = Polynomial::<Mersenne31>::random_with_constant(Gf31::new(5), 3, &mut rng);
+        let points: Vec<(Gf31, Gf31)> = (1u64..=10)
+            .map(|x| (Gf31::new(x), poly.eval(Gf31::new(x))))
+            .collect();
+        assert!(consistent_with_degree(&points, 3).unwrap());
+    }
+
+    #[test]
+    fn consistency_check_rejects_tampered_point() {
+        let mut rng = SplitMix64::new(59);
+        let poly = Polynomial::<Mersenne31>::random_with_constant(Gf31::new(5), 3, &mut rng);
+        let mut points: Vec<(Gf31, Gf31)> = (1u64..=10)
+            .map(|x| (Gf31::new(x), poly.eval(Gf31::new(x))))
+            .collect();
+        points[7].1 += Gf31::ONE;
+        assert!(!consistent_with_degree(&points, 3).unwrap());
+    }
+
+    #[test]
+    fn consistency_check_needs_enough_points() {
+        let points = pts(&[(1, 1), (2, 2)]);
+        assert_eq!(
+            consistent_with_degree(&points, 3),
+            Err(FieldError::NotEnoughPoints { needed: 4, got: 2 })
+        );
+    }
+}

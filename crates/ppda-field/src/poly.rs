@@ -1,0 +1,321 @@
+//! Dense polynomials over a prime field.
+
+use core::fmt;
+
+use rand::RngCore;
+
+use crate::element::{Gf, PrimeField};
+
+/// A dense polynomial `c₀ + c₁x + … + c_d x^d` over GF(p).
+///
+/// Coefficients are stored in ascending-degree order. The representation is
+/// kept *normalized*: a trailing zero coefficient is trimmed (except for the
+/// zero polynomial, which is the empty coefficient vector).
+///
+/// In Shamir Secret Sharing the constant coefficient `c₀` is the secret and
+/// the remaining `degree` coefficients are uniformly random — see
+/// [`Polynomial::random_with_constant`].
+///
+/// # Example
+///
+/// ```
+/// use ppda_field::{Gf31, Mersenne31, Polynomial};
+/// // 3 + 2x + x^2 evaluated at 2 = 3 + 4 + 4 = 11
+/// let p = Polynomial::<Mersenne31>::new(vec![Gf31::new(3), Gf31::new(2), Gf31::new(1)]);
+/// assert_eq!(p.eval(Gf31::new(2)), Gf31::new(11));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Polynomial<P: PrimeField> {
+    coeffs: Vec<Gf<P>>,
+}
+
+impl<P: PrimeField> Polynomial<P> {
+    /// Build a polynomial from ascending-degree coefficients, trimming
+    /// trailing zeros.
+    pub fn new(coeffs: Vec<Gf<P>>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf<P>) -> Self {
+        Self::new(vec![c])
+    }
+
+    /// A uniformly random polynomial with the given constant term and exact
+    /// degree bound `degree` (the top coefficient may be zero, giving an
+    /// effective lower degree — this matches the SSS privacy requirement,
+    /// which needs the *non-constant* coefficients uniform, not a fixed
+    /// leading coefficient).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ppda_field::{Gf31, Mersenne31, Polynomial, SplitMix64};
+    /// let mut rng = SplitMix64::new(9);
+    /// let p = Polynomial::<Mersenne31>::random_with_constant(Gf31::new(5), 3, &mut rng);
+    /// assert_eq!(p.eval(Gf31::ZERO), Gf31::new(5));
+    /// assert!(p.degree() <= 3);
+    /// ```
+    pub fn random_with_constant<R: RngCore + ?Sized>(
+        constant: Gf<P>,
+        degree: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(constant);
+        for _ in 0..degree {
+            coeffs.push(Gf::random(rng));
+        }
+        Self::new(coeffs)
+    }
+
+    /// The degree of the polynomial; the zero polynomial reports degree 0.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The coefficients in ascending-degree order (empty for zero).
+    pub fn coeffs(&self) -> &[Gf<P>] {
+        &self.coeffs
+    }
+
+    /// The constant term `c₀` (the SSS secret).
+    pub fn constant_term(&self) -> Gf<P> {
+        self.coeffs.first().copied().unwrap_or(Gf::ZERO)
+    }
+
+    /// Evaluate at `x` by Horner's rule (d multiplications, d additions).
+    pub fn eval(&self, x: Gf<P>) -> Gf<P> {
+        let mut acc = Gf::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluate at many points; convenience for share generation.
+    pub fn eval_many(&self, xs: &[Gf<P>]) -> Vec<Gf<P>> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+
+    /// Polynomial addition. The sum of all nodes' share polynomials is the
+    /// aggregation polynomial whose constant term is the sum of secrets.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).copied().unwrap_or(Gf::ZERO);
+            let b = other.coeffs.get(i).copied().unwrap_or(Gf::ZERO);
+            coeffs.push(a + b);
+        }
+        Self::new(coeffs)
+    }
+
+    /// Multiply every coefficient by a scalar.
+    pub fn scale(&self, s: Gf<P>) -> Self {
+        Self::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Naive polynomial multiplication (O(d²)); used by interpolation and in
+    /// tests, never on the protocol hot path.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut coeffs = vec![Gf::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Self::new(coeffs)
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+}
+
+impl<P: PrimeField> fmt::Debug for Polynomial<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "Polynomial(0)");
+        }
+        write!(f, "Polynomial(")?;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            match i {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}·x")?,
+                _ => write!(f, "{c}·x^{i}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl<P: PrimeField> Default for Polynomial<P> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Gf31, Mersenne31};
+    use crate::SplitMix64;
+
+    fn poly(cs: &[u64]) -> Polynomial<Mersenne31> {
+        Polynomial::new(cs.iter().map(|&c| Gf31::new(c)).collect())
+    }
+
+    #[test]
+    fn eval_matches_manual() {
+        // 7 + 3x + 5x^2 at x=4: 7 + 12 + 80 = 99
+        let p = poly(&[7, 3, 5]);
+        assert_eq!(p.eval(Gf31::new(4)), Gf31::new(99));
+    }
+
+    #[test]
+    fn zero_polynomial() {
+        let z = Polynomial::<Mersenne31>::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval(Gf31::new(1234)), Gf31::ZERO);
+        assert_eq!(z.constant_term(), Gf31::ZERO);
+    }
+
+    #[test]
+    fn normalization_trims_trailing_zeros() {
+        let p = poly(&[1, 2, 0, 0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs().len(), 2);
+        let all_zero = poly(&[0, 0, 0]);
+        assert!(all_zero.is_zero());
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        let c = Polynomial::<Mersenne31>::constant(Gf31::new(9));
+        assert_eq!(c.degree(), 0);
+        assert_eq!(c.eval(Gf31::new(55)), Gf31::new(9));
+    }
+
+    #[test]
+    fn random_with_constant_pins_secret() {
+        let mut rng = SplitMix64::new(11);
+        for degree in 0..10 {
+            let p = Polynomial::<Mersenne31>::random_with_constant(
+                Gf31::new(777),
+                degree,
+                &mut rng,
+            );
+            assert_eq!(p.constant_term(), Gf31::new(777));
+            assert_eq!(p.eval(Gf31::ZERO), Gf31::new(777));
+            assert!(p.degree() <= degree);
+        }
+    }
+
+    #[test]
+    fn add_is_pointwise() {
+        let a = poly(&[1, 2, 3]);
+        let b = poly(&[10, 20]);
+        let s = a.add(&b);
+        let x = Gf31::new(6);
+        assert_eq!(s.eval(x), a.eval(x) + b.eval(x));
+        assert_eq!(s.coeffs()[0], Gf31::new(11));
+        assert_eq!(s.coeffs()[1], Gf31::new(22));
+        assert_eq!(s.coeffs()[2], Gf31::new(3));
+    }
+
+    #[test]
+    fn add_cancels_to_zero() {
+        let a = poly(&[5, 7]);
+        let neg = Polynomial::new(a.coeffs().iter().map(|&c| -c).collect());
+        assert!(a.add(&neg).is_zero());
+    }
+
+    #[test]
+    fn scale_matches_eval() {
+        let a = poly(&[4, 0, 9]);
+        let s = a.scale(Gf31::new(3));
+        let x = Gf31::new(2);
+        assert_eq!(s.eval(x), a.eval(x) * Gf31::new(3));
+    }
+
+    #[test]
+    fn mul_matches_eval() {
+        let a = poly(&[1, 2]); // 1 + 2x
+        let b = poly(&[3, 0, 1]); // 3 + x^2
+        let m = a.mul(&b);
+        assert_eq!(m.degree(), 3);
+        for xv in 0..20u64 {
+            let x = Gf31::new(xv);
+            assert_eq!(m.eval(x), a.eval(x) * b.eval(x));
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero() {
+        let a = poly(&[1, 2, 3]);
+        assert!(a.mul(&Polynomial::zero()).is_zero());
+        assert!(Polynomial::<Mersenne31>::zero().mul(&a).is_zero());
+    }
+
+    #[test]
+    fn eval_many_matches_eval() {
+        let p = poly(&[9, 8, 7]);
+        let xs: Vec<Gf31> = (1..=5).map(Gf31::new).collect();
+        let ys = p.eval_many(&xs);
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(p.eval(*x), *y);
+        }
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", poly(&[3, 2, 1])), "Polynomial(3 + 2·x + 1·x^2)");
+        assert_eq!(
+            format!("{:?}", Polynomial::<Mersenne31>::zero()),
+            "Polynomial(0)"
+        );
+    }
+
+    #[test]
+    fn sum_of_polynomials_aggregates_secrets() {
+        // The algebraic heart of the paper: sum of share polynomials has the
+        // sum of secrets as its constant term.
+        let mut rng = SplitMix64::new(21);
+        let secrets = [15u64, 27, 99, 4];
+        let polys: Vec<_> = secrets
+            .iter()
+            .map(|&s| {
+                Polynomial::<Mersenne31>::random_with_constant(Gf31::new(s), 3, &mut rng)
+            })
+            .collect();
+        let sum_poly = polys
+            .iter()
+            .fold(Polynomial::zero(), |acc, p| acc.add(p));
+        assert_eq!(
+            sum_poly.constant_term(),
+            Gf31::new(secrets.iter().sum::<u64>())
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Semi-honest adversary analysis: what does a collusion learn?
+//!
+//! The security argument of threshold secret sharing is
+//! information-theoretic: `m ≤ k` evaluations of a uniformly random
+//! degree-k polynomial are consistent with *every* candidate constant term,
+//! each under exactly one completing polynomial — so the observations carry
+//! zero information about the secret. This module makes that argument
+//! executable:
+//!
+//! * [`SecrecyAnalysis`] — given the destination assignment of a protocol
+//!   run and a collusion set, counts how many share points of a target
+//!   source the collusion observes and classifies the secret as hidden or
+//!   determined.
+//! * [`consistent_polynomial`] — for a hidden secret, **constructs** the
+//!   degree-k polynomial that matches all observations yet has any chosen
+//!   candidate as its constant term (the distinguishability game made
+//!   concrete).
+//!
+//! # Example
+//!
+//! ```
+//! use ppda_mpc::adversary::SecrecyAnalysis;
+//!
+//! // Degree-3 sharing to aggregators {1,2,3,4,5}; nodes 2 and 4 collude.
+//! let analysis = SecrecyAnalysis::new(3, &[1, 2, 3, 4, 5], &[2, 4]);
+//! assert!(analysis.secret_hidden());
+//! assert_eq!(analysis.observed_points(), 2);
+//! assert_eq!(analysis.margin(), 2); // two more colluders still safe
+//! ```
+
+use ppda_field::{lagrange, share_x, Gf, Polynomial, PrimeField};
+use rand::RngCore;
+
+use ppda_sss::Share;
+
+/// Classification of one target source's secrecy against one collusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecrecyAnalysis {
+    degree: usize,
+    observed: usize,
+}
+
+impl SecrecyAnalysis {
+    /// Analyze a run where the target's shares went to `destinations` and
+    /// the nodes in `colluders` pool their received shares.
+    ///
+    /// (The target itself must not be a colluder — a node trivially knows
+    /// its own secret; filter that case out upstream.)
+    pub fn new(degree: usize, destinations: &[u16], colluders: &[u16]) -> Self {
+        let observed = destinations
+            .iter()
+            .filter(|d| colluders.contains(d))
+            .count();
+        SecrecyAnalysis { degree, observed }
+    }
+
+    /// Number of the target's share points the collusion sees.
+    pub fn observed_points(&self) -> usize {
+        self.observed
+    }
+
+    /// `true` iff the observations leave the secret information-
+    /// theoretically hidden (`observed ≤ degree`).
+    pub fn secret_hidden(&self) -> bool {
+        self.observed <= self.degree
+    }
+
+    /// How many additional colluding destinations the scheme tolerates
+    /// before the secret is determined.
+    pub fn margin(&self) -> usize {
+        (self.degree + 1).saturating_sub(self.observed)
+    }
+}
+
+/// Construct a degree-≤`degree` polynomial with `candidate` as constant
+/// term that agrees with every observed share — the constructive proof
+/// that `observed.len() ≤ degree` observations cannot identify the secret.
+///
+/// Returns `None` when the observations already determine the polynomial
+/// (`observed.len() > degree`), i.e. when the secret is *not* hidden.
+///
+/// The completion is randomized: missing degrees of freedom are pinned at
+/// fresh random points, so repeated calls sample the consistent-polynomial
+/// space.
+pub fn consistent_polynomial<P: PrimeField, R: RngCore + ?Sized>(
+    candidate: Gf<P>,
+    observed: &[Share<P>],
+    degree: usize,
+    rng: &mut R,
+) -> Option<Polynomial<P>> {
+    if observed.len() > degree {
+        return None;
+    }
+    let mut points: Vec<(Gf<P>, Gf<P>)> = Vec::with_capacity(degree + 1);
+    points.push((Gf::ZERO, candidate));
+    for s in observed {
+        points.push((s.x, s.y));
+    }
+    // Pin the remaining degrees of freedom at unused abscissas.
+    let mut extra = 1u64;
+    while points.len() < degree + 1 {
+        let x = Gf::new(u64::MAX - extra);
+        extra += 1;
+        if points.iter().any(|&(px, _)| px == x) {
+            continue;
+        }
+        points.push((x, Gf::random(rng)));
+    }
+    let poly = lagrange::interpolate(&points).expect("distinct abscissas by construction");
+    debug_assert!(poly.degree() <= degree);
+    Some(poly)
+}
+
+/// Convenience: the destination points observed by a collusion, given the
+/// target's full share list as produced in a protocol run.
+pub fn observed_shares<P: PrimeField>(
+    destinations: &[u16],
+    shares: &[Share<P>],
+    colluders: &[u16],
+) -> Vec<Share<P>> {
+    destinations
+        .iter()
+        .zip(shares)
+        .filter(|(d, _)| colluders.contains(d))
+        .map(|(_, &s)| s)
+        .collect()
+}
+
+/// The canonical share points for a destination set (x = id + 1).
+pub fn destination_points<P: PrimeField>(destinations: &[u16]) -> Vec<Gf<P>> {
+    destinations
+        .iter()
+        .map(|&d| share_x::<P>(d as usize))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppda_field::{Gf31, Mersenne31};
+    use ppda_sim::Xoshiro256;
+    use ppda_sss::split_secret;
+
+    #[test]
+    fn threshold_is_tight() {
+        let dests: Vec<u16> = (1..=8).collect();
+        // k colluding destinations: hidden.
+        let a = SecrecyAnalysis::new(3, &dests, &[1, 2, 3]);
+        assert!(a.secret_hidden());
+        assert_eq!(a.margin(), 1);
+        // k+1: determined.
+        let b = SecrecyAnalysis::new(3, &dests, &[1, 2, 3, 4]);
+        assert!(!b.secret_hidden());
+        assert_eq!(b.margin(), 0);
+    }
+
+    #[test]
+    fn colluders_outside_destination_set_do_not_count() {
+        let a = SecrecyAnalysis::new(2, &[1, 2, 3], &[7, 8, 9, 10]);
+        assert_eq!(a.observed_points(), 0);
+        assert!(a.secret_hidden());
+    }
+
+    #[test]
+    fn consistent_polynomial_matches_every_candidate() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let degree = 4;
+        let dests: Vec<u16> = (1..=9).collect();
+        let xs = destination_points::<Mersenne31>(&dests);
+        let true_secret = Gf31::new(123456);
+        let shares = split_secret(true_secret, degree, &xs, &mut rng).unwrap();
+
+        // A collusion of exactly k destinations.
+        let colluders: Vec<u16> = dests[..degree].to_vec();
+        let observed = observed_shares(&dests, &shares, &colluders);
+        assert_eq!(observed.len(), degree);
+
+        for candidate in [0u64, 7, 123456, 2_000_000_000] {
+            let cand = Gf31::new(candidate);
+            let poly = consistent_polynomial(cand, &observed, degree, &mut rng)
+                .expect("k observations leave the secret hidden");
+            assert_eq!(poly.eval(Gf31::ZERO), cand);
+            for s in &observed {
+                assert_eq!(poly.eval(s.x), s.y, "must match observation");
+            }
+            assert!(poly.degree() <= degree);
+        }
+    }
+
+    #[test]
+    fn too_many_observations_defeat_construction() {
+        let mut rng = Xoshiro256::seed_from(6);
+        let degree = 2;
+        let dests: Vec<u16> = (1..=6).collect();
+        let xs = destination_points::<Mersenne31>(&dests);
+        let shares = split_secret(Gf31::new(42), degree, &xs, &mut rng).unwrap();
+        let observed = observed_shares(&dests, &shares, &dests[..degree + 1].to_vec());
+        assert!(consistent_polynomial(Gf31::new(7), &observed, degree, &mut rng).is_none());
+        // And indeed k+1 observations pin the real secret.
+        let points: Vec<_> = observed.iter().map(|s| (s.x, s.y)).collect();
+        assert_eq!(
+            lagrange::interpolate_at_zero(&points).unwrap(),
+            Gf31::new(42)
+        );
+    }
+
+    #[test]
+    fn construction_is_randomized() {
+        let mut rng = Xoshiro256::seed_from(7);
+        let degree = 3;
+        let observed: Vec<Share<Mersenne31>> = Vec::new();
+        let a = consistent_polynomial(Gf31::new(5), &observed, degree, &mut rng).unwrap();
+        let b = consistent_polynomial(Gf31::new(5), &observed, degree, &mut rng).unwrap();
+        assert_ne!(a, b, "free coefficients must be sampled fresh");
+        assert_eq!(a.eval(Gf31::ZERO), b.eval(Gf31::ZERO));
+    }
+}

@@ -1,0 +1,384 @@
+//! Protocol configuration.
+
+use ppda_radio::FadingProfile;
+
+use crate::error::MpcError;
+
+/// Configuration shared by both protocol variants.
+///
+/// Build with [`ProtocolConfig::builder`]; defaults follow the paper's
+/// evaluation setup (degree ⌊n/3⌋, S4 NTX ≈ 6, AES-128 with 4-byte MIC).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolConfig {
+    /// Total nodes in the deployment.
+    pub n_nodes: usize,
+    /// Nodes contributing a secret reading, in chain order.
+    pub sources: Vec<u16>,
+    /// Polynomial degree k — the collusion threshold.
+    pub degree: usize,
+    /// S4 sharing-phase NTX (the paper found 6 on FlockLab, 5 on DCube).
+    pub ntx_sharing: u32,
+    /// S4 reconstruction-phase NTX.
+    pub ntx_reconstruction: u32,
+    /// NTX used by naive S3 for full network coverage in both phases.
+    pub full_coverage_ntx: u32,
+    /// Extra aggregators beyond the k+1 minimum (fault-tolerance headroom).
+    pub aggregator_redundancy: usize,
+    /// CCM tag length for sharing-phase packets (4, 8 or 16).
+    pub tag_len: usize,
+    /// Deployment master secret for the bootstrap key derivation.
+    pub master_key: [u8; 16],
+    /// PRR threshold defining usable links for schedule computation.
+    pub link_threshold: f64,
+    /// Aggregation round identifier (nonce freshness).
+    pub round_id: u32,
+    /// Exclusive upper bound for generated sensor readings.
+    pub max_reading: u64,
+    /// Round-scale fading/interference mixture of the deployment site.
+    pub fading: FadingProfile,
+}
+
+impl ProtocolConfig {
+    /// Start building a configuration for an `n`-node deployment. All
+    /// nodes are sources by default.
+    pub fn builder(n: usize) -> ProtocolConfigBuilder {
+        ProtocolConfigBuilder {
+            n_nodes: n,
+            sources: None,
+            degree: None,
+            ntx_sharing: 6,
+            ntx_reconstruction: 6,
+            full_coverage_ntx: 15,
+            aggregator_redundancy: 2,
+            tag_len: 4,
+            master_key: *b"ppda-master-key!",
+            link_threshold: 0.5,
+            round_id: 1,
+            max_reading: 1 << 16,
+            fading: FadingProfile::office(),
+        }
+    }
+
+    /// Number of aggregator nodes S4 provisions: degree + 1 + redundancy.
+    pub fn aggregator_count(&self) -> usize {
+        self.degree + 1 + self.aggregator_redundancy
+    }
+
+    /// The contributor mask expected when every configured source shares.
+    pub fn full_source_mask(&self) -> u128 {
+        self.sources.iter().fold(0u128, |m, &s| m | (1u128 << s))
+    }
+}
+
+/// Builder for [`ProtocolConfig`] (see [`ProtocolConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct ProtocolConfigBuilder {
+    n_nodes: usize,
+    sources: Option<Vec<u16>>,
+    degree: Option<usize>,
+    ntx_sharing: u32,
+    ntx_reconstruction: u32,
+    full_coverage_ntx: u32,
+    aggregator_redundancy: usize,
+    tag_len: usize,
+    master_key: [u8; 16],
+    link_threshold: f64,
+    round_id: u32,
+    max_reading: u64,
+    fading: FadingProfile,
+}
+
+impl ProtocolConfigBuilder {
+    /// Use `count` sources spread evenly over the node id space (the
+    /// paper's "different number of source nodes" sweeps).
+    pub fn sources(mut self, count: usize) -> Self {
+        let n = self.n_nodes.max(1);
+        let picked: Vec<u16> = (0..count)
+            .map(|i| ((i * n) / count.max(1)) as u16)
+            .collect();
+        self.sources = Some(picked);
+        self
+    }
+
+    /// Use an explicit source set.
+    pub fn sources_explicit(mut self, sources: Vec<u16>) -> Self {
+        self.sources = Some(sources);
+        self
+    }
+
+    /// Polynomial degree (collusion threshold). Default: ⌊n/3⌋, min 1.
+    pub fn degree(mut self, k: usize) -> Self {
+        self.degree = Some(k);
+        self
+    }
+
+    /// S4 sharing-phase NTX.
+    pub fn ntx_sharing(mut self, ntx: u32) -> Self {
+        self.ntx_sharing = ntx;
+        self
+    }
+
+    /// S4 reconstruction-phase NTX.
+    pub fn ntx_reconstruction(mut self, ntx: u32) -> Self {
+        self.ntx_reconstruction = ntx;
+        self
+    }
+
+    /// S3 full-coverage NTX for both phases.
+    pub fn full_coverage_ntx(mut self, ntx: u32) -> Self {
+        self.full_coverage_ntx = ntx;
+        self
+    }
+
+    /// Aggregators beyond the k+1 minimum.
+    pub fn aggregator_redundancy(mut self, extra: usize) -> Self {
+        self.aggregator_redundancy = extra;
+        self
+    }
+
+    /// CCM tag length (4, 8 or 16 bytes).
+    pub fn tag_len(mut self, len: usize) -> Self {
+        self.tag_len = len;
+        self
+    }
+
+    /// Deployment master secret.
+    pub fn master_key(mut self, key: [u8; 16]) -> Self {
+        self.master_key = key;
+        self
+    }
+
+    /// PRR threshold for schedule computation.
+    pub fn link_threshold(mut self, thr: f64) -> Self {
+        self.link_threshold = thr;
+        self
+    }
+
+    /// Aggregation round id.
+    pub fn round_id(mut self, id: u32) -> Self {
+        self.round_id = id;
+        self
+    }
+
+    /// Exclusive upper bound on generated readings.
+    pub fn max_reading(mut self, bound: u64) -> Self {
+        self.max_reading = bound;
+        self
+    }
+
+    /// Round-scale fading profile of the deployment site.
+    pub fn fading(mut self, profile: FadingProfile) -> Self {
+        self.fading = profile;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::InvalidConfig`] when any constraint is violated:
+    /// network size (2..=128 nodes), source validity/uniqueness, degree
+    /// bounds, aggregator count vs. network size, tag length, thresholds.
+    pub fn build(self) -> Result<ProtocolConfig, MpcError> {
+        let n = self.n_nodes;
+        if !(2..=128).contains(&n) {
+            return Err(MpcError::InvalidConfig {
+                what: format!("need 2..=128 nodes, got {n}"),
+            });
+        }
+        let sources = self
+            .sources
+            .unwrap_or_else(|| (0..n as u16).collect());
+        if sources.is_empty() {
+            return Err(MpcError::InvalidConfig {
+                what: "at least one source required".into(),
+            });
+        }
+        let mut seen = vec![false; n];
+        for &s in &sources {
+            if s as usize >= n {
+                return Err(MpcError::InvalidConfig {
+                    what: format!("source {s} outside the {n}-node network"),
+                });
+            }
+            if seen[s as usize] {
+                return Err(MpcError::InvalidConfig {
+                    what: format!("duplicate source {s}"),
+                });
+            }
+            seen[s as usize] = true;
+        }
+        let degree = self.degree.unwrap_or_else(|| (n / 3).max(1));
+        if degree == 0 {
+            return Err(MpcError::InvalidConfig {
+                what: "degree 0 offers no privacy (shares equal the secret)".into(),
+            });
+        }
+        let aggregators = degree + 1 + self.aggregator_redundancy;
+        if aggregators > n {
+            return Err(MpcError::InvalidConfig {
+                what: format!(
+                    "need {aggregators} aggregators (degree {degree} + 1 + redundancy {}) but only {n} nodes",
+                    self.aggregator_redundancy
+                ),
+            });
+        }
+        if !(4..=16).contains(&self.tag_len) || self.tag_len % 2 != 0 {
+            return Err(MpcError::InvalidConfig {
+                what: format!("CCM tag length {} unsupported", self.tag_len),
+            });
+        }
+        if self.ntx_sharing == 0 || self.ntx_reconstruction == 0 || self.full_coverage_ntx == 0 {
+            return Err(MpcError::InvalidConfig {
+                what: "NTX values must be at least 1".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.link_threshold) {
+            return Err(MpcError::InvalidConfig {
+                what: format!("link threshold {} outside [0, 1]", self.link_threshold),
+            });
+        }
+        if self.max_reading == 0 || self.max_reading >= ppda_field::Gf31::modulus() {
+            return Err(MpcError::InvalidConfig {
+                what: format!("max reading {} outside (0, field modulus)", self.max_reading),
+            });
+        }
+        Ok(ProtocolConfig {
+            n_nodes: n,
+            sources,
+            degree,
+            ntx_sharing: self.ntx_sharing,
+            ntx_reconstruction: self.ntx_reconstruction,
+            full_coverage_ntx: self.full_coverage_ntx,
+            aggregator_redundancy: self.aggregator_redundancy,
+            tag_len: self.tag_len,
+            master_key: self.master_key,
+            link_threshold: self.link_threshold,
+            round_id: self.round_id,
+            max_reading: self.max_reading,
+            fading: self.fading,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper() {
+        let c = ProtocolConfig::builder(26).build().unwrap();
+        assert_eq!(c.n_nodes, 26);
+        assert_eq!(c.sources.len(), 26);
+        assert_eq!(c.degree, 8); // ⌊26/3⌋
+        assert_eq!(c.ntx_sharing, 6);
+        assert_eq!(c.full_coverage_ntx, 15);
+        assert_eq!(c.aggregator_count(), 11); // 8 + 1 + 2
+        assert_eq!(c.tag_len, 4);
+    }
+
+    #[test]
+    fn dcube_degree_default() {
+        let c = ProtocolConfig::builder(45).build().unwrap();
+        assert_eq!(c.degree, 15); // ⌊45/3⌋
+    }
+
+    #[test]
+    fn even_source_spread() {
+        let c = ProtocolConfig::builder(26).sources(3).build().unwrap();
+        assert_eq!(c.sources, vec![0, 8, 17]);
+        let c = ProtocolConfig::builder(26).sources(26).build().unwrap();
+        assert_eq!(c.sources.len(), 26);
+    }
+
+    #[test]
+    fn explicit_sources_validated() {
+        assert!(ProtocolConfig::builder(10)
+            .sources_explicit(vec![0, 3, 7])
+            .build()
+            .is_ok());
+        assert!(matches!(
+            ProtocolConfig::builder(10)
+                .sources_explicit(vec![0, 10])
+                .build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder(10)
+                .sources_explicit(vec![2, 2])
+                .build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder(10).sources_explicit(vec![]).build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn degree_bounds() {
+        assert!(matches!(
+            ProtocolConfig::builder(10).degree(0).build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        // degree 8 + 1 + 2 = 11 aggregators > 10 nodes.
+        assert!(matches!(
+            ProtocolConfig::builder(10).degree(8).build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        assert!(ProtocolConfig::builder(10).degree(7).build().is_ok());
+    }
+
+    #[test]
+    fn network_size_limits() {
+        assert!(matches!(
+            ProtocolConfig::builder(1).build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder(129).build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        assert!(ProtocolConfig::builder(128).build().is_ok());
+    }
+
+    #[test]
+    fn tag_len_validation() {
+        assert!(matches!(
+            ProtocolConfig::builder(10).tag_len(3).build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        assert!(ProtocolConfig::builder(10).tag_len(8).build().is_ok());
+    }
+
+    #[test]
+    fn ntx_validation() {
+        assert!(matches!(
+            ProtocolConfig::builder(10).ntx_sharing(0).build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn max_reading_validation() {
+        assert!(matches!(
+            ProtocolConfig::builder(10).max_reading(0).build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder(10)
+                .max_reading(u64::MAX)
+                .build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn full_source_mask() {
+        let c = ProtocolConfig::builder(10)
+            .sources_explicit(vec![0, 2, 5])
+            .build()
+            .unwrap();
+        assert_eq!(c.full_source_mask(), 0b100101);
+    }
+}

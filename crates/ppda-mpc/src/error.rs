@@ -1,0 +1,87 @@
+//! Error type for protocol configuration and execution.
+
+use core::fmt;
+
+use ppda_sss::SssError;
+
+/// Errors raised while configuring or running an aggregation protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MpcError {
+    /// A configuration constraint was violated.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+    /// Supplied runtime inputs disagree with the configuration.
+    InputMismatch {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+    /// The topology is disconnected at the configured link threshold; no
+    /// CT round can cover it.
+    TopologyDisconnected,
+    /// A sensor reading does not fit the field.
+    ReadingTooLarge {
+        /// The offending reading.
+        value: u64,
+    },
+    /// Propagated SSS-layer failure.
+    Sss(SssError),
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            MpcError::InputMismatch { what } => write!(f, "input mismatch: {what}"),
+            MpcError::TopologyDisconnected => {
+                write!(f, "topology is disconnected at the link threshold")
+            }
+            MpcError::ReadingTooLarge { value } => {
+                write!(f, "reading {value} does not fit the field modulus")
+            }
+            MpcError::Sss(e) => write!(f, "secret-sharing error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpcError::Sss(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SssError> for MpcError {
+    fn from(e: SssError) -> Self {
+        MpcError::Sss(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MpcError::InvalidConfig {
+            what: "x".into()
+        }
+        .to_string()
+        .contains("invalid configuration"));
+        assert!(MpcError::TopologyDisconnected.to_string().contains("disconnected"));
+        assert!(MpcError::ReadingTooLarge { value: 7 }.to_string().contains('7'));
+        let e = MpcError::from(SssError::InconsistentShares);
+        assert!(e.to_string().contains("secret-sharing"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn takes<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes(MpcError::TopologyDisconnected);
+    }
+}

@@ -1,0 +1,68 @@
+//! **The paper's contribution**: Shamir Secret Sharing hosted on MiniCast
+//! for privacy-preserving data aggregation in low-power IoT networks.
+//!
+//! Two protocol variants, exactly as evaluated in Goyal & Saha (ICDCS'22):
+//!
+//! * [`S3Protocol`] — the *naive* mapping. Every source encrypts one share
+//!   for **every** node (sharing chain of `S × n` sub-slots, AES-128-CCM per
+//!   packet) and both phases run at a full-coverage NTX. Reconstruction
+//!   shares all `n` local sums in plaintext.
+//! * [`S4Protocol`] — the *scalable* variant. A low polynomial degree
+//!   `k = ⌊n/3⌋` means `k+1` shares suffice, so the sharing chain is
+//!   trimmed to the `k+1+r` designated **aggregator** nodes discovered
+//!   during [`Bootstrap`], both phases run at a low NTX (6 on FlockLab, 5
+//!   on DCube), non-aggregators sleep right after their relay duty, and
+//!   reconstruction succeeds from *any* `k+1` sum shares — which is also
+//!   what makes the protocol fault-tolerant.
+//!
+//! The privacy guarantee (any collusion of at most `k` nodes learns nothing
+//! about an honest node's reading) is not just asserted: the
+//! [`adversary`] module constructs, for every candidate secret, a share
+//! polynomial consistent with everything a collusion observed.
+//!
+//! # Example
+//!
+//! ```
+//! use ppda_mpc::{ProtocolConfig, S3Protocol, S4Protocol};
+//! use ppda_topology::Topology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topology = Topology::flocklab();
+//! let config = ProtocolConfig::builder(topology.len()).build()?;
+//!
+//! let s3 = S3Protocol::new(config.clone()).run(&topology, 7)?;
+//! let s4 = S4Protocol::new(config).run(&topology, 7)?;
+//!
+//! assert!(s3.correct() && s4.correct());
+//! // The headline of the paper: S4 is several times faster.
+//! assert!(s4.max_latency_ms().unwrap() < s3.max_latency_ms().unwrap());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+mod bootstrap;
+mod config;
+mod error;
+mod outcome;
+mod runner;
+mod s3;
+mod s4;
+mod session;
+
+pub use bootstrap::Bootstrap;
+pub use config::{ProtocolConfig, ProtocolConfigBuilder};
+pub use error::MpcError;
+pub use outcome::{AggregationOutcome, NodeResult, PhaseStats};
+pub use s3::S3Protocol;
+pub use s4::S4Protocol;
+pub use session::{AggregationSession, SessionProtocol, SessionStats};
+
+/// The field all protocol arithmetic runs in (p = 2³¹ − 1): a sensor
+/// reading is ≤ 2²⁰ and even 128 sources cannot wrap the modulus.
+pub type Field = ppda_field::Mersenne31;
+/// A field element of [`Field`].
+pub type Elem = ppda_field::Gf31;

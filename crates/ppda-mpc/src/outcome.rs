@@ -1,0 +1,265 @@
+//! Results of one aggregation round.
+
+use ppda_sim::SimDuration;
+
+/// Per-phase transport statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStats {
+    /// Sub-slots in the phase's MiniCast chain.
+    pub chain_len: usize,
+    /// Scheduled round length in chain cycles.
+    pub cycles_scheduled: u32,
+    /// Cycles actually simulated (early exit when all radios were off).
+    pub cycles_run: u32,
+    /// The a-priori scheduled phase duration (phase boundaries are fixed
+    /// by the TDMA schedule, not by early completion).
+    pub scheduled_duration: SimDuration,
+    /// Fraction of (node, packet) pairs delivered.
+    pub coverage: f64,
+    /// NTX used in this phase.
+    pub ntx: u32,
+}
+
+/// The outcome at one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeResult {
+    /// The aggregate the node computed, if it could (field value).
+    pub aggregate: Option<u64>,
+    /// Number of source readings included in that aggregate.
+    pub included_sources: u32,
+    /// Time from round start until this node held the final aggregation
+    /// (the paper's latency metric); `None` if it never could.
+    pub latency: Option<SimDuration>,
+    /// Total radio-on time across both phases (the paper's second metric).
+    pub radio_on: SimDuration,
+    /// Radio energy for the round (mJ, nRF52840 current profile).
+    pub energy_mj: f64,
+    /// Whether this node was failure-injected.
+    pub failed: bool,
+}
+
+/// Complete outcome of one aggregation round.
+#[derive(Debug, Clone)]
+pub struct AggregationOutcome {
+    /// Protocol name: `"S3"` or `"S4"`.
+    pub protocol: &'static str,
+    /// The true aggregate (field value) over live sources.
+    pub expected_sum: u64,
+    /// Per-node results, indexed by node id.
+    pub nodes: Vec<NodeResult>,
+    /// Sharing-phase transport stats.
+    pub sharing: PhaseStats,
+    /// Reconstruction-phase transport stats.
+    pub reconstruction: PhaseStats,
+    /// Polynomial degree used.
+    pub degree: usize,
+    /// Number of designated aggregators (n for S3).
+    pub aggregator_count: usize,
+    /// Number of configured sources.
+    pub source_count: usize,
+}
+
+impl AggregationOutcome {
+    /// Live (non-failed) node results.
+    pub fn live_nodes(&self) -> impl Iterator<Item = &NodeResult> {
+        self.nodes.iter().filter(|n| !n.failed)
+    }
+
+    /// `true` if every live node computed the correct aggregate.
+    pub fn correct(&self) -> bool {
+        self.live_nodes()
+            .all(|n| n.aggregate == Some(self.expected_sum))
+    }
+
+    /// `true` if all live nodes that produced an aggregate agree on it.
+    pub fn all_nodes_agree(&self) -> bool {
+        let mut seen = None;
+        for n in self.live_nodes() {
+            match (n.aggregate, seen) {
+                (Some(a), None) => seen = Some(a),
+                (Some(a), Some(b)) if a != b => return false,
+                _ => {}
+            }
+        }
+        seen.is_some()
+    }
+
+    /// Fraction of live nodes that obtained the correct aggregate.
+    pub fn success_fraction(&self) -> f64 {
+        let live: Vec<_> = self.live_nodes().collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        let ok = live
+            .iter()
+            .filter(|n| n.aggregate == Some(self.expected_sum))
+            .count();
+        ok as f64 / live.len() as f64
+    }
+
+    /// Worst-case latency over live nodes, ms (`None` if any live node
+    /// never finished).
+    pub fn max_latency_ms(&self) -> Option<f64> {
+        let mut worst: f64 = 0.0;
+        for n in self.live_nodes() {
+            worst = worst.max(n.latency?.as_millis_f64());
+        }
+        Some(worst)
+    }
+
+    /// Mean latency over live nodes that finished, ms (`None` if none did).
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        let done: Vec<f64> = self
+            .live_nodes()
+            .filter_map(|n| n.latency.map(|l| l.as_millis_f64()))
+            .collect();
+        if done.is_empty() {
+            None
+        } else {
+            Some(done.iter().sum::<f64>() / done.len() as f64)
+        }
+    }
+
+    /// Mean radio-on time over live nodes, ms.
+    pub fn mean_radio_on_ms(&self) -> f64 {
+        let live: Vec<f64> = self
+            .live_nodes()
+            .map(|n| n.radio_on.as_millis_f64())
+            .collect();
+        if live.is_empty() {
+            0.0
+        } else {
+            live.iter().sum::<f64>() / live.len() as f64
+        }
+    }
+
+    /// Worst radio-on time over live nodes, ms.
+    pub fn max_radio_on_ms(&self) -> f64 {
+        self.live_nodes()
+            .map(|n| n.radio_on.as_millis_f64())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean per-node radio energy over live nodes, mJ.
+    pub fn mean_energy_mj(&self) -> f64 {
+        let live: Vec<f64> = self.live_nodes().map(|n| n.energy_mj).collect();
+        if live.is_empty() {
+            0.0
+        } else {
+            live.iter().sum::<f64>() / live.len() as f64
+        }
+    }
+
+    /// Total scheduled round duration (both phases), ms.
+    pub fn scheduled_round_ms(&self) -> f64 {
+        (self.sharing.scheduled_duration + self.reconstruction.scheduled_duration)
+            .as_millis_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(aggregate: Option<u64>, latency_ms: Option<u64>, failed: bool) -> NodeResult {
+        NodeResult {
+            aggregate,
+            included_sources: 3,
+            latency: latency_ms.map(SimDuration::from_millis),
+            radio_on: SimDuration::from_millis(10),
+            energy_mj: 0.15,
+            failed,
+        }
+    }
+
+    fn phase() -> PhaseStats {
+        PhaseStats {
+            chain_len: 10,
+            cycles_scheduled: 5,
+            cycles_run: 5,
+            scheduled_duration: SimDuration::from_millis(100),
+            coverage: 1.0,
+            ntx: 6,
+        }
+    }
+
+    fn outcome(nodes: Vec<NodeResult>) -> AggregationOutcome {
+        AggregationOutcome {
+            protocol: "S4",
+            expected_sum: 42,
+            nodes,
+            sharing: phase(),
+            reconstruction: phase(),
+            degree: 2,
+            aggregator_count: 5,
+            source_count: 3,
+        }
+    }
+
+    #[test]
+    fn correct_and_agree() {
+        let o = outcome(vec![
+            node(Some(42), Some(5), false),
+            node(Some(42), Some(7), false),
+        ]);
+        assert!(o.correct());
+        assert!(o.all_nodes_agree());
+        assert_eq!(o.success_fraction(), 1.0);
+        assert_eq!(o.max_latency_ms(), Some(7.0));
+        assert_eq!(o.mean_latency_ms(), Some(6.0));
+    }
+
+    #[test]
+    fn wrong_aggregate_detected() {
+        let o = outcome(vec![
+            node(Some(42), Some(5), false),
+            node(Some(41), Some(5), false),
+        ]);
+        assert!(!o.correct());
+        assert!(!o.all_nodes_agree());
+        assert_eq!(o.success_fraction(), 0.5);
+    }
+
+    #[test]
+    fn failed_nodes_excluded() {
+        let o = outcome(vec![
+            node(Some(42), Some(5), false),
+            node(None, None, true),
+        ]);
+        assert!(o.correct());
+        assert_eq!(o.success_fraction(), 1.0);
+        assert_eq!(o.max_latency_ms(), Some(5.0));
+    }
+
+    #[test]
+    fn unfinished_node_poisons_max_latency() {
+        let o = outcome(vec![
+            node(Some(42), Some(5), false),
+            node(None, None, false),
+        ]);
+        assert_eq!(o.max_latency_ms(), None);
+        assert_eq!(o.mean_latency_ms(), Some(5.0));
+        assert!(!o.correct());
+        assert!(o.all_nodes_agree(), "one opinion still counts as agreement");
+    }
+
+    #[test]
+    fn radio_on_stats() {
+        let o = outcome(vec![
+            node(Some(42), Some(5), false),
+            node(Some(42), Some(5), false),
+        ]);
+        assert_eq!(o.mean_radio_on_ms(), 10.0);
+        assert_eq!(o.max_radio_on_ms(), 10.0);
+        assert_eq!(o.scheduled_round_ms(), 200.0);
+        assert!((o.mean_energy_mj() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_live_set() {
+        let o = outcome(vec![node(None, None, true)]);
+        assert_eq!(o.success_fraction(), 0.0);
+        assert!(!o.all_nodes_agree());
+        assert_eq!(o.mean_radio_on_ms(), 0.0);
+    }
+}

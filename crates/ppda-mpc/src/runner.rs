@@ -1,0 +1,492 @@
+//! The shared two-phase protocol machinery.
+//!
+//! S3 and S4 differ only in (a) the destination set of each source's
+//! shares, (b) the NTX values, and (c) how long a node keeps its radio on
+//! (S3: until it has everything; S4: until it has what the threshold
+//! needs). Everything else — share generation, chain construction, packet
+//! sealing, sum accumulation, reconstruction — is identical and lives here.
+
+use ppda_crypto::CtrDrbg;
+use ppda_ct::{ChainSpec, MiniCast, MiniCastConfig, MiniCastResult};
+use ppda_field::{share_x, Gf};
+use ppda_radio::FrameSpec;
+use ppda_sim::{derive_stream, SimDuration, SimTime, Xoshiro256};
+use ppda_sss::{split_secret, SharePacket, SumAccumulator, SumPacket};
+use ppda_topology::Topology;
+
+use crate::bootstrap::Bootstrap;
+use crate::config::ProtocolConfig;
+use crate::error::MpcError;
+use crate::outcome::{AggregationOutcome, NodeResult, PhaseStats};
+use crate::{Elem, Field};
+
+/// Cycles of schedule slack beyond NTX in S4's perimeter-scope rounds.
+const PERIMETER_SLACK_CYCLES: u32 = 2;
+
+/// What distinguishes S3 from S4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Variant {
+    pub name: &'static str,
+    /// Shares go to every node (S3) or only to the aggregator set (S4).
+    pub trim_to_aggregators: bool,
+    /// Both phases run at `full_coverage_ntx` (S3) instead of the
+    /// configured low NTX values (S4).
+    pub full_coverage: bool,
+    /// Radio-off / latency discipline: wait for the complete chain (S3) or
+    /// for the k+1 threshold (S4).
+    pub strict_completion: bool,
+}
+
+pub(crate) const S3_VARIANT: Variant = Variant {
+    name: "S3",
+    trim_to_aggregators: false,
+    full_coverage: true,
+    strict_completion: true,
+};
+
+pub(crate) const S4_VARIANT: Variant = Variant {
+    name: "S4",
+    trim_to_aggregators: true,
+    full_coverage: false,
+    strict_completion: false,
+};
+
+/// One sharing-phase chain sub-slot.
+struct ShareSlot {
+    src: u16,
+    dst: u16,
+    /// Sealed payload (None for failed sources, whose sub-slots stay dark).
+    sealed: Option<Vec<u8>>,
+}
+
+fn phase_stats(result: &MiniCastResult, chain_len: usize, ntx: u32) -> PhaseStats {
+    PhaseStats {
+        chain_len,
+        cycles_scheduled: result.cycles_scheduled,
+        cycles_run: result.cycles_run,
+        scheduled_duration: result.scheduled_duration(),
+        coverage: result.coverage(),
+        ntx,
+    }
+}
+
+/// Execute one full aggregation round.
+pub(crate) fn execute(
+    topology: &Topology,
+    config: &ProtocolConfig,
+    seed: u64,
+    secrets: &[u64],
+    failed: &[bool],
+    variant: Variant,
+) -> Result<AggregationOutcome, MpcError> {
+    let n = config.n_nodes;
+    if secrets.len() != config.sources.len() {
+        return Err(MpcError::InputMismatch {
+            what: format!(
+                "{} secrets for {} sources",
+                secrets.len(),
+                config.sources.len()
+            ),
+        });
+    }
+    if failed.len() != n {
+        return Err(MpcError::InputMismatch {
+            what: format!("failure mask of {} for {} nodes", failed.len(), n),
+        });
+    }
+    for &s in secrets {
+        if s >= Elem::modulus() {
+            return Err(MpcError::ReadingTooLarge { value: s });
+        }
+    }
+
+    let bootstrap = Bootstrap::run(topology, config)?;
+    // This round's radio conditions (drawn once; both phases happen within
+    // seconds of each other).
+    let attenuation_db = {
+        let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0xFAD));
+        config.fading.draw(&mut rng)
+    };
+    let destinations: Vec<u16> = if variant.trim_to_aggregators {
+        bootstrap.aggregators().to_vec()
+    } else {
+        (0..n as u16).collect()
+    };
+
+    let live_source_mask: u128 = config
+        .sources
+        .iter()
+        .zip(secrets)
+        .filter(|&(&s, _)| !failed[s as usize])
+        .fold(0u128, |m, (&s, _)| m | (1u128 << s));
+    let expected: Elem = config
+        .sources
+        .iter()
+        .zip(secrets)
+        .filter(|&(&s, _)| !failed[s as usize])
+        .map(|(_, &v)| Elem::new(v))
+        .sum();
+
+    // ---- Sharing phase ------------------------------------------------
+    // Chain: for every configured source, one sub-slot per destination
+    // other than itself. The schedule is fixed a priori; failed sources
+    // simply leave their sub-slots dark.
+    let ntx_sharing = if variant.full_coverage {
+        config.full_coverage_ntx
+    } else {
+        config.ntx_sharing
+    };
+    let mut slots: Vec<ShareSlot> = Vec::new();
+    for (si, &src) in config.sources.iter().enumerate() {
+        let src_live = !failed[src as usize];
+        let dest_xs: Vec<Elem> = destinations
+            .iter()
+            .map(|&d| share_x::<Field>(d as usize))
+            .collect();
+        let shares = if src_live {
+            let mut drbg = CtrDrbg::new(
+                config.master_key,
+                format!("share|{}|{}|{}", config.round_id, seed, src).as_bytes(),
+            );
+            Some(split_secret(
+                Elem::new(secrets[si]),
+                config.degree,
+                &dest_xs,
+                &mut drbg,
+            )?)
+        } else {
+            None
+        };
+        for (di, &dst) in destinations.iter().enumerate() {
+            if dst == src {
+                continue; // the source keeps its own share locally
+            }
+            let sealed = match &shares {
+                Some(sh) => {
+                    let pkt = SharePacket::<Field> {
+                        src,
+                        dst,
+                        round: config.round_id,
+                        share: sh[di],
+                    };
+                    Some(pkt.seal(bootstrap.keys(), config.tag_len)?)
+                }
+                None => None,
+            };
+            slots.push(ShareSlot { src, dst, sealed });
+        }
+    }
+
+    let share_frame = FrameSpec::new(4, config.tag_len).map_err(|e| MpcError::InvalidConfig {
+        what: e.to_string(),
+    })?;
+    let owners: Vec<u16> = slots.iter().map(|s| s.src).collect();
+    let sharing_result;
+    let sharing_chain_len = owners.len();
+    {
+        let chain = ChainSpec::new(share_frame, owners).map_err(|e| MpcError::InvalidConfig {
+            what: e.to_string(),
+        })?;
+        // S3 needs the full-coverage schedule (join wave + NTX + slack);
+        // S4's whole point is a perimeter-scope round that ends right after
+        // the NTX repetitions.
+        let max_cycles = (!variant.full_coverage)
+            .then_some(ntx_sharing + PERIMETER_SLACK_CYCLES);
+        let mc = MiniCast::new(
+            topology,
+            chain,
+            MiniCastConfig {
+                ntx: ntx_sharing,
+                link_threshold: config.link_threshold,
+                attenuation_db,
+                max_cycles,
+                // Early sleep requires the completion-tracking machinery
+                // S4 introduces; the naive build just follows the schedule.
+                early_radio_off: !variant.strict_completion,
+                ..MiniCastConfig::default()
+            },
+        );
+        // Predicate: which sub-slots a node must hold before its sharing
+        // duty is complete.
+        let slot_live: Vec<bool> = slots.iter().map(|s| s.sealed.is_some()).collect();
+        let slot_dst: Vec<u16> = slots.iter().map(|s| s.dst).collect();
+        let is_destination: Vec<bool> = {
+            let mut f = vec![false; n];
+            for &d in &destinations {
+                f[d as usize] = true;
+            }
+            f
+        };
+        let strict = variant.strict_completion;
+        let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0x5A1));
+        sharing_result = mc.run_with(&mut rng, failed, |v, have| {
+            if strict {
+                // Naive: wait for the complete chain. The static schedule
+                // has no notion of node liveness, so a dead source's
+                // sub-slots stall the predicate — exactly the rigidity the
+                // paper's S4 removes.
+                have.iter().all(|&h| h)
+            } else if is_destination[v] {
+                // Aggregator: needs exactly the packets addressed to it.
+                (0..have.len())
+                    .all(|j| !slot_live[j] || slot_dst[j] != v as u16 || have[j])
+            } else {
+                // Pure relay: no data needs of its own.
+                true
+            }
+        });
+    }
+
+    // ---- Local sum accumulation ---------------------------------------
+    let mut sums: Vec<Option<SumPacket<Field>>> = vec![None; destinations.len()];
+    for (di, &d) in destinations.iter().enumerate() {
+        if failed[d as usize] {
+            continue;
+        }
+        let mut acc = SumAccumulator::new(share_x::<Field>(d as usize));
+        // Own share, if this destination is itself a live source.
+        if let Some(si) = config.sources.iter().position(|&s| s == d) {
+            if !failed[d as usize] {
+                let mut drbg = CtrDrbg::new(
+                    config.master_key,
+                    format!("share|{}|{}|{}", config.round_id, seed, d).as_bytes(),
+                );
+                let dest_xs: Vec<Elem> = destinations
+                    .iter()
+                    .map(|&dd| share_x::<Field>(dd as usize))
+                    .collect();
+                let shares =
+                    split_secret(Elem::new(secrets[si]), config.degree, &dest_xs, &mut drbg)?;
+                acc.add(d, shares[di].y)?;
+            }
+        }
+        for (j, slot) in slots.iter().enumerate() {
+            if slot.dst != d || slot.sealed.is_none() {
+                continue;
+            }
+            if !sharing_result.nodes[d as usize].received[j] {
+                continue;
+            }
+            let sealed = slot.sealed.as_ref().expect("checked above");
+            let pkt = SharePacket::<Field>::open(
+                bootstrap.keys(),
+                config.tag_len,
+                slot.src,
+                d,
+                config.round_id,
+                share_x::<Field>(d as usize),
+                sealed,
+            )?;
+            acc.add(slot.src, pkt.share.y)?;
+        }
+        sums[di] = Some(SumPacket {
+            node: d,
+            round: config.round_id,
+            share: acc.share(),
+            mask: acc.contributor_mask(),
+        });
+    }
+
+    // ---- Reconstruction phase ------------------------------------------
+    let ntx_recon = if variant.full_coverage {
+        config.full_coverage_ntx
+    } else {
+        config.ntx_reconstruction
+    };
+    let sum_frame =
+        FrameSpec::new(SumPacket::<Field>::encoded_len(), 0).map_err(|e| {
+            MpcError::InvalidConfig {
+                what: e.to_string(),
+            }
+        })?;
+    let recon_owners: Vec<u16> = destinations.clone();
+    let recon_chain_len = recon_owners.len();
+    // A sum share is *usable* for threshold reconstruction when it covers
+    // every live source. (A node discovers this bit the moment it decodes
+    // the packet; precomputing it here is timing-equivalent.)
+    let usable: Vec<bool> = sums
+        .iter()
+        .map(|s| matches!(s, Some(p) if p.mask == live_source_mask))
+        .collect();
+    let threshold = config.degree + 1;
+    let recon_result;
+    {
+        let chain =
+            ChainSpec::new(sum_frame, recon_owners).map_err(|e| MpcError::InvalidConfig {
+                what: e.to_string(),
+            })?;
+        // Reconstruction data must reach *every* node (all of them need
+        // the aggregate), so even S4 keeps the full-length schedule here —
+        // the chain is only |A| sub-slots, so this is cheap; the low NTX
+        // and any-(k+1) predicate still apply.
+        let mc = MiniCast::new(
+            topology,
+            chain,
+            MiniCastConfig {
+                ntx: ntx_recon,
+                link_threshold: config.link_threshold,
+                attenuation_db,
+                early_radio_off: !variant.strict_completion,
+                ..MiniCastConfig::default()
+            },
+        );
+        let strict = variant.strict_completion;
+        let usable = usable.clone();
+        let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0x5A2));
+        recon_result = mc.run_with(&mut rng, failed, move |_, have| {
+            if strict {
+                have.iter().all(|&h| h)
+            } else {
+                have.iter()
+                    .zip(&usable)
+                    .filter(|&(&h, &u)| h && u)
+                    .count()
+                    >= threshold
+            }
+        });
+    }
+
+    // ---- Per-node aggregation -------------------------------------------
+    let sharing_sched = sharing_result.scheduled_duration();
+    let nodes: Vec<NodeResult> = (0..n)
+        .map(|v| {
+            if failed[v] {
+                return NodeResult {
+                    aggregate: None,
+                    included_sources: 0,
+                    latency: None,
+                    radio_on: SimDuration::ZERO,
+                    energy_mj: 0.0,
+                    failed: true,
+                };
+            }
+            // Collect the sum shares this node holds after reconstruction.
+            // A naive (strict) node only delivers once its all-to-all
+            // predicate held — it has no protocol step for partial data.
+            let (aggregate, included) = if variant.strict_completion
+                && recon_result.nodes[v].predicate_met_at.is_none()
+            {
+                (None, 0)
+            } else {
+                let held: Vec<&SumPacket<Field>> = sums
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, s)| s.is_some() && recon_result.nodes[v].received[j])
+                    .map(|(_, s)| s.as_ref().expect("filtered"))
+                    .collect();
+                aggregate_from_sums(&held, config.degree)
+            };
+
+            let latency = recon_result.nodes[v]
+                .predicate_met_at
+                .map(|t| sharing_sched + (t - SimTime::ZERO));
+            let mut radio = sharing_result.nodes[v].ledger;
+            radio.merge(&recon_result.nodes[v].ledger);
+            NodeResult {
+                aggregate: aggregate.map(|a| a.value()),
+                included_sources: included,
+                latency,
+                radio_on: radio.radio_on(),
+                energy_mj: radio.energy_mj(&ppda_radio::RadioCurrents::nrf52840()),
+                failed: false,
+            }
+        })
+        .collect();
+
+    Ok(AggregationOutcome {
+        protocol: variant.name,
+        expected_sum: expected.value(),
+        nodes,
+        sharing: phase_stats(&sharing_result, sharing_chain_len, ntx_sharing),
+        reconstruction: phase_stats(&recon_result, recon_chain_len, ntx_recon),
+        degree: config.degree,
+        aggregator_count: destinations.len(),
+        source_count: config.sources.len(),
+    })
+}
+
+/// Reconstruct the aggregate from whatever sum shares a node holds:
+/// group by contributor mask, prefer the mask covering the most sources
+/// (ties: the mask held by more nodes), and reconstruct once a group
+/// reaches degree+1 members.
+fn aggregate_from_sums(
+    held: &[&SumPacket<Field>],
+    degree: usize,
+) -> (Option<Gf<Field>>, u32) {
+    use std::collections::HashMap;
+    let mut groups: HashMap<u128, Vec<&SumPacket<Field>>> = HashMap::new();
+    for p in held {
+        groups.entry(p.mask).or_default().push(p);
+    }
+    let mut best: Option<(u32, usize, u128)> = None;
+    for (&mask, members) in &groups {
+        // An empty mask is an aggregate of nothing; never reconstruct it.
+        if mask == 0 || members.len() < degree + 1 {
+            continue;
+        }
+        let key = (mask.count_ones(), members.len(), mask);
+        if best.is_none_or(|b| (key.0, key.1) > (b.0, b.1)) {
+            best = Some(key);
+        }
+    }
+    let Some((bits, _, mask)) = best else {
+        return (None, 0);
+    };
+    let mut members: Vec<&&SumPacket<Field>> = groups[&mask].iter().collect();
+    members.sort_by_key(|p| p.share.x);
+    let points: Vec<ppda_sss::Share<Field>> =
+        members[..degree + 1].iter().map(|p| p.share).collect();
+    match ppda_sss::reconstruct(&points) {
+        Ok(v) => (Some(v), bits),
+        Err(_) => (None, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_from_sums_prefers_widest_mask() {
+        use ppda_sss::Share;
+        // Degree 1: need 2 shares. Build two candidate groups.
+        let wide_mask = 0b111u128;
+        let narrow_mask = 0b011u128;
+        // Wide group on polynomial 10 + x; narrow on 20 + x.
+        let mk = |node: u16, y: u64, mask: u128| SumPacket::<Field> {
+            node,
+            round: 0,
+            share: Share {
+                x: share_x::<Field>(node as usize),
+                y: Elem::new(y),
+            },
+            mask,
+        };
+        let p0 = mk(0, 11, wide_mask);
+        let p1 = mk(1, 12, wide_mask);
+        let p2 = mk(2, 23, narrow_mask);
+        let p3 = mk(3, 24, narrow_mask);
+        let held = vec![&p0, &p1, &p2, &p3];
+        let (agg, bits) = aggregate_from_sums(&held, 1);
+        assert_eq!(agg, Some(Elem::new(10)));
+        assert_eq!(bits, 3);
+    }
+
+    #[test]
+    fn aggregate_from_sums_needs_threshold() {
+        use ppda_sss::Share;
+        let p0 = SumPacket::<Field> {
+            node: 0,
+            round: 0,
+            share: Share {
+                x: share_x::<Field>(0),
+                y: Elem::new(5),
+            },
+            mask: 1,
+        };
+        let held = vec![&p0];
+        let (agg, bits) = aggregate_from_sums(&held, 1);
+        assert_eq!(agg, None);
+        assert_eq!(bits, 0);
+    }
+}

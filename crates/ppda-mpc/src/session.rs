@@ -1,0 +1,247 @@
+//! Multi-round aggregation sessions.
+//!
+//! A deployed PPDA system doesn't run one round — it aggregates
+//! periodically (every sensing epoch) over the same bootstrap state. The
+//! session API captures that lifecycle: one [`Bootstrap`] (pairwise keys,
+//! aggregator designation, hop tables) amortized over many rounds, with
+//! fresh round ids per epoch (so CCM nonces never repeat) and cumulative
+//! cost accounting.
+
+use ppda_topology::Topology;
+
+use crate::config::ProtocolConfig;
+use crate::error::MpcError;
+use crate::outcome::AggregationOutcome;
+use crate::runner::{execute, S3_VARIANT, S4_VARIANT};
+use crate::s3::generate_readings;
+
+/// Which protocol variant a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionProtocol {
+    /// Naive SSS over MiniCast.
+    S3,
+    /// Scalable SSS over MiniCast.
+    S4,
+}
+
+/// Cumulative statistics of a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// Rounds executed so far.
+    pub rounds: u64,
+    /// Rounds where every live node got the correct aggregate.
+    pub perfect_rounds: u64,
+    /// Total scheduled air-time across rounds (ms).
+    pub total_schedule_ms: f64,
+    /// Mean per-node radio energy accumulated across rounds (mJ).
+    pub total_energy_mj: f64,
+}
+
+/// A long-running aggregation session over a fixed deployment.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{AggregationSession, ProtocolConfig, SessionProtocol};
+/// use ppda_topology::Topology;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::flocklab();
+/// let config = ProtocolConfig::builder(topology.len()).sources(6).build()?;
+/// let mut session =
+///     AggregationSession::new(topology, config, SessionProtocol::S4, 0xFEED)?;
+/// for _epoch in 0..3 {
+///     let outcome = session.next_round()?;
+///     assert!(outcome.correct());
+/// }
+/// assert_eq!(session.stats().rounds, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AggregationSession {
+    topology: Topology,
+    config: ProtocolConfig,
+    protocol: SessionProtocol,
+    seed: u64,
+    stats: SessionStats,
+}
+
+impl AggregationSession {
+    /// Start a session. Validates the deployment against the configuration
+    /// up front (one failed bootstrap is better than failing every epoch).
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as a protocol run: size mismatch, disconnected
+    /// topology.
+    pub fn new(
+        topology: Topology,
+        config: ProtocolConfig,
+        protocol: SessionProtocol,
+        seed: u64,
+    ) -> Result<Self, MpcError> {
+        // Bootstrap once to validate; protocols re-derive it per round
+        // (cheap, deterministic) so the session stays cloneable.
+        crate::bootstrap::Bootstrap::run(&topology, &config)?;
+        Ok(AggregationSession {
+            topology,
+            config,
+            protocol,
+            seed,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// The next epoch's round with generated readings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors; the round counter only advances on
+    /// success.
+    pub fn next_round(&mut self) -> Result<AggregationOutcome, MpcError> {
+        let readings = generate_readings(&self.round_config(), self.round_seed());
+        self.next_round_with(&readings, &vec![false; self.config.n_nodes])
+    }
+
+    /// The next epoch's round with explicit readings and failure mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors; the round counter only advances on
+    /// success.
+    pub fn next_round_with(
+        &mut self,
+        readings: &[u64],
+        failed: &[bool],
+    ) -> Result<AggregationOutcome, MpcError> {
+        let config = self.round_config();
+        let variant = match self.protocol {
+            SessionProtocol::S3 => S3_VARIANT,
+            SessionProtocol::S4 => S4_VARIANT,
+        };
+        let outcome = execute(
+            &self.topology,
+            &config,
+            self.round_seed(),
+            readings,
+            failed,
+            variant,
+        )?;
+        self.stats.rounds += 1;
+        if outcome.correct() {
+            self.stats.perfect_rounds += 1;
+        }
+        self.stats.total_schedule_ms += outcome.scheduled_round_ms();
+        self.stats.total_energy_mj += outcome.mean_energy_mj();
+        Ok(outcome)
+    }
+
+    fn round_config(&self) -> ProtocolConfig {
+        let mut config = self.config.clone();
+        // Fresh round id per epoch: CCM nonces and share randomness never
+        // repeat across the session.
+        config.round_id = self
+            .config
+            .round_id
+            .wrapping_add(self.stats.rounds as u32);
+        config
+    }
+
+    fn round_seed(&self) -> u64 {
+        ppda_sim::derive_stream(self.seed, self.stats.rounds)
+    }
+
+    /// Session statistics so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The deployment's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The per-round configuration template.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(protocol: SessionProtocol) -> AggregationSession {
+        let topology = Topology::grid(3, 3, 18.0, 5);
+        let config = ProtocolConfig::builder(9).degree(2).build().unwrap();
+        AggregationSession::new(topology, config, protocol, 7).unwrap()
+    }
+
+    #[test]
+    fn rounds_accumulate_stats() {
+        let mut s = session(SessionProtocol::S4);
+        for _ in 0..4 {
+            s.next_round().unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.rounds, 4);
+        assert!(stats.perfect_rounds >= 3);
+        assert!(stats.total_schedule_ms > 0.0);
+        assert!(stats.total_energy_mj > 0.0);
+    }
+
+    #[test]
+    fn rounds_use_fresh_randomness() {
+        let mut s = session(SessionProtocol::S4);
+        let a = s.next_round().unwrap();
+        let b = s.next_round().unwrap();
+        assert_ne!(a.expected_sum, b.expected_sum, "fresh readings per epoch");
+    }
+
+    #[test]
+    fn sessions_replay_deterministically() {
+        let run = || {
+            let mut s = session(SessionProtocol::S4);
+            (0..3)
+                .map(|_| s.next_round().unwrap().expected_sum)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn s3_sessions_work_too() {
+        let mut s = session(SessionProtocol::S3);
+        let o = s.next_round().unwrap();
+        assert_eq!(o.protocol, "S3");
+        assert!(o.correct());
+    }
+
+    #[test]
+    fn explicit_round_inputs() {
+        let mut s = session(SessionProtocol::S4);
+        let o = s
+            .next_round_with(&[1, 2, 3, 4, 5, 6, 7, 8, 9], &vec![false; 9])
+            .unwrap();
+        assert_eq!(o.expected_sum, 45);
+    }
+
+    #[test]
+    fn disconnected_deployment_rejected_at_start() {
+        let topology = Topology::line(9, 400.0, 1);
+        let config = ProtocolConfig::builder(9).degree(2).build().unwrap();
+        assert!(matches!(
+            AggregationSession::new(topology, config, SessionProtocol::S4, 1),
+            Err(MpcError::TopologyDisconnected)
+        ));
+    }
+
+    #[test]
+    fn round_ids_advance() {
+        let mut s = session(SessionProtocol::S4);
+        let base = s.config().round_id;
+        s.next_round().unwrap();
+        s.next_round().unwrap();
+        assert_eq!(s.round_config().round_id, base + 2);
+    }
+}

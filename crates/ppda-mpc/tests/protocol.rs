@@ -1,0 +1,199 @@
+//! Protocol-level integration tests on small synthetic topologies (fast in
+//! debug builds; the testbed-scale runs live in the workspace-root tests).
+
+use ppda_mpc::{MpcError, ProtocolConfig, S3Protocol, S4Protocol};
+use ppda_topology::Topology;
+
+fn grid9() -> Topology {
+    Topology::grid(3, 3, 18.0, 5)
+}
+
+fn config9() -> ProtocolConfig {
+    ProtocolConfig::builder(9).degree(2).build().unwrap()
+}
+
+#[test]
+fn both_protocols_agree_with_each_other() {
+    let t = grid9();
+    let secrets: Vec<u64> = (1..=9).collect();
+    let failed = vec![false; 9];
+    let s3 = S3Protocol::new(config9())
+        .run_with(&t, 3, &secrets, &failed)
+        .unwrap();
+    let s4 = S4Protocol::new(config9())
+        .run_with(&t, 3, &secrets, &failed)
+        .unwrap();
+    assert_eq!(s3.expected_sum, 45);
+    assert_eq!(s4.expected_sum, 45);
+    assert!(s3.correct());
+    assert!(s4.correct());
+}
+
+#[test]
+fn s3_uses_all_nodes_as_sum_holders_s4_only_aggregators() {
+    let t = grid9();
+    let s3 = S3Protocol::new(config9()).run(&t, 1).unwrap();
+    let s4 = S4Protocol::new(config9()).run(&t, 1).unwrap();
+    assert_eq!(s3.aggregator_count, 9);
+    assert_eq!(s4.aggregator_count, 2 + 1 + 2); // k + 1 + redundancy
+}
+
+#[test]
+fn s4_sharing_chain_is_trimmed() {
+    let t = grid9();
+    let s3 = S3Protocol::new(config9()).run(&t, 1).unwrap();
+    let s4 = S4Protocol::new(config9()).run(&t, 1).unwrap();
+    // S3: 9 sources × 8 non-self destinations; S4: ≤ 9 × 5.
+    assert_eq!(s3.sharing.chain_len, 9 * 8);
+    assert!(s4.sharing.chain_len <= 9 * 5);
+    assert!(s4.sharing.chain_len >= 9 * 4);
+}
+
+#[test]
+fn tag_lengths_all_work_end_to_end() {
+    let t = grid9();
+    for tag_len in [4usize, 8, 16] {
+        let config = ProtocolConfig::builder(9)
+            .degree(2)
+            .tag_len(tag_len)
+            .build()
+            .unwrap();
+        let o = S4Protocol::new(config).run(&t, 2).unwrap();
+        assert!(o.correct(), "tag_len {tag_len}");
+    }
+}
+
+#[test]
+fn small_network_works() {
+    let t = Topology::grid(2, 2, 15.0, 3);
+    let config = ProtocolConfig::builder(4)
+        .degree(1)
+        .aggregator_redundancy(0)
+        .build()
+        .unwrap();
+    let o = S4Protocol::new(config).run(&t, 1).unwrap();
+    assert!(o.correct());
+    assert_eq!(o.aggregator_count, 2);
+}
+
+#[test]
+fn mismatched_inputs_rejected() {
+    let t = grid9();
+    let p = S4Protocol::new(config9());
+    // Wrong secret count.
+    assert!(matches!(
+        p.run_with(&t, 1, &[1, 2], &vec![false; 9]),
+        Err(MpcError::InputMismatch { .. })
+    ));
+    // Wrong failure mask size.
+    let secrets: Vec<u64> = (0..9).collect();
+    assert!(matches!(
+        p.run_with(&t, 1, &secrets, &vec![false; 4]),
+        Err(MpcError::InputMismatch { .. })
+    ));
+    // Wrong topology size.
+    let t4 = Topology::grid(2, 2, 15.0, 3);
+    assert!(matches!(
+        p.run_with(&t4, 1, &secrets, &vec![false; 9]),
+        Err(MpcError::InputMismatch { .. })
+    ));
+}
+
+#[test]
+fn oversized_reading_rejected() {
+    let t = grid9();
+    let mut secrets: Vec<u64> = (0..9).collect();
+    secrets[0] = u64::MAX;
+    assert!(matches!(
+        S4Protocol::new(config9()).run_with(&t, 1, &secrets, &vec![false; 9]),
+        Err(MpcError::ReadingTooLarge { .. })
+    ));
+}
+
+#[test]
+fn disconnected_topology_rejected() {
+    let t = Topology::line(9, 400.0, 1);
+    assert!(matches!(
+        S4Protocol::new(config9()).run(&t, 1),
+        Err(MpcError::TopologyDisconnected)
+    ));
+}
+
+#[test]
+fn aggregator_failures_tolerated_up_to_redundancy() {
+    let t = grid9();
+    // degree 1, redundancy 2: 4 aggregators, any 2 suffice.
+    let config = ProtocolConfig::builder(9)
+        .degree(1)
+        .aggregator_redundancy(2)
+        .sources_explicit(vec![8]) // one corner source, never failed
+        .build()
+        .unwrap();
+    let bootstrap = ppda_mpc::Bootstrap::run(&t, &config).unwrap();
+    let aggs: Vec<u16> = bootstrap
+        .aggregators()
+        .iter()
+        .copied()
+        .filter(|&a| a != 8)
+        .collect();
+    let mut failed = vec![false; 9];
+    failed[aggs[0] as usize] = true;
+    failed[aggs[1] as usize] = true;
+
+    let o = S4Protocol::new(config)
+        .run_with(&t, 9, &[77], &failed)
+        .unwrap();
+    assert_eq!(o.expected_sum, 77);
+    assert!(
+        o.success_fraction() > 0.8,
+        "S4 must survive two dead aggregators: {}",
+        o.success_fraction()
+    );
+}
+
+#[test]
+fn round_ids_change_ciphertexts_not_results() {
+    let t = grid9();
+    let secrets: Vec<u64> = (1..=9).collect();
+    let failed = vec![false; 9];
+    let mk = |round: u32| {
+        ProtocolConfig::builder(9)
+            .degree(2)
+            .round_id(round)
+            .build()
+            .unwrap()
+    };
+    let a = S4Protocol::new(mk(1))
+        .run_with(&t, 4, &secrets, &failed)
+        .unwrap();
+    let b = S4Protocol::new(mk(2))
+        .run_with(&t, 4, &secrets, &failed)
+        .unwrap();
+    assert_eq!(a.expected_sum, b.expected_sum);
+    assert!(a.correct() && b.correct());
+}
+
+#[test]
+fn latency_includes_both_phases() {
+    let t = grid9();
+    let o = S4Protocol::new(config9()).run(&t, 6).unwrap();
+    let sharing_ms = o.sharing.scheduled_duration.as_millis_f64();
+    for node in o.live_nodes() {
+        let latency = node.latency.expect("grid completes").as_millis_f64();
+        assert!(
+            latency > sharing_ms,
+            "latency {latency} must extend past the sharing phase {sharing_ms}"
+        );
+    }
+}
+
+#[test]
+fn success_implies_included_all_sources() {
+    let t = grid9();
+    let o = S4Protocol::new(config9()).run(&t, 8).unwrap();
+    for node in o.live_nodes() {
+        if node.aggregate == Some(o.expected_sum) {
+            assert_eq!(node.included_sources, 9);
+        }
+    }
+}

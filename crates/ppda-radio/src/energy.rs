@@ -1,0 +1,203 @@
+//! Per-node radio-on time and energy accounting.
+//!
+//! "Radio-on time" is the paper's second metric: the total time a node's
+//! radio spends out of sleep during one aggregation round. The ledger
+//! splits it into transmit, receive (successful packet in the air) and idle
+//! listening, which also enables energy estimates using nRF52840 datasheet
+//! currents.
+
+use core::fmt;
+
+use ppda_sim::SimDuration;
+
+/// Radio supply currents (mA) for energy conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioCurrents {
+    /// Transmit current at the configured power (mA).
+    pub tx_ma: f64,
+    /// Receive current (mA).
+    pub rx_ma: f64,
+    /// Idle-listening current (mA) — the receiver is on, no frame decoded.
+    pub listen_ma: f64,
+    /// Supply voltage (V).
+    pub supply_v: f64,
+}
+
+impl RadioCurrents {
+    /// nRF52840 at 0 dBm, DC/DC regulator, 3 V supply (datasheet §5.4).
+    pub fn nrf52840() -> Self {
+        RadioCurrents {
+            tx_ma: 4.8,
+            rx_ma: 4.6,
+            listen_ma: 4.6,
+            supply_v: 3.0,
+        }
+    }
+}
+
+impl Default for RadioCurrents {
+    fn default() -> Self {
+        Self::nrf52840()
+    }
+}
+
+/// Accumulates one node's radio activity over a protocol round.
+///
+/// # Example
+///
+/// ```
+/// use ppda_radio::{EnergyLedger, RadioCurrents};
+/// use ppda_sim::SimDuration;
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.add_tx(SimDuration::from_millis(2));
+/// ledger.add_listen(SimDuration::from_millis(8));
+/// assert_eq!(ledger.radio_on().as_millis(), 10);
+/// let mj = ledger.energy_mj(&RadioCurrents::nrf52840());
+/// assert!(mj > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyLedger {
+    tx: SimDuration,
+    rx: SimDuration,
+    listen: SimDuration,
+}
+
+impl EnergyLedger {
+    /// A fresh ledger with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account transmit time.
+    pub fn add_tx(&mut self, d: SimDuration) {
+        self.tx += d;
+    }
+
+    /// Account successful receive time.
+    pub fn add_rx(&mut self, d: SimDuration) {
+        self.rx += d;
+    }
+
+    /// Account idle listening (receiver on, nothing decoded).
+    pub fn add_listen(&mut self, d: SimDuration) {
+        self.listen += d;
+    }
+
+    /// Time spent transmitting.
+    pub fn tx_time(&self) -> SimDuration {
+        self.tx
+    }
+
+    /// Time spent receiving frames.
+    pub fn rx_time(&self) -> SimDuration {
+        self.rx
+    }
+
+    /// Time spent idle-listening.
+    pub fn listen_time(&self) -> SimDuration {
+        self.listen
+    }
+
+    /// Total radio-on time (the paper's metric): tx + rx + listen.
+    pub fn radio_on(&self) -> SimDuration {
+        self.tx + self.rx + self.listen
+    }
+
+    /// Energy in millijoules under the given current profile.
+    pub fn energy_mj(&self, currents: &RadioCurrents) -> f64 {
+        let to_s = |d: SimDuration| d.as_micros() as f64 / 1e6;
+        let ma_s = to_s(self.tx) * currents.tx_ma
+            + to_s(self.rx) * currents.rx_ma
+            + to_s(self.listen) * currents.listen_ma;
+        // mA·s × V = mJ
+        ma_s * currents.supply_v
+    }
+
+    /// Merge another ledger into this one (e.g. across protocol phases).
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.tx += other.tx;
+        self.rx += other.rx;
+        self.listen += other.listen;
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "radio-on {} (tx {}, rx {}, listen {})",
+            self.radio_on(),
+            self.tx,
+            self.rx,
+            self.listen
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_category() {
+        let mut l = EnergyLedger::new();
+        l.add_tx(SimDuration::from_millis(1));
+        l.add_tx(SimDuration::from_millis(2));
+        l.add_rx(SimDuration::from_millis(4));
+        l.add_listen(SimDuration::from_millis(8));
+        assert_eq!(l.tx_time().as_millis(), 3);
+        assert_eq!(l.rx_time().as_millis(), 4);
+        assert_eq!(l.listen_time().as_millis(), 8);
+        assert_eq!(l.radio_on().as_millis(), 15);
+    }
+
+    #[test]
+    fn energy_formula() {
+        let mut l = EnergyLedger::new();
+        l.add_tx(SimDuration::from_secs(1));
+        let c = RadioCurrents {
+            tx_ma: 5.0,
+            rx_ma: 0.0,
+            listen_ma: 0.0,
+            supply_v: 3.0,
+        };
+        // 1 s × 5 mA × 3 V = 15 mJ
+        assert!((l.energy_mj(&c) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nrf52840_profile_plausible() {
+        let c = RadioCurrents::nrf52840();
+        assert!(c.tx_ma > 4.0 && c.tx_ma < 20.0);
+        assert!(c.rx_ma > 4.0 && c.rx_ma < 10.0);
+        assert_eq!(c.supply_v, 3.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = EnergyLedger::new();
+        a.add_tx(SimDuration::from_millis(1));
+        let mut b = EnergyLedger::new();
+        b.add_rx(SimDuration::from_millis(2));
+        b.add_listen(SimDuration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.radio_on().as_millis(), 6);
+    }
+
+    #[test]
+    fn display_shows_breakdown() {
+        let mut l = EnergyLedger::new();
+        l.add_tx(SimDuration::from_millis(1));
+        let s = l.to_string();
+        assert!(s.contains("radio-on"));
+        assert!(s.contains("tx 1.000ms"));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let l = EnergyLedger::default();
+        assert_eq!(l.radio_on(), SimDuration::ZERO);
+        assert_eq!(l.energy_mj(&RadioCurrents::nrf52840()), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Round-scale fading / interference.
+//!
+//! Static link PRRs capture deployment geometry, but testbeds live in
+//! radio-hostile buildings: WiFi bursts, people, doors. D-Cube in
+//! particular *injects* controlled interference as part of its benchmark
+//! protocol. We model this as a per-round global attenuation offset drawn
+//! from a three-regime mixture (calm / degraded / harsh). A full-coverage
+//! protocol must provision its NTX for the harsh tail — one of the reasons
+//! naive S3 is so much more expensive than perimeter-scope S4.
+
+use ppda_sim::Xoshiro256;
+
+/// A per-round attenuation mixture (dB added to every link's path loss).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FadingProfile {
+    /// Probability of a calm round (no extra attenuation).
+    pub calm_prob: f64,
+    /// Probability of a mildly degraded round.
+    pub mild_prob: f64,
+    /// Attenuation range (dB) for mild rounds.
+    pub mild_range: (f64, f64),
+    /// Attenuation range (dB) for harsh rounds (probability
+    /// `1 − calm − mild`).
+    pub harsh_range: (f64, f64),
+}
+
+impl FadingProfile {
+    /// No round-scale fading (unit tests, idealized studies).
+    pub fn none() -> Self {
+        FadingProfile {
+            calm_prob: 1.0,
+            mild_prob: 0.0,
+            mild_range: (0.0, 0.0),
+            harsh_range: (0.0, 0.0),
+        }
+    }
+
+    /// Office building (FlockLab-like): mostly calm, occasional WiFi and
+    /// people effects.
+    pub fn office() -> Self {
+        FadingProfile {
+            calm_prob: 0.6,
+            mild_prob: 0.3,
+            mild_range: (1.0, 4.0),
+            harsh_range: (4.0, 9.0),
+        }
+    }
+
+    /// Institute with interference injection (D-Cube-like): harsher and
+    /// more frequent degradation.
+    pub fn industrial_interference() -> Self {
+        FadingProfile {
+            calm_prob: 0.5,
+            mild_prob: 0.35,
+            mild_range: (1.0, 3.0),
+            harsh_range: (3.0, 5.5),
+        }
+    }
+
+    /// Draw the attenuation (dB) for one round.
+    pub fn draw(&self, rng: &mut Xoshiro256) -> f64 {
+        let u = rng.next_f64();
+        if u < self.calm_prob {
+            0.0
+        } else if u < self.calm_prob + self.mild_prob {
+            let (lo, hi) = self.mild_range;
+            lo + rng.next_f64() * (hi - lo)
+        } else {
+            let (lo, hi) = self.harsh_range;
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+}
+
+impl Default for FadingProfile {
+    fn default() -> Self {
+        Self::office()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_always_zero() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let p = FadingProfile::none();
+        for _ in 0..100 {
+            assert_eq!(p.draw(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn office_mixture_statistics() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let p = FadingProfile::office();
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| p.draw(&mut rng)).collect();
+        let calm = draws.iter().filter(|&&d| d == 0.0).count() as f64 / n as f64;
+        assert!((calm - 0.6).abs() < 0.02, "calm fraction {calm}");
+        let max = draws.iter().cloned().fold(0.0, f64::max);
+        assert!(max <= 9.0);
+        assert!(max > 4.0, "harsh regime must occur");
+    }
+
+    #[test]
+    fn industrial_degrades_more_rounds_than_office() {
+        // The D-Cube-like profile trades a lower worst case (its harsh tail
+        // is tamer than a bad office WiFi burst) for *more frequent*
+        // degradation — interference is injected round after round.
+        let mut rng = Xoshiro256::seed_from(3);
+        let office = (0..5000)
+            .filter(|_| FadingProfile::office().draw(&mut rng) > 0.0)
+            .count();
+        let industrial = (0..5000)
+            .filter(|_| FadingProfile::industrial_interference().draw(&mut rng) > 0.0)
+            .count();
+        assert!(industrial > office, "industrial {industrial} vs office {office}");
+    }
+
+    #[test]
+    fn draws_in_declared_ranges() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let p = FadingProfile::industrial_interference();
+        for _ in 0..5000 {
+            let d = p.draw(&mut rng);
+            assert!(d == 0.0 || (1.0..=7.0).contains(&d), "draw {d}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! IEEE 802.15.4 PHY model for the nRF52840, as used on FlockLab and DCube.
+//!
+//! The paper's latency and radio-on-time figures are, at bottom, slot
+//! arithmetic: `bytes × 32 µs + overheads`, multiplied by chain lengths and
+//! NTX counts. This crate supplies that arithmetic plus the two physical
+//! ingredients the CT protocols rely on:
+//!
+//! * [`phy`] — timing constants (250 kbit/s, SHR/PHR overhead, turnaround)
+//!   and [`FrameSpec`] airtime computation.
+//! * [`channel`] — a log-distance path-loss model with static per-link
+//!   shadowing, RSSI→PRR mapping for the nRF52840 sensitivity, and the
+//!   constructive-interference / capture combination rules that make
+//!   concurrent transmissions work.
+//! * [`EnergyLedger`] — per-node radio-on bookkeeping (tx / rx / idle
+//!   listening) and energy conversion with datasheet currents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+mod energy;
+mod fading;
+mod frame;
+pub mod phy;
+
+pub use channel::{capture_receives, combine_same_packet, PathLossModel};
+pub use fading::FadingProfile;
+pub use energy::{EnergyLedger, RadioCurrents};
+pub use frame::{FrameSpec, MAX_PSDU_LEN};

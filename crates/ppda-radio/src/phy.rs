@@ -1,0 +1,71 @@
+//! IEEE 802.15.4 (O-QPSK, 2.4 GHz) timing constants for the nRF52840.
+
+use ppda_sim::SimDuration;
+
+/// Microseconds to transmit one byte at 250 kbit/s.
+pub const US_PER_BYTE: u64 = 32;
+
+/// Synchronization header: 4-byte preamble + 1-byte SFD.
+pub const SHR_LEN: usize = 5;
+
+/// PHY header (frame length field): 1 byte.
+pub const PHR_LEN: usize = 1;
+
+/// MAC header used by the CT protocols: FCF(2) + SEQ(1) + PAN(2) +
+/// DST(2) + SRC(2) = 9 bytes.
+pub const MHR_LEN: usize = 9;
+
+/// MAC footer: 2-byte CRC (FCS).
+pub const MFR_LEN: usize = 2;
+
+/// Radio turnaround time (aTurnaroundTime = 12 symbols × 16 µs).
+pub const TURNAROUND: SimDuration = SimDuration::from_micros(192);
+
+/// Software/packet-processing gap the CT implementations insert between a
+/// reception and the triggered retransmission (copy + schedule on a
+/// Cortex-M4 @ 64 MHz; matches the Glossy-family slot overheads reported on
+/// nRF52840 ports).
+pub const PROCESSING_GAP: SimDuration = SimDuration::from_micros(108);
+
+/// nRF52840 802.15.4 receiver sensitivity (dBm) at 250 kbit/s.
+pub const SENSITIVITY_DBM: f64 = -100.0;
+
+/// Default transmit power (dBm) used on both testbeds.
+pub const TX_POWER_DBM: f64 = 0.0;
+
+/// Airtime of `on_air_bytes` bytes (SHR+PHR+PSDU) at 250 kbit/s.
+pub fn airtime_for_bytes(on_air_bytes: usize) -> SimDuration {
+    SimDuration::from_micros(on_air_bytes as u64 * US_PER_BYTE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_rate_is_802154() {
+        // 250 kbit/s = 31.25 kB/s -> 32 µs per byte.
+        assert_eq!(US_PER_BYTE, 32);
+        assert_eq!(airtime_for_bytes(1).as_micros(), 32);
+    }
+
+    #[test]
+    fn max_frame_airtime_is_4256us() {
+        // A full 127-byte PSDU plus 6 bytes SHR/PHR takes 133 * 32 = 4256 µs.
+        assert_eq!(
+            airtime_for_bytes(SHR_LEN + PHR_LEN + 127).as_micros(),
+            4256
+        );
+    }
+
+    #[test]
+    fn turnaround_is_12_symbols() {
+        assert_eq!(TURNAROUND.as_micros(), 192);
+    }
+
+    #[test]
+    fn header_lengths() {
+        assert_eq!(SHR_LEN + PHR_LEN, 6);
+        assert_eq!(MHR_LEN + MFR_LEN, 11);
+    }
+}

@@ -1,0 +1,246 @@
+//! Virtual time: µs-resolution instants and durations.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Sub};
+
+/// An instant of virtual time, in microseconds since simulation start.
+///
+/// Microsecond resolution matches the granularity at which 802.15.4 PHY
+/// timings are specified (32 µs per byte at 250 kbit/s), so all protocol
+/// arithmetic is exact — no floating-point drift across platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// As whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// As whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            self >= earlier,
+            "duration_since: {earlier:?} is after {self:?}"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating subtraction of a duration (clamps at the epoch).
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// As whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// As whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating duration subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics on negative results; virtual time is unsigned.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+use core::iter::Sum;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_millis(1).as_micros(), 1_000);
+        assert_eq!(SimTime::from_micros(1500).as_millis(), 1); // truncates
+        assert!((SimTime::from_micros(1500).as_millis_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(
+            t - SimTime::from_millis(10),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            SimDuration::from_millis(2) * 3,
+            SimDuration::from_millis(6)
+        );
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_micros(7);
+        assert_eq!(t.as_micros(), 7);
+        let mut d = SimDuration::ZERO;
+        d += SimDuration::from_micros(9);
+        assert_eq!(d.as_micros(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn negative_duration_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimTime::from_micros(5).saturating_sub(SimDuration::from_micros(10)),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            SimDuration::from_micros(5).saturating_sub(SimDuration::from_micros(3)),
+            SimDuration::from_micros(2)
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(SimDuration::from_millis(1) > SimDuration::from_micros(999));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_micros(1500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_millis(2).to_string(), "2.000ms");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+}

@@ -1,0 +1,98 @@
+//! Lightweight tracing hooks for debugging protocol runs.
+//!
+//! Protocol engines emit [`TraceEvent`]s through a [`TraceSink`]. The
+//! default [`NullTrace`] compiles to nothing; [`VecTrace`] records events
+//! for assertions in tests and for offline inspection.
+
+use crate::time::SimTime;
+
+/// One traced occurrence inside a protocol run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Node concerned (or `u16::MAX` for network-global events).
+    pub node: u16,
+    /// Event kind, e.g. `"tx"`, `"rx"`, `"radio-off"`, `"phase-done"`.
+    pub kind: &'static str,
+    /// Free-form detail (slot index, packet owner, …).
+    pub detail: u64,
+}
+
+/// Receiver of trace events.
+pub trait TraceSink {
+    /// Record one event. Implementations should be cheap; the CT engine can
+    /// emit one event per (node, slot).
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// Discards everything (the default for measurement runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    #[inline]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Stores every event in order.
+#[derive(Debug, Clone, Default)]
+pub struct VecTrace {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecTrace {
+    /// An empty trace buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events of a given kind, in order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Events seen by a given node, in order.
+    pub fn of_node(&self, node: u16) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.node == node)
+    }
+}
+
+impl TraceSink for VecTrace {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, node: u16, kind: &'static str) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_micros(at),
+            node,
+            kind,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn null_trace_discards() {
+        let mut t = NullTrace;
+        t.record(ev(1, 0, "tx")); // must not panic, does nothing
+    }
+
+    #[test]
+    fn vec_trace_records_in_order() {
+        let mut t = VecTrace::new();
+        t.record(ev(1, 0, "tx"));
+        t.record(ev(2, 1, "rx"));
+        t.record(ev(3, 0, "rx"));
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.of_kind("rx").count(), 2);
+        assert_eq!(t.of_node(0).count(), 2);
+        assert_eq!(t.of_node(0).last().unwrap().kind, "rx");
+    }
+}

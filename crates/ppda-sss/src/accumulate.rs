@@ -1,0 +1,168 @@
+//! Per-node accumulation of incoming shares into a sum share.
+//!
+//! The additive homomorphism at the heart of SSS-based aggregation: if node
+//! j holds `Pₛ(xⱼ)` from every source s, then `Σₛ Pₛ(xⱼ)` is a share of the
+//! polynomial `Σₛ Pₛ`, whose constant term is the sum of all secrets. The
+//! accumulator also tracks *which* sources contributed, so reconstruction
+//! can match sum shares that cover the same source set (essential under
+//! packet loss and node failures).
+
+use ppda_field::{Gf, PrimeField};
+
+use crate::error::SssError;
+use crate::share::Share;
+
+/// Accumulates the shares arriving at one node (one public point).
+///
+/// # Example
+///
+/// ```
+/// use ppda_field::Gf31;
+/// use ppda_sss::SumAccumulator;
+/// # fn main() -> Result<(), ppda_sss::SssError> {
+/// let mut acc = SumAccumulator::new(Gf31::new(3));
+/// acc.add(0, Gf31::new(10))?;
+/// acc.add(1, Gf31::new(5))?;
+/// assert_eq!(acc.share().y, Gf31::new(15));
+/// assert_eq!(acc.contributor_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SumAccumulator<P: PrimeField> {
+    x: Gf<P>,
+    sum: Gf<P>,
+    mask: u128,
+}
+
+impl<P: PrimeField> SumAccumulator<P> {
+    /// A fresh accumulator for the public point `x`.
+    pub fn new(x: Gf<P>) -> Self {
+        SumAccumulator {
+            x,
+            sum: Gf::ZERO,
+            mask: 0,
+        }
+    }
+
+    /// The public point this accumulator represents.
+    pub fn x(&self) -> Gf<P> {
+        self.x
+    }
+
+    /// Add the share of `source`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SssError::DuplicateSource`] if this source already contributed
+    ///   (a replayed or duplicated packet).
+    /// * [`SssError::SourceIdTooLarge`] if `source ≥ 128` (the contributor
+    ///   mask is 128 bits — comfortably above testbed scale).
+    pub fn add(&mut self, source: u16, y: Gf<P>) -> Result<(), SssError> {
+        if source as usize >= crate::packet::MAX_MASK_SOURCES {
+            return Err(SssError::SourceIdTooLarge { source });
+        }
+        let bit = 1u128 << source;
+        if self.mask & bit != 0 {
+            return Err(SssError::DuplicateSource { source });
+        }
+        self.mask |= bit;
+        self.sum += y;
+        Ok(())
+    }
+
+    /// The current sum as a share at this point.
+    pub fn share(&self) -> Share<P> {
+        Share {
+            x: self.x,
+            y: self.sum,
+        }
+    }
+
+    /// Bitmask of contributing sources (bit s = source s contributed).
+    pub fn contributor_mask(&self) -> u128 {
+        self.mask
+    }
+
+    /// Number of contributing sources.
+    pub fn contributor_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// `true` if exactly the sources in `expected` contributed.
+    pub fn covers(&self, expected: u128) -> bool {
+        self.mask == expected
+    }
+}
+
+/// The contributor mask expected when all of `sources` share successfully.
+#[cfg(test)]
+fn full_mask(sources: &[u16]) -> u128 {
+    sources.iter().fold(0u128, |m, &s| m | (1u128 << s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppda_field::Gf31;
+
+    #[test]
+    fn sums_and_tracks_contributors() {
+        let mut acc = SumAccumulator::new(Gf31::new(1));
+        acc.add(0, Gf31::new(7)).unwrap();
+        acc.add(3, Gf31::new(8)).unwrap();
+        assert_eq!(acc.share().y, Gf31::new(15));
+        assert_eq!(acc.contributor_mask(), 0b1001);
+        assert_eq!(acc.contributor_count(), 2);
+        assert_eq!(acc.x(), Gf31::new(1));
+    }
+
+    #[test]
+    fn duplicate_source_rejected() {
+        let mut acc = SumAccumulator::new(Gf31::new(1));
+        acc.add(2, Gf31::new(1)).unwrap();
+        assert_eq!(
+            acc.add(2, Gf31::new(9)),
+            Err(SssError::DuplicateSource { source: 2 })
+        );
+        // Sum unchanged by the rejected add.
+        assert_eq!(acc.share().y, Gf31::new(1));
+    }
+
+    #[test]
+    fn source_id_limit() {
+        let mut acc = SumAccumulator::new(Gf31::new(1));
+        assert!(acc.add(127, Gf31::new(1)).is_ok());
+        assert_eq!(
+            acc.add(128, Gf31::new(1)),
+            Err(SssError::SourceIdTooLarge { source: 128 })
+        );
+    }
+
+    #[test]
+    fn covers_expected_set() {
+        let mut acc = SumAccumulator::new(Gf31::new(2));
+        acc.add(1, Gf31::new(1)).unwrap();
+        acc.add(4, Gf31::new(1)).unwrap();
+        assert!(acc.covers(full_mask(&[1, 4])));
+        assert!(!acc.covers(full_mask(&[1, 4, 5])));
+        assert!(!acc.covers(full_mask(&[1])));
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let acc = SumAccumulator::new(Gf31::new(9));
+        assert_eq!(acc.share().y, Gf31::ZERO);
+        assert_eq!(acc.contributor_count(), 0);
+        assert!(acc.covers(0));
+    }
+
+    #[test]
+    fn sum_wraps_in_field() {
+        let mut acc = SumAccumulator::new(Gf31::new(1));
+        let p_minus_1 = Gf31::new(Gf31::modulus() - 1);
+        acc.add(0, p_minus_1).unwrap();
+        acc.add(1, Gf31::new(2)).unwrap();
+        assert_eq!(acc.share().y, Gf31::ONE);
+    }
+}

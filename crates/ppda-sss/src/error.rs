@@ -1,0 +1,117 @@
+//! Error type for the SSS layer.
+
+use core::fmt;
+
+use ppda_crypto::CryptoError;
+use ppda_field::FieldError;
+
+/// Errors from share generation, accumulation, reconstruction and packet
+/// handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SssError {
+    /// Underlying field/interpolation error.
+    Field(FieldError),
+    /// Underlying cryptographic error (key lookup, CCM seal/open).
+    Crypto(CryptoError),
+    /// Fewer evaluation points than the threshold requires.
+    TooFewPoints {
+        /// Points required (degree + 1).
+        needed: usize,
+        /// Points available.
+        got: usize,
+    },
+    /// A source contributed twice to the same accumulator.
+    DuplicateSource {
+        /// The offending source id.
+        source: u16,
+    },
+    /// Source id does not fit the 128-bit contributor mask.
+    SourceIdTooLarge {
+        /// The offending source id.
+        source: u16,
+    },
+    /// Surplus shares were inconsistent with the reconstruction polynomial.
+    InconsistentShares,
+    /// A wire packet failed to decode.
+    BadPacket {
+        /// Reason.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SssError::Field(e) => write!(f, "field error: {e}"),
+            SssError::Crypto(e) => write!(f, "crypto error: {e}"),
+            SssError::TooFewPoints { needed, got } => {
+                write!(f, "need {needed} share points, got {got}")
+            }
+            SssError::DuplicateSource { source } => {
+                write!(f, "source {source} already contributed to this sum")
+            }
+            SssError::SourceIdTooLarge { source } => {
+                write!(f, "source id {source} exceeds the 128-source mask")
+            }
+            SssError::InconsistentShares => {
+                write!(f, "surplus shares disagree with the reconstruction polynomial")
+            }
+            SssError::BadPacket { what } => write!(f, "malformed packet: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SssError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SssError::Field(e) => Some(e),
+            SssError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FieldError> for SssError {
+    fn from(e: FieldError) -> Self {
+        SssError::Field(e)
+    }
+}
+
+impl From<CryptoError> for SssError {
+    fn from(e: CryptoError) -> Self {
+        SssError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = SssError::from(FieldError::ZeroAbscissa);
+        assert!(e.to_string().contains("field error"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = SssError::from(CryptoError::AuthenticationFailed);
+        assert!(e.to_string().contains("crypto error"));
+
+        assert!(SssError::TooFewPoints { needed: 3, got: 1 }
+            .to_string()
+            .contains("3"));
+        assert!(SssError::DuplicateSource { source: 7 }
+            .to_string()
+            .contains("7"));
+        assert!(SssError::InconsistentShares.to_string().contains("disagree"));
+        assert!(
+            std::error::Error::source(&SssError::InconsistentShares).is_none()
+        );
+    }
+
+    #[test]
+    fn send_sync() {
+        fn takes<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes(SssError::InconsistentShares);
+    }
+}

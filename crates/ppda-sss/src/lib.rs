@@ -1,0 +1,91 @@
+//! Shamir Secret Sharing for privacy-preserving data aggregation.
+//!
+//! The algebra of the paper's §II, independent of any transport:
+//!
+//! * [`split_secret`] — evaluate a random degree-k polynomial with the
+//!   secret as constant term at a set of public points.
+//! * [`SumAccumulator`] — the per-node local summation of incoming shares
+//!   (the additive homomorphism that makes aggregation private).
+//! * [`reconstruct`] / [`reconstruct_checked`] — Lagrange reconstruction of
+//!   the aggregate from any k+1 sum shares.
+//! * [`SharePacket`] / [`SumPacket`] — the wire formats carried in MiniCast
+//!   sub-slots: AES-CCM-sealed shares in the sharing phase, plaintext sums
+//!   with contributor masks in the reconstruction phase.
+//!
+//! # Example: the full algebraic pipeline
+//!
+//! ```
+//! use ppda_field::{share_x, Gf31, Mersenne31};
+//! use ppda_sss::{reconstruct, split_secret, SumAccumulator};
+//! use ppda_sim::Xoshiro256;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Xoshiro256::seed_from(1);
+//! let degree = 2;
+//! let xs: Vec<_> = (0..5).map(share_x::<Mersenne31>).collect();
+//!
+//! // Three sources secret-share their readings to five holders.
+//! let secrets = [10u64, 20, 12];
+//! let mut holders: Vec<_> = xs.iter().map(|&x| SumAccumulator::new(x)).collect();
+//! for (src, &s) in secrets.iter().enumerate() {
+//!     let shares = split_secret(Gf31::new(s), degree, &xs, &mut rng)?;
+//!     for (holder, share) in holders.iter_mut().zip(shares) {
+//!         holder.add(src as u16, share.y)?;
+//!     }
+//! }
+//!
+//! // Any degree+1 sums reconstruct the aggregate.
+//! let sums: Vec<_> = holders.iter().map(|h| h.share()).collect();
+//! assert_eq!(reconstruct(&sums[..degree + 1])?, Gf31::new(42));
+//! assert_eq!(reconstruct(&sums[2..])?, Gf31::new(42));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accumulate;
+mod error;
+mod packet;
+mod share;
+
+pub use accumulate::SumAccumulator;
+pub use error::SssError;
+pub use packet::{SharePacket, SumPacket, MAX_MASK_SOURCES};
+pub use share::{reconstruct, reconstruct_checked, split_secret, Share};
+
+use rand::RngCore;
+
+/// Split a secret destined for the nodes `0..n` using their canonical
+/// public points (`x = id + 1`) — convenience over [`split_secret`].
+///
+/// # Errors
+///
+/// Same conditions as [`split_secret`].
+pub fn split_for_nodes<P: ppda_field::PrimeField, R: RngCore + ?Sized>(
+    secret: ppda_field::Gf<P>,
+    degree: usize,
+    n: usize,
+    rng: &mut R,
+) -> Result<Vec<Share<P>>, SssError> {
+    let xs: Vec<_> = (0..n).map(ppda_field::share_x::<P>).collect();
+    split_secret(secret, degree, &xs, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppda_field::{Gf31, Mersenne31};
+    use ppda_sim::Xoshiro256;
+
+    #[test]
+    fn split_for_nodes_uses_canonical_points() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let shares = split_for_nodes::<Mersenne31, _>(Gf31::new(5), 2, 6, &mut rng).unwrap();
+        assert_eq!(shares.len(), 6);
+        for (i, s) in shares.iter().enumerate() {
+            assert_eq!(s.x, Gf31::new(i as u64 + 1));
+        }
+    }
+}

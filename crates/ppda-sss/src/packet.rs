@@ -1,0 +1,333 @@
+//! Wire formats for the two protocol phases.
+//!
+//! * [`SharePacket`] — sharing phase: one evaluation value, AES-CCM sealed
+//!   with the pairwise key of (source, destination). The MAC header fields
+//!   (src, dst, round, sub-slot) are authenticated as associated data.
+//! * [`SumPacket`] — reconstruction phase: one sum share plus its 128-bit
+//!   contributor mask, in plaintext (the sums are blinded by share
+//!   randomness; the paper runs this phase "in plane text").
+
+use bytes::{Buf, BufMut};
+use ppda_crypto::{Ccm, PairwiseKeys};
+use ppda_field::{Gf, PrimeField};
+
+use crate::error::SssError;
+use crate::share::Share;
+
+/// Maximum number of distinct source ids representable in the contributor
+/// mask (u128).
+pub const MAX_MASK_SOURCES: usize = 128;
+
+/// A sharing-phase packet: source `src` delivers `share` to destination
+/// `dst` in round `round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharePacket<P: PrimeField> {
+    /// Originating source node.
+    pub src: u16,
+    /// Designated destination node.
+    pub dst: u16,
+    /// Aggregation round identifier (freshness for the CCM nonce).
+    pub round: u32,
+    /// The share carried to the destination's public point.
+    pub share: Share<P>,
+}
+
+impl<P: PrimeField> SharePacket<P> {
+    /// Sealed (ciphertext) payload length for this field and tag size.
+    pub fn sealed_len(tag_len: usize) -> usize {
+        P::ENCODED_LEN + tag_len
+    }
+
+    /// Associated data binding the ciphertext to its chain position.
+    fn aad(src: u16, dst: u16, round: u32) -> [u8; 8] {
+        let mut aad = [0u8; 8];
+        aad[0..2].copy_from_slice(&src.to_be_bytes());
+        aad[2..4].copy_from_slice(&dst.to_be_bytes());
+        aad[4..8].copy_from_slice(&round.to_be_bytes());
+        aad
+    }
+
+    /// Encrypt the share value with the (src, dst) pairwise key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-lookup and sealing failures from `ppda-crypto`.
+    pub fn seal(&self, keys: &PairwiseKeys, tag_len: usize) -> Result<Vec<u8>, SssError> {
+        let key = keys.key(self.src, self.dst)?;
+        let ccm = Ccm::new(key, tag_len)?;
+        let nonce = Ccm::nonce(self.src, self.dst, self.round, self.share.x.value() as u32);
+        Ok(ccm.seal(
+            &nonce,
+            &Self::aad(self.src, self.dst, self.round),
+            &self.share.y.to_bytes(),
+        )?)
+    }
+
+    /// Decrypt and authenticate a sealed share value.
+    ///
+    /// The destination knows `(src, dst, round, x)` from the TDMA schedule;
+    /// only the `y` value travels encrypted.
+    ///
+    /// # Errors
+    ///
+    /// * [`SssError::Crypto`] on authentication failure (wrong key, replay
+    ///   across rounds, tampering).
+    /// * [`SssError::BadPacket`] if the plaintext does not decode as a
+    ///   canonical field element.
+    pub fn open(
+        keys: &PairwiseKeys,
+        tag_len: usize,
+        src: u16,
+        dst: u16,
+        round: u32,
+        x: Gf<P>,
+        sealed: &[u8],
+    ) -> Result<Self, SssError> {
+        let key = keys.key(src, dst)?;
+        let ccm = Ccm::new(key, tag_len)?;
+        let nonce = Ccm::nonce(src, dst, round, x.value() as u32);
+        let plain = ccm.open(&nonce, &Self::aad(src, dst, round), sealed)?;
+        let y = Gf::from_bytes(&plain).ok_or(SssError::BadPacket {
+            what: "share value is not a canonical field element",
+        })?;
+        Ok(SharePacket {
+            src,
+            dst,
+            round,
+            share: Share { x, y },
+        })
+    }
+}
+
+/// A reconstruction-phase packet: the sum share of one aggregation point,
+/// with the mask of sources whose shares were folded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SumPacket<P: PrimeField> {
+    /// The node publishing its sum (identifies the public point).
+    pub node: u16,
+    /// Round identifier.
+    pub round: u32,
+    /// The sum share (x = the node's public point).
+    pub share: Share<P>,
+    /// Contributor mask: bit s set iff source s's share was included.
+    pub mask: u128,
+}
+
+impl<P: PrimeField> SumPacket<P> {
+    /// Encoded payload length: node(2) + round(4) + y + mask(16).
+    /// (`x` is implied by `node` and not transmitted.)
+    pub fn encoded_len() -> usize {
+        2 + 4 + P::ENCODED_LEN + 16
+    }
+
+    /// Serialize to the wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::encoded_len());
+        out.put_u16(self.node);
+        out.put_u32(self.round);
+        out.extend_from_slice(&self.share.y.to_bytes());
+        out.put_u128(self.mask);
+        out
+    }
+
+    /// Deserialize from the wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`SssError::BadPacket`] on truncation, a non-canonical field value,
+    /// or a node/x mismatch.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SssError> {
+        if bytes.len() < Self::encoded_len() {
+            return Err(SssError::BadPacket {
+                what: "sum packet truncated",
+            });
+        }
+        let mut buf = bytes;
+        let node = buf.get_u16();
+        let round = buf.get_u32();
+        let y = Gf::from_bytes(&buf[..P::ENCODED_LEN]).ok_or(SssError::BadPacket {
+            what: "sum value is not a canonical field element",
+        })?;
+        buf.advance(P::ENCODED_LEN);
+        let mask = buf.get_u128();
+        Ok(SumPacket {
+            node,
+            round,
+            share: Share {
+                x: ppda_field::share_x::<P>(node as usize),
+                y,
+            },
+            mask,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppda_field::{share_x, Gf31, Mersenne31};
+
+    fn keys() -> PairwiseKeys {
+        PairwiseKeys::derive(&[9u8; 16], 8)
+    }
+
+    #[test]
+    fn share_packet_seal_open_round_trip() {
+        let pkt = SharePacket::<Mersenne31> {
+            src: 2,
+            dst: 5,
+            round: 7,
+            share: Share {
+                x: share_x::<Mersenne31>(5),
+                y: Gf31::new(123456789),
+            },
+        };
+        let sealed = pkt.seal(&keys(), 4).unwrap();
+        assert_eq!(sealed.len(), SharePacket::<Mersenne31>::sealed_len(4));
+        let opened =
+            SharePacket::<Mersenne31>::open(&keys(), 4, 2, 5, 7, share_x::<Mersenne31>(5), &sealed)
+                .unwrap();
+        assert_eq!(opened, pkt);
+    }
+
+    #[test]
+    fn wrong_reader_cannot_open() {
+        let pkt = SharePacket::<Mersenne31> {
+            src: 2,
+            dst: 5,
+            round: 7,
+            share: Share {
+                x: share_x::<Mersenne31>(5),
+                y: Gf31::new(42),
+            },
+        };
+        let sealed = pkt.seal(&keys(), 4).unwrap();
+        // Node 3 tries to decrypt with its own pairwise key (2,3).
+        let eavesdrop = SharePacket::<Mersenne31>::open(
+            &keys(),
+            4,
+            2,
+            3,
+            7,
+            share_x::<Mersenne31>(3),
+            &sealed,
+        );
+        assert!(matches!(eavesdrop, Err(SssError::Crypto(_))));
+    }
+
+    #[test]
+    fn replay_across_rounds_fails() {
+        let pkt = SharePacket::<Mersenne31> {
+            src: 1,
+            dst: 4,
+            round: 10,
+            share: Share {
+                x: share_x::<Mersenne31>(4),
+                y: Gf31::new(5),
+            },
+        };
+        let sealed = pkt.seal(&keys(), 4).unwrap();
+        let replayed = SharePacket::<Mersenne31>::open(
+            &keys(),
+            4,
+            1,
+            4,
+            11, // a later round
+            share_x::<Mersenne31>(4),
+            &sealed,
+        );
+        assert!(matches!(replayed, Err(SssError::Crypto(_))));
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let pkt = SharePacket::<Mersenne31> {
+            src: 0,
+            dst: 1,
+            round: 0,
+            share: Share {
+                x: share_x::<Mersenne31>(1),
+                y: Gf31::new(77),
+            },
+        };
+        let mut sealed = pkt.seal(&keys(), 4).unwrap();
+        sealed[0] ^= 0x80;
+        let r = SharePacket::<Mersenne31>::open(
+            &keys(),
+            4,
+            0,
+            1,
+            0,
+            share_x::<Mersenne31>(1),
+            &sealed,
+        );
+        assert!(matches!(r, Err(SssError::Crypto(_))));
+    }
+
+    #[test]
+    fn sum_packet_round_trip() {
+        let pkt = SumPacket::<Mersenne31> {
+            node: 3,
+            round: 9,
+            share: Share {
+                x: share_x::<Mersenne31>(3),
+                y: Gf31::new(999),
+            },
+            mask: 0b1011,
+        };
+        let encoded = pkt.encode();
+        assert_eq!(encoded.len(), SumPacket::<Mersenne31>::encoded_len());
+        let decoded = SumPacket::<Mersenne31>::decode(&encoded).unwrap();
+        assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn sum_packet_truncation_rejected() {
+        let pkt = SumPacket::<Mersenne31> {
+            node: 3,
+            round: 9,
+            share: Share {
+                x: share_x::<Mersenne31>(3),
+                y: Gf31::new(999),
+            },
+            mask: 1,
+        };
+        let encoded = pkt.encode();
+        assert!(matches!(
+            SumPacket::<Mersenne31>::decode(&encoded[..encoded.len() - 1]),
+            Err(SssError::BadPacket { .. })
+        ));
+    }
+
+    #[test]
+    fn sum_packet_x_derived_from_node() {
+        let pkt = SumPacket::<Mersenne31> {
+            node: 7,
+            round: 0,
+            share: Share {
+                x: share_x::<Mersenne31>(7),
+                y: Gf31::new(1),
+            },
+            mask: 0,
+        };
+        let decoded = SumPacket::<Mersenne31>::decode(&pkt.encode()).unwrap();
+        assert_eq!(decoded.share.x, Gf31::new(8));
+    }
+
+    #[test]
+    fn large_mask_round_trips() {
+        let pkt = SumPacket::<Mersenne31> {
+            node: 0,
+            round: 1,
+            share: Share {
+                x: share_x::<Mersenne31>(0),
+                y: Gf31::new(2),
+            },
+            mask: u128::MAX,
+        };
+        assert_eq!(
+            SumPacket::<Mersenne31>::decode(&pkt.encode()).unwrap().mask,
+            u128::MAX
+        );
+    }
+}

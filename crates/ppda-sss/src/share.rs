@@ -1,0 +1,247 @@
+//! Share generation and reconstruction.
+
+use ppda_field::{lagrange, Gf, Polynomial, PrimeField};
+use rand::RngCore;
+
+use crate::error::SssError;
+
+/// One Shamir share: the evaluation `y = P(x)` of a share polynomial at a
+/// public point `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Share<P: PrimeField> {
+    /// The public evaluation point (never zero).
+    pub x: Gf<P>,
+    /// The (secret) evaluation value.
+    pub y: Gf<P>,
+}
+
+/// Split `secret` into shares at the public points `xs` using a uniformly
+/// random polynomial of degree `degree`.
+///
+/// Any `degree + 1` of the returned shares reconstruct the secret; any
+/// `degree` or fewer reveal *nothing* (every candidate secret remains
+/// equally consistent — see the adversary tests in `ppda-mpc`).
+///
+/// # Errors
+///
+/// * [`SssError::TooFewPoints`] if `xs.len() < degree + 1` (the shares
+///   could never be reconstructed).
+/// * [`SssError::Field`] if `xs` contains zero or duplicates.
+///
+/// # Example
+///
+/// ```
+/// use ppda_field::{Gf31, share_x, Mersenne31};
+/// use ppda_sss::{split_secret, reconstruct};
+/// # fn main() -> Result<(), ppda_sss::SssError> {
+/// let mut rng = ppda_sim::Xoshiro256::seed_from(7);
+/// let xs: Vec<_> = (0..4).map(share_x::<Mersenne31>).collect();
+/// let shares = split_secret(Gf31::new(99), 1, &xs, &mut rng)?;
+/// assert_eq!(reconstruct(&shares[..2])?, Gf31::new(99));
+/// # Ok(())
+/// # }
+/// ```
+pub fn split_secret<P: PrimeField, R: RngCore + ?Sized>(
+    secret: Gf<P>,
+    degree: usize,
+    xs: &[Gf<P>],
+    rng: &mut R,
+) -> Result<Vec<Share<P>>, SssError> {
+    if xs.len() < degree + 1 {
+        return Err(SssError::TooFewPoints {
+            needed: degree + 1,
+            got: xs.len(),
+        });
+    }
+    validate_points(xs)?;
+    let poly = Polynomial::random_with_constant(secret, degree, rng);
+    Ok(xs
+        .iter()
+        .map(|&x| Share { x, y: poly.eval(x) })
+        .collect())
+}
+
+fn validate_points<P: PrimeField>(xs: &[Gf<P>]) -> Result<(), SssError> {
+    for (i, &xi) in xs.iter().enumerate() {
+        if xi.is_zero() {
+            return Err(SssError::Field(ppda_field::FieldError::ZeroAbscissa));
+        }
+        for &xj in &xs[..i] {
+            if xi == xj {
+                return Err(SssError::Field(ppda_field::FieldError::DuplicateX {
+                    x: xi.value(),
+                }));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reconstruct the secret from shares (all of them are used; the caller
+/// chooses the subset).
+///
+/// # Errors
+///
+/// [`SssError::Field`] if the shares are empty, share an x, or use x = 0.
+pub fn reconstruct<P: PrimeField>(shares: &[Share<P>]) -> Result<Gf<P>, SssError> {
+    let points: Vec<(Gf<P>, Gf<P>)> = shares.iter().map(|s| (s.x, s.y)).collect();
+    Ok(lagrange::interpolate_at_zero(&points)?)
+}
+
+/// Reconstruct using exactly `degree + 1` shares and *verify* that any
+/// surplus shares lie on the same polynomial, catching corrupted or
+/// inconsistent sum shares before they silently skew the aggregate.
+///
+/// # Errors
+///
+/// * [`SssError::TooFewPoints`] with fewer than `degree + 1` shares.
+/// * [`SssError::InconsistentShares`] if surplus shares disagree.
+/// * [`SssError::Field`] for invalid abscissas.
+pub fn reconstruct_checked<P: PrimeField>(
+    shares: &[Share<P>],
+    degree: usize,
+) -> Result<Gf<P>, SssError> {
+    if shares.len() < degree + 1 {
+        return Err(SssError::TooFewPoints {
+            needed: degree + 1,
+            got: shares.len(),
+        });
+    }
+    let points: Vec<(Gf<P>, Gf<P>)> = shares.iter().map(|s| (s.x, s.y)).collect();
+    if !lagrange::consistent_with_degree(&points, degree)? {
+        return Err(SssError::InconsistentShares);
+    }
+    Ok(lagrange::interpolate_at_zero(&points[..degree + 1])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppda_field::{share_x, Gf31, Mersenne31};
+    use ppda_sim::Xoshiro256;
+
+    fn xs(n: usize) -> Vec<Gf31> {
+        (0..n).map(share_x::<Mersenne31>).collect()
+    }
+
+    #[test]
+    fn round_trip_various_degrees() {
+        let mut rng = Xoshiro256::seed_from(1);
+        for degree in 0..8 {
+            let shares =
+                split_secret(Gf31::new(123456), degree, &xs(degree + 3), &mut rng).unwrap();
+            assert_eq!(
+                reconstruct(&shares[..degree + 1]).unwrap(),
+                Gf31::new(123456),
+                "degree {degree}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_subset_works() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let shares = split_secret(Gf31::new(77), 3, &xs(10), &mut rng).unwrap();
+        let subset = [shares[9], shares[0], shares[5], shares[2]];
+        assert_eq!(reconstruct(&subset).unwrap(), Gf31::new(77));
+    }
+
+    #[test]
+    fn too_few_points_at_split() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let err = split_secret(Gf31::new(1), 5, &xs(5), &mut rng).unwrap_err();
+        assert_eq!(err, SssError::TooFewPoints { needed: 6, got: 5 });
+    }
+
+    #[test]
+    fn zero_point_rejected() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let bad = vec![Gf31::ZERO, Gf31::new(1)];
+        assert!(matches!(
+            split_secret(Gf31::new(1), 1, &bad, &mut rng),
+            Err(SssError::Field(ppda_field::FieldError::ZeroAbscissa))
+        ));
+    }
+
+    #[test]
+    fn duplicate_point_rejected() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let bad = vec![Gf31::new(3), Gf31::new(3)];
+        assert!(matches!(
+            split_secret(Gf31::new(1), 1, &bad, &mut rng),
+            Err(SssError::Field(ppda_field::FieldError::DuplicateX { x: 3 }))
+        ));
+    }
+
+    #[test]
+    fn checked_reconstruction_accepts_honest() {
+        let mut rng = Xoshiro256::seed_from(6);
+        let shares = split_secret(Gf31::new(555), 2, &xs(8), &mut rng).unwrap();
+        assert_eq!(
+            reconstruct_checked(&shares, 2).unwrap(),
+            Gf31::new(555)
+        );
+    }
+
+    #[test]
+    fn checked_reconstruction_detects_corruption() {
+        let mut rng = Xoshiro256::seed_from(7);
+        let mut shares = split_secret(Gf31::new(555), 2, &xs(8), &mut rng).unwrap();
+        shares[5].y = shares[5].y + Gf31::ONE;
+        assert_eq!(
+            reconstruct_checked(&shares, 2),
+            Err(SssError::InconsistentShares)
+        );
+    }
+
+    #[test]
+    fn checked_needs_enough_shares() {
+        let mut rng = Xoshiro256::seed_from(8);
+        let shares = split_secret(Gf31::new(9), 4, &xs(6), &mut rng).unwrap();
+        assert_eq!(
+            reconstruct_checked(&shares[..3], 4),
+            Err(SssError::TooFewPoints { needed: 5, got: 3 })
+        );
+    }
+
+    #[test]
+    fn k_shares_reveal_nothing_constructively() {
+        // With only k shares of a degree-k polynomial, any candidate secret
+        // admits a consistent polynomial: demonstrate by constructing one.
+        let mut rng = Xoshiro256::seed_from(9);
+        let degree = 3;
+        let shares = split_secret(Gf31::new(42), degree, &xs(10), &mut rng).unwrap();
+        let observed = &shares[..degree]; // k = 3 observations
+
+        for candidate in [0u64, 1, 42, 1_000_000] {
+            // Interpolate through (0, candidate) plus the k observations:
+            // that is k+1 points -> a unique polynomial of degree ≤ k that
+            // matches everything the adversary saw.
+            let mut pts = vec![(Gf31::ZERO, Gf31::new(candidate))];
+            pts.extend(observed.iter().map(|s| (s.x, s.y)));
+            let poly = ppda_field::lagrange::interpolate(&pts).unwrap();
+            assert!(poly.degree() <= degree);
+            for s in observed {
+                assert_eq!(poly.eval(s.x), s.y);
+            }
+            assert_eq!(poly.eval(Gf31::ZERO), Gf31::new(candidate));
+        }
+    }
+
+    #[test]
+    fn shares_are_randomized_between_splits() {
+        let mut rng = Xoshiro256::seed_from(10);
+        let a = split_secret(Gf31::new(5), 2, &xs(5), &mut rng).unwrap();
+        let b = split_secret(Gf31::new(5), 2, &xs(5), &mut rng).unwrap();
+        assert_ne!(a, b, "fresh randomness per split");
+    }
+
+    #[test]
+    fn degree_zero_is_replication() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let shares = split_secret(Gf31::new(8), 0, &xs(4), &mut rng).unwrap();
+        for s in &shares {
+            assert_eq!(s.y, Gf31::new(8), "degree 0 shares equal the secret");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Graph analysis over link-quality topologies: BFS hop counts, diameter,
+//! connectivity, and the NTX-reachability neighbor rings S4 exploits.
+
+use crate::Topology;
+
+impl Topology {
+    /// Hop distance from `from` to every node, counting links with PRR at
+    /// least `min_prr` as edges. `None` for unreachable nodes;
+    /// `Some(0)` for `from` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn hops_from(&self, from: usize, min_prr: f64) -> Vec<Option<u32>> {
+        assert!(from < self.len(), "node {from} out of range");
+        let n = self.len();
+        let mut hops = vec![None; n];
+        hops[from] = Some(0);
+        let mut frontier = vec![from];
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for v in 0..n {
+                    if v != u && hops[v].is_none() && self.prr(u, v) >= min_prr {
+                        hops[v] = Some(depth);
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        hops
+    }
+
+    /// `true` when every node reaches every other over links with PRR at
+    /// least `min_prr`.
+    pub fn is_connected(&self, min_prr: f64) -> bool {
+        self.hops_from(0, min_prr).iter().all(|h| h.is_some())
+    }
+
+    /// Network diameter in hops at the given link threshold, or `None` if
+    /// the graph is disconnected.
+    pub fn diameter(&self, min_prr: f64) -> Option<u32> {
+        let mut max_hops = 0;
+        for from in 0..self.len() {
+            let hops = self.hops_from(from, min_prr);
+            for h in hops {
+                max_hops = max_hops.max(h?);
+            }
+        }
+        Some(max_hops)
+    }
+
+    /// Eccentricity of a node: its maximum hop distance to any other node,
+    /// or `None` if some node is unreachable.
+    pub fn eccentricity(&self, node: usize, min_prr: f64) -> Option<u32> {
+        let mut max_hops = 0;
+        for h in self.hops_from(node, min_prr) {
+            max_hops = max_hops.max(h?);
+        }
+        Some(max_hops)
+    }
+
+    /// The node with minimal eccentricity — the natural flood initiator.
+    /// Ties break toward the lower node id. Falls back to node 0 if the
+    /// graph is disconnected at this threshold.
+    pub fn center_node(&self, min_prr: f64) -> usize {
+        (0..self.len())
+            .filter_map(|v| self.eccentricity(v, min_prr).map(|e| (e, v)))
+            .min()
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Nodes within `max_hops` hops of `node` (excluding the node itself),
+    /// ordered by (hops, id) — the "reachable at this NTX" ring used by the
+    /// S4 bootstrapping phase.
+    pub fn ring(&self, node: usize, max_hops: u32, min_prr: f64) -> Vec<usize> {
+        let hops = self.hops_from(node, min_prr);
+        let mut out: Vec<(u32, usize)> = hops
+            .iter()
+            .enumerate()
+            .filter_map(|(v, h)| match h {
+                Some(d) if *d > 0 && *d <= max_hops => Some((*d, v)),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_hops_are_positions() {
+        let t = Topology::line(5, 30.0, 1);
+        let hops = t.hops_from(0, 0.5);
+        for (i, h) in hops.iter().enumerate() {
+            assert_eq!(h.unwrap() as usize, i, "node {i}");
+        }
+    }
+
+    #[test]
+    fn line_diameter() {
+        let t = Topology::line(5, 30.0, 1);
+        assert_eq!(t.diameter(0.5), Some(4));
+    }
+
+    #[test]
+    fn line_center_is_middle() {
+        let t = Topology::line(5, 30.0, 1);
+        assert_eq!(t.center_node(0.5), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        // Two nodes 500 m apart cannot talk.
+        let t = Topology::line(2, 500.0, 1);
+        assert!(!t.is_connected(0.5));
+        assert_eq!(t.diameter(0.5), None);
+        assert_eq!(t.eccentricity(0, 0.5), None);
+    }
+
+    #[test]
+    fn hops_from_self_is_zero() {
+        let t = Topology::flocklab();
+        assert_eq!(t.hops_from(7, 0.5)[7], Some(0));
+    }
+
+    #[test]
+    fn ring_grows_with_hops() {
+        let t = Topology::flocklab();
+        let r1 = t.ring(0, 1, 0.5);
+        let r2 = t.ring(0, 2, 0.5);
+        let rmax = t.ring(0, 10, 0.5);
+        assert!(r1.len() <= r2.len());
+        assert!(r2.len() <= rmax.len());
+        assert_eq!(rmax.len(), t.len() - 1, "everything reachable eventually");
+        // Ring never contains the node itself.
+        assert!(!r2.contains(&0));
+        // One-hop ring equals the neighbor set at the same threshold.
+        let mut nb = t.neighbors(0, 0.5);
+        nb.sort_unstable();
+        let mut r1s = r1.clone();
+        r1s.sort_unstable();
+        assert_eq!(nb, r1s);
+    }
+
+    #[test]
+    fn ring_is_sorted_by_hops_then_id() {
+        let t = Topology::line(6, 22.0, 1);
+        let hops = t.hops_from(2, 0.5);
+        let ring = t.ring(2, 2, 0.5);
+        // Sorted by (hop, id), self excluded, only hops 1..=2.
+        let mut expect: Vec<(u32, usize)> = hops
+            .iter()
+            .enumerate()
+            .filter_map(|(v, h)| match h {
+                Some(d) if (1..=2).contains(d) => Some((*d, v)),
+                _ => None,
+            })
+            .collect();
+        expect.sort();
+        assert_eq!(ring, expect.into_iter().map(|(_, v)| v).collect::<Vec<_>>());
+        assert!(!ring.is_empty());
+        assert!(!ring.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hops_from_bad_node_panics() {
+        let t = Topology::line(3, 30.0, 1);
+        let _ = t.hops_from(99, 0.5);
+    }
+
+    #[test]
+    fn center_of_flocklab_is_central() {
+        let t = Topology::flocklab();
+        let c = t.center_node(0.5);
+        let ecc_c = t.eccentricity(c, 0.5).unwrap();
+        let ecc_corner = t.eccentricity(0, 0.5).unwrap();
+        assert!(ecc_c <= ecc_corner);
+    }
+}

@@ -1,0 +1,51 @@
+//! A compact Fig. 1(a)/(b) campaign on the FlockLab model: S3 vs S4 over
+//! the paper's source sweep, with mean latency and radio-on time per point.
+//!
+//! (The full harness with CLI flags and both testbeds is
+//! `cargo run -p ppda-bench --release --bin fig1`.)
+//!
+//! ```text
+//! cargo run --release --example flocklab_campaign
+//! ```
+
+use ppda_bench::{run_campaign, Protocol, TestbedSetup};
+use ppda_metrics::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let setup = TestbedSetup::flocklab();
+    let topology = setup.topology();
+    let iterations = 25;
+
+    let mut table = Table::new(vec![
+        "sources",
+        "S3 latency ms",
+        "S4 latency ms",
+        "latency ratio",
+        "S3 radio ms",
+        "S4 radio ms",
+        "radio ratio",
+    ]);
+    for &sources in &setup.source_sweep {
+        let config = setup.config(sources)?;
+        let s3 = run_campaign(Protocol::S3, &topology, &config, iterations, 7)?;
+        let s4 = run_campaign(Protocol::S4, &topology, &config, iterations, 7)?;
+        table.row(vec![
+            sources.to_string(),
+            format!("{:.0}", s3.latency_ms.mean()),
+            format!("{:.0}", s4.latency_ms.mean()),
+            format!("{:.1}x", s3.latency_ms.mean() / s4.latency_ms.mean()),
+            format!("{:.0}", s3.radio_on_ms.mean()),
+            format!("{:.0}", s4.radio_on_ms.mean()),
+            format!("{:.1}x", s3.radio_on_ms.mean() / s4.radio_on_ms.mean()),
+        ]);
+    }
+    println!(
+        "FlockLab ({} nodes), degree {}, S4 NTX {}, {} iterations/point\n",
+        topology.len(),
+        topology.len() / 3,
+        setup.s4_ntx,
+        iterations
+    );
+    print!("{table}");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # ppda — Privacy-Preserving Data Aggregation for IoT
+//!
+//! Umbrella crate re-exporting the whole workspace: Shamir Secret Sharing
+//! realized over concurrent-transmission (CT) communication, reproducing
+//! Goyal & Saha, *Multi-Party Computation in IoT for Privacy-Preservation*
+//! (ICDCS 2022, arXiv:2206.01956).
+//!
+//! The two protocol variants from the paper are [`mpc::S3Protocol`] (the
+//! naive SSS-over-MiniCast mapping) and [`mpc::S4Protocol`] (the scalable
+//! variant: trimmed sharing chain, low NTX, fault-tolerant reconstruction).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ppda::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topology = ppda::topology::Topology::flocklab();
+//! let config = ProtocolConfig::builder(topology.len())
+//!     .sources(topology.len())
+//!     .build()?;
+//! let outcome = S4Protocol::new(config.clone()).run(&topology, 0xBEEF)?;
+//! assert!(outcome.all_nodes_agree());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ppda_crypto as crypto;
+pub use ppda_ct as ct;
+pub use ppda_field as field;
+pub use ppda_metrics as metrics;
+pub use ppda_mpc as mpc;
+pub use ppda_radio as radio;
+pub use ppda_sim as sim;
+pub use ppda_sss as sss;
+pub use ppda_topology as topology;
+
+/// Commonly used items, for glob import in examples and applications.
+pub mod prelude {
+    pub use ppda_ct::{Glossy, MiniCast};
+    pub use ppda_field::{Gf31, Mersenne31, Polynomial};
+    pub use ppda_mpc::{
+        AggregationOutcome, ProtocolConfig, S3Protocol, S4Protocol,
+    };
+    pub use ppda_topology::Topology;
+}

@@ -1,0 +1,140 @@
+//! End-to-end privacy tests: the collusion threshold holds for the actual
+//! destination assignments produced by the bootstrap on the real testbed
+//! models, and the constructive indistinguishability argument goes through
+//! with real shares.
+
+use ppda::field::{lagrange, share_x, Gf31, Mersenne31};
+use ppda::mpc::adversary::{
+    consistent_polynomial, destination_points, observed_shares, SecrecyAnalysis,
+};
+use ppda::mpc::{Bootstrap, ProtocolConfig};
+use ppda::sim::Xoshiro256;
+use ppda::sss::split_secret;
+use ppda::topology::Topology;
+
+fn aggregator_setup(topology: &Topology) -> (ProtocolConfig, Vec<u16>) {
+    let config = ProtocolConfig::builder(topology.len()).build().unwrap();
+    let bootstrap = Bootstrap::run(topology, &config).unwrap();
+    let aggregators = bootstrap.aggregators().to_vec();
+    (config, aggregators)
+}
+
+#[test]
+fn threshold_collusion_learns_nothing_on_flocklab() {
+    let topology = Topology::flocklab();
+    let (config, aggregators) = aggregator_setup(&topology);
+    let k = config.degree;
+
+    // Collude exactly k of the real aggregators.
+    let colluders: Vec<u16> = aggregators[..k].to_vec();
+    let analysis = SecrecyAnalysis::new(k, &aggregators, &colluders);
+    assert!(analysis.secret_hidden());
+    assert_eq!(analysis.observed_points(), k);
+
+    // With real shares: every candidate secret is constructible.
+    let mut rng = Xoshiro256::seed_from(404);
+    let xs = destination_points::<Mersenne31>(&aggregators);
+    let secret = Gf31::new(22_50); // a 22.50 °C reading
+    let shares = split_secret(secret, k, &xs, &mut rng).unwrap();
+    let observed = observed_shares(&aggregators, &shares, &colluders);
+    for candidate in [0u64, 1, 9_999, 1_000_000] {
+        let poly =
+            consistent_polynomial(Gf31::new(candidate), &observed, k, &mut rng).unwrap();
+        assert_eq!(poly.eval(Gf31::ZERO), Gf31::new(candidate));
+        for s in &observed {
+            assert_eq!(poly.eval(s.x), s.y);
+        }
+    }
+}
+
+#[test]
+fn threshold_plus_one_collusion_breaks_secrecy() {
+    let topology = Topology::flocklab();
+    let (config, aggregators) = aggregator_setup(&topology);
+    let k = config.degree;
+
+    let colluders: Vec<u16> = aggregators[..k + 1].to_vec();
+    let analysis = SecrecyAnalysis::new(k, &aggregators, &colluders);
+    assert!(!analysis.secret_hidden());
+
+    // And indeed k+1 real shares pin the secret exactly.
+    let mut rng = Xoshiro256::seed_from(405);
+    let xs = destination_points::<Mersenne31>(&aggregators);
+    let secret = Gf31::new(1234);
+    let shares = split_secret(secret, k, &xs, &mut rng).unwrap();
+    let observed = observed_shares(&aggregators, &shares, &colluders);
+    let points: Vec<(Gf31, Gf31)> = observed.iter().map(|s| (s.x, s.y)).collect();
+    assert_eq!(lagrange::interpolate_at_zero(&points).unwrap(), secret);
+    assert!(consistent_polynomial(Gf31::new(9), &observed, k, &mut rng).is_none());
+}
+
+#[test]
+fn dcube_threshold_matches_degree() {
+    let topology = Topology::dcube();
+    let (config, aggregators) = aggregator_setup(&topology);
+    let k = config.degree; // 15
+    assert_eq!(aggregators.len(), k + 1 + config.aggregator_redundancy);
+
+    for colluding in [1usize, k / 2, k] {
+        let analysis = SecrecyAnalysis::new(k, &aggregators, &aggregators[..colluding]);
+        assert!(analysis.secret_hidden(), "{colluding} colluders must fail");
+        assert_eq!(analysis.margin(), k + 1 - colluding);
+    }
+    let analysis = SecrecyAnalysis::new(k, &aggregators, &aggregators[..k + 1]);
+    assert!(!analysis.secret_hidden());
+}
+
+#[test]
+fn non_aggregators_observe_nothing_in_s4() {
+    // In S4, shares travel only to aggregators (encrypted for them); a
+    // collusion of arbitrarily many NON-aggregator nodes sees zero points.
+    let topology = Topology::flocklab();
+    let (config, aggregators) = aggregator_setup(&topology);
+    let outsiders: Vec<u16> = (0..topology.len() as u16)
+        .filter(|v| !aggregators.contains(v))
+        .collect();
+    assert!(outsiders.len() > config.degree, "test needs many outsiders");
+    let analysis = SecrecyAnalysis::new(config.degree, &aggregators, &outsiders);
+    assert_eq!(analysis.observed_points(), 0);
+    assert!(analysis.secret_hidden());
+}
+
+#[test]
+fn share_x_assignment_is_injective_over_testbeds() {
+    // Distinct nodes must map to distinct public points or shares collide.
+    for topology in [Topology::flocklab(), Topology::dcube()] {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..topology.len() {
+            assert!(seen.insert(share_x::<Mersenne31>(v)));
+        }
+    }
+}
+
+#[test]
+fn sum_shares_hide_individual_contributions() {
+    // A sum share is the sum of k-degree evaluations; even the aggregator
+    // holding it cannot separate the addends. Sanity-check the algebra:
+    // two different reading vectors with the same total produce sums that
+    // reconstruct identically at x = 0.
+    let mut rng = Xoshiro256::seed_from(7);
+    let k = 3;
+    let xs: Vec<Gf31> = (0..6).map(share_x::<Mersenne31>).collect();
+    let total_a = [10u64, 20, 30];
+    let total_b = [30u64, 20, 10];
+    let reconstruct = |readings: &[u64], rng: &mut Xoshiro256| {
+        let mut sums = vec![Gf31::ZERO; xs.len()];
+        for &r in readings {
+            let shares = split_secret(Gf31::new(r), k, &xs, rng).unwrap();
+            for (acc, s) in sums.iter_mut().zip(shares) {
+                *acc += s.y;
+            }
+        }
+        let pts: Vec<(Gf31, Gf31)> =
+            xs.iter().copied().zip(sums).take(k + 1).collect();
+        lagrange::interpolate_at_zero(&pts).unwrap()
+    };
+    assert_eq!(
+        reconstruct(&total_a, &mut rng),
+        reconstruct(&total_b, &mut rng)
+    );
+}

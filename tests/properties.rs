@@ -1,0 +1,107 @@
+//! Cross-crate property tests: protocol invariants over randomized
+//! configurations on small synthetic topologies (kept small so the whole
+//! suite stays fast in debug builds).
+
+use proptest::prelude::*;
+
+use ppda::mpc::{ProtocolConfig, S4Protocol};
+use ppda::topology::Topology;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any reading vector and seed, every completing node computes the
+    /// field sum of the live sources' readings.
+    #[test]
+    fn s4_aggregate_is_field_sum(
+        readings in prop::collection::vec(0u64..10_000, 9),
+        seed in any::<u64>(),
+    ) {
+        let topology = Topology::grid(3, 3, 18.0, 5);
+        let config = ProtocolConfig::builder(9)
+            .degree(2)
+            .ntx_sharing(6)
+            .ntx_reconstruction(6)
+            .build()
+            .unwrap();
+        let outcome = S4Protocol::new(config)
+            .run_with(&topology, seed, &readings, &vec![false; 9])
+            .unwrap();
+        let expected: u64 = readings.iter().sum::<u64>() % ppda::field::Gf31::modulus();
+        prop_assert_eq!(outcome.expected_sum, expected);
+        for node in outcome.live_nodes() {
+            if let Some(got) = node.aggregate {
+                prop_assert_eq!(got, expected);
+            }
+        }
+    }
+
+    /// Node latencies never exceed the scheduled round duration, and the
+    /// radio ledger never exceeds it either.
+    #[test]
+    fn metrics_respect_the_schedule(seed in any::<u64>(), sources in 2usize..9) {
+        let topology = Topology::grid(3, 3, 18.0, 5);
+        let config = ProtocolConfig::builder(9)
+            .degree(2)
+            .sources(sources)
+            .build()
+            .unwrap();
+        let outcome = S4Protocol::new(config).run(&topology, seed).unwrap();
+        let budget = outcome.scheduled_round_ms() * 1.01;
+        for node in outcome.live_nodes() {
+            if let Some(latency) = node.latency {
+                prop_assert!(latency.as_millis_f64() <= budget);
+            }
+            prop_assert!(node.radio_on.as_millis_f64() <= budget);
+        }
+    }
+
+    /// Failure masks never crash the protocol, and failed nodes report
+    /// no activity.
+    #[test]
+    fn failure_injection_is_safe(
+        seed in any::<u64>(),
+        fail_bits in prop::collection::vec(any::<bool>(), 9),
+    ) {
+        let topology = Topology::grid(3, 3, 18.0, 5);
+        // Keep at least 6 nodes alive so an aggregator majority can exist.
+        let mut failed = fail_bits;
+        let alive = failed.iter().filter(|&&f| !f).count();
+        if alive < 6 {
+            for f in failed.iter_mut() {
+                *f = false;
+            }
+        }
+        let config = ProtocolConfig::builder(9)
+            .degree(2)
+            .sources_explicit(
+                (0..9u16).filter(|&v| !failed[v as usize]).take(4).collect(),
+            )
+            .build()
+            .unwrap();
+        let readings: Vec<u64> = (0..config.sources.len() as u64).map(|i| i + 1).collect();
+        let outcome = S4Protocol::new(config)
+            .run_with(&topology, seed, &readings, &failed)
+            .unwrap();
+        for (v, node) in outcome.nodes.iter().enumerate() {
+            if failed[v] {
+                prop_assert!(node.failed);
+                prop_assert_eq!(node.aggregate, None);
+                prop_assert_eq!(node.radio_on.as_micros(), 0);
+            }
+        }
+    }
+
+    /// The protocol is a deterministic function of (config, seed, inputs).
+    #[test]
+    fn replay_determinism(seed in any::<u64>()) {
+        let topology = Topology::grid(3, 3, 18.0, 5);
+        let config = ProtocolConfig::builder(9).degree(2).build().unwrap();
+        let a = S4Protocol::new(config.clone()).run(&topology, seed).unwrap();
+        let b = S4Protocol::new(config).run(&topology, seed).unwrap();
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            prop_assert_eq!(x.aggregate, y.aggregate);
+            prop_assert_eq!(x.latency, y.latency);
+        }
+    }
+}

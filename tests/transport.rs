@@ -1,0 +1,163 @@
+//! Integration tests of the CT transport on the testbed models: Glossy
+//! coverage, MiniCast's coverage-vs-NTX behaviour, schedule arithmetic.
+
+use ppda::ct::{ChainSpec, Glossy, GlossyConfig, MiniCast, MiniCastConfig};
+use ppda::radio::FrameSpec;
+use ppda::sim::Xoshiro256;
+use ppda::topology::Topology;
+
+fn frame() -> FrameSpec {
+    FrameSpec::new(8, 4).unwrap()
+}
+
+#[test]
+fn glossy_covers_both_testbeds() {
+    for topology in [Topology::flocklab(), Topology::dcube()] {
+        let glossy = Glossy::new(&topology, frame(), GlossyConfig::default());
+        let mut covered = 0;
+        let runs = 20;
+        for seed in 0..runs {
+            let r = glossy.run(&mut Xoshiro256::seed_from(seed));
+            if r.reliability() == 1.0 {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered >= runs - 1,
+            "{}: only {covered}/{runs} floods covered everyone",
+            topology.name()
+        );
+    }
+}
+
+#[test]
+fn glossy_latency_in_milliseconds_range() {
+    // A flood over a 4-hop network of ~1.3 ms slots completes within tens
+    // of milliseconds — the property that makes CT attractive at all.
+    let topology = Topology::flocklab();
+    let glossy = Glossy::new(&topology, frame(), GlossyConfig::default());
+    let r = glossy.run(&mut Xoshiro256::seed_from(1));
+    let latency = r.flood_latency().expect("flood covers");
+    assert!(latency.as_millis() < 50, "flood took {latency}");
+}
+
+#[test]
+fn minicast_coverage_knee_on_flocklab() {
+    // The §III observation: steep coverage growth at low NTX, slow tail.
+    let topology = Topology::flocklab();
+    let curve = MiniCast::coverage_vs_ntx(&topology, frame(), &[1, 2, 4, 8, 14], 10, 99);
+    let at = |ntx: u32| {
+        curve
+            .iter()
+            .find(|&&(n, _)| n == ntx)
+            .map(|&(_, c)| c)
+            .expect("swept value")
+    };
+    // Low NTX already moves most of the data...
+    assert!(at(4) > 0.80, "coverage at ntx=4: {}", at(4));
+    // ...but full coverage needs much more.
+    assert!(at(4) < 0.9999);
+    assert!(at(14) > 0.999, "coverage at ntx=14: {}", at(14));
+    // The marginal gain flattens: first doubling gains more than the last.
+    let gain_early = at(2) - at(1);
+    let gain_late = at(14) - at(8);
+    assert!(gain_early > gain_late);
+}
+
+#[test]
+fn minicast_all_to_all_delivers_on_dcube_at_high_ntx() {
+    let topology = Topology::dcube();
+    let owners: Vec<u16> = (0..topology.len() as u16).collect();
+    let chain = ChainSpec::new(frame(), owners).unwrap();
+    let mc = MiniCast::new(
+        &topology,
+        chain,
+        MiniCastConfig {
+            ntx: 14,
+            ..MiniCastConfig::default()
+        },
+    );
+    let r = mc.run(&mut Xoshiro256::seed_from(5));
+    assert!(r.coverage() > 0.995, "coverage {}", r.coverage());
+}
+
+#[test]
+fn attenuation_degrades_coverage() {
+    let topology = Topology::dcube();
+    let owners: Vec<u16> = (0..topology.len() as u16).collect();
+    let run_at = |att: f64| {
+        let chain = ChainSpec::new(frame(), owners.clone()).unwrap();
+        let mc = MiniCast::new(
+            &topology,
+            chain,
+            MiniCastConfig {
+                ntx: 5,
+                attenuation_db: att,
+                ..MiniCastConfig::default()
+            },
+        );
+        mc.run(&mut Xoshiro256::seed_from(3)).coverage()
+    };
+    let calm = run_at(0.0);
+    let harsh = run_at(6.0);
+    assert!(
+        harsh < calm,
+        "6 dB of interference must hurt: {calm} vs {harsh}"
+    );
+}
+
+#[test]
+fn chain_cycle_time_arithmetic() {
+    // 8-byte payload + 4-byte MIC frame: 6 + 9+8+4+2 = 29 bytes on air
+    // -> 928 µs airtime + 300 µs slot overhead = 1228 µs per sub-slot.
+    let spec = frame();
+    assert_eq!(spec.airtime().as_micros(), 29 * 32);
+    assert_eq!(spec.slot_duration().as_micros(), 29 * 32 + 192 + 108);
+    let chain = ChainSpec::new(spec, vec![0, 1, 2, 3]).unwrap();
+    assert_eq!(
+        chain.cycle_duration().as_micros(),
+        4 * spec.slot_duration().as_micros()
+    );
+}
+
+#[test]
+fn scheduled_rounds_scale_with_ntx() {
+    let topology = Topology::flocklab();
+    let owners: Vec<u16> = (0..topology.len() as u16).collect();
+    let rounds = |ntx: u32| {
+        let chain = ChainSpec::new(frame(), owners.clone()).unwrap();
+        MiniCast::new(
+            &topology,
+            chain,
+            MiniCastConfig {
+                ntx,
+                ..MiniCastConfig::default()
+            },
+        )
+        .round_cycles()
+    };
+    assert_eq!(rounds(10) - rounds(5), 5);
+}
+
+#[test]
+fn early_off_saves_radio_time() {
+    let topology = Topology::flocklab();
+    let owners: Vec<u16> = (0..topology.len() as u16).collect();
+    let run = |early: bool| {
+        let chain = ChainSpec::new(frame(), owners.clone()).unwrap();
+        let mc = MiniCast::new(
+            &topology,
+            chain,
+            MiniCastConfig {
+                ntx: 4,
+                early_radio_off: early,
+                ..MiniCastConfig::default()
+            },
+        );
+        // Trivial predicate: own packet only.
+        let failed = vec![false; topology.len()];
+        let r = mc.run_with(&mut Xoshiro256::seed_from(8), &failed, |v, have| have[v]);
+        r.mean_radio_on_ms()
+    };
+    assert!(run(true) < run(false));
+}

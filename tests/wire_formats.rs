@@ -1,0 +1,107 @@
+//! Cross-crate wire-format tests: the byte-level contracts between the SSS
+//! layer, the crypto layer and the radio frame budget.
+
+use ppda::crypto::{Ccm, PairwiseKeys};
+use ppda::field::{share_x, Gf31, Mersenne31};
+use ppda::radio::FrameSpec;
+use ppda::sss::{Share, SharePacket, SumPacket};
+
+#[test]
+fn share_packet_fits_its_frame_budget() {
+    // The sharing-phase FrameSpec used by the protocols: 4-byte payload +
+    // 4-byte MIC. The sealed SharePacket must fit exactly.
+    let frame = FrameSpec::new(4, 4).unwrap();
+    let keys = PairwiseKeys::derive(&[5u8; 16], 8);
+    let pkt = SharePacket::<Mersenne31> {
+        src: 1,
+        dst: 2,
+        round: 3,
+        share: Share {
+            x: share_x::<Mersenne31>(2),
+            y: Gf31::new(4242),
+        },
+    };
+    let sealed = pkt.seal(&keys, 4).unwrap();
+    assert_eq!(sealed.len(), frame.payload_len() + frame.mic_len());
+}
+
+#[test]
+fn sum_packet_fits_its_frame_budget() {
+    let frame = FrameSpec::new(SumPacket::<Mersenne31>::encoded_len(), 0).unwrap();
+    let pkt = SumPacket::<Mersenne31> {
+        node: 7,
+        round: 1,
+        share: Share {
+            x: share_x::<Mersenne31>(7),
+            y: Gf31::new(99),
+        },
+        mask: 0b1111,
+    };
+    assert_eq!(pkt.encode().len(), frame.payload_len());
+}
+
+#[test]
+fn all_testbed_frames_respect_psdu_limit() {
+    // 128 sources is the configured maximum; the sum packet must still fit
+    // an 802.15.4 frame.
+    assert!(SumPacket::<Mersenne31>::encoded_len() <= 116);
+    assert!(FrameSpec::new(SumPacket::<Mersenne31>::encoded_len(), 0).is_ok());
+    for tag in [4usize, 8, 16] {
+        assert!(FrameSpec::new(4, tag).is_ok());
+    }
+}
+
+#[test]
+fn nonces_are_unique_across_protocol_coordinates() {
+    // Every (src, dst, round, x) combination used by a deployment must
+    // give a distinct CCM nonce, or share confidentiality collapses.
+    let mut seen = std::collections::HashSet::new();
+    for src in 0..8u16 {
+        for dst in 0..8u16 {
+            for round in 1..4u32 {
+                let x = share_x::<Mersenne31>(dst as usize);
+                assert!(seen.insert(Ccm::nonce(src, dst, round, x.value() as u32)));
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_round_ciphertexts_differ() {
+    // The same share value sealed in different rounds yields unrelated
+    // ciphertexts (nonce freshness), so traffic analysis across epochs
+    // learns nothing from repeats.
+    let keys = PairwiseKeys::derive(&[5u8; 16], 4);
+    let mk = |round: u32| SharePacket::<Mersenne31> {
+        src: 0,
+        dst: 1,
+        round,
+        share: Share {
+            x: share_x::<Mersenne31>(1),
+            y: Gf31::new(1234),
+        },
+    };
+    let a = mk(1).seal(&keys, 4).unwrap();
+    let b = mk(2).seal(&keys, 4).unwrap();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn decode_rejects_garbage() {
+    assert!(SumPacket::<Mersenne31>::decode(&[]).is_err());
+    assert!(SumPacket::<Mersenne31>::decode(&[0u8; 5]).is_err());
+    // A non-canonical field value (≥ p) in the y slot must be rejected.
+    let pkt = SumPacket::<Mersenne31> {
+        node: 0,
+        round: 0,
+        share: Share {
+            x: share_x::<Mersenne31>(0),
+            y: Gf31::new(1),
+        },
+        mask: 0,
+    };
+    let mut bytes = pkt.encode();
+    // y occupies bytes [6, 10); overwrite with p (non-canonical).
+    bytes[6..10].copy_from_slice(&(Gf31::modulus() as u32).to_le_bytes());
+    assert!(SumPacket::<Mersenne31>::decode(&bytes).is_err());
+}
