@@ -40,8 +40,7 @@ fn bench_lagrange(c: &mut Criterion) {
     let mut rng = Xoshiro256::seed_from(2);
     // The two reconstruction sizes used on the testbeds: k+1 = 9 and 16.
     for m in [9usize, 16, 46] {
-        let poly =
-            Polynomial::<Mersenne31>::random_with_constant(Gf31::new(5), m - 1, &mut rng);
+        let poly = Polynomial::<Mersenne31>::random_with_constant(Gf31::new(5), m - 1, &mut rng);
         let points: Vec<(Gf31, Gf31)> = (0..m)
             .map(|i| {
                 let x = share_x::<Mersenne31>(i);
@@ -109,8 +108,7 @@ fn bench_sss(c: &mut Criterion) {
         )
     });
     let mut rng = Xoshiro256::seed_from(4);
-    let shares: Vec<Share<Mersenne31>> =
-        split_secret(Gf31::new(42), 8, &xs9, &mut rng).unwrap();
+    let shares: Vec<Share<Mersenne31>> = split_secret(Gf31::new(42), 8, &xs9, &mut rng).unwrap();
     group.bench_function("reconstruct/k8", |bench| {
         bench.iter(|| reconstruct(black_box(&shares)).unwrap())
     });

@@ -49,10 +49,7 @@ fn main() {
     }
 }
 
-fn run_one(
-    protocol: Protocol,
-    setup: &TestbedSetup,
-) -> (usize, u32, f64, usize, u32, f64) {
+fn run_one(protocol: Protocol, setup: &TestbedSetup) -> (usize, u32, f64, usize, u32, f64) {
     let topology = setup.topology();
     let config = setup.config(topology.len()).expect("valid config");
     let outcome = match protocol {

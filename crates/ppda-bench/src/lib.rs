@@ -168,13 +168,13 @@ pub fn run_campaign(
         .unwrap_or(1)
         .min(iterations as usize);
 
-    let outcomes: parking_lot::Mutex<Vec<(u64, Result<AggregationOutcome, MpcError>)>> =
-        parking_lot::Mutex::new(Vec::with_capacity(iterations as usize));
+    let outcomes: std::sync::Mutex<Vec<(u64, Result<AggregationOutcome, MpcError>)>> =
+        std::sync::Mutex::new(Vec::with_capacity(iterations as usize));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for worker in 0..threads {
             let outcomes = &outcomes;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local = Vec::new();
                 let mut seed = base_seed + worker as u64;
                 while seed < base_seed + iterations {
@@ -185,13 +185,17 @@ pub fn run_campaign(
                     local.push((seed, run));
                     seed += threads as u64;
                 }
-                outcomes.lock().extend(local);
+                outcomes
+                    .lock()
+                    .expect("campaign workers do not panic")
+                    .extend(local);
             });
         }
-    })
-    .expect("campaign workers do not panic");
+    });
 
-    let mut outcomes = outcomes.into_inner();
+    let mut outcomes = outcomes
+        .into_inner()
+        .expect("campaign workers do not panic");
     outcomes.sort_by_key(|(seed, _)| *seed);
 
     let mut latencies = Vec::new();

@@ -43,7 +43,7 @@ impl Ccm {
     /// [`CryptoError::InvalidTagLen`] if `tag_len` is not an even value in
     /// `4..=16`.
     pub fn new(key: Key, tag_len: usize) -> Result<Self, CryptoError> {
-        if !(4..=16).contains(&tag_len) || tag_len % 2 != 0 {
+        if !(4..=16).contains(&tag_len) || !tag_len.is_multiple_of(2) {
             return Err(CryptoError::InvalidTagLen { got: tag_len });
         }
         Ok(Ccm {

@@ -71,12 +71,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CryptoError::InvalidTagLen { got: 3 }.to_string().contains('3'));
-        assert!(CryptoError::AuthenticationFailed.to_string().contains("mismatch"));
+        assert!(CryptoError::InvalidTagLen { got: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(CryptoError::AuthenticationFailed
+            .to_string()
+            .contains("mismatch"));
         assert!(CryptoError::UnknownNodePair { a: 1, b: 9 }
             .to_string()
             .contains("(1, 9)"));
-        assert!(CryptoError::SelfPairing { node: 4 }.to_string().contains('4'));
+        assert!(CryptoError::SelfPairing { node: 4 }
+            .to_string()
+            .contains('4'));
         assert!(CryptoError::PayloadTooLong { got: 70000 }
             .to_string()
             .contains("70000"));

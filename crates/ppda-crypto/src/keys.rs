@@ -123,7 +123,10 @@ mod tests {
         let mut seen = HashSet::new();
         for a in 0..26u16 {
             for b in a + 1..26u16 {
-                assert!(seen.insert(keys.key(a, b).unwrap()), "collision at ({a},{b})");
+                assert!(
+                    seen.insert(keys.key(a, b).unwrap()),
+                    "collision at ({a},{b})"
+                );
             }
         }
         assert_eq!(seen.len(), 26 * 25 / 2);

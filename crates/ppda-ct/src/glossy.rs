@@ -232,11 +232,15 @@ mod tests {
     #[test]
     fn latency_grows_with_hops_on_line() {
         let t = Topology::line(6, 30.0, 1);
-        let g = Glossy::new(&t, frame(), GlossyConfig {
-            initiator: Some(0),
-            ntx: 3,
-            ..Default::default()
-        });
+        let g = Glossy::new(
+            &t,
+            frame(),
+            GlossyConfig {
+                initiator: Some(0),
+                ntx: 3,
+                ..Default::default()
+            },
+        );
         let r = g.run(&mut Xoshiro256::seed_from(3));
         // Far nodes receive strictly later than near ones.
         let t1 = r.first_rx[1].expect("1 hop");
@@ -247,10 +251,14 @@ mod tests {
     #[test]
     fn each_node_transmits_at_most_ntx() {
         let t = Topology::flocklab();
-        let g = Glossy::new(&t, frame(), GlossyConfig {
-            ntx: 2,
-            ..Default::default()
-        });
+        let g = Glossy::new(
+            &t,
+            frame(),
+            GlossyConfig {
+                ntx: 2,
+                ..Default::default()
+            },
+        );
         let r = g.run(&mut Xoshiro256::seed_from(4));
         for &c in &r.tx_count {
             assert!(c <= 2);
@@ -276,9 +284,9 @@ mod tests {
         let mut failed = vec![false; t.len()];
         // Kill two non-initiator nodes.
         let mut killed = 0;
-        for v in 0..t.len() {
+        for (v, f) in failed.iter_mut().enumerate() {
             if v != g.initiator() && killed < 2 {
-                failed[v] = true;
+                *f = true;
                 killed += 1;
             }
         }

@@ -193,8 +193,7 @@ impl<'a> MiniCast<'a> {
             // The initiator kick-starts the round, so it must own at least
             // one sub-slot; pick the most central chain owner.
             None => {
-                let mut owners: Vec<usize> =
-                    chain.owners().iter().map(|&o| o as usize).collect();
+                let mut owners: Vec<usize> = chain.owners().iter().map(|&o| o as usize).collect();
                 owners.sort_unstable();
                 owners.dedup();
                 owners
@@ -475,10 +474,14 @@ mod tests {
     #[test]
     fn full_coverage_at_high_ntx() {
         let t = Topology::flocklab();
-        let mc = MiniCast::new(&t, all_to_all(&t), MiniCastConfig {
-            ntx: 12,
-            ..Default::default()
-        });
+        let mc = MiniCast::new(
+            &t,
+            all_to_all(&t),
+            MiniCastConfig {
+                ntx: 12,
+                ..Default::default()
+            },
+        );
         let mut rng = Xoshiro256::seed_from(42);
         let r = mc.run(&mut rng);
         assert!(r.coverage() > 0.99, "coverage {}", r.coverage());
@@ -491,11 +494,15 @@ mod tests {
         // A 10-node line with 30 m spacing: data cannot cross the network
         // at ntx=2.
         let t = Topology::line(10, 30.0, 3);
-        let mc = MiniCast::new(&t, all_to_all(&t), MiniCastConfig {
-            ntx: 2,
-            initiator: Some(0),
-            ..Default::default()
-        });
+        let mc = MiniCast::new(
+            &t,
+            all_to_all(&t),
+            MiniCastConfig {
+                ntx: 2,
+                initiator: Some(0),
+                ..Default::default()
+            },
+        );
         let mut rng = Xoshiro256::seed_from(7);
         let r = mc.run(&mut rng);
         assert!(r.coverage() < 0.95, "line coverage {}", r.coverage());
@@ -535,14 +542,21 @@ mod tests {
         let mut failed = vec![false; t.len()];
         failed[3] = true;
         failed[17] = true;
-        let mc = MiniCast::new(&t, all_to_all(&t), MiniCastConfig {
-            ntx: 12,
-            ..Default::default()
-        });
+        let mc = MiniCast::new(
+            &t,
+            all_to_all(&t),
+            MiniCastConfig {
+                ntx: 12,
+                ..Default::default()
+            },
+        );
         let l = t.len();
         let r = mc.run_with(&mut Xoshiro256::seed_from(11), &failed, |_, have| {
             // Live nodes need every packet except the failed nodes' own.
-            have.iter().enumerate().filter(|&(j, _)| j != 3 && j != 17).all(|(_, &h)| h)
+            have.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != 3 && j != 17)
+                .all(|(_, &h)| h)
         });
         assert_eq!(r.nodes[3].chain_tx, 0);
         assert_eq!(r.nodes[3].ledger.radio_on(), SimDuration::ZERO);
@@ -562,14 +576,16 @@ mod tests {
         let t = Topology::flocklab();
         // Predicate: own packet only — met immediately; nodes switch off
         // as soon as their NTX duty is done.
-        let mc = MiniCast::new(&t, all_to_all(&t), MiniCastConfig {
-            ntx: 2,
-            ..Default::default()
-        });
+        let mc = MiniCast::new(
+            &t,
+            all_to_all(&t),
+            MiniCastConfig {
+                ntx: 2,
+                ..Default::default()
+            },
+        );
         let failed = vec![false; t.len()];
-        let r = mc.run_with(&mut Xoshiro256::seed_from(13), &failed, |v, have| {
-            have[v]
-        });
+        let r = mc.run_with(&mut Xoshiro256::seed_from(13), &failed, |v, have| have[v]);
         // Radio-off must happen well before the scheduled end for most nodes.
         let off_count = r.nodes.iter().filter(|n| n.radio_off_at.is_some()).count();
         assert!(off_count > t.len() / 2, "only {off_count} turned off early");
@@ -600,10 +616,14 @@ mod tests {
     #[test]
     fn completion_latency_below_round_duration() {
         let t = Topology::flocklab();
-        let mc = MiniCast::new(&t, all_to_all(&t), MiniCastConfig {
-            ntx: 12,
-            ..Default::default()
-        });
+        let mc = MiniCast::new(
+            &t,
+            all_to_all(&t),
+            MiniCastConfig {
+                ntx: 12,
+                ..Default::default()
+            },
+        );
         let r = mc.run(&mut Xoshiro256::seed_from(19));
         let latency = r.completion_latency().expect("complete at ntx=12");
         assert!(latency <= r.duration());
@@ -631,10 +651,14 @@ mod tests {
     fn failed_initiator_fails_over_to_live_owner() {
         let t = Topology::flocklab();
         let chain = all_to_all(&t);
-        let mc = MiniCast::new(&t, chain, MiniCastConfig {
-            ntx: 12,
-            ..Default::default()
-        });
+        let mc = MiniCast::new(
+            &t,
+            chain,
+            MiniCastConfig {
+                ntx: 12,
+                ..Default::default()
+            },
+        );
         let mut failed = vec![false; t.len()];
         failed[mc.initiator()] = true;
         let dead = mc.initiator();

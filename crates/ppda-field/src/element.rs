@@ -213,7 +213,11 @@ impl<P: PrimeField> Gf<P> {
     /// exactly uniform (no modulo bias).
     pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         let bits = 64 - (P::MODULUS - 1).leading_zeros();
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         loop {
             let candidate = rng.next_u64() & mask;
             if candidate < P::MODULUS {
@@ -319,7 +323,11 @@ impl<P: PrimeField> Add for Gf<P> {
     fn add(self, rhs: Self) -> Self {
         let sum = self.0 + rhs.0; // both < 2^62, no overflow
         Gf(
-            if sum >= P::MODULUS { sum - P::MODULUS } else { sum },
+            if sum >= P::MODULUS {
+                sum - P::MODULUS
+            } else {
+                sum
+            },
             PhantomData,
         )
     }
@@ -331,7 +339,11 @@ impl<P: PrimeField> Sub for Gf<P> {
     fn sub(self, rhs: Self) -> Self {
         let diff = self.0 + P::MODULUS - rhs.0;
         Gf(
-            if diff >= P::MODULUS { diff - P::MODULUS } else { diff },
+            if diff >= P::MODULUS {
+                diff - P::MODULUS
+            } else {
+                diff
+            },
             PhantomData,
         )
     }
@@ -350,6 +362,8 @@ impl<P: PrimeField> Div for Gf<P> {
     /// # Panics
     ///
     /// Panics if `rhs` is zero; use [`Gf::inverse`] for a checked division.
+    // Field division IS multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inverse().expect("division by zero field element")

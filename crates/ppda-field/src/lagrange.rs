@@ -116,16 +116,10 @@ pub fn basis_at_zero<P: PrimeField>(xs: &[Gf<P>]) -> Result<Vec<Gf<P>>, FieldErr
 /// assert_eq!(lagrange::interpolate_at_zero(&pts)?, Gf31::new(10));
 /// # Ok::<(), ppda_field::FieldError>(())
 /// ```
-pub fn interpolate_at_zero<P: PrimeField>(
-    points: &[(Gf<P>, Gf<P>)],
-) -> Result<Gf<P>, FieldError> {
+pub fn interpolate_at_zero<P: PrimeField>(points: &[(Gf<P>, Gf<P>)]) -> Result<Gf<P>, FieldError> {
     let xs: Vec<Gf<P>> = points.iter().map(|&(x, _)| x).collect();
     let weights = basis_at_zero(&xs)?;
-    Ok(points
-        .iter()
-        .zip(weights)
-        .map(|(&(_, y), w)| y * w)
-        .sum())
+    Ok(points.iter().zip(weights).map(|(&(_, y), w)| y * w).sum())
 }
 
 /// Interpolate the full coefficient vector of the unique degree-(m−1)
@@ -139,9 +133,7 @@ pub fn interpolate_at_zero<P: PrimeField>(
 /// # Errors
 ///
 /// [`FieldError`] if the points are empty or share an abscissa.
-pub fn interpolate<P: PrimeField>(
-    points: &[(Gf<P>, Gf<P>)],
-) -> Result<Polynomial<P>, FieldError> {
+pub fn interpolate<P: PrimeField>(points: &[(Gf<P>, Gf<P>)]) -> Result<Polynomial<P>, FieldError> {
     let xs: Vec<Gf<P>> = points.iter().map(|&(x, _)| x).collect();
     validate_xs_allow_zero(&xs)?;
     let mut acc = Polynomial::zero();
@@ -188,9 +180,7 @@ pub fn consistent_with_degree<P: PrimeField>(
     // Validate the remaining points too (catches duplicates across the split).
     let xs: Vec<Gf<P>> = points.iter().map(|&(x, _)| x).collect();
     validate_xs_allow_zero(&xs)?;
-    Ok(points[degree + 1..]
-        .iter()
-        .all(|&(x, y)| poly.eval(x) == y))
+    Ok(points[degree + 1..].iter().all(|&(x, y)| poly.eval(x) == y))
 }
 
 #[cfg(test)]

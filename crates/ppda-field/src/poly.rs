@@ -222,11 +222,8 @@ mod tests {
     fn random_with_constant_pins_secret() {
         let mut rng = SplitMix64::new(11);
         for degree in 0..10 {
-            let p = Polynomial::<Mersenne31>::random_with_constant(
-                Gf31::new(777),
-                degree,
-                &mut rng,
-            );
+            let p =
+                Polynomial::<Mersenne31>::random_with_constant(Gf31::new(777), degree, &mut rng);
             assert_eq!(p.constant_term(), Gf31::new(777));
             assert_eq!(p.eval(Gf31::ZERO), Gf31::new(777));
             assert!(p.degree() <= degree);
@@ -291,7 +288,10 @@ mod tests {
 
     #[test]
     fn debug_rendering() {
-        assert_eq!(format!("{:?}", poly(&[3, 2, 1])), "Polynomial(3 + 2·x + 1·x^2)");
+        assert_eq!(
+            format!("{:?}", poly(&[3, 2, 1])),
+            "Polynomial(3 + 2·x + 1·x^2)"
+        );
         assert_eq!(
             format!("{:?}", Polynomial::<Mersenne31>::zero()),
             "Polynomial(0)"
@@ -306,13 +306,9 @@ mod tests {
         let secrets = [15u64, 27, 99, 4];
         let polys: Vec<_> = secrets
             .iter()
-            .map(|&s| {
-                Polynomial::<Mersenne31>::random_with_constant(Gf31::new(s), 3, &mut rng)
-            })
+            .map(|&s| Polynomial::<Mersenne31>::random_with_constant(Gf31::new(s), 3, &mut rng))
             .collect();
-        let sum_poly = polys
-            .iter()
-            .fold(Polynomial::zero(), |acc, p| acc.add(p));
+        let sum_poly = polys.iter().fold(Polynomial::zero(), |acc, p| acc.add(p));
         assert_eq!(
             sum_poly.constant_term(),
             Gf31::new(secrets.iter().sum::<u64>())

@@ -29,7 +29,12 @@ impl SplitMix64 {
     }
 
     /// Advance the state and return the next 64-bit output.
+    ///
+    /// Deliberately named after the canonical SplitMix64 routine; the
+    /// iterator protocol (fallible, item-typed) is the wrong shape for an
+    /// infinite bit stream.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = self.state;

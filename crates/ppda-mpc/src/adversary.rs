@@ -194,7 +194,7 @@ mod tests {
         let dests: Vec<u16> = (1..=6).collect();
         let xs = destination_points::<Mersenne31>(&dests);
         let shares = split_secret(Gf31::new(42), degree, &xs, &mut rng).unwrap();
-        let observed = observed_shares(&dests, &shares, &dests[..degree + 1].to_vec());
+        let observed = observed_shares(&dests, &shares, &dests[..degree + 1]);
         assert!(consistent_polynomial(Gf31::new(7), &observed, degree, &mut rng).is_none());
         // And indeed k+1 observations pin the real secret.
         let points: Vec<_> = observed.iter().map(|s| (s.x, s.y)).collect();

@@ -178,8 +178,8 @@ mod tests {
         let t = Topology::flocklab();
         let b = Bootstrap::run(&t, &config(26)).unwrap();
         let direct = t.hops_from(3, 0.5);
-        for v in 0..26 {
-            assert_eq!(b.hops(3, v), direct[v]);
+        for (v, &hops) in direct.iter().enumerate() {
+            assert_eq!(b.hops(3, v), hops);
         }
     }
 

@@ -186,9 +186,7 @@ impl ProtocolConfigBuilder {
                 what: format!("need 2..=128 nodes, got {n}"),
             });
         }
-        let sources = self
-            .sources
-            .unwrap_or_else(|| (0..n as u16).collect());
+        let sources = self.sources.unwrap_or_else(|| (0..n as u16).collect());
         if sources.is_empty() {
             return Err(MpcError::InvalidConfig {
                 what: "at least one source required".into(),
@@ -223,7 +221,7 @@ impl ProtocolConfigBuilder {
                 ),
             });
         }
-        if !(4..=16).contains(&self.tag_len) || self.tag_len % 2 != 0 {
+        if !(4..=16).contains(&self.tag_len) || !self.tag_len.is_multiple_of(2) {
             return Err(MpcError::InvalidConfig {
                 what: format!("CCM tag length {} unsupported", self.tag_len),
             });
@@ -240,7 +238,10 @@ impl ProtocolConfigBuilder {
         }
         if self.max_reading == 0 || self.max_reading >= ppda_field::Gf31::modulus() {
             return Err(MpcError::InvalidConfig {
-                what: format!("max reading {} outside (0, field modulus)", self.max_reading),
+                what: format!(
+                    "max reading {} outside (0, field modulus)",
+                    self.max_reading
+                ),
             });
         }
         Ok(ProtocolConfig {
@@ -366,9 +367,7 @@ mod tests {
             Err(MpcError::InvalidConfig { .. })
         ));
         assert!(matches!(
-            ProtocolConfig::builder(10)
-                .max_reading(u64::MAX)
-                .build(),
+            ProtocolConfig::builder(10).max_reading(u64::MAX).build(),
             Err(MpcError::InvalidConfig { .. })
         ));
     }

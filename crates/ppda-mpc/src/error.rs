@@ -67,13 +67,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(MpcError::InvalidConfig {
-            what: "x".into()
-        }
-        .to_string()
-        .contains("invalid configuration"));
-        assert!(MpcError::TopologyDisconnected.to_string().contains("disconnected"));
-        assert!(MpcError::ReadingTooLarge { value: 7 }.to_string().contains('7'));
+        assert!(MpcError::InvalidConfig { what: "x".into() }
+            .to_string()
+            .contains("invalid configuration"));
+        assert!(MpcError::TopologyDisconnected
+            .to_string()
+            .contains("disconnected"));
+        assert!(MpcError::ReadingTooLarge { value: 7 }
+            .to_string()
+            .contains('7'));
         let e = MpcError::from(SssError::InconsistentShares);
         assert!(e.to_string().contains("secret-sharing"));
         assert!(std::error::Error::source(&e).is_some());

@@ -152,8 +152,7 @@ impl AggregationOutcome {
 
     /// Total scheduled round duration (both phases), ms.
     pub fn scheduled_round_ms(&self) -> f64 {
-        (self.sharing.scheduled_duration + self.reconstruction.scheduled_duration)
-            .as_millis_f64()
+        (self.sharing.scheduled_duration + self.reconstruction.scheduled_duration).as_millis_f64()
     }
 }
 
@@ -222,10 +221,7 @@ mod tests {
 
     #[test]
     fn failed_nodes_excluded() {
-        let o = outcome(vec![
-            node(Some(42), Some(5), false),
-            node(None, None, true),
-        ]);
+        let o = outcome(vec![node(Some(42), Some(5), false), node(None, None, true)]);
         assert!(o.correct());
         assert_eq!(o.success_fraction(), 1.0);
         assert_eq!(o.max_latency_ms(), Some(5.0));

@@ -190,8 +190,7 @@ pub(crate) fn execute(
         // S3 needs the full-coverage schedule (join wave + NTX + slack);
         // S4's whole point is a perimeter-scope round that ends right after
         // the NTX repetitions.
-        let max_cycles = (!variant.full_coverage)
-            .then_some(ntx_sharing + PERIMETER_SLACK_CYCLES);
+        let max_cycles = (!variant.full_coverage).then_some(ntx_sharing + PERIMETER_SLACK_CYCLES);
         let mc = MiniCast::new(
             topology,
             chain,
@@ -228,8 +227,7 @@ pub(crate) fn execute(
                 have.iter().all(|&h| h)
             } else if is_destination[v] {
                 // Aggregator: needs exactly the packets addressed to it.
-                (0..have.len())
-                    .all(|j| !slot_live[j] || slot_dst[j] != v as u16 || have[j])
+                (0..have.len()).all(|j| !slot_live[j] || slot_dst[j] != v as u16 || have[j])
             } else {
                 // Pure relay: no data needs of its own.
                 true
@@ -293,12 +291,11 @@ pub(crate) fn execute(
     } else {
         config.ntx_reconstruction
     };
-    let sum_frame =
-        FrameSpec::new(SumPacket::<Field>::encoded_len(), 0).map_err(|e| {
-            MpcError::InvalidConfig {
-                what: e.to_string(),
-            }
-        })?;
+    let sum_frame = FrameSpec::new(SumPacket::<Field>::encoded_len(), 0).map_err(|e| {
+        MpcError::InvalidConfig {
+            what: e.to_string(),
+        }
+    })?;
     let recon_owners: Vec<u16> = destinations.clone();
     let recon_chain_len = recon_owners.len();
     // A sum share is *usable* for threshold reconstruction when it covers
@@ -337,11 +334,7 @@ pub(crate) fn execute(
             if strict {
                 have.iter().all(|&h| h)
             } else {
-                have.iter()
-                    .zip(&usable)
-                    .filter(|&(&h, &u)| h && u)
-                    .count()
-                    >= threshold
+                have.iter().zip(&usable).filter(|&(&h, &u)| h && u).count() >= threshold
             }
         });
     }
@@ -363,19 +356,18 @@ pub(crate) fn execute(
             // Collect the sum shares this node holds after reconstruction.
             // A naive (strict) node only delivers once its all-to-all
             // predicate held — it has no protocol step for partial data.
-            let (aggregate, included) = if variant.strict_completion
-                && recon_result.nodes[v].predicate_met_at.is_none()
-            {
-                (None, 0)
-            } else {
-                let held: Vec<&SumPacket<Field>> = sums
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, s)| s.is_some() && recon_result.nodes[v].received[j])
-                    .map(|(_, s)| s.as_ref().expect("filtered"))
-                    .collect();
-                aggregate_from_sums(&held, config.degree)
-            };
+            let (aggregate, included) =
+                if variant.strict_completion && recon_result.nodes[v].predicate_met_at.is_none() {
+                    (None, 0)
+                } else {
+                    let held: Vec<&SumPacket<Field>> = sums
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, s)| s.is_some() && recon_result.nodes[v].received[j])
+                        .map(|(_, s)| s.as_ref().expect("filtered"))
+                        .collect();
+                    aggregate_from_sums(&held, config.degree)
+                };
 
             let latency = recon_result.nodes[v]
                 .predicate_met_at
@@ -409,10 +401,7 @@ pub(crate) fn execute(
 /// group by contributor mask, prefer the mask covering the most sources
 /// (ties: the mask held by more nodes), and reconstruct once a group
 /// reaches degree+1 members.
-fn aggregate_from_sums(
-    held: &[&SumPacket<Field>],
-    degree: usize,
-) -> (Option<Gf<Field>>, u32) {
+fn aggregate_from_sums(held: &[&SumPacket<Field>], degree: usize) -> (Option<Gf<Field>>, u32) {
     use std::collections::HashMap;
     let mut groups: HashMap<u128, Vec<&SumPacket<Field>>> = HashMap::new();
     for p in held {

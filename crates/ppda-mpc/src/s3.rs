@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn readings_are_deterministic_and_bounded() {
-        let c = ProtocolConfig::builder(10).max_reading(100).build().unwrap();
+        let c = ProtocolConfig::builder(10)
+            .max_reading(100)
+            .build()
+            .unwrap();
         let a = generate_readings(&c, 5);
         let b = generate_readings(&c, 5);
         assert_eq!(a, b);

@@ -140,10 +140,7 @@ impl AggregationSession {
         let mut config = self.config.clone();
         // Fresh round id per epoch: CCM nonces and share randomness never
         // repeat across the session.
-        config.round_id = self
-            .config
-            .round_id
-            .wrapping_add(self.stats.rounds as u32);
+        config.round_id = self.config.round_id.wrapping_add(self.stats.rounds as u32);
         config
     }
 
@@ -221,7 +218,7 @@ mod tests {
     fn explicit_round_inputs() {
         let mut s = session(SessionProtocol::S4);
         let o = s
-            .next_round_with(&[1, 2, 3, 4, 5, 6, 7, 8, 9], &vec![false; 9])
+            .next_round_with(&[1, 2, 3, 4, 5, 6, 7, 8, 9], &[false; 9])
             .unwrap();
         assert_eq!(o.expected_sum, 45);
     }

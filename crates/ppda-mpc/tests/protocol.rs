@@ -2,11 +2,8 @@
 //! debug builds; the testbed-scale runs live in the workspace-root tests).
 
 use ppda_mpc::{MpcError, ProtocolConfig, S3Protocol, S4Protocol};
+use ppda_testkit::grid9;
 use ppda_topology::Topology;
-
-fn grid9() -> Topology {
-    Topology::grid(3, 3, 18.0, 5)
-}
 
 fn config9() -> ProtocolConfig {
     ProtocolConfig::builder(9).degree(2).build().unwrap()
@@ -82,19 +79,19 @@ fn mismatched_inputs_rejected() {
     let p = S4Protocol::new(config9());
     // Wrong secret count.
     assert!(matches!(
-        p.run_with(&t, 1, &[1, 2], &vec![false; 9]),
+        p.run_with(&t, 1, &[1, 2], &[false; 9]),
         Err(MpcError::InputMismatch { .. })
     ));
     // Wrong failure mask size.
     let secrets: Vec<u64> = (0..9).collect();
     assert!(matches!(
-        p.run_with(&t, 1, &secrets, &vec![false; 4]),
+        p.run_with(&t, 1, &secrets, &[false; 4]),
         Err(MpcError::InputMismatch { .. })
     ));
     // Wrong topology size.
     let t4 = Topology::grid(2, 2, 15.0, 3);
     assert!(matches!(
-        p.run_with(&t4, 1, &secrets, &vec![false; 9]),
+        p.run_with(&t4, 1, &secrets, &[false; 9]),
         Err(MpcError::InputMismatch { .. })
     ));
 }
@@ -105,7 +102,7 @@ fn oversized_reading_rejected() {
     let mut secrets: Vec<u64> = (0..9).collect();
     secrets[0] = u64::MAX;
     assert!(matches!(
-        S4Protocol::new(config9()).run_with(&t, 1, &secrets, &vec![false; 9]),
+        S4Protocol::new(config9()).run_with(&t, 1, &secrets, &[false; 9]),
         Err(MpcError::ReadingTooLarge { .. })
     ));
 }

@@ -95,10 +95,7 @@ impl PathLossModel {
     pub fn rssi_dbm(&self, distance_m: f64, shadow_db: f64) -> f64 {
         assert!(distance_m > 0.0, "distance must be positive");
         let d = distance_m.max(self.d0_m);
-        self.tx_power_dbm
-            - self.pl0_db
-            - 10.0 * self.exponent * (d / self.d0_m).log10()
-            - shadow_db
+        self.tx_power_dbm - self.pl0_db - 10.0 * self.exponent * (d / self.d0_m).log10() - shadow_db
     }
 
     /// Map an RSSI to a packet reception ratio with a logistic curve

@@ -116,7 +116,10 @@ mod tests {
         let industrial = (0..5000)
             .filter(|_| FadingProfile::industrial_interference().draw(&mut rng) > 0.0)
             .count();
-        assert!(industrial > office, "industrial {industrial} vs office {office}");
+        assert!(
+            industrial > office,
+            "industrial {industrial} vs office {office}"
+        );
     }
 
     #[test]

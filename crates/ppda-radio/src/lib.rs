@@ -24,6 +24,6 @@ mod frame;
 pub mod phy;
 
 pub use channel::{capture_receives, combine_same_packet, PathLossModel};
-pub use fading::FadingProfile;
 pub use energy::{EnergyLedger, RadioCurrents};
+pub use fading::FadingProfile;
 pub use frame::{FrameSpec, MAX_PSDU_LEN};

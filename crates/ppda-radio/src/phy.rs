@@ -52,10 +52,7 @@ mod tests {
     #[test]
     fn max_frame_airtime_is_4256us() {
         // A full 127-byte PSDU plus 6 bytes SHR/PHR takes 133 * 32 = 4256 µs.
-        assert_eq!(
-            airtime_for_bytes(SHR_LEN + PHR_LEN + 127).as_micros(),
-            4256
-        );
+        assert_eq!(airtime_for_bytes(SHR_LEN + PHR_LEN + 127).as_micros(), 4256);
     }
 
     #[test]

@@ -188,14 +188,8 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
         assert_eq!(t, SimTime::from_millis(15));
-        assert_eq!(
-            t - SimTime::from_millis(10),
-            SimDuration::from_millis(5)
-        );
-        assert_eq!(
-            SimDuration::from_millis(2) * 3,
-            SimDuration::from_millis(6)
-        );
+        assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
+        assert_eq!(SimDuration::from_millis(2) * 3, SimDuration::from_millis(6));
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl fmt::Display for SssError {
                 write!(f, "source id {source} exceeds the 128-source mask")
             }
             SssError::InconsistentShares => {
-                write!(f, "surplus shares disagree with the reconstruction polynomial")
+                write!(
+                    f,
+                    "surplus shares disagree with the reconstruction polynomial"
+                )
             }
             SssError::BadPacket { what } => write!(f, "malformed packet: {what}"),
         }
@@ -103,10 +106,10 @@ mod tests {
         assert!(SssError::DuplicateSource { source: 7 }
             .to_string()
             .contains("7"));
-        assert!(SssError::InconsistentShares.to_string().contains("disagree"));
-        assert!(
-            std::error::Error::source(&SssError::InconsistentShares).is_none()
-        );
+        assert!(SssError::InconsistentShares
+            .to_string()
+            .contains("disagree"));
+        assert!(std::error::Error::source(&SssError::InconsistentShares).is_none());
     }
 
     #[test]

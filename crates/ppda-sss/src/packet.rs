@@ -203,15 +203,8 @@ mod tests {
         };
         let sealed = pkt.seal(&keys(), 4).unwrap();
         // Node 3 tries to decrypt with its own pairwise key (2,3).
-        let eavesdrop = SharePacket::<Mersenne31>::open(
-            &keys(),
-            4,
-            2,
-            3,
-            7,
-            share_x::<Mersenne31>(3),
-            &sealed,
-        );
+        let eavesdrop =
+            SharePacket::<Mersenne31>::open(&keys(), 4, 2, 3, 7, share_x::<Mersenne31>(3), &sealed);
         assert!(matches!(eavesdrop, Err(SssError::Crypto(_))));
     }
 
@@ -252,15 +245,8 @@ mod tests {
         };
         let mut sealed = pkt.seal(&keys(), 4).unwrap();
         sealed[0] ^= 0x80;
-        let r = SharePacket::<Mersenne31>::open(
-            &keys(),
-            4,
-            0,
-            1,
-            0,
-            share_x::<Mersenne31>(1),
-            &sealed,
-        );
+        let r =
+            SharePacket::<Mersenne31>::open(&keys(), 4, 0, 1, 0, share_x::<Mersenne31>(1), &sealed);
         assert!(matches!(r, Err(SssError::Crypto(_))));
     }
 

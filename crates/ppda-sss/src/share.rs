@@ -55,10 +55,7 @@ pub fn split_secret<P: PrimeField, R: RngCore + ?Sized>(
     }
     validate_points(xs)?;
     let poly = Polynomial::random_with_constant(secret, degree, rng);
-    Ok(xs
-        .iter()
-        .map(|&x| Share { x, y: poly.eval(x) })
-        .collect())
+    Ok(xs.iter().map(|&x| Share { x, y: poly.eval(x) }).collect())
 }
 
 fn validate_points<P: PrimeField>(xs: &[Gf<P>]) -> Result<(), SssError> {
@@ -177,17 +174,14 @@ mod tests {
     fn checked_reconstruction_accepts_honest() {
         let mut rng = Xoshiro256::seed_from(6);
         let shares = split_secret(Gf31::new(555), 2, &xs(8), &mut rng).unwrap();
-        assert_eq!(
-            reconstruct_checked(&shares, 2).unwrap(),
-            Gf31::new(555)
-        );
+        assert_eq!(reconstruct_checked(&shares, 2).unwrap(), Gf31::new(555));
     }
 
     #[test]
     fn checked_reconstruction_detects_corruption() {
         let mut rng = Xoshiro256::seed_from(7);
         let mut shares = split_secret(Gf31::new(555), 2, &xs(8), &mut rng).unwrap();
-        shares[5].y = shares[5].y + Gf31::ONE;
+        shares[5].y += Gf31::ONE;
         assert_eq!(
             reconstruct_checked(&shares, 2),
             Err(SssError::InconsistentShares)

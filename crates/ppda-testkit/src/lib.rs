@@ -1,0 +1,87 @@
+//! Deterministic scenario builders shared by the workspace test suites.
+//!
+//! The integration suites (`end_to_end`, `properties`, `privacy`) all need
+//! the same few ingredients — a testbed or synthetic topology, a protocol
+//! config at its default operating point, a seeded RNG — and repeating
+//! that setup in every test both obscures what each test actually varies
+//! and invites drift. This crate is the single source of those fixtures.
+//!
+//! Everything here is deterministic: the same builder call always returns
+//! the same scenario, so test failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ppda_mpc::{Bootstrap, ProtocolConfig, ProtocolConfigBuilder};
+use ppda_sim::Xoshiro256;
+use ppda_topology::Topology;
+
+/// The canonical small synthetic scenario: a 3×3 jittered grid, 18 m
+/// spacing, construction seed 5 — large enough for multi-hop behaviour,
+/// small enough that debug-build protocol rounds stay fast.
+pub fn grid9() -> Topology {
+    Topology::grid(3, 3, 18.0, 5)
+}
+
+/// A config builder for [`grid9`] at its standard operating point:
+/// degree 2, NTX 6 for both phases. Callers chain further overrides
+/// before `.build()`.
+pub fn grid9_config() -> ProtocolConfigBuilder {
+    ProtocolConfig::builder(9)
+        .degree(2)
+        .ntx_sharing(6)
+        .ntx_reconstruction(6)
+}
+
+/// The FlockLab testbed with its default full-network config.
+pub fn flocklab_scenario() -> (Topology, ProtocolConfig) {
+    let topology = Topology::flocklab();
+    let config = ProtocolConfig::builder(topology.len())
+        .build()
+        .expect("flocklab default config is valid");
+    (topology, config)
+}
+
+/// Run the bootstrap phase on `topology` at the default config and return
+/// the config together with the discovered aggregator set — the setup the
+/// privacy suite needs before constructing collusions.
+pub fn aggregator_setup(topology: &Topology) -> (ProtocolConfig, Vec<u16>) {
+    let config = ProtocolConfig::builder(topology.len())
+        .build()
+        .expect("default config is valid");
+    let bootstrap = Bootstrap::run(topology, &config).expect("bootstrap succeeds");
+    let aggregators = bootstrap.aggregators().to_vec();
+    (config, aggregators)
+}
+
+/// The workspace's deterministic RNG at a named seed.
+pub fn rng(seed: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid9_is_nine_nodes_and_stable() {
+        let a = grid9();
+        let b = grid9();
+        assert_eq!(a.len(), 9);
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn scenarios_match_testbed_sizes() {
+        assert_eq!(flocklab_scenario().0.len(), 26);
+    }
+
+    #[test]
+    fn aggregator_setup_is_deterministic() {
+        let t = grid9();
+        let (_, a) = aggregator_setup(&t);
+        let (_, b) = aggregator_setup(&t);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

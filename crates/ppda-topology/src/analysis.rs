@@ -22,9 +22,9 @@ impl Topology {
             depth += 1;
             let mut next = Vec::new();
             for &u in &frontier {
-                for v in 0..n {
-                    if v != u && hops[v].is_none() && self.prr(u, v) >= min_prr {
-                        hops[v] = Some(depth);
+                for (v, hop) in hops.iter_mut().enumerate() {
+                    if v != u && hop.is_none() && self.prr(u, v) >= min_prr {
+                        *hop = Some(depth);
                         next.push(v);
                     }
                 }

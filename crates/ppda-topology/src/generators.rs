@@ -12,7 +12,7 @@ const FLOCKLAB_SEED: u64 = 0xF10C_14AB;
 
 /// Fixed shadowing seed for the D-Cube deployment model (connected,
 /// diameter ≈ 6 at the 50% threshold).
-const DCUBE_SEED: u64 = 0xDC0B_E45;
+const DCUBE_SEED: u64 = 0x0DC0_BE45;
 
 /// FlockLab 2: 26 nodes over an office-building wing. Positions (meters)
 /// approximate the three-corridor layout of the ETH ETZ building floor the
@@ -71,12 +71,7 @@ pub(crate) fn dcube() -> Topology {
             positions.push((col as f64 * 20.0 + jx, row as f64 * 17.0 + jy));
         }
     }
-    Topology::from_positions(
-        "dcube",
-        positions,
-        &PathLossModel::industrial(),
-        DCUBE_SEED,
-    )
+    Topology::from_positions("dcube", positions, &PathLossModel::industrial(), DCUBE_SEED)
 }
 
 pub(crate) fn grid(nx: usize, ny: usize, spacing: f64, seed: u64) -> Topology {

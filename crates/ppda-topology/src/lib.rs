@@ -32,9 +32,11 @@
 mod analysis;
 mod generators;
 
+#[cfg(feature = "serde")]
+mod serde_impl;
+
 use ppda_radio::PathLossModel;
 use ppda_sim::{derive_stream, Xoshiro256};
-use serde::{Deserialize, Serialize};
 
 /// Links with PRR below this floor are treated as non-existent.
 pub const LINK_PRR_FLOOR: f64 = 0.01;
@@ -42,7 +44,7 @@ pub const LINK_PRR_FLOOR: f64 = 0.01;
 /// A fixed deployment: node positions plus static link-quality matrices.
 ///
 /// Link metrics are symmetric (channel reciprocity) and exclude self-links.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     name: String,
     positions: Vec<(f64, f64)>,
@@ -56,7 +58,7 @@ pub struct Topology {
 }
 
 /// The RSSI→PRR mapping a topology was built with.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 struct PrrCurve {
     sensitivity_dbm: f64,
     transition_db: f64,
@@ -109,8 +111,7 @@ impl Topology {
         for i in 0..n {
             for j in i + 1..n {
                 // One shadowing draw per unordered pair keeps reciprocity.
-                let mut link_rng =
-                    Xoshiro256::seed_from(derive_stream(seed, (i * n + j) as u64));
+                let mut link_rng = Xoshiro256::seed_from(derive_stream(seed, (i * n + j) as u64));
                 let shadow = model.draw_shadowing(&mut link_rng);
                 let (xi, yi) = positions[i];
                 let (xj, yj) = positions[j];

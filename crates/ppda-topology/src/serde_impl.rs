@@ -1,0 +1,168 @@
+//! Feature-gated serde support for [`Topology`].
+//!
+//! The vendored serde subset has no derive macro and no struct data model,
+//! so a topology serializes as a single length-prefixed byte string: a
+//! version tag, the name, the position list, both link matrices and the
+//! PRR-curve parameters, all little-endian. The format is self-contained
+//! and byte-exact-stable across runs (topology construction is
+//! deterministic), so snapshots can be committed as fixtures.
+
+use serde::{Deserialize, Deserializer, Error, Serialize, Serializer};
+
+use crate::{PrrCurve, Topology};
+
+const FORMAT_VERSION: u8 = 1;
+
+fn put_f64s(out: &mut Vec<u8>, values: impl IntoIterator<Item = f64>) {
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() < n {
+            return Err("topology blob truncated".to_owned());
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(f64::from_le_bytes(buf))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, String> {
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+impl Topology {
+    /// Encode to the versioned byte format behind the serde impls.
+    fn to_blob(&self) -> Vec<u8> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(1 + 4 + self.name.len() + (2 * n + 2 * n * n + 7) * 8);
+        out.push(FORMAT_VERSION);
+        out.extend_from_slice(&(self.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        put_f64s(&mut out, self.positions.iter().flat_map(|&(x, y)| [x, y]));
+        put_f64s(&mut out, self.prr.iter().copied());
+        put_f64s(&mut out, self.rssi.iter().copied());
+        let c = &self.curve;
+        put_f64s(
+            &mut out,
+            [
+                c.sensitivity_dbm,
+                c.transition_db,
+                c.tx_power_dbm,
+                c.pl0_db,
+                c.d0_m,
+                c.exponent,
+                c.shadowing_sigma_db,
+            ],
+        );
+        out
+    }
+
+    /// Decode the versioned byte format behind the serde impls.
+    fn from_blob(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { bytes };
+        let version = r.u8()?;
+        if version != FORMAT_VERSION {
+            return Err(format!("unsupported topology blob version {version}"));
+        }
+        let name_len = r.u32()? as usize;
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
+            .map_err(|_| "topology name is not UTF-8".to_owned())?;
+        let n = r.u32()? as usize;
+        let flat = r.f64s(2 * n)?;
+        let positions = flat.chunks(2).map(|c| (c[0], c[1])).collect();
+        let prr = r.f64s(n * n)?;
+        let rssi = r.f64s(n * n)?;
+        let curve = PrrCurve {
+            sensitivity_dbm: r.f64()?,
+            transition_db: r.f64()?,
+            tx_power_dbm: r.f64()?,
+            pl0_db: r.f64()?,
+            d0_m: r.f64()?,
+            exponent: r.f64()?,
+            shadowing_sigma_db: r.f64()?,
+        };
+        if !r.bytes.is_empty() {
+            return Err("trailing bytes after topology blob".to_owned());
+        }
+        Ok(Topology {
+            name,
+            positions,
+            prr,
+            rssi,
+            curve,
+        })
+    }
+}
+
+impl Serialize for Topology {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(&self.to_blob())
+    }
+}
+
+impl<'de> Deserialize<'de> for Topology {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let bytes = Vec::<u8>::deserialize(deserializer)?;
+        Topology::from_blob(&bytes).map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::value::{from_value, to_value};
+
+    #[test]
+    fn value_round_trip_preserves_everything() {
+        let t = Topology::grid(3, 3, 15.0, 9);
+        let back: Topology = from_value(to_value(&t).unwrap()).unwrap();
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.positions(), t.positions());
+        for i in 0..t.len() {
+            for j in 0..t.len() {
+                assert_eq!(back.prr(i, j), t.prr(i, j));
+                assert_eq!(back.rssi(i, j), t.rssi(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let t = Topology::grid(2, 2, 15.0, 9);
+        let blob = t.to_blob();
+        assert!(Topology::from_blob(&blob[..blob.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let t = Topology::grid(2, 2, 15.0, 9);
+        let mut blob = t.to_blob();
+        blob[0] = 99;
+        assert!(Topology::from_blob(&blob).is_err());
+    }
+}

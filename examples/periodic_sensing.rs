@@ -12,8 +12,7 @@ use ppda::topology::Topology;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topology = Topology::flocklab();
     let config = ProtocolConfig::builder(topology.len()).build()?;
-    let mut session =
-        AggregationSession::new(topology, config, SessionProtocol::S4, 0x5E55)?;
+    let mut session = AggregationSession::new(topology, config, SessionProtocol::S4, 0x5E55)?;
 
     println!("epoch  aggregate   latency(ms)  radio-on(ms)  energy(mJ)");
     println!("----------------------------------------------------------");

@@ -4,11 +4,11 @@
 
 use ppda::mpc::{ProtocolConfig, S3Protocol, S4Protocol};
 use ppda::topology::Topology;
+use ppda_testkit::flocklab_scenario;
 
 #[test]
 fn s3_correct_on_flocklab() {
-    let t = Topology::flocklab();
-    let config = ProtocolConfig::builder(t.len()).build().unwrap();
+    let (t, config) = flocklab_scenario();
     for seed in 0..5 {
         let o = S3Protocol::new(config.clone()).run(&t, seed).unwrap();
         assert!(o.correct(), "seed {seed}");
@@ -19,8 +19,7 @@ fn s3_correct_on_flocklab() {
 
 #[test]
 fn s4_correct_on_flocklab() {
-    let t = Topology::flocklab();
-    let config = ProtocolConfig::builder(t.len()).build().unwrap();
+    let (t, config) = flocklab_scenario();
     for seed in 0..5 {
         let o = S4Protocol::new(config.clone()).run(&t, seed).unwrap();
         assert!(o.correct(), "seed {seed}");
@@ -61,13 +60,12 @@ fn s4_correct_on_dcube_at_operating_ntx() {
             ok += 1;
         }
     }
-    assert!(ok >= runs / 2 + 1, "only {ok}/{runs} rounds fully correct");
+    assert!(ok > runs / 2, "only {ok}/{runs} rounds fully correct");
 }
 
 #[test]
 fn s4_beats_s3_on_both_metrics() {
-    let t = Topology::flocklab();
-    let config = ProtocolConfig::builder(t.len()).build().unwrap();
+    let (t, config) = flocklab_scenario();
     let s3 = S3Protocol::new(config.clone()).run(&t, 9).unwrap();
     let s4 = S4Protocol::new(config).run(&t, 9).unwrap();
     let lat3 = s3.max_latency_ms().expect("S3 completes");
@@ -95,8 +93,7 @@ fn outcomes_are_deterministic() {
 
 #[test]
 fn different_seeds_different_readings() {
-    let t = Topology::flocklab();
-    let config = ProtocolConfig::builder(t.len()).build().unwrap();
+    let (t, config) = flocklab_scenario();
     let a = S4Protocol::new(config.clone()).run(&t, 1).unwrap();
     let b = S4Protocol::new(config).run(&t, 2).unwrap();
     assert_ne!(a.expected_sum, b.expected_sum);
@@ -170,21 +167,22 @@ fn failed_source_excluded_from_sum() {
 
 #[test]
 fn radio_on_is_positive_and_bounded_by_schedule() {
-    let t = Topology::flocklab();
-    let config = ProtocolConfig::builder(t.len()).build().unwrap();
+    let (t, config) = flocklab_scenario();
     let o = S4Protocol::new(config).run(&t, 41).unwrap();
     let budget = o.scheduled_round_ms();
     for node in o.live_nodes() {
         let on = node.radio_on.as_millis_f64();
         assert!(on > 0.0);
-        assert!(on <= budget * 1.01, "radio-on {on} exceeds schedule {budget}");
+        assert!(
+            on <= budget * 1.01,
+            "radio-on {on} exceeds schedule {budget}"
+        );
     }
 }
 
 #[test]
 fn phase_stats_are_consistent() {
-    let t = Topology::flocklab();
-    let config = ProtocolConfig::builder(t.len()).build().unwrap();
+    let (t, config) = flocklab_scenario();
     let o = S4Protocol::new(config.clone()).run(&t, 51).unwrap();
     // Sharing chain: S sources × (|A| − (1 if source is aggregator)).
     assert!(o.sharing.chain_len > 0);

@@ -7,17 +7,9 @@ use ppda::field::{lagrange, share_x, Gf31, Mersenne31};
 use ppda::mpc::adversary::{
     consistent_polynomial, destination_points, observed_shares, SecrecyAnalysis,
 };
-use ppda::mpc::{Bootstrap, ProtocolConfig};
-use ppda::sim::Xoshiro256;
 use ppda::sss::split_secret;
 use ppda::topology::Topology;
-
-fn aggregator_setup(topology: &Topology) -> (ProtocolConfig, Vec<u16>) {
-    let config = ProtocolConfig::builder(topology.len()).build().unwrap();
-    let bootstrap = Bootstrap::run(topology, &config).unwrap();
-    let aggregators = bootstrap.aggregators().to_vec();
-    (config, aggregators)
-}
+use ppda_testkit::{aggregator_setup, rng};
 
 #[test]
 fn threshold_collusion_learns_nothing_on_flocklab() {
@@ -32,14 +24,13 @@ fn threshold_collusion_learns_nothing_on_flocklab() {
     assert_eq!(analysis.observed_points(), k);
 
     // With real shares: every candidate secret is constructible.
-    let mut rng = Xoshiro256::seed_from(404);
+    let mut rng = rng(404);
     let xs = destination_points::<Mersenne31>(&aggregators);
     let secret = Gf31::new(22_50); // a 22.50 °C reading
     let shares = split_secret(secret, k, &xs, &mut rng).unwrap();
     let observed = observed_shares(&aggregators, &shares, &colluders);
     for candidate in [0u64, 1, 9_999, 1_000_000] {
-        let poly =
-            consistent_polynomial(Gf31::new(candidate), &observed, k, &mut rng).unwrap();
+        let poly = consistent_polynomial(Gf31::new(candidate), &observed, k, &mut rng).unwrap();
         assert_eq!(poly.eval(Gf31::ZERO), Gf31::new(candidate));
         for s in &observed {
             assert_eq!(poly.eval(s.x), s.y);
@@ -58,7 +49,7 @@ fn threshold_plus_one_collusion_breaks_secrecy() {
     assert!(!analysis.secret_hidden());
 
     // And indeed k+1 real shares pin the secret exactly.
-    let mut rng = Xoshiro256::seed_from(405);
+    let mut rng = rng(405);
     let xs = destination_points::<Mersenne31>(&aggregators);
     let secret = Gf31::new(1234);
     let shares = split_secret(secret, k, &xs, &mut rng).unwrap();
@@ -116,12 +107,12 @@ fn sum_shares_hide_individual_contributions() {
     // holding it cannot separate the addends. Sanity-check the algebra:
     // two different reading vectors with the same total produce sums that
     // reconstruct identically at x = 0.
-    let mut rng = Xoshiro256::seed_from(7);
+    let mut rng = rng(7);
     let k = 3;
     let xs: Vec<Gf31> = (0..6).map(share_x::<Mersenne31>).collect();
     let total_a = [10u64, 20, 30];
     let total_b = [30u64, 20, 10];
-    let reconstruct = |readings: &[u64], rng: &mut Xoshiro256| {
+    let reconstruct = |readings: &[u64], rng: &mut ppda::sim::Xoshiro256| {
         let mut sums = vec![Gf31::ZERO; xs.len()];
         for &r in readings {
             let shares = split_secret(Gf31::new(r), k, &xs, rng).unwrap();
@@ -129,8 +120,7 @@ fn sum_shares_hide_individual_contributions() {
                 *acc += s.y;
             }
         }
-        let pts: Vec<(Gf31, Gf31)> =
-            xs.iter().copied().zip(sums).take(k + 1).collect();
+        let pts: Vec<(Gf31, Gf31)> = xs.iter().copied().zip(sums).take(k + 1).collect();
         lagrange::interpolate_at_zero(&pts).unwrap()
     };
     assert_eq!(

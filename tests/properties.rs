@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use ppda::mpc::{ProtocolConfig, S4Protocol};
-use ppda::topology::Topology;
+use ppda::mpc::S4Protocol;
+use ppda_testkit::{grid9, grid9_config};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -17,15 +17,10 @@ proptest! {
         readings in prop::collection::vec(0u64..10_000, 9),
         seed in any::<u64>(),
     ) {
-        let topology = Topology::grid(3, 3, 18.0, 5);
-        let config = ProtocolConfig::builder(9)
-            .degree(2)
-            .ntx_sharing(6)
-            .ntx_reconstruction(6)
-            .build()
-            .unwrap();
+        let topology = grid9();
+        let config = grid9_config().build().unwrap();
         let outcome = S4Protocol::new(config)
-            .run_with(&topology, seed, &readings, &vec![false; 9])
+            .run_with(&topology, seed, &readings, &[false; 9])
             .unwrap();
         let expected: u64 = readings.iter().sum::<u64>() % ppda::field::Gf31::modulus();
         prop_assert_eq!(outcome.expected_sum, expected);
@@ -40,12 +35,8 @@ proptest! {
     /// radio ledger never exceeds it either.
     #[test]
     fn metrics_respect_the_schedule(seed in any::<u64>(), sources in 2usize..9) {
-        let topology = Topology::grid(3, 3, 18.0, 5);
-        let config = ProtocolConfig::builder(9)
-            .degree(2)
-            .sources(sources)
-            .build()
-            .unwrap();
+        let topology = grid9();
+        let config = grid9_config().sources(sources).build().unwrap();
         let outcome = S4Protocol::new(config).run(&topology, seed).unwrap();
         let budget = outcome.scheduled_round_ms() * 1.01;
         for node in outcome.live_nodes() {
@@ -63,7 +54,7 @@ proptest! {
         seed in any::<u64>(),
         fail_bits in prop::collection::vec(any::<bool>(), 9),
     ) {
-        let topology = Topology::grid(3, 3, 18.0, 5);
+        let topology = grid9();
         // Keep at least 6 nodes alive so an aggregator majority can exist.
         let mut failed = fail_bits;
         let alive = failed.iter().filter(|&&f| !f).count();
@@ -72,8 +63,7 @@ proptest! {
                 *f = false;
             }
         }
-        let config = ProtocolConfig::builder(9)
-            .degree(2)
+        let config = grid9_config()
             .sources_explicit(
                 (0..9u16).filter(|&v| !failed[v as usize]).take(4).collect(),
             )
@@ -95,8 +85,8 @@ proptest! {
     /// The protocol is a deterministic function of (config, seed, inputs).
     #[test]
     fn replay_determinism(seed in any::<u64>()) {
-        let topology = Topology::grid(3, 3, 18.0, 5);
-        let config = ProtocolConfig::builder(9).degree(2).build().unwrap();
+        let topology = grid9();
+        let config = grid9_config().build().unwrap();
         let a = S4Protocol::new(config.clone()).run(&topology, seed).unwrap();
         let b = S4Protocol::new(config).run(&topology, seed).unwrap();
         for (x, y) in a.nodes.iter().zip(&b.nodes) {

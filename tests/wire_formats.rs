@@ -1,10 +1,139 @@
 //! Cross-crate wire-format tests: the byte-level contracts between the SSS
-//! layer, the crypto layer and the radio frame budget.
+//! layer, the crypto layer and the radio frame budget — including golden
+//! vectors committed under `tests/golden/` that freeze the exact bytes (and
+//! timing numbers) on the wire. A change that shuffles the encoding breaks
+//! interop with deployed nodes even if round-trips still pass; the golden
+//! files catch that class of regression.
+//!
+//! To regenerate after an *intentional* format change:
+//! `GOLDEN_REGEN=1 cargo test --test wire_formats` — then review the diff.
 
 use ppda::crypto::{Ccm, PairwiseKeys};
-use ppda::field::{share_x, Gf31, Mersenne31};
+use ppda::field::{share_x, Gf31, Gf61, Mersenne31, Mersenne61};
 use ppda::radio::FrameSpec;
 use ppda::sss::{Share, SharePacket, SumPacket};
+
+/// Compare `actual` against the committed fixture, or rewrite the fixture
+/// when `GOLDEN_REGEN=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "wire format drifted from {}; if intentional, regenerate with GOLDEN_REGEN=1",
+        path.display()
+    );
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn golden_sum_packet_m31() {
+    let pkt = SumPacket::<Mersenne31> {
+        node: 3,
+        round: 0x0102_0304,
+        share: Share {
+            x: share_x::<Mersenne31>(3),
+            y: Gf31::new(0x0BAD_CAFE),
+        },
+        mask: 0x0000_0000_0000_0000_0000_0000_DEAD_BEEF,
+    };
+    let encoded = pkt.encode();
+    assert_golden("sum_packet_m31.hex", &format!("{}\n", hex(&encoded)));
+    assert_eq!(SumPacket::<Mersenne31>::decode(&encoded).unwrap(), pkt);
+}
+
+#[test]
+fn golden_sum_packet_m61() {
+    let pkt = SumPacket::<Mersenne61> {
+        node: 44,
+        round: 7,
+        share: Share {
+            x: share_x::<Mersenne61>(44),
+            y: Gf61::new(0x1234_5678_9ABC_DEF0),
+        },
+        mask: u128::MAX,
+    };
+    let encoded = pkt.encode();
+    assert_golden("sum_packet_m61.hex", &format!("{}\n", hex(&encoded)));
+    assert_eq!(SumPacket::<Mersenne61>::decode(&encoded).unwrap(), pkt);
+}
+
+#[test]
+fn golden_sealed_share_packet() {
+    // AES-CCM is deterministic for a fixed (master key, src, dst, round, x,
+    // y), so the full sealed ciphertext is a stable fixture: it freezes the
+    // pairwise KDF, the nonce layout, the AAD layout and the CCM encoding
+    // all at once.
+    let keys = PairwiseKeys::derive(&[9u8; 16], 8);
+    let pkt = SharePacket::<Mersenne31> {
+        src: 2,
+        dst: 5,
+        round: 7,
+        share: Share {
+            x: share_x::<Mersenne31>(5),
+            y: Gf31::new(123_456_789),
+        },
+    };
+    let mut lines = String::new();
+    for tag_len in [4usize, 8, 16] {
+        let sealed = pkt.seal(&keys, tag_len).unwrap();
+        assert_eq!(sealed.len(), SharePacket::<Mersenne31>::sealed_len(tag_len));
+        lines.push_str(&format!("tag{tag_len} {}\n", hex(&sealed)));
+    }
+    assert_golden("sealed_share_packet_m31.hex", &lines);
+    let sealed = pkt.seal(&keys, 4).unwrap();
+    let opened =
+        SharePacket::<Mersenne31>::open(&keys, 4, 2, 5, 7, share_x::<Mersenne31>(5), &sealed)
+            .unwrap();
+    assert_eq!(opened, pkt);
+}
+
+#[test]
+fn golden_ccm_nonce_layout() {
+    let mut lines = String::new();
+    for (src, dst, round, x) in [
+        (0u16, 0u16, 0u32, 0u32),
+        (2, 5, 7, 6),
+        (65535, 1, 4_000_000_000, 45),
+    ] {
+        lines.push_str(&format!(
+            "{src} {dst} {round} {x} {}\n",
+            hex(&Ccm::nonce(src, dst, round, x))
+        ));
+    }
+    assert_golden("ccm_nonce.hex", &lines);
+}
+
+#[test]
+fn golden_frame_timing_table() {
+    // FrameSpec has no byte serialization; its wire contract is the derived
+    // slot arithmetic. Freeze psdu/on-air length and airtime/slot µs for
+    // the frame shapes the protocols use.
+    let mut lines = String::from("payload mic psdu on_air airtime_us slot_us\n");
+    for (payload, mic) in [(4usize, 4usize), (4, 8), (4, 16), (8, 0), (26, 0), (116, 0)] {
+        let f = FrameSpec::new(payload, mic).unwrap();
+        lines.push_str(&format!(
+            "{payload} {mic} {} {} {} {}\n",
+            f.psdu_len(),
+            f.on_air_len(),
+            f.airtime().as_micros(),
+            f.slot_duration().as_micros()
+        ));
+    }
+    assert_golden("frame_timing.txt", &lines);
+}
 
 #[test]
 fn share_packet_fits_its_frame_budget() {

@@ -1,0 +1,174 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! Provides the [`Buf`] / [`BufMut`] cursor traits for `&[u8]` and
+//! `Vec<u8>` with the big-endian accessors the wire formats use. Semantics
+//! (big-endian defaults, panic on under/overflow) match the real crate so
+//! swapping the real dependency in later is a no-op.
+
+#![forbid(unsafe_code)]
+
+/// Read access to a contiguous buffer, advancing an internal cursor.
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The bytes remaining, starting at the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Advance the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// `true` while any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte and advance.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian `u16` and advance.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32` and advance.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64` and advance.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u128` and advance.
+    fn get_u128(&mut self) -> u128 {
+        let mut b = [0u8; 16];
+        b.copy_from_slice(&self.chunk()[..16]);
+        self.advance(16);
+        u128::from_be_bytes(b)
+    }
+
+    /// Copy `dst.len()` bytes into `dst` and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u128`.
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16(0x1234);
+        out.put_u32(0xDEAD_BEEF);
+        out.put_u64(0x0102_0304_0506_0708);
+        out.put_u128(0x0102_0304_0506_0708_090A_0B0C_0D0E_0F10);
+        let mut buf = out.as_slice();
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 16);
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u16(), 0x1234);
+        assert_eq!(buf.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(buf.get_u128(), 0x0102_0304_0506_0708_090A_0B0C_0D0E_0F10);
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn big_endian_on_the_wire() {
+        let mut out = Vec::new();
+        out.put_u16(0x0102);
+        assert_eq!(out, [0x01, 0x02]);
+    }
+
+    #[test]
+    fn advance_and_copy() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut buf = &data[..];
+        buf.advance(2);
+        let mut dst = [0u8; 2];
+        buf.copy_to_slice(&mut dst);
+        assert_eq!(dst, [3, 4]);
+        assert_eq!(buf.remaining(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut buf = &[1u8, 2][..];
+        buf.advance(3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple — warm up, run a fixed number of
+//! timed batches, report mean and min per iteration — which is enough to
+//! compare orders of magnitude and catch gross regressions. Swap in the
+//! real crate when network access is available for publication-grade
+//! numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How many measured batches each benchmark runs.
+const BATCHES: usize = 12;
+
+/// Target wall-clock time per benchmark (all batches together).
+const TARGET: Duration = Duration::from_millis(600);
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch.
+    SmallInput,
+    /// Large inputs: few iterations per batch.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmark `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: how many iterations fit a batch budget?
+        let calib = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib.elapsed() < TARGET / (BATCHES as u32 * 4) {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+        }
+        let per_batch = calib_iters.max(1);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up once.
+        std::hint::black_box(routine(setup()));
+        for _ in 0..BATCHES {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{name:<44} time: [{} .. {}]",
+            format_ns(min),
+            format_ns(mean)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness uses a fixed
+    /// batch count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.into()));
+        self
+    }
+
+    /// End the group (output is already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&id.into());
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_batch() {
+        let mut bencher = Bencher::default();
+        let mut setups = 0u32;
+        bencher.iter_batched(
+            || {
+                setups += 1;
+            },
+            |()| (),
+            BatchSize::SmallInput,
+        );
+        assert!(setups as usize >= BATCHES);
+        assert_eq!(bencher.samples_ns.len(), BATCHES);
+    }
+}

@@ -1,0 +1,80 @@
+//! Collection strategies: `vec(element, size)`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size specification for collection strategies: a fixed length or a
+/// half-open range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate vectors whose elements come from `element` and whose length is
+/// drawn from `size` (a `usize` for fixed length, or a `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = (self.size.start..self.size.end).new_value(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn fixed_size() {
+        let mut rng = TestRng::from_seed(5);
+        let v = vec(any::<u8>(), 9).new_value(&mut rng);
+        assert_eq!(v.len(), 9);
+    }
+
+    #[test]
+    fn ranged_size() {
+        let mut rng = TestRng::from_seed(6);
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 1..5).new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

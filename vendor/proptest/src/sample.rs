@@ -1,0 +1,44 @@
+//! Sampling helpers: [`Index`].
+
+/// An abstract index into a collection of as-yet-unknown size, mirroring
+/// `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Wrap a raw draw (used by the `Arbitrary` impl).
+    pub fn from_raw(raw: u64) -> Self {
+        Index { raw }
+    }
+
+    /// Resolve against a concrete collection size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_bounds() {
+        let idx = Index::from_raw(u64::MAX - 3);
+        for len in 1..50 {
+            assert!(idx.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_panics() {
+        Index::from_raw(0).index(0);
+    }
+}

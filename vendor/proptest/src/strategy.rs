@@ -1,0 +1,145 @@
+//! The [`Strategy`] trait and the integer-range / map combinators.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::RngCore;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of a type.
+///
+/// Unlike the real crate there is no value tree / shrinking; a strategy is
+/// just a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Sample uniformly from `[0, bound)` (modulo reduction: bias is
+/// irrelevant at test-generation quality).
+fn below(rng: &mut TestRng, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    raw % bound
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end as u128 - self.start as u128;
+                    (self.start as u128 + below(rng, span)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = *self.end() as u128 - *self.start() as u128 + 1;
+                    (*self.start() as u128 + below(rng, span)) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty => $u:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + below(rng, span) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = (10u64..20).new_value(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = TestRng::from_seed(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert((0u8..=3).new_value(&mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = TestRng::from_seed(3);
+        let s = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            let v = (-5i32..5).new_value(&mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline, API-compatible subset of the `rand` crate (0.8 line).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of `rand` it actually uses: the [`RngCore`] and
+//! [`SeedableRng`] traits plus the fallible-fill [`Error`] type. All
+//! concrete generators live in the workspace itself (`SplitMix64` in
+//! `ppda-field`, `Xoshiro256` in `ppda-sim`, `CtrDrbg` in `ppda-crypto`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type for fallible RNG operations ([`RngCore::try_fill_bytes`]).
+///
+/// The deterministic generators in this workspace never fail, so this type
+/// exists only to satisfy the trait signature.
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Wrap a static message as an RNG error.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Error").field("msg", &self.msg).finish()
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: a source of random bits.
+///
+/// Matches `rand 0.8`'s trait of the same name.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fill `dest` with random bytes, reporting failure as an [`Error`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+///
+/// Matches `rand 0.8`'s trait of the same name, minus the OS-entropy
+/// constructors (pointless in a deterministic simulator).
+pub trait SeedableRng: Sized {
+    /// Seed material for this generator.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Create a new instance from the given seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Create a new instance seeded from a single `u64`, by expanding it
+    /// through SplitMix64 (same expansion rule as `rand 0.8`(ish) — the
+    /// concrete generators in this workspace override this anyway).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = Counter(0);
+        let r = &mut c;
+        assert_eq!(RngCore::next_u64(&mut &mut *r), 1);
+        assert_eq!(c.next_u64(), 2);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = Counter::seed_from_u64(7);
+        let mut b = Counter::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn error_displays_message() {
+        let e = Error::new("nope");
+        assert_eq!(e.to_string(), "nope");
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline, API-compatible subset of the `serde` traits.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of serde its feature-gated impls use: the four core traits
+//! with the primitive methods (`serialize_u64`, `serialize_f64`,
+//! `serialize_str`, `serialize_bytes`, sequence begin/end) plus a
+//! self-describing [`value::Value`] tree with a built-in serializer /
+//! deserializer pair so round-trips can be tested without any data format
+//! crate.
+//!
+//! There is **no derive macro**: workspace types write impls by hand
+//! (they are all small). The trait method signatures match real serde, so
+//! migrating to the real crate later only adds capability.
+
+#![forbid(unsafe_code)]
+
+pub mod value;
+
+use std::fmt;
+
+/// Serialization error surface: constructible from a message, displayable.
+pub trait Error: Sized + fmt::Display + fmt::Debug {
+    /// Build an error carrying `msg`.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A data-format backend for serialization.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Serialize a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize an opaque byte string.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    /// Drive `serializer` with this value's content.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format backend for deserialization.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Deserialize a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+
+    /// Deserialize an `f64`.
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+
+    /// Deserialize an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+
+    /// Deserialize an opaque byte string.
+    fn deserialize_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Construct `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_f64()
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl Serialize for Vec<u8> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_byte_buf()
+    }
+}

@@ -1,0 +1,143 @@
+//! A self-describing value tree with a built-in serializer/deserializer,
+//! so feature-gated serde impls can be round-trip tested without a data
+//! format crate.
+
+use std::fmt;
+
+use crate::{Deserialize, Deserializer, Error, Serialize, Serializer};
+
+/// One node of the self-describing tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque bytes.
+    Bytes(Vec<u8>),
+}
+
+/// Error raised by the [`Value`] backend.
+#[derive(Debug, Clone)]
+pub struct ValueError {
+    message: String,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError {
+            message: msg.to_string(),
+        }
+    }
+}
+
+/// Serializer producing a [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_u64(self, v: u64) -> Result<Value, ValueError> {
+        Ok(Value::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, ValueError> {
+        Ok(Value::F64(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, ValueError> {
+        Ok(Value::Str(v.to_owned()))
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<Value, ValueError> {
+        Ok(Value::Bytes(v.to_vec()))
+    }
+}
+
+/// Deserializer consuming a [`Value`].
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wrap a value for deserialization.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_u64(self) -> Result<u64, ValueError> {
+        match self.value {
+            Value::U64(v) => Ok(v),
+            other => Err(ValueError::custom(format!("expected u64, got {other:?}"))),
+        }
+    }
+
+    fn deserialize_f64(self) -> Result<f64, ValueError> {
+        match self.value {
+            Value::F64(v) => Ok(v),
+            other => Err(ValueError::custom(format!("expected f64, got {other:?}"))),
+        }
+    }
+
+    fn deserialize_string(self) -> Result<String, ValueError> {
+        match self.value {
+            Value::Str(v) => Ok(v),
+            other => Err(ValueError::custom(format!("expected str, got {other:?}"))),
+        }
+    }
+
+    fn deserialize_byte_buf(self) -> Result<Vec<u8>, ValueError> {
+        match self.value {
+            Value::Bytes(v) => Ok(v),
+            other => Err(ValueError::custom(format!("expected bytes, got {other:?}"))),
+        }
+    }
+}
+
+/// Serialize `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialize a `T` out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip() {
+        let v = to_value(&42u64).unwrap();
+        assert_eq!(v, Value::U64(42));
+        assert_eq!(from_value::<u64>(v).unwrap(), 42);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = to_value(&vec![1u8, 2, 3]).unwrap();
+        assert_eq!(from_value::<Vec<u8>>(v).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(from_value::<u64>(Value::Str("no".into())).is_err());
+    }
+}
