@@ -1,0 +1,101 @@
+//! Measures what the compile-once plan layer buys: per-round cost with a
+//! reused [`RoundPlan`] versus the bootstrap-per-round baseline (a fresh
+//! protocol object per round, as the campaign runner did before the plan
+//! split). The gap is the amortized work — pairwise key derivation, hop
+//! tables, aggregator election, chain/schedule compilation, Lagrange
+//! weights. Recorded ratios live in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ppda_bench::TestbedSetup;
+use ppda_mpc::{ProtocolKind, RoundPlan, S3Protocol, S4Protocol};
+
+fn bench_plan_amortization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_amortization");
+    group.sample_size(20);
+
+    for setup in [TestbedSetup::flocklab(), TestbedSetup::dcube()] {
+        let topology = setup.topology();
+        // The smallest sweep point of each testbed (3 sources on FlockLab,
+        // 5 on D-Cube): short chains make rounds cheap, which is exactly
+        // where the per-round bootstrap overhead is proportionally worst —
+        // and the operating point a periodic sensing deployment runs at.
+        let sources = setup.source_sweep[0];
+        let config = setup.config(sources).unwrap();
+
+        // S4, the periodic-aggregation production path.
+        let plan = RoundPlan::new(&topology, &config, ProtocolKind::S4).unwrap();
+        let label = |what: &str| format!("{what}/{}-{sources}src", setup.name);
+        group.bench_function(label("s4_reused_plan"), |bench| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                plan.run(seed).unwrap()
+            })
+        });
+        group.bench_function(label("s4_bootstrap_per_round"), |bench| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                // The legacy campaign body: fresh config clone, fresh
+                // protocol, fresh bootstrap, every round.
+                S4Protocol::new(config.clone())
+                    .run(&topology, seed)
+                    .unwrap()
+            })
+        });
+
+        // Plan compilation alone (what gets amortized away).
+        group.bench_function(label("plan_compile"), |bench| {
+            bench.iter(|| RoundPlan::new(&topology, &config, ProtocolKind::S4).unwrap())
+        });
+
+        // The full network for context (simulation-dominated).
+        let full = setup.config(topology.len()).unwrap();
+        let full_plan = RoundPlan::new(&topology, &full, ProtocolKind::S4).unwrap();
+        group.bench_function(format!("s4_reused_plan/{}-full", setup.name), |bench| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                full_plan.run(seed).unwrap()
+            })
+        });
+        group.bench_function(
+            format!("s4_bootstrap_per_round/{}-full", setup.name),
+            |bench| {
+                let mut seed = 0u64;
+                bench.iter(|| {
+                    seed += 1;
+                    S4Protocol::new(full.clone()).run(&topology, seed).unwrap()
+                })
+            },
+        );
+    }
+
+    // S3 for completeness, on the smaller testbed only (its rounds are an
+    // order of magnitude slower).
+    let setup = TestbedSetup::flocklab();
+    let topology = setup.topology();
+    let config = setup.config(6).unwrap();
+    let plan = RoundPlan::new(&topology, &config, ProtocolKind::S3).unwrap();
+    group.bench_function("s3_reused_plan/flocklab-6src", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            plan.run(seed).unwrap()
+        })
+    });
+    group.bench_function("s3_bootstrap_per_round/flocklab-6src", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            S3Protocol::new(config.clone())
+                .run(&topology, seed)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_amortization);
+criterion_main!(benches);

@@ -50,7 +50,9 @@ fn main() {
         let mut latency_table = Table::new(vec![
             "sources",
             "S3 latency ms (CI95)",
+            "S3 p95/p99",
             "S4 latency ms (CI95)",
+            "S4 p95/p99",
             "ratio",
             "S3 ok",
             "S4 ok",
@@ -69,6 +71,15 @@ fn main() {
             let s4 = run_campaign(Protocol::S4, &topology, &config, iterations, seed)
                 .expect("S4 campaign");
 
+            // The paper's latency claims are tail-sensitive: report the
+            // 95th/99th percentiles next to each mean.
+            let tails = |s: &ppda_metrics::Summary| {
+                if s.is_empty() {
+                    "-".to_string()
+                } else {
+                    format!("{:.0}/{:.0}", s.p95(), s.p99())
+                }
+            };
             latency_table.row(vec![
                 sources.to_string(),
                 format!(
@@ -76,11 +87,13 @@ fn main() {
                     s3.latency_ms.mean(),
                     s3.latency_ms.ci95_half_width()
                 ),
+                tails(&s3.latency_ms),
                 format!(
                     "{:.0} ± {:.0}",
                     s4.latency_ms.mean(),
                     s4.latency_ms.ci95_half_width()
                 ),
+                tails(&s4.latency_ms),
                 format!("{:.1}x", s3.latency_ms.mean() / s4.latency_ms.mean()),
                 format!("{:.2}", s3.node_success),
                 format!("{:.2}", s4.node_success),

@@ -17,29 +17,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ppda_metrics::Summary;
-use ppda_mpc::{AggregationOutcome, MpcError, ProtocolConfig, S3Protocol, S4Protocol};
+use ppda_metrics::{CampaignAccumulator, Summary};
+use ppda_mpc::{MpcError, ProtocolConfig, RoundPlan};
 use ppda_radio::FadingProfile;
 use ppda_topology::Topology;
 
-/// Which protocol variant a campaign exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Protocol {
-    /// Naive SSS over MiniCast.
-    S3,
-    /// Scalable SSS over MiniCast.
-    S4,
-}
-
-impl Protocol {
-    /// Display name, as used in the paper.
-    pub fn name(self) -> &'static str {
-        match self {
-            Protocol::S3 => "S3",
-            Protocol::S4 => "S4",
-        }
-    }
-}
+/// Which protocol variant a campaign exercises (the plan layer's
+/// [`ppda_mpc::ProtocolKind`], re-exported under the harness's
+/// historical name).
+pub use ppda_mpc::ProtocolKind as Protocol;
 
 /// The frozen operating point of one testbed reproduction.
 ///
@@ -143,18 +129,24 @@ pub struct CampaignResult {
 
 /// Run `iterations` seeded rounds of `protocol` and aggregate the metrics.
 ///
+/// The deployment's [`RoundPlan`] (bootstrap, chain schedules,
+/// reconstruction weights) is compiled **once** and borrowed by every
+/// worker thread; each round streams into a
+/// [`CampaignAccumulator`] the moment it completes — no per-iteration
+/// configuration clones and no buffered outcome structures. (The
+/// accumulator keeps two scalars per live node-round for the exact
+/// percentile summaries; that is the only state growing with
+/// `iterations`.)
+///
 /// Rounds are distributed over all available cores; results are
 /// deterministic for a given `(base_seed, iterations)` regardless of the
-/// thread count.
+/// thread count (counters are order-independent and sample summaries sort).
 ///
 /// # Errors
 ///
-/// Propagates the first protocol error encountered (configuration
-/// mismatches, disconnected topology).
-///
-/// # Panics
-///
-/// Panics if `iterations` is zero.
+/// * [`MpcError::InvalidConfig`] if `iterations` is zero.
+/// * Plan-compilation errors (configuration mismatches, disconnected
+///   topology), and the lowest-seed round error otherwise.
 pub fn run_campaign(
     protocol: Protocol,
     topology: &Topology,
@@ -162,79 +154,76 @@ pub fn run_campaign(
     iterations: u64,
     base_seed: u64,
 ) -> Result<CampaignResult, MpcError> {
-    assert!(iterations > 0, "campaign needs at least one iteration");
+    if iterations == 0 {
+        return Err(MpcError::InvalidConfig {
+            what: "campaign needs at least one iteration".into(),
+        });
+    }
+    let plan = RoundPlan::new(topology, config, protocol)?;
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(iterations as usize);
 
-    let outcomes: std::sync::Mutex<Vec<(u64, Result<AggregationOutcome, MpcError>)>> =
-        std::sync::Mutex::new(Vec::with_capacity(iterations as usize));
+    let workers: Vec<(CampaignAccumulator, Option<(u64, MpcError)>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let plan = &plan;
+                    scope.spawn(move || {
+                        let mut acc = CampaignAccumulator::new();
+                        let mut first_error: Option<(u64, MpcError)> = None;
+                        let mut seed = base_seed + worker as u64;
+                        while seed < base_seed + iterations {
+                            match plan.run(seed) {
+                                Ok(outcome) => {
+                                    acc.record_round(outcome.correct());
+                                    for node in outcome.live_nodes() {
+                                        acc.record_node(
+                                            node.aggregate == Some(outcome.expected_sum),
+                                            node.latency.map(|l| l.as_millis_f64()),
+                                            node.radio_on.as_millis_f64(),
+                                        );
+                                    }
+                                }
+                                Err(e) => {
+                                    if first_error.is_none() {
+                                        first_error = Some((seed, e));
+                                    }
+                                }
+                            }
+                            seed += threads as u64;
+                        }
+                        (acc, first_error)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign workers do not panic"))
+                .collect()
+        });
 
-    std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let outcomes = &outcomes;
-            scope.spawn(move || {
-                let mut local = Vec::new();
-                let mut seed = base_seed + worker as u64;
-                while seed < base_seed + iterations {
-                    let run = match protocol {
-                        Protocol::S3 => S3Protocol::new(config.clone()).run(topology, seed),
-                        Protocol::S4 => S4Protocol::new(config.clone()).run(topology, seed),
-                    };
-                    local.push((seed, run));
-                    seed += threads as u64;
-                }
-                outcomes
-                    .lock()
-                    .expect("campaign workers do not panic")
-                    .extend(local);
-            });
-        }
-    });
-
-    let mut outcomes = outcomes
-        .into_inner()
-        .expect("campaign workers do not panic");
-    outcomes.sort_by_key(|(seed, _)| *seed);
-
-    let mut latencies = Vec::new();
-    let mut radios = Vec::new();
-    let mut node_ok = 0usize;
-    let mut node_total = 0usize;
-    let mut round_ok = 0usize;
-    let rounds = outcomes.len();
-    for (_, outcome) in outcomes {
-        let outcome = outcome?;
-        if outcome.correct() {
-            round_ok += 1;
-        }
-        for node in outcome.live_nodes() {
-            node_total += 1;
-            if node.aggregate == Some(outcome.expected_sum) {
-                node_ok += 1;
+    let mut acc = CampaignAccumulator::new();
+    let mut first_error: Option<(u64, MpcError)> = None;
+    for (worker_acc, error) in workers {
+        acc.merge(worker_acc);
+        if let Some((seed, e)) = error {
+            if first_error.as_ref().is_none_or(|&(s, _)| seed < s) {
+                first_error = Some((seed, e));
             }
-            if let Some(latency) = node.latency {
-                latencies.push(latency.as_millis_f64());
-            }
-            radios.push(node.radio_on.as_millis_f64());
         }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
     }
 
     Ok(CampaignResult {
-        latency_ms: Summary::of(&latencies),
-        radio_on_ms: Summary::of(&radios),
-        node_success: if node_total == 0 {
-            0.0
-        } else {
-            node_ok as f64 / node_total as f64
-        },
-        round_success: if rounds == 0 {
-            0.0
-        } else {
-            round_ok as f64 / rounds as f64
-        },
-        rounds,
+        latency_ms: acc.latency(),
+        radio_on_ms: acc.radio_on(),
+        node_success: acc.node_success(),
+        round_success: acc.round_success(),
+        rounds: acc.rounds() as usize,
     })
 }
 
@@ -307,11 +296,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one iteration")]
-    fn zero_iterations_panics() {
+    fn zero_iterations_is_an_error() {
         let setup = TestbedSetup::flocklab();
         let topology = setup.topology();
         let config = setup.config(3).unwrap();
-        let _ = run_campaign(Protocol::S4, &topology, &config, 0, 1);
+        let err = run_campaign(Protocol::S4, &topology, &config, 0, 1).unwrap_err();
+        assert!(matches!(err, MpcError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("at least one iteration"));
     }
 }

@@ -54,4 +54,6 @@ mod minicast;
 
 pub use chain::{ChainError, ChainSpec};
 pub use glossy::{Glossy, GlossyConfig, GlossyResult};
-pub use minicast::{MiniCast, MiniCastConfig, MiniCastResult, NodeOutcome};
+pub use minicast::{
+    LinkConditions, MiniCast, MiniCastConfig, MiniCastResult, MiniCastSchedule, NodeOutcome,
+};

@@ -1,5 +1,17 @@
 //! MiniCast: many-to-many data sharing over a TDMA chain of interleaved
 //! Glossy-style floods.
+//!
+//! The implementation is split along the protocol's natural lifecycle:
+//!
+//! * [`MiniCastSchedule`] — the immutable, topology-derived part: chain
+//!   layout, initiator election, failover ranking, and the scheduled round
+//!   length. Computing it walks the topology (BFS eccentricities), so a
+//!   long-lived deployment builds it **once** and reuses it every round.
+//! * [`LinkConditions`] — the cheap per-round state: the link table under
+//!   this round's attenuation draw. One instance serves every phase of a
+//!   round (all phases happen within seconds, under the same fading).
+//! * [`MiniCast`] — the original single-shot convenience API, now a thin
+//!   wrapper binding a schedule to one set of link conditions.
 
 use ppda_radio::{EnergyLedger, FrameSpec};
 use ppda_sim::{derive_stream, SimDuration, SimTime, Xoshiro256};
@@ -27,6 +39,12 @@ pub struct MiniCastConfig {
     pub link_threshold: f64,
     /// Round-scale extra attenuation (dB) applied to every link — models
     /// interference/fading conditions of this particular round.
+    ///
+    /// Only the single-shot [`MiniCast`] wrapper consumes this field (it
+    /// builds its [`LinkConditions`] from it). A reusable
+    /// [`MiniCastSchedule`] deliberately ignores it: attenuation is
+    /// per-round state and lives in the `LinkConditions` passed to each
+    /// run.
     pub attenuation_db: f64,
     /// Whether nodes power the radio down once their completion predicate
     /// holds and their NTX relay duty is done. The scalable protocol's
@@ -50,7 +68,7 @@ impl Default for MiniCastConfig {
 }
 
 /// Per-node outcome of a MiniCast round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeOutcome {
     /// Which chain packets this node holds at round end (own packets
     /// included).
@@ -162,29 +180,88 @@ impl MiniCastResult {
     }
 }
 
-/// A configured MiniCast instance over a fixed topology and chain.
+/// The per-round radio conditions: a link table under one attenuation draw.
+///
+/// Building one is O(n²) in the deployment size; both MiniCast phases of an
+/// aggregation round (and any Glossy floods in between) can share a single
+/// instance because the round-scale fading is drawn once per round.
 #[derive(Debug, Clone)]
-pub struct MiniCast<'a> {
-    topology: &'a Topology,
-    chain: ChainSpec,
-    config: MiniCastConfig,
+pub struct LinkConditions {
     links: LinkTable,
-    initiator: usize,
-    round_cycles: u32,
+    n: usize,
 }
 
-impl<'a> MiniCast<'a> {
+impl LinkConditions {
+    /// Evaluate every link of `topology` under `attenuation_db` of extra
+    /// round-scale attenuation.
+    pub fn new(topology: &Topology, attenuation_db: f64) -> Self {
+        LinkConditions {
+            links: LinkTable::new(topology, attenuation_db),
+            n: topology.len(),
+        }
+    }
+
+    /// Number of nodes the conditions cover.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for an empty topology (unconstructible in practice).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// The immutable, reusable part of a MiniCast round: chain layout,
+/// initiator election (plus the failover ranking used when the initiator is
+/// failure-injected), and the scheduled round length.
+///
+/// Everything here derives from `(topology, chain, config)` only — no
+/// per-round randomness — so a periodic-aggregation deployment computes it
+/// once at bootstrap and replays it every sensing epoch with fresh
+/// [`LinkConditions`].
+#[derive(Debug, Clone)]
+pub struct MiniCastSchedule {
+    chain: ChainSpec,
+    config: MiniCastConfig,
+    initiator: usize,
+    round_cycles: u32,
+    /// Deduped chain owners ranked by (eccentricity, id) — the failover
+    /// order when the designated initiator is dead. Owners disconnected at
+    /// the link threshold are excluded.
+    owner_rank: Vec<usize>,
+    n: usize,
+}
+
+impl MiniCastSchedule {
     /// Bind a chain schedule to a topology.
+    ///
+    /// `config.attenuation_db` is ignored here: a schedule outlives any
+    /// one round, so per-round attenuation belongs to the
+    /// [`LinkConditions`] handed to [`MiniCastSchedule::run_with`].
     ///
     /// # Panics
     ///
     /// Panics if a chain owner id is outside the topology, or if the
     /// configured initiator is.
-    pub fn new(topology: &'a Topology, chain: ChainSpec, config: MiniCastConfig) -> Self {
+    pub fn new(topology: &Topology, chain: ChainSpec, config: MiniCastConfig) -> Self {
         let n = topology.len();
         for &o in chain.owners() {
             assert!((o as usize) < n, "chain owner {o} outside topology");
         }
+        let mut owners: Vec<usize> = chain.owners().iter().map(|&o| o as usize).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        let mut ranked: Vec<(u32, usize)> = owners
+            .iter()
+            .filter_map(|&v| {
+                topology
+                    .eccentricity(v, config.link_threshold)
+                    .map(|e| (e, v))
+            })
+            .collect();
+        ranked.sort_unstable();
+        let owner_rank: Vec<usize> = ranked.iter().map(|&(_, v)| v).collect();
         let initiator = match config.initiator {
             Some(i) => {
                 assert!((i as usize) < n, "initiator {i} outside topology");
@@ -192,21 +269,10 @@ impl<'a> MiniCast<'a> {
             }
             // The initiator kick-starts the round, so it must own at least
             // one sub-slot; pick the most central chain owner.
-            None => {
-                let mut owners: Vec<usize> = chain.owners().iter().map(|&o| o as usize).collect();
-                owners.sort_unstable();
-                owners.dedup();
-                owners
-                    .iter()
-                    .filter_map(|&v| {
-                        topology
-                            .eccentricity(v, config.link_threshold)
-                            .map(|e| (e, v))
-                    })
-                    .min()
-                    .map(|(_, v)| v)
-                    .unwrap_or_else(|| chain.owner(0) as usize)
-            }
+            None => owner_rank
+                .first()
+                .copied()
+                .unwrap_or_else(|| chain.owner(0) as usize),
         };
         let ecc = topology
             .eccentricity(initiator, config.link_threshold)
@@ -215,19 +281,24 @@ impl<'a> MiniCast<'a> {
             .max_cycles
             .unwrap_or(ecc + config.ntx + config.slack_cycles)
             .max(1);
-        MiniCast {
-            topology,
+        MiniCastSchedule {
             chain,
             config,
-            links: LinkTable::new(topology, config.attenuation_db),
             initiator,
             round_cycles,
+            owner_rank,
+            n,
         }
     }
 
-    /// The chain this instance disseminates.
+    /// The chain this schedule disseminates.
     pub fn chain(&self) -> &ChainSpec {
         &self.chain
+    }
+
+    /// The round parameters the schedule was built with.
+    pub fn config(&self) -> &MiniCastConfig {
+        &self.config
     }
 
     /// The flood initiator node.
@@ -242,9 +313,9 @@ impl<'a> MiniCast<'a> {
 
     /// Run one round where completion means "received the whole chain"
     /// (the all-to-all use of MiniCast).
-    pub fn run(&self, rng: &mut Xoshiro256) -> MiniCastResult {
+    pub fn run(&self, conditions: &LinkConditions, rng: &mut Xoshiro256) -> MiniCastResult {
         let l = self.chain.len();
-        self.run_with(rng, &vec![false; self.topology.len()], |_, have| {
+        self.run_with(conditions, rng, &vec![false; self.n], |_, have| {
             have.iter().filter(|&&h| h).count() == l
         })
     }
@@ -259,14 +330,17 @@ impl<'a> MiniCast<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `failed.len()` differs from the topology size.
+    /// Panics if `failed.len()` or the conditions' node count differs from
+    /// the topology size the schedule was built for.
     pub fn run_with(
         &self,
+        conditions: &LinkConditions,
         rng: &mut Xoshiro256,
         failed: &[bool],
         predicate: impl Fn(usize, &[bool]) -> bool,
     ) -> MiniCastResult {
-        let n = self.topology.len();
+        let n = self.n;
+        assert_eq!(conditions.len(), n, "link conditions size mismatch");
         assert_eq!(failed.len(), n, "failure mask size mismatch");
         let l = self.chain.len();
         let slot = self.chain.slot_duration();
@@ -288,24 +362,7 @@ impl<'a> MiniCast<'a> {
         // kicks in: the next most central live chain owner starts the
         // round (real CT stacks rotate initiators on sync silence).
         let initiator = if failed[self.initiator] {
-            let mut owners: Vec<usize> = self
-                .chain
-                .owners()
-                .iter()
-                .map(|&o| o as usize)
-                .filter(|&o| !failed[o])
-                .collect();
-            owners.sort_unstable();
-            owners.dedup();
-            owners
-                .iter()
-                .filter_map(|&v| {
-                    self.topology
-                        .eccentricity(v, self.config.link_threshold)
-                        .map(|e| (e, v))
-                })
-                .min()
-                .map(|(_, v)| v)
+            self.owner_rank.iter().copied().find(|&v| !failed[v])
         } else {
             Some(self.initiator)
         };
@@ -356,7 +413,7 @@ impl<'a> MiniCast<'a> {
                         continue;
                     }
                     if any_tx && !have[v][j] {
-                        let p = self.links.reception_prob(v, &is_tx_scratch);
+                        let p = conditions.links.reception_prob(v, &is_tx_scratch);
                         if p > 0.0 && rng.chance(p) {
                             have[v][j] = true;
                             rx_at[v][j] = Some(slot_start + slot);
@@ -370,7 +427,7 @@ impl<'a> MiniCast<'a> {
                         }
                     } else if any_tx && have[v][j] {
                         // Overhearing a known packet still synchronizes.
-                        let p = self.links.reception_prob(v, &is_tx_scratch);
+                        let p = conditions.links.reception_prob(v, &is_tx_scratch);
                         if p > 0.0 && rng.chance(p) {
                             heard[v] = true;
                         }
@@ -423,6 +480,73 @@ impl<'a> MiniCast<'a> {
             chain_len: l,
         }
     }
+}
+
+/// A configured MiniCast instance over a fixed topology and chain: one
+/// [`MiniCastSchedule`] bound to one set of [`LinkConditions`] (built from
+/// `config.attenuation_db`). The single-shot convenience API; round-based
+/// protocols hold the schedule and swap conditions per round instead.
+#[derive(Debug, Clone)]
+pub struct MiniCast {
+    schedule: MiniCastSchedule,
+    conditions: LinkConditions,
+}
+
+impl MiniCast {
+    /// Bind a chain schedule to a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chain owner id is outside the topology, or if the
+    /// configured initiator is.
+    pub fn new(topology: &Topology, chain: ChainSpec, config: MiniCastConfig) -> Self {
+        MiniCast {
+            schedule: MiniCastSchedule::new(topology, chain, config),
+            conditions: LinkConditions::new(topology, config.attenuation_db),
+        }
+    }
+
+    /// The chain this instance disseminates.
+    pub fn chain(&self) -> &ChainSpec {
+        self.schedule.chain()
+    }
+
+    /// The reusable schedule backing this instance.
+    pub fn schedule(&self) -> &MiniCastSchedule {
+        &self.schedule
+    }
+
+    /// The flood initiator node.
+    pub fn initiator(&self) -> usize {
+        self.schedule.initiator()
+    }
+
+    /// Scheduled round length in cycles.
+    pub fn round_cycles(&self) -> u32 {
+        self.schedule.round_cycles()
+    }
+
+    /// Run one round where completion means "received the whole chain"
+    /// (the all-to-all use of MiniCast).
+    pub fn run(&self, rng: &mut Xoshiro256) -> MiniCastResult {
+        self.schedule.run(&self.conditions, rng)
+    }
+
+    /// Run one round with failure injection and a custom per-node
+    /// completion predicate; see [`MiniCastSchedule::run_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed.len()` differs from the topology size.
+    pub fn run_with(
+        &self,
+        rng: &mut Xoshiro256,
+        failed: &[bool],
+        predicate: impl Fn(usize, &[bool]) -> bool,
+    ) -> MiniCastResult {
+        self.schedule
+            .run_with(&self.conditions, rng, failed, predicate)
+    }
 
     /// Measure mean all-to-all coverage as a function of NTX — the
     /// non-linear curve (steep rise, slow tail) that motivates S4's low-NTX
@@ -436,21 +560,24 @@ impl<'a> MiniCast<'a> {
         iterations: u32,
         seed: u64,
     ) -> Vec<(u32, f64)> {
+        // The chain and link conditions are NTX-independent: build them once
+        // and share them across the sweep.
         let owners: Vec<u16> = (0..topology.len() as u16).collect();
+        let chain = ChainSpec::new(frame, owners).expect("non-empty");
+        let conditions = LinkConditions::new(topology, MiniCastConfig::default().attenuation_db);
         ntx_values
             .iter()
             .map(|&ntx| {
-                let chain = ChainSpec::new(frame, owners.clone()).expect("non-empty");
                 let config = MiniCastConfig {
                     ntx,
                     ..MiniCastConfig::default()
                 };
-                let mc = MiniCast::new(topology, chain, config);
+                let schedule = MiniCastSchedule::new(topology, chain.clone(), config);
                 let mut total = 0.0;
                 for it in 0..iterations {
                     let mut rng =
                         Xoshiro256::seed_from(derive_stream(seed, (ntx as u64) << 32 | it as u64));
-                    total += mc.run(&mut rng).coverage();
+                    total += schedule.run(&conditions, &mut rng).coverage();
                 }
                 (ntx, total / iterations as f64)
             })
@@ -534,6 +661,49 @@ mod tests {
             assert_eq!(a.received, b.received);
             assert_eq!(a.predicate_met_at, b.predicate_met_at);
         }
+    }
+
+    #[test]
+    fn schedule_reuse_matches_single_shot() {
+        // The whole point of the split: a schedule reused with fresh
+        // per-round conditions must behave exactly like a freshly built
+        // MiniCast instance.
+        let t = Topology::flocklab();
+        let schedule = MiniCastSchedule::new(&t, all_to_all(&t), MiniCastConfig::default());
+        let conditions = LinkConditions::new(&t, 0.0);
+        for seed in [3u64, 5, 8, 13] {
+            let fresh = MiniCast::new(&t, all_to_all(&t), MiniCastConfig::default());
+            let a = fresh.run(&mut Xoshiro256::seed_from(seed));
+            let b = schedule.run(&conditions, &mut Xoshiro256::seed_from(seed));
+            assert_eq!(a.cycles_run, b.cycles_run);
+            assert_eq!(a.nodes, b.nodes);
+        }
+    }
+
+    #[test]
+    fn conditions_shared_across_phases_match_per_phase_tables() {
+        // One LinkConditions at a given attenuation equals the table a
+        // fresh MiniCast builds from config.attenuation_db.
+        let t = Topology::dcube();
+        let config = MiniCastConfig {
+            attenuation_db: 3.5,
+            ..Default::default()
+        };
+        let schedule = MiniCastSchedule::new(&t, all_to_all(&t), config);
+        let conditions = LinkConditions::new(&t, 3.5);
+        let fresh = MiniCast::new(&t, all_to_all(&t), config);
+        let a = fresh.run(&mut Xoshiro256::seed_from(21));
+        let b = schedule.run(&conditions, &mut Xoshiro256::seed_from(21));
+        assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    #[should_panic(expected = "link conditions size mismatch")]
+    fn mismatched_conditions_panic() {
+        let t = Topology::flocklab();
+        let schedule = MiniCastSchedule::new(&t, all_to_all(&t), MiniCastConfig::default());
+        let small = LinkConditions::new(&Topology::line(3, 20.0, 1), 0.0);
+        let _ = schedule.run(&small, &mut Xoshiro256::seed_from(1));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Streaming aggregation of Monte-Carlo campaign observations.
+//!
+//! A campaign of thousands of rounds must not buffer every round's full
+//! outcome structure until the end: [`CampaignAccumulator`] folds each
+//! round into counters and two flat per-node sample buffers (latency,
+//! radio-on) the moment it completes, so memory is a few scalars per
+//! *observation* instead of whole outcome graphs per *iteration*. The
+//! sample buffers still grow with `iterations × nodes` (16 bytes per live
+//! node-round) — the price of **exact** p95/p99 summaries; swap them for a
+//! quantile sketch if campaigns ever reach the 10⁸-round scale where that
+//! matters.
+//!
+//! Worker threads each fold their own accumulator and [`merge`] them at
+//! join time; all derived statistics are order-independent (counters are
+//! integers, and [`Summary`] sorts its sample), so results are identical
+//! for any thread count.
+//!
+//! [`merge`]: CampaignAccumulator::merge
+
+use crate::summary::Summary;
+
+/// Folds per-round, per-node campaign observations into summary state.
+///
+/// # Example
+///
+/// ```
+/// use ppda_metrics::CampaignAccumulator;
+/// let mut acc = CampaignAccumulator::new();
+/// acc.record_round(true);
+/// acc.record_node(true, Some(12.5), 3.0);
+/// acc.record_node(false, None, 4.0);
+/// assert_eq!(acc.rounds(), 1);
+/// assert_eq!(acc.node_success(), 0.5);
+/// assert_eq!(acc.latency().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CampaignAccumulator {
+    latencies: Vec<f64>,
+    radios: Vec<f64>,
+    node_ok: u64,
+    node_total: u64,
+    round_ok: u64,
+    rounds: u64,
+}
+
+impl CampaignAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed round (`correct` = every live node obtained
+    /// the right aggregate).
+    pub fn record_round(&mut self, correct: bool) {
+        self.rounds += 1;
+        if correct {
+            self.round_ok += 1;
+        }
+    }
+
+    /// Record one live node of the current round: whether it got the
+    /// correct aggregate, its completion latency (if it finished), and its
+    /// radio-on time.
+    pub fn record_node(&mut self, correct: bool, latency_ms: Option<f64>, radio_on_ms: f64) {
+        self.node_total += 1;
+        if correct {
+            self.node_ok += 1;
+        }
+        if let Some(l) = latency_ms {
+            self.latencies.push(l);
+        }
+        self.radios.push(radio_on_ms);
+    }
+
+    /// Absorb another accumulator (e.g. a worker thread's share of the
+    /// campaign).
+    pub fn merge(&mut self, other: CampaignAccumulator) {
+        self.latencies.extend(other.latencies);
+        self.radios.extend(other.radios);
+        self.node_ok += other.node_ok;
+        self.node_total += other.node_total;
+        self.round_ok += other.round_ok;
+        self.rounds += other.rounds;
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Fraction of rounds where every live node was correct (0 when no
+    /// rounds were recorded).
+    pub fn round_success(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.round_ok as f64 / self.rounds as f64
+        }
+    }
+
+    /// Fraction of recorded nodes that obtained the correct aggregate
+    /// (0 when no nodes were recorded).
+    pub fn node_success(&self) -> f64 {
+        if self.node_total == 0 {
+            0.0
+        } else {
+            self.node_ok as f64 / self.node_total as f64
+        }
+    }
+
+    /// Summary of per-node completion latencies (nodes that finished).
+    pub fn latency(&self) -> Summary {
+        Summary::of(&self.latencies)
+    }
+
+    /// Summary of per-node radio-on times.
+    pub fn radio_on(&self) -> Summary {
+        Summary::of(&self.radios)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_summaries() {
+        let mut acc = CampaignAccumulator::new();
+        acc.record_round(true);
+        acc.record_round(false);
+        acc.record_node(true, Some(10.0), 1.0);
+        acc.record_node(true, Some(20.0), 2.0);
+        acc.record_node(false, None, 3.0);
+        assert_eq!(acc.rounds(), 2);
+        assert_eq!(acc.round_success(), 0.5);
+        assert!((acc.node_success() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(acc.latency().len(), 2);
+        assert_eq!(acc.latency().mean(), 15.0);
+        assert_eq!(acc.radio_on().len(), 3);
+        assert_eq!(acc.radio_on().mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_sane() {
+        let acc = CampaignAccumulator::new();
+        assert_eq!(acc.rounds(), 0);
+        assert_eq!(acc.round_success(), 0.0);
+        assert_eq!(acc.node_success(), 0.0);
+        assert!(acc.latency().is_empty());
+        assert!(acc.radio_on().is_empty());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = CampaignAccumulator::new();
+        a.record_round(true);
+        a.record_node(true, Some(5.0), 1.0);
+        let mut b = CampaignAccumulator::new();
+        b.record_round(false);
+        b.record_node(false, Some(7.0), 2.0);
+
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab.rounds(), ba.rounds());
+        assert_eq!(ab.round_success(), ba.round_success());
+        assert_eq!(ab.node_success(), ba.node_success());
+        // Summaries sort, so the sample order of arrival cannot matter.
+        assert_eq!(ab.latency(), ba.latency());
+        assert_eq!(ab.radio_on(), ba.radio_on());
+    }
+}

@@ -11,8 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod summary;
 mod table;
 
+pub use campaign::CampaignAccumulator;
 pub use summary::{geometric_mean, ratio_of_means, Summary};
 pub use table::Table;

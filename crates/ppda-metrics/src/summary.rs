@@ -110,6 +110,25 @@ impl Summary {
     pub fn median(&self) -> f64 {
         self.quantile(0.5)
     }
+
+    /// The 95th percentile (0.95-quantile) — the paper's latency claims
+    /// are tail-sensitive, so harnesses report it alongside the mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile (0.99-quantile).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 impl fmt::Display for Summary {
@@ -170,6 +189,16 @@ mod tests {
         assert_eq!(s.quantile(1.0), 4.0);
         assert_eq!(s.median(), 2.5);
         assert!((s.quantile(0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&samples);
+        assert!((s.p95() - 95.05).abs() < 1e-9);
+        assert!((s.p99() - 99.01).abs() < 1e-9);
+        assert!(s.p99() >= s.p95());
+        assert_eq!(Summary::of(&[7.0]).p99(), 7.0);
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Per-round execution over a compiled [`RoundPlan`].
+//!
+//! Everything here is work that genuinely differs from round to round:
+//! reading generation, DRBG share generation and CCM sealing, the round's
+//! fading draw and MiniCast simulation, sum accumulation, and per-node
+//! reconstruction. All deployment-scoped computation (bootstrap, chains,
+//! schedules, Lagrange weights) comes precompiled from the plan.
+
+use ppda_crypto::CtrDrbg;
+use ppda_ct::{LinkConditions, MiniCastResult};
+use ppda_field::Gf;
+use ppda_sim::{derive_stream, SimDuration, SimTime, Xoshiro256};
+use ppda_sss::{split_secret, ReconstructionPlan, Share, SharePacket, SumAccumulator, SumPacket};
+use rand::RngCore;
+
+use crate::config::ProtocolConfig;
+use crate::error::MpcError;
+use crate::outcome::{AggregationOutcome, NodeResult, PhaseStats};
+use crate::plan::RoundPlan;
+use crate::{Elem, Field};
+
+/// Deterministic sensor readings for a round: uniform in
+/// `[0, max_reading)`, derived from the master key, round id and seed.
+pub(crate) fn generate_readings(config: &ProtocolConfig, round_id: u32, seed: u64) -> Vec<u64> {
+    let mut drbg = CtrDrbg::new(
+        config.master_key,
+        format!("readings|{round_id}|{seed}").as_bytes(),
+    );
+    config
+        .sources
+        .iter()
+        .map(|_| drbg.next_u64() % config.max_reading)
+        .collect()
+}
+
+fn phase_stats(result: &MiniCastResult, chain_len: usize, ntx: u32) -> PhaseStats {
+    PhaseStats {
+        chain_len,
+        cycles_scheduled: result.cycles_scheduled,
+        cycles_run: result.cycles_run,
+        scheduled_duration: result.scheduled_duration(),
+        coverage: result.coverage(),
+        ntx,
+    }
+}
+
+impl RoundPlan<'_> {
+    /// Run one round with deterministically generated sensor readings and
+    /// no failures, at the configuration's round id.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundPlan::run_epoch`].
+    pub fn run(&self, seed: u64) -> Result<AggregationOutcome, MpcError> {
+        let config = self.config();
+        let secrets = generate_readings(config, config.round_id, seed);
+        self.run_with(seed, &secrets, &vec![false; config.n_nodes])
+    }
+
+    /// Run one round with explicit readings and failure injection, at the
+    /// configuration's round id.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundPlan::run_epoch`].
+    pub fn run_with(
+        &self,
+        seed: u64,
+        secrets: &[u64],
+        failed: &[bool],
+    ) -> Result<AggregationOutcome, MpcError> {
+        self.run_epoch(self.config().round_id, seed, secrets, failed)
+    }
+
+    /// Run one round under an explicit round id (periodic sessions advance
+    /// it every epoch so CCM nonces and share randomness never repeat).
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcError::InputMismatch`] on wrong-sized inputs.
+    /// * [`MpcError::ReadingTooLarge`] if a reading exceeds the field.
+    pub fn run_epoch(
+        &self,
+        round_id: u32,
+        seed: u64,
+        secrets: &[u64],
+        failed: &[bool],
+    ) -> Result<AggregationOutcome, MpcError> {
+        let config = self.config();
+        let n = config.n_nodes;
+        if secrets.len() != config.sources.len() {
+            return Err(MpcError::InputMismatch {
+                what: format!(
+                    "{} secrets for {} sources",
+                    secrets.len(),
+                    config.sources.len()
+                ),
+            });
+        }
+        if failed.len() != n {
+            return Err(MpcError::InputMismatch {
+                what: format!("failure mask of {} for {} nodes", failed.len(), n),
+            });
+        }
+        for &s in secrets {
+            if s >= Elem::modulus() {
+                return Err(MpcError::ReadingTooLarge { value: s });
+            }
+        }
+
+        // This round's radio conditions (drawn once; both phases happen
+        // within seconds of each other, so one link table serves both).
+        let attenuation_db = {
+            let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0xFAD));
+            config.fading.draw(&mut rng)
+        };
+        let conditions = LinkConditions::new(self.topology(), attenuation_db);
+
+        let live_source_mask: u128 = config
+            .sources
+            .iter()
+            .zip(secrets)
+            .filter(|&(&s, _)| !failed[s as usize])
+            .fold(0u128, |m, (&s, _)| m | (1u128 << s));
+        let expected: Elem = config
+            .sources
+            .iter()
+            .zip(secrets)
+            .filter(|&(&s, _)| !failed[s as usize])
+            .map(|(_, &v)| Elem::new(v))
+            .sum();
+
+        // ---- Sharing phase ------------------------------------------------
+        // One share vector per live source (kept for the local-sum step so
+        // source-destinations need not re-derive their own share), one
+        // sealed payload per live sub-slot.
+        let mut shares_by_source: Vec<Option<Vec<Share<Field>>>> =
+            Vec::with_capacity(config.sources.len());
+        for (si, &src) in config.sources.iter().enumerate() {
+            if failed[src as usize] {
+                shares_by_source.push(None);
+                continue;
+            }
+            let mut drbg = CtrDrbg::new(
+                config.master_key,
+                format!("share|{round_id}|{seed}|{src}").as_bytes(),
+            );
+            shares_by_source.push(Some(split_secret(
+                Elem::new(secrets[si]),
+                config.degree,
+                &self.dest_xs,
+                &mut drbg,
+            )?));
+        }
+        let mut sealed: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            match &shares_by_source[slot.src_index] {
+                Some(shares) => {
+                    let pkt = SharePacket::<Field> {
+                        src: slot.src,
+                        dst: slot.dst,
+                        round: round_id,
+                        share: shares[slot.dst_index],
+                    };
+                    sealed.push(Some(pkt.seal(self.bootstrap.keys(), config.tag_len)?));
+                }
+                None => sealed.push(None),
+            }
+        }
+
+        let sharing_result = {
+            // Predicate: which sub-slots a node must hold before its
+            // sharing duty is complete.
+            let slot_live: Vec<bool> = sealed.iter().map(|s| s.is_some()).collect();
+            let slot_dst = &self.slot_dst;
+            let is_destination = &self.is_destination;
+            let strict = self.variant.strict_completion;
+            let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0x5A1));
+            self.sharing_schedule
+                .run_with(&conditions, &mut rng, failed, |v, have| {
+                    if strict {
+                        // Naive: wait for the complete chain. The static
+                        // schedule has no notion of node liveness, so a dead
+                        // source's sub-slots stall the predicate — exactly
+                        // the rigidity the paper's S4 removes.
+                        have.iter().all(|&h| h)
+                    } else if is_destination[v] {
+                        // Aggregator: needs exactly the packets addressed to it.
+                        (0..have.len()).all(|j| !slot_live[j] || slot_dst[j] != v as u16 || have[j])
+                    } else {
+                        // Pure relay: no data needs of its own.
+                        true
+                    }
+                })
+        };
+
+        // ---- Local sum accumulation ---------------------------------------
+        let mut sums: Vec<Option<SumPacket<Field>>> = vec![None; self.destinations.len()];
+        for (di, &d) in self.destinations.iter().enumerate() {
+            if failed[d as usize] {
+                continue;
+            }
+            let mut acc = SumAccumulator::new(self.dest_xs[di]);
+            // Own share, if this destination is itself a live source.
+            if let Some(si) = config.sources.iter().position(|&s| s == d) {
+                if let Some(shares) = &shares_by_source[si] {
+                    acc.add(d, shares[di].y)?;
+                }
+            }
+            for (j, slot) in self.slots.iter().enumerate() {
+                if slot.dst != d || sealed[j].is_none() {
+                    continue;
+                }
+                if !sharing_result.nodes[d as usize].received[j] {
+                    continue;
+                }
+                let payload = sealed[j].as_ref().expect("checked above");
+                let pkt = SharePacket::<Field>::open(
+                    self.bootstrap.keys(),
+                    config.tag_len,
+                    slot.src,
+                    d,
+                    round_id,
+                    self.dest_xs[di],
+                    payload,
+                )?;
+                acc.add(slot.src, pkt.share.y)?;
+            }
+            sums[di] = Some(SumPacket {
+                node: d,
+                round: round_id,
+                share: acc.share(),
+                mask: acc.contributor_mask(),
+            });
+        }
+
+        // ---- Reconstruction phase ------------------------------------------
+        // A sum share is *usable* for threshold reconstruction when it
+        // covers every live source. (A node discovers this bit the moment
+        // it decodes the packet; precomputing it here is timing-equivalent.)
+        let usable: Vec<bool> = sums
+            .iter()
+            .map(|s| matches!(s, Some(p) if p.mask == live_source_mask))
+            .collect();
+        let threshold = self.threshold;
+        let recon_result = {
+            let strict = self.variant.strict_completion;
+            let usable = &usable;
+            let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0x5A2));
+            self.recon_schedule
+                .run_with(&conditions, &mut rng, failed, move |_, have| {
+                    if strict {
+                        have.iter().all(|&h| h)
+                    } else {
+                        have.iter().zip(usable).filter(|&(&h, &u)| h && u).count() >= threshold
+                    }
+                })
+        };
+
+        // ---- Per-node aggregation -------------------------------------------
+        let sharing_sched = sharing_result.scheduled_duration();
+        let strict = self.variant.strict_completion;
+        let nodes: Vec<NodeResult> = (0..n)
+            .map(|v| {
+                if failed[v] {
+                    return NodeResult {
+                        aggregate: None,
+                        included_sources: 0,
+                        latency: None,
+                        radio_on: SimDuration::ZERO,
+                        energy_mj: 0.0,
+                        failed: true,
+                    };
+                }
+                // Collect the sum shares this node holds after
+                // reconstruction. A naive (strict) node only delivers once
+                // its all-to-all predicate held — it has no protocol step
+                // for partial data.
+                let (aggregate, included) =
+                    if strict && recon_result.nodes[v].predicate_met_at.is_none() {
+                        (None, 0)
+                    } else {
+                        let held: Vec<&SumPacket<Field>> = sums
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, s)| s.is_some() && recon_result.nodes[v].received[j])
+                            .map(|(_, s)| s.as_ref().expect("filtered"))
+                            .collect();
+                        aggregate_from_sums(&held, config.degree, &self.recon_weights)
+                    };
+
+                let latency = recon_result.nodes[v]
+                    .predicate_met_at
+                    .map(|t| sharing_sched + (t - SimTime::ZERO));
+                let mut radio = sharing_result.nodes[v].ledger;
+                radio.merge(&recon_result.nodes[v].ledger);
+                NodeResult {
+                    aggregate: aggregate.map(|a| a.value()),
+                    included_sources: included,
+                    latency,
+                    radio_on: radio.radio_on(),
+                    energy_mj: radio.energy_mj(&ppda_radio::RadioCurrents::nrf52840()),
+                    failed: false,
+                }
+            })
+            .collect();
+
+        Ok(AggregationOutcome {
+            protocol: self.variant.name,
+            expected_sum: expected.value(),
+            nodes,
+            sharing: phase_stats(&sharing_result, self.slots.len(), self.ntx_sharing),
+            reconstruction: phase_stats(
+                &recon_result,
+                self.destinations.len(),
+                self.ntx_reconstruction,
+            ),
+            degree: config.degree,
+            aggregator_count: self.destinations.len(),
+            source_count: config.sources.len(),
+        })
+    }
+}
+
+/// Reconstruct the aggregate from whatever sum shares a node holds:
+/// group by contributor mask, prefer the mask covering the most sources
+/// (ties: the mask held by more nodes), and reconstruct once a group
+/// reaches degree+1 members — via the plan's precomputed Lagrange weights
+/// when the chosen subset is the canonical one.
+fn aggregate_from_sums(
+    held: &[&SumPacket<Field>],
+    degree: usize,
+    weights: &ReconstructionPlan<Field>,
+) -> (Option<Gf<Field>>, u32) {
+    use std::collections::HashMap;
+    let mut groups: HashMap<u128, Vec<&SumPacket<Field>>> = HashMap::new();
+    for p in held {
+        groups.entry(p.mask).or_default().push(p);
+    }
+    let mut best: Option<(u32, usize, u128)> = None;
+    for (&mask, members) in &groups {
+        // An empty mask is an aggregate of nothing; never reconstruct it.
+        if mask == 0 || members.len() < degree + 1 {
+            continue;
+        }
+        // The mask itself is the final tie-break: group iteration order
+        // comes from a HashMap, and determinism across processes is part
+        // of the protocol contract.
+        let key = (mask.count_ones(), members.len(), mask);
+        if best.is_none_or(|b| key > b) {
+            best = Some(key);
+        }
+    }
+    let Some((bits, _, mask)) = best else {
+        return (None, 0);
+    };
+    let mut members: Vec<&&SumPacket<Field>> = groups[&mask].iter().collect();
+    members.sort_by_key(|p| p.share.x);
+    let points: Vec<Share<Field>> = members[..degree + 1].iter().map(|p| p.share).collect();
+    match weights.reconstruct(&points) {
+        Ok(v) => (Some(v), bits),
+        Err(_) => (None, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppda_field::share_x;
+
+    #[test]
+    fn readings_are_deterministic_and_bounded() {
+        let c = ProtocolConfig::builder(10)
+            .max_reading(100)
+            .build()
+            .unwrap();
+        let a = generate_readings(&c, c.round_id, 5);
+        let b = generate_readings(&c, c.round_id, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|&v| v < 100));
+        assert_ne!(a, generate_readings(&c, c.round_id, 6));
+        assert_ne!(a, generate_readings(&c, c.round_id + 1, 5));
+    }
+
+    fn weights(nodes: &[usize], threshold: usize) -> ReconstructionPlan<Field> {
+        let mut xs: Vec<Elem> = nodes.iter().map(|&i| share_x::<Field>(i)).collect();
+        xs.sort_unstable();
+        ReconstructionPlan::new(&xs[..threshold]).unwrap()
+    }
+
+    #[test]
+    fn aggregate_from_sums_prefers_widest_mask() {
+        // Degree 1: need 2 shares. Build two candidate groups.
+        let wide_mask = 0b111u128;
+        let narrow_mask = 0b011u128;
+        // Wide group on polynomial 10 + x; narrow on 20 + x.
+        let mk = |node: u16, y: u64, mask: u128| SumPacket::<Field> {
+            node,
+            round: 0,
+            share: Share {
+                x: share_x::<Field>(node as usize),
+                y: Elem::new(y),
+            },
+            mask,
+        };
+        let p0 = mk(0, 11, wide_mask);
+        let p1 = mk(1, 12, wide_mask);
+        let p2 = mk(2, 23, narrow_mask);
+        let p3 = mk(3, 24, narrow_mask);
+        let held = vec![&p0, &p1, &p2, &p3];
+        let w = weights(&[0, 1, 2, 3], 2);
+        let (agg, bits) = aggregate_from_sums(&held, 1, &w);
+        assert_eq!(agg, Some(Elem::new(10)));
+        assert_eq!(bits, 3);
+    }
+
+    #[test]
+    fn aggregate_from_sums_needs_threshold() {
+        let p0 = SumPacket::<Field> {
+            node: 0,
+            round: 0,
+            share: Share {
+                x: share_x::<Field>(0),
+                y: Elem::new(5),
+            },
+            mask: 1,
+        };
+        let held = vec![&p0];
+        let w = weights(&[0, 1], 2);
+        let (agg, bits) = aggregate_from_sums(&held, 1, &w);
+        assert_eq!(agg, None);
+        assert_eq!(bits, 0);
+    }
+
+    #[test]
+    fn aggregate_identical_on_and_off_the_fast_path() {
+        // Same held set, weights that do / don't match the chosen subset:
+        // the reconstructed value must not depend on the path taken.
+        let mk = |node: u16, y: u64| SumPacket::<Field> {
+            node,
+            round: 0,
+            share: Share {
+                x: share_x::<Field>(node as usize),
+                y: Elem::new(y),
+            },
+            mask: 0b11,
+        };
+        // Polynomial 7 + 5x at x = 3, 4, 5 (nodes 2, 3, 4).
+        let p0 = mk(2, 7 + 5 * 3);
+        let p1 = mk(3, 7 + 5 * 4);
+        let p2 = mk(4, 7 + 5 * 5);
+        let held = vec![&p0, &p1, &p2];
+        let matching = weights(&[2, 3], 2);
+        let fallback = weights(&[0, 1], 2);
+        let a = aggregate_from_sums(&held, 1, &matching);
+        let b = aggregate_from_sums(&held, 1, &fallback);
+        assert_eq!(a, b);
+        assert_eq!(a.0, Some(Elem::new(7)));
+    }
+}

@@ -47,8 +47,9 @@ pub mod adversary;
 mod bootstrap;
 mod config;
 mod error;
+mod execute;
 mod outcome;
-mod runner;
+mod plan;
 mod s3;
 mod s4;
 mod session;
@@ -57,6 +58,7 @@ pub use bootstrap::Bootstrap;
 pub use config::{ProtocolConfig, ProtocolConfigBuilder};
 pub use error::MpcError;
 pub use outcome::{AggregationOutcome, NodeResult, PhaseStats};
+pub use plan::{ProtocolKind, RoundPlan};
 pub use s3::S3Protocol;
 pub use s4::S4Protocol;
 pub use session::{AggregationSession, SessionProtocol, SessionStats};

@@ -39,7 +39,7 @@ pub struct NodeResult {
 }
 
 /// Complete outcome of one aggregation round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggregationOutcome {
     /// Protocol name: `"S3"` or `"S4"`.
     pub protocol: &'static str,

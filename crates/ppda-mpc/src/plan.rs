@@ -1,0 +1,453 @@
+//! Compiled round plans.
+//!
+//! The paper's lifecycle — and the dominant cost split of MPC in IoT — is
+//! "bootstrap once, aggregate every epoch": pairwise keys, aggregator
+//! election, hop tables, and the TDMA chain layouts are all functions of the
+//! *deployment* `(topology, config, variant)`, while each aggregation round
+//! only contributes fresh readings, fresh randomness, and a failure mask.
+//! [`RoundPlan`] compiles everything deployment-scoped exactly once; the
+//! per-round remainder lives in [`execute`](crate::execute) and is reachable
+//! through [`RoundPlan::run`], [`RoundPlan::run_with`] and
+//! [`RoundPlan::run_epoch`].
+
+use std::borrow::Cow;
+
+use ppda_ct::{ChainSpec, MiniCastConfig, MiniCastSchedule};
+use ppda_field::share_x;
+use ppda_radio::FrameSpec;
+use ppda_sss::{ReconstructionPlan, SumPacket};
+use ppda_topology::Topology;
+
+use crate::bootstrap::Bootstrap;
+use crate::config::ProtocolConfig;
+use crate::error::MpcError;
+use crate::{Elem, Field};
+
+/// Cycles of schedule slack beyond NTX in S4's perimeter-scope rounds.
+pub(crate) const PERIMETER_SLACK_CYCLES: u32 = 2;
+
+/// What distinguishes S3 from S4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Variant {
+    pub name: &'static str,
+    /// Shares go to every node (S3) or only to the aggregator set (S4).
+    pub trim_to_aggregators: bool,
+    /// Both phases run at `full_coverage_ntx` (S3) instead of the
+    /// configured low NTX values (S4).
+    pub full_coverage: bool,
+    /// Radio-off / latency discipline: wait for the complete chain (S3) or
+    /// for the k+1 threshold (S4).
+    pub strict_completion: bool,
+}
+
+pub(crate) const S3_VARIANT: Variant = Variant {
+    name: "S3",
+    trim_to_aggregators: false,
+    full_coverage: true,
+    strict_completion: true,
+};
+
+pub(crate) const S4_VARIANT: Variant = Variant {
+    name: "S4",
+    trim_to_aggregators: true,
+    full_coverage: false,
+    strict_completion: false,
+};
+
+/// Which protocol variant a plan compiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Naive SSS over MiniCast.
+    S3,
+    /// Scalable SSS over MiniCast.
+    S4,
+}
+
+impl ProtocolKind {
+    /// Display name, as used in the paper.
+    pub fn name(self) -> &'static str {
+        self.variant().name
+    }
+
+    pub(crate) fn variant(self) -> Variant {
+        match self {
+            ProtocolKind::S3 => S3_VARIANT,
+            ProtocolKind::S4 => S4_VARIANT,
+        }
+    }
+}
+
+/// One sharing-phase chain sub-slot: a `(source, destination)` pair plus
+/// the indices the execution loop needs to look either endpoint up in O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShareSlotSpec {
+    /// Originating source node.
+    pub src: u16,
+    /// Destination node (share holder).
+    pub dst: u16,
+    /// Index of `src` in `config.sources`.
+    pub src_index: usize,
+    /// Index of `dst` in the plan's destination set.
+    pub dst_index: usize,
+}
+
+/// A compiled aggregation round: every artifact that depends only on the
+/// deployment `(topology, config, protocol)`, computed once and reused for
+/// arbitrarily many rounds.
+///
+/// Contents: the [`Bootstrap`] (pairwise keys, aggregator election, hop
+/// tables), the destination set and its precomputed share evaluation
+/// points, both phases' chain layouts and [`MiniCastSchedule`]s (initiator
+/// election, failover ranking, cycle budgets), the NTX budgets, and the
+/// Lagrange reconstruction weights for the canonical aggregator subset.
+///
+/// The plan borrows the topology by default (zero-copy for campaign
+/// fan-out); [`RoundPlan::into_owned`] detaches it for long-lived holders
+/// such as [`AggregationSession`](crate::AggregationSession).
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{ProtocolConfig, ProtocolKind, RoundPlan};
+/// use ppda_topology::Topology;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::flocklab();
+/// let config = ProtocolConfig::builder(topology.len()).sources(6).build()?;
+/// let plan = RoundPlan::new(&topology, &config, ProtocolKind::S4)?;
+/// for seed in 0..3 {
+///     assert!(plan.run(seed)?.correct());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundPlan<'t> {
+    topology: Cow<'t, Topology>,
+    config: ProtocolConfig,
+    kind: ProtocolKind,
+    pub(crate) variant: Variant,
+    pub(crate) bootstrap: Bootstrap,
+    /// Share destinations: all nodes (S3) or the aggregator set (S4).
+    pub(crate) destinations: Vec<u16>,
+    /// `share_x(destinations[i])`, precomputed.
+    pub(crate) dest_xs: Vec<Elem>,
+    /// Per node: is it a share destination?
+    pub(crate) is_destination: Vec<bool>,
+    /// The sharing chain's sub-slots, in chain order.
+    pub(crate) slots: Vec<ShareSlotSpec>,
+    /// `slots[j].dst`, flattened for the completion predicate.
+    pub(crate) slot_dst: Vec<u16>,
+    pub(crate) sharing_schedule: MiniCastSchedule,
+    pub(crate) recon_schedule: MiniCastSchedule,
+    pub(crate) ntx_sharing: u32,
+    pub(crate) ntx_reconstruction: u32,
+    /// `degree + 1`.
+    pub(crate) threshold: usize,
+    /// Lagrange weights for the canonical (lowest-x) threshold subset of
+    /// destination sum shares — the fast path of every reconstruction.
+    pub(crate) recon_weights: ReconstructionPlan<Field>,
+}
+
+impl<'t> RoundPlan<'t> {
+    /// Compile a plan for one deployment. This runs the bootstrap and
+    /// builds both phases' chain schedules; everything it produces is
+    /// deterministic in its inputs.
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcError::InputMismatch`] if the topology size differs from the
+    ///   configured one.
+    /// * [`MpcError::TopologyDisconnected`] if the network is not connected
+    ///   at the configured link threshold.
+    /// * [`MpcError::InvalidConfig`] if a frame or chain constraint is
+    ///   violated.
+    pub fn new(
+        topology: &'t Topology,
+        config: &ProtocolConfig,
+        kind: ProtocolKind,
+    ) -> Result<RoundPlan<'t>, MpcError> {
+        Self::compile(Cow::Borrowed(topology), config.clone(), kind)
+    }
+
+    /// Compile a plan that owns its topology (for long-lived holders).
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundPlan::new`].
+    pub fn new_owned(
+        topology: Topology,
+        config: ProtocolConfig,
+        kind: ProtocolKind,
+    ) -> Result<RoundPlan<'static>, MpcError> {
+        RoundPlan::compile(Cow::Owned(topology), config, kind)
+    }
+
+    fn compile(
+        topology: Cow<'t, Topology>,
+        config: ProtocolConfig,
+        kind: ProtocolKind,
+    ) -> Result<RoundPlan<'t>, MpcError> {
+        let variant = kind.variant();
+        let n = config.n_nodes;
+        let bootstrap = Bootstrap::run(&topology, &config)?;
+
+        let destinations: Vec<u16> = if variant.trim_to_aggregators {
+            bootstrap.aggregators().to_vec()
+        } else {
+            (0..n as u16).collect()
+        };
+        let dest_xs: Vec<Elem> = destinations
+            .iter()
+            .map(|&d| share_x::<Field>(d as usize))
+            .collect();
+        let mut is_destination = vec![false; n];
+        for &d in &destinations {
+            is_destination[d as usize] = true;
+        }
+
+        // Sharing chain: for every configured source, one sub-slot per
+        // destination other than itself. The schedule is fixed a priori;
+        // failed sources simply leave their sub-slots dark at run time.
+        let mut slots = Vec::with_capacity(config.sources.len() * destinations.len());
+        for (src_index, &src) in config.sources.iter().enumerate() {
+            for (dst_index, &dst) in destinations.iter().enumerate() {
+                if dst == src {
+                    continue; // the source keeps its own share locally
+                }
+                slots.push(ShareSlotSpec {
+                    src,
+                    dst,
+                    src_index,
+                    dst_index,
+                });
+            }
+        }
+        let slot_dst: Vec<u16> = slots.iter().map(|s| s.dst).collect();
+
+        let ntx_sharing = if variant.full_coverage {
+            config.full_coverage_ntx
+        } else {
+            config.ntx_sharing
+        };
+        let ntx_reconstruction = if variant.full_coverage {
+            config.full_coverage_ntx
+        } else {
+            config.ntx_reconstruction
+        };
+
+        let share_frame =
+            FrameSpec::new(4, config.tag_len).map_err(|e| MpcError::InvalidConfig {
+                what: e.to_string(),
+            })?;
+        let owners: Vec<u16> = slots.iter().map(|s| s.src).collect();
+        let sharing_chain =
+            ChainSpec::new(share_frame, owners).map_err(|e| MpcError::InvalidConfig {
+                what: e.to_string(),
+            })?;
+        // S3 needs the full-coverage schedule (join wave + NTX + slack);
+        // S4's whole point is a perimeter-scope round that ends right after
+        // the NTX repetitions.
+        let max_cycles = (!variant.full_coverage).then_some(ntx_sharing + PERIMETER_SLACK_CYCLES);
+        let sharing_schedule = MiniCastSchedule::new(
+            &topology,
+            sharing_chain,
+            MiniCastConfig {
+                ntx: ntx_sharing,
+                link_threshold: config.link_threshold,
+                max_cycles,
+                // Early sleep requires the completion-tracking machinery
+                // S4 introduces; the naive build just follows the schedule.
+                early_radio_off: !variant.strict_completion,
+                ..MiniCastConfig::default()
+            },
+        );
+
+        let sum_frame = FrameSpec::new(SumPacket::<Field>::encoded_len(), 0).map_err(|e| {
+            MpcError::InvalidConfig {
+                what: e.to_string(),
+            }
+        })?;
+        // Reconstruction data must reach *every* node (all of them need
+        // the aggregate), so even S4 keeps the full-length schedule here —
+        // the chain is only |A| sub-slots, so this is cheap; the low NTX
+        // and any-(k+1) predicate still apply.
+        let recon_chain = ChainSpec::new(sum_frame, destinations.clone()).map_err(|e| {
+            MpcError::InvalidConfig {
+                what: e.to_string(),
+            }
+        })?;
+        let recon_schedule = MiniCastSchedule::new(
+            &topology,
+            recon_chain,
+            MiniCastConfig {
+                ntx: ntx_reconstruction,
+                link_threshold: config.link_threshold,
+                early_radio_off: !variant.strict_completion,
+                ..MiniCastConfig::default()
+            },
+        );
+
+        // The canonical reconstruction subset: when a node holds every
+        // destination's sum share (the common case), it reconstructs from
+        // the threshold shares with the lowest x — precompute those weights.
+        let threshold = config.degree + 1;
+        let mut sorted_xs = dest_xs.clone();
+        sorted_xs.sort_unstable();
+        let recon_weights = ReconstructionPlan::new(&sorted_xs[..threshold.min(sorted_xs.len())])
+            .map_err(MpcError::from)?;
+
+        Ok(RoundPlan {
+            topology,
+            config,
+            kind,
+            variant,
+            bootstrap,
+            destinations,
+            dest_xs,
+            is_destination,
+            slots,
+            slot_dst,
+            sharing_schedule,
+            recon_schedule,
+            ntx_sharing,
+            ntx_reconstruction,
+            threshold,
+            recon_weights,
+        })
+    }
+
+    /// Detach the plan from the borrowed topology (clones it once).
+    pub fn into_owned(self) -> RoundPlan<'static> {
+        RoundPlan {
+            topology: Cow::Owned(self.topology.into_owned()),
+            config: self.config,
+            kind: self.kind,
+            variant: self.variant,
+            bootstrap: self.bootstrap,
+            destinations: self.destinations,
+            dest_xs: self.dest_xs,
+            is_destination: self.is_destination,
+            slots: self.slots,
+            slot_dst: self.slot_dst,
+            sharing_schedule: self.sharing_schedule,
+            recon_schedule: self.recon_schedule,
+            ntx_sharing: self.ntx_sharing,
+            ntx_reconstruction: self.ntx_reconstruction,
+            threshold: self.threshold,
+            recon_weights: self.recon_weights,
+        }
+    }
+
+    /// The deployment's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The configuration the plan was compiled from.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// The compiled protocol variant.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// The bootstrap artifacts (keys, aggregators, hop tables).
+    pub fn bootstrap(&self) -> &Bootstrap {
+        &self.bootstrap
+    }
+
+    /// The share destination set: every node (S3) or the designated
+    /// aggregators (S4).
+    pub fn destinations(&self) -> &[u16] {
+        &self.destinations
+    }
+
+    /// Sub-slots in the sharing chain.
+    pub fn sharing_chain_len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s4_plan_trims_to_aggregators() {
+        let t = Topology::flocklab();
+        let config = ProtocolConfig::builder(t.len()).sources(6).build().unwrap();
+        let plan = RoundPlan::new(&t, &config, ProtocolKind::S4).unwrap();
+        assert_eq!(plan.destinations().len(), config.aggregator_count());
+        assert_eq!(plan.protocol(), ProtocolKind::S4);
+        assert_eq!(plan.ntx_sharing, config.ntx_sharing);
+        // 6 sources × 11 destinations, minus the source-owned slots.
+        let own = config
+            .sources
+            .iter()
+            .filter(|s| plan.destinations().contains(s))
+            .count();
+        assert_eq!(plan.sharing_chain_len(), 6 * 11 - own);
+    }
+
+    #[test]
+    fn s3_plan_targets_every_node() {
+        let t = Topology::flocklab();
+        let config = ProtocolConfig::builder(t.len()).sources(3).build().unwrap();
+        let plan = RoundPlan::new(&t, &config, ProtocolKind::S3).unwrap();
+        assert_eq!(plan.destinations().len(), t.len());
+        assert_eq!(plan.ntx_sharing, config.full_coverage_ntx);
+        assert_eq!(plan.ntx_reconstruction, config.full_coverage_ntx);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let t = Topology::dcube();
+        let config = ProtocolConfig::builder(t.len()).sources(7).build().unwrap();
+        let a = RoundPlan::new(&t, &config, ProtocolKind::S4).unwrap();
+        let b = RoundPlan::new(&t, &config, ProtocolKind::S4).unwrap();
+        assert_eq!(a.destinations, b.destinations);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.recon_weights, b.recon_weights);
+        assert_eq!(
+            a.sharing_schedule.initiator(),
+            b.sharing_schedule.initiator()
+        );
+    }
+
+    #[test]
+    fn plan_rejects_bad_deployments() {
+        let t = Topology::line(9, 400.0, 1);
+        let config = ProtocolConfig::builder(9).degree(2).build().unwrap();
+        assert!(matches!(
+            RoundPlan::new(&t, &config, ProtocolKind::S4),
+            Err(MpcError::TopologyDisconnected)
+        ));
+        let t = Topology::flocklab();
+        let config = ProtocolConfig::builder(45).build().unwrap();
+        assert!(matches!(
+            RoundPlan::new(&t, &config, ProtocolKind::S3),
+            Err(MpcError::InputMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn owned_plan_is_detached() {
+        let config = ProtocolConfig::builder(26).sources(4).build().unwrap();
+        let plan = {
+            let t = Topology::flocklab();
+            RoundPlan::new(&t, &config, ProtocolKind::S4)
+                .unwrap()
+                .into_owned()
+        };
+        assert_eq!(plan.topology().len(), 26);
+        assert!(plan.run(5).unwrap().correct());
+    }
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(ProtocolKind::S3.name(), "S3");
+        assert_eq!(ProtocolKind::S4.name(), "S4");
+    }
+}

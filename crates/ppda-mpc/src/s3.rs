@@ -1,17 +1,21 @@
 //! S3 — the naive realization of SSS over MiniCast.
 
-use ppda_crypto::CtrDrbg;
 use ppda_topology::Topology;
-use rand::RngCore;
 
 use crate::config::ProtocolConfig;
 use crate::error::MpcError;
+use crate::execute::generate_readings;
 use crate::outcome::AggregationOutcome;
-use crate::runner::{execute, S3_VARIANT};
+use crate::plan::{ProtocolKind, RoundPlan};
 
 /// The naive protocol (paper §II): every source sends one encrypted share
 /// to **every** node — an O(n²)-sub-slot sharing chain — and both phases
 /// run at the full-coverage NTX so that strict all-to-all delivery holds.
+///
+/// This type is a thin single-shot wrapper: each `run` compiles a
+/// [`RoundPlan`] and executes one round over it. Callers running many
+/// rounds over a fixed deployment should build the plan once with
+/// [`RoundPlan::new`] and reuse it.
 ///
 /// # Example
 ///
@@ -48,7 +52,7 @@ impl S3Protocol {
     ///
     /// See [`S3Protocol::run_with`].
     pub fn run(&self, topology: &Topology, seed: u64) -> Result<AggregationOutcome, MpcError> {
-        let secrets = generate_readings(&self.config, seed);
+        let secrets = generate_readings(&self.config, self.config.round_id, seed);
         self.run_with(topology, seed, &secrets, &vec![false; self.config.n_nodes])
     }
 
@@ -67,40 +71,6 @@ impl S3Protocol {
         secrets: &[u64],
         failed: &[bool],
     ) -> Result<AggregationOutcome, MpcError> {
-        execute(topology, &self.config, seed, secrets, failed, S3_VARIANT)
-    }
-}
-
-/// Deterministic sensor readings for a round: uniform in
-/// `[0, max_reading)`, derived from the master key and seed.
-pub(crate) fn generate_readings(config: &ProtocolConfig, seed: u64) -> Vec<u64> {
-    let mut drbg = CtrDrbg::new(
-        config.master_key,
-        format!("readings|{}|{}", config.round_id, seed).as_bytes(),
-    );
-    config
-        .sources
-        .iter()
-        .map(|_| drbg.next_u64() % config.max_reading)
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn readings_are_deterministic_and_bounded() {
-        let c = ProtocolConfig::builder(10)
-            .max_reading(100)
-            .build()
-            .unwrap();
-        let a = generate_readings(&c, 5);
-        let b = generate_readings(&c, 5);
-        assert_eq!(a, b);
-        assert_eq!(a.len(), 10);
-        assert!(a.iter().all(|&v| v < 100));
-        let c2 = generate_readings(&c, 6);
-        assert_ne!(a, c2);
+        RoundPlan::new(topology, &self.config, ProtocolKind::S3)?.run_with(seed, secrets, failed)
     }
 }

@@ -4,9 +4,9 @@ use ppda_topology::Topology;
 
 use crate::config::ProtocolConfig;
 use crate::error::MpcError;
+use crate::execute::generate_readings;
 use crate::outcome::AggregationOutcome;
-use crate::runner::{execute, S4_VARIANT};
-use crate::s3::generate_readings;
+use crate::plan::{ProtocolKind, RoundPlan};
 
 /// The scalable protocol: three optimizations over [`crate::S3Protocol`],
 /// all enabled by the low polynomial degree `k`:
@@ -20,6 +20,11 @@ use crate::s3::generate_readings;
 /// 3. **Any-(k+1) reconstruction** — a node finishes (and sleeps) as soon
 ///    as it holds any `k+1` matching sum shares, which also tolerates
 ///    aggregator failures.
+///
+/// This type is a thin single-shot wrapper: each `run` compiles a
+/// [`RoundPlan`] and executes one round over it. Callers running many
+/// rounds over a fixed deployment should build the plan once with
+/// [`RoundPlan::new`] and reuse it.
 ///
 /// # Example
 ///
@@ -62,7 +67,7 @@ impl S4Protocol {
     ///
     /// See [`S4Protocol::run_with`].
     pub fn run(&self, topology: &Topology, seed: u64) -> Result<AggregationOutcome, MpcError> {
-        let secrets = generate_readings(&self.config, seed);
+        let secrets = generate_readings(&self.config, self.config.round_id, seed);
         self.run_with(topology, seed, &secrets, &vec![false; self.config.n_nodes])
     }
 
@@ -85,6 +90,6 @@ impl S4Protocol {
         secrets: &[u64],
         failed: &[bool],
     ) -> Result<AggregationOutcome, MpcError> {
-        execute(topology, &self.config, seed, secrets, failed, S4_VARIANT)
+        RoundPlan::new(topology, &self.config, ProtocolKind::S4)?.run_with(seed, secrets, failed)
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! A deployed PPDA system doesn't run one round — it aggregates
 //! periodically (every sensing epoch) over the same bootstrap state. The
-//! session API captures that lifecycle: one [`Bootstrap`] (pairwise keys,
-//! aggregator designation, hop tables) amortized over many rounds, with
+//! session API captures that lifecycle: one [`RoundPlan`] (pairwise keys,
+//! aggregator designation, hop tables, chain schedules, reconstruction
+//! weights) compiled at session start and amortized over many rounds, with
 //! fresh round ids per epoch (so CCM nonces never repeat) and cumulative
 //! cost accounting.
 
@@ -11,18 +12,13 @@ use ppda_topology::Topology;
 
 use crate::config::ProtocolConfig;
 use crate::error::MpcError;
+use crate::execute::generate_readings;
 use crate::outcome::AggregationOutcome;
-use crate::runner::{execute, S3_VARIANT, S4_VARIANT};
-use crate::s3::generate_readings;
+use crate::plan::{ProtocolKind, RoundPlan};
 
-/// Which protocol variant a session runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SessionProtocol {
-    /// Naive SSS over MiniCast.
-    S3,
-    /// Scalable SSS over MiniCast.
-    S4,
-}
+/// Which protocol variant a session runs (alias of [`ProtocolKind`], kept
+/// for source compatibility).
+pub type SessionProtocol = ProtocolKind;
 
 /// Cumulative statistics of a session.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -59,16 +55,15 @@ pub struct SessionStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AggregationSession {
-    topology: Topology,
-    config: ProtocolConfig,
-    protocol: SessionProtocol,
+    plan: RoundPlan<'static>,
     seed: u64,
     stats: SessionStats,
 }
 
 impl AggregationSession {
-    /// Start a session. Validates the deployment against the configuration
-    /// up front (one failed bootstrap is better than failing every epoch).
+    /// Start a session. Compiles the deployment's [`RoundPlan`] up front
+    /// (one failed bootstrap is better than failing every epoch) and keeps
+    /// it for the session's lifetime.
     ///
     /// # Errors
     ///
@@ -80,13 +75,9 @@ impl AggregationSession {
         protocol: SessionProtocol,
         seed: u64,
     ) -> Result<Self, MpcError> {
-        // Bootstrap once to validate; protocols re-derive it per round
-        // (cheap, deterministic) so the session stays cloneable.
-        crate::bootstrap::Bootstrap::run(&topology, &config)?;
+        let plan = RoundPlan::new_owned(topology, config, protocol)?;
         Ok(AggregationSession {
-            topology,
-            config,
-            protocol,
+            plan,
             seed,
             stats: SessionStats::default(),
         })
@@ -99,8 +90,8 @@ impl AggregationSession {
     /// Propagates protocol errors; the round counter only advances on
     /// success.
     pub fn next_round(&mut self) -> Result<AggregationOutcome, MpcError> {
-        let readings = generate_readings(&self.round_config(), self.round_seed());
-        self.next_round_with(&readings, &vec![false; self.config.n_nodes])
+        let readings = generate_readings(self.plan.config(), self.round_id(), self.round_seed());
+        self.next_round_with(&readings, &vec![false; self.plan.config().n_nodes])
     }
 
     /// The next epoch's round with explicit readings and failure mask.
@@ -114,19 +105,9 @@ impl AggregationSession {
         readings: &[u64],
         failed: &[bool],
     ) -> Result<AggregationOutcome, MpcError> {
-        let config = self.round_config();
-        let variant = match self.protocol {
-            SessionProtocol::S3 => S3_VARIANT,
-            SessionProtocol::S4 => S4_VARIANT,
-        };
-        let outcome = execute(
-            &self.topology,
-            &config,
-            self.round_seed(),
-            readings,
-            failed,
-            variant,
-        )?;
+        let outcome = self
+            .plan
+            .run_epoch(self.round_id(), self.round_seed(), readings, failed)?;
         self.stats.rounds += 1;
         if outcome.correct() {
             self.stats.perfect_rounds += 1;
@@ -136,12 +117,13 @@ impl AggregationSession {
         Ok(outcome)
     }
 
-    fn round_config(&self) -> ProtocolConfig {
-        let mut config = self.config.clone();
-        // Fresh round id per epoch: CCM nonces and share randomness never
-        // repeat across the session.
-        config.round_id = self.config.round_id.wrapping_add(self.stats.rounds as u32);
-        config
+    /// The round id of the upcoming epoch. Fresh per epoch: CCM nonces and
+    /// share randomness never repeat across the session.
+    pub fn round_id(&self) -> u32 {
+        self.plan
+            .config()
+            .round_id
+            .wrapping_add(self.stats.rounds as u32)
     }
 
     fn round_seed(&self) -> u64 {
@@ -153,20 +135,26 @@ impl AggregationSession {
         self.stats
     }
 
+    /// The compiled plan the session replays every epoch.
+    pub fn plan(&self) -> &RoundPlan<'static> {
+        &self.plan
+    }
+
     /// The deployment's topology.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        self.plan.topology()
     }
 
     /// The per-round configuration template.
     pub fn config(&self) -> &ProtocolConfig {
-        &self.config
+        self.plan.config()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::s4::S4Protocol;
 
     fn session(protocol: SessionProtocol) -> AggregationSession {
         let topology = Topology::grid(3, 3, 18.0, 5);
@@ -239,6 +227,24 @@ mod tests {
         let base = s.config().round_id;
         s.next_round().unwrap();
         s.next_round().unwrap();
-        assert_eq!(s.round_config().round_id, base + 2);
+        assert_eq!(s.round_id(), base + 2);
+    }
+
+    #[test]
+    fn reused_plan_equals_fresh_single_shot() {
+        // Regression guard for plan staleness: every epoch of a session
+        // (reused plan) must equal a fresh single-shot run configured with
+        // that epoch's round id and seed.
+        let mut s = session(SessionProtocol::S4);
+        for _ in 0..4 {
+            let round_id = s.round_id();
+            let seed = s.round_seed();
+            let via_session = s.next_round().unwrap();
+
+            let mut config = s.config().clone();
+            config.round_id = round_id;
+            let single_shot = S4Protocol::new(config).run(s.topology(), seed).unwrap();
+            assert_eq!(via_session, single_shot);
+        }
     }
 }

@@ -49,11 +49,13 @@ mod accumulate;
 mod error;
 mod packet;
 mod share;
+mod weights;
 
 pub use accumulate::SumAccumulator;
 pub use error::SssError;
 pub use packet::{SharePacket, SumPacket, MAX_MASK_SOURCES};
 pub use share::{reconstruct, reconstruct_checked, split_secret, Share};
+pub use weights::ReconstructionPlan;
 
 use rand::RngCore;
 

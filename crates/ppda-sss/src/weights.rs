@@ -1,0 +1,158 @@
+//! Precomputed Lagrange reconstruction weights.
+//!
+//! A periodic-aggregation deployment reconstructs at the *same* share-holder
+//! set every epoch (the designated aggregators), so the Lagrange basis at
+//! x = 0 can be computed once and each round reduced to `m` multiplications
+//! and additions. [`ReconstructionPlan`] packages that precomputation; when
+//! faults shrink the held set away from the canonical one it transparently
+//! falls back to fresh interpolation, which is value-identical.
+
+use ppda_field::{lagrange, Gf, PrimeField};
+
+use crate::error::SssError;
+use crate::share::{reconstruct, Share};
+
+/// Precomputed Lagrange weights at x = 0 for one canonical abscissa set.
+///
+/// # Example
+///
+/// ```
+/// use ppda_field::{share_x, Gf31, Mersenne31};
+/// use ppda_sss::{split_secret, ReconstructionPlan};
+/// # fn main() -> Result<(), ppda_sss::SssError> {
+/// let mut rng = ppda_sim::Xoshiro256::seed_from(9);
+/// let xs: Vec<_> = (0..3).map(share_x::<Mersenne31>).collect();
+/// let plan = ReconstructionPlan::new(&xs)?;
+/// let shares = split_secret(Gf31::new(77), 2, &xs, &mut rng)?;
+/// assert_eq!(plan.reconstruct(&shares)?, Gf31::new(77));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconstructionPlan<P: PrimeField> {
+    xs: Vec<Gf<P>>,
+    weights: Vec<Gf<P>>,
+}
+
+impl<P: PrimeField> ReconstructionPlan<P> {
+    /// Precompute the basis weights for the canonical point set `xs`.
+    ///
+    /// # Errors
+    ///
+    /// [`SssError::Field`] if `xs` is empty, contains zero, or has
+    /// duplicates.
+    pub fn new(xs: &[Gf<P>]) -> Result<Self, SssError> {
+        let weights = lagrange::basis_at_zero(xs)?;
+        Ok(ReconstructionPlan {
+            xs: xs.to_vec(),
+            weights,
+        })
+    }
+
+    /// The canonical abscissas, in weight order.
+    pub fn xs(&self) -> &[Gf<P>] {
+        &self.xs
+    }
+
+    /// The precomputed basis weights (same order as [`Self::xs`]).
+    pub fn weights(&self) -> &[Gf<P>] {
+        &self.weights
+    }
+
+    /// Number of canonical points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `false` always (an empty plan is unconstructible); for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// `true` when `shares` sit exactly on the canonical points, in order —
+    /// the precondition for the fast weighted-sum path.
+    pub fn matches(&self, shares: &[Share<P>]) -> bool {
+        shares.len() == self.xs.len() && shares.iter().zip(&self.xs).all(|(s, &x)| s.x == x)
+    }
+
+    /// Reconstruct the secret: the precomputed weighted sum when the shares
+    /// match the canonical points, a fresh interpolation otherwise. Both
+    /// paths produce the identical field element.
+    ///
+    /// # Errors
+    ///
+    /// On the fallback path, the same conditions as
+    /// [`reconstruct`](crate::reconstruct).
+    pub fn reconstruct(&self, shares: &[Share<P>]) -> Result<Gf<P>, SssError> {
+        if self.matches(shares) {
+            Ok(shares
+                .iter()
+                .zip(&self.weights)
+                .map(|(s, &w)| s.y * w)
+                .sum())
+        } else {
+            reconstruct(shares)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::share::split_secret;
+    use ppda_field::{share_x, Gf31, Mersenne31};
+    use ppda_sim::Xoshiro256;
+
+    fn xs(n: usize) -> Vec<Gf31> {
+        (0..n).map(share_x::<Mersenne31>).collect()
+    }
+
+    #[test]
+    fn fast_path_matches_fresh_interpolation() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let points = xs(6);
+        let plan = ReconstructionPlan::new(&points[..4]).unwrap();
+        let shares = split_secret(Gf31::new(123456), 3, &points, &mut rng).unwrap();
+        let canonical = &shares[..4];
+        assert!(plan.matches(canonical));
+        assert_eq!(
+            plan.reconstruct(canonical).unwrap(),
+            reconstruct(canonical).unwrap()
+        );
+        assert_eq!(plan.reconstruct(canonical).unwrap(), Gf31::new(123456));
+    }
+
+    #[test]
+    fn fallback_on_noncanonical_subset() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let points = xs(8);
+        let plan = ReconstructionPlan::new(&points[..3]).unwrap();
+        let shares = split_secret(Gf31::new(42), 2, &points, &mut rng).unwrap();
+        // A shifted subset: same size, different points.
+        let other = &shares[4..7];
+        assert!(!plan.matches(other));
+        assert_eq!(plan.reconstruct(other).unwrap(), Gf31::new(42));
+        // A differently-sized subset also falls back.
+        assert!(!plan.matches(&shares[..4]));
+        assert_eq!(plan.reconstruct(&shares[..4]).unwrap(), Gf31::new(42));
+    }
+
+    #[test]
+    fn weights_equal_basis_at_zero() {
+        let points = xs(5);
+        let plan = ReconstructionPlan::new(&points).unwrap();
+        let basis = lagrange::basis_at_zero(&points).unwrap();
+        assert_eq!(plan.weights(), &basis[..]);
+        assert_eq!(plan.xs(), &points[..]);
+        assert_eq!(plan.len(), 5);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn invalid_points_rejected() {
+        assert!(ReconstructionPlan::<Mersenne31>::new(&[]).is_err());
+        assert!(ReconstructionPlan::new(&[Gf31::ZERO, Gf31::ONE]).is_err());
+        assert!(ReconstructionPlan::new(&[Gf31::ONE, Gf31::ONE]).is_err());
+    }
+}

@@ -14,6 +14,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ProtocolConfig::builder(topology.len()).build()?;
     let mut session = AggregationSession::new(topology, config, SessionProtocol::S4, 0x5E55)?;
 
+    // The session compiled its round plan once at bootstrap; every epoch
+    // below replays it with fresh randomness and a fresh round id.
+    println!(
+        "deployment: {} nodes, {} aggregators, {}-slot sharing chain (compiled once)\n",
+        session.topology().len(),
+        session.plan().destinations().len(),
+        session.plan().sharing_chain_len(),
+    );
     println!("epoch  aggregate   latency(ms)  radio-on(ms)  energy(mJ)");
     println!("----------------------------------------------------------");
     let epochs = 10;

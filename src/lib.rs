@@ -39,6 +39,8 @@ pub use ppda_topology as topology;
 pub mod prelude {
     pub use ppda_ct::{Glossy, MiniCast};
     pub use ppda_field::{Gf31, Mersenne31, Polynomial};
-    pub use ppda_mpc::{AggregationOutcome, ProtocolConfig, S3Protocol, S4Protocol};
+    pub use ppda_mpc::{
+        AggregationOutcome, ProtocolConfig, ProtocolKind, RoundPlan, S3Protocol, S4Protocol,
+    };
     pub use ppda_topology::Topology;
 }

@@ -1,0 +1,140 @@
+//! The plan layer's correctness contract: executing rounds over a reused
+//! [`RoundPlan`] must be **byte-identical** to the legacy single-shot path
+//! (`S3Protocol::run` / `S4Protocol::run`, which compile a fresh plan per
+//! call) — for both protocols, on both testbeds, with and without explicit
+//! inputs and failure injection.
+
+use ppda::mpc::{
+    AggregationSession, ProtocolConfig, ProtocolKind, RoundPlan, S3Protocol, S4Protocol,
+    SessionProtocol,
+};
+use ppda::topology::Topology;
+
+fn testbeds() -> Vec<(Topology, ProtocolConfig)> {
+    let flocklab = Topology::flocklab();
+    let dcube = Topology::dcube();
+    let flocklab_config = ProtocolConfig::builder(flocklab.len())
+        .sources(6)
+        .build()
+        .unwrap();
+    let dcube_config = ProtocolConfig::builder(dcube.len())
+        .sources(7)
+        .ntx_sharing(7)
+        .ntx_reconstruction(7)
+        .build()
+        .unwrap();
+    vec![(flocklab, flocklab_config), (dcube, dcube_config)]
+}
+
+#[test]
+fn reused_plan_matches_single_shot_s3_and_s4() {
+    for (topology, config) in testbeds() {
+        for kind in [ProtocolKind::S3, ProtocolKind::S4] {
+            let plan = RoundPlan::new(&topology, &config, kind).unwrap();
+            for seed in [1u64, 7, 42, 0xBEEF] {
+                let planned = plan.run(seed).unwrap();
+                let single_shot = match kind {
+                    ProtocolKind::S3 => S3Protocol::new(config.clone()).run(&topology, seed),
+                    ProtocolKind::S4 => S4Protocol::new(config.clone()).run(&topology, seed),
+                }
+                .unwrap();
+                assert_eq!(
+                    planned,
+                    single_shot,
+                    "{} on {} diverged at seed {seed}",
+                    kind.name(),
+                    topology.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reused_plan_matches_single_shot_with_failures() {
+    for (topology, config) in testbeds() {
+        let n = topology.len();
+        let secrets: Vec<u64> = (0..config.sources.len() as u64).map(|i| 100 + i).collect();
+        let mut failed = vec![false; n];
+        failed[1] = true;
+        failed[n - 1] = true;
+        for kind in [ProtocolKind::S3, ProtocolKind::S4] {
+            let plan = RoundPlan::new(&topology, &config, kind).unwrap();
+            for seed in [3u64, 19] {
+                let planned = plan.run_with(seed, &secrets, &failed).unwrap();
+                let single_shot =
+                    match kind {
+                        ProtocolKind::S3 => S3Protocol::new(config.clone())
+                            .run_with(&topology, seed, &secrets, &failed),
+                        ProtocolKind::S4 => S4Protocol::new(config.clone())
+                            .run_with(&topology, seed, &secrets, &failed),
+                    }
+                    .unwrap();
+                assert_eq!(
+                    planned,
+                    single_shot,
+                    "{} on {} diverged under failures at seed {seed}",
+                    kind.name(),
+                    topology.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_rounds_are_independent_of_execution_order() {
+    // Replaying a seed after other rounds ran in between must give the
+    // same outcome: the plan carries no mutable round state.
+    let (topology, config) = testbeds().remove(0);
+    let plan = RoundPlan::new(&topology, &config, ProtocolKind::S4).unwrap();
+    let first = plan.run(11).unwrap();
+    for seed in [5u64, 23, 99] {
+        plan.run(seed).unwrap();
+    }
+    let again = plan.run(11).unwrap();
+    assert_eq!(first, again);
+}
+
+#[test]
+fn session_epochs_match_single_shot_at_advanced_round_ids() {
+    // A session reuses one plan across epochs while advancing the round
+    // id; each epoch must equal a fresh single-shot run of a config with
+    // that round id (regression guard for plan staleness).
+    for (topology, config) in testbeds() {
+        let mut session = AggregationSession::new(
+            topology.clone(),
+            config.clone(),
+            SessionProtocol::S4,
+            0xFEED,
+        )
+        .unwrap();
+        for epoch in 0..3u64 {
+            let round_id = session.round_id();
+            let via_session = session.next_round().unwrap();
+
+            let mut epoch_config = config.clone();
+            epoch_config.round_id = round_id;
+            let seed = ppda::sim::derive_stream(0xFEED, epoch);
+            let single_shot = S4Protocol::new(epoch_config).run(&topology, seed).unwrap();
+            assert_eq!(
+                via_session,
+                single_shot,
+                "epoch {epoch} on {} diverged",
+                topology.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn owned_plan_matches_borrowed_plan() {
+    let (topology, config) = testbeds().remove(0);
+    let borrowed = RoundPlan::new(&topology, &config, ProtocolKind::S4).unwrap();
+    let owned = RoundPlan::new(&topology, &config, ProtocolKind::S4)
+        .unwrap()
+        .into_owned();
+    for seed in [2u64, 13] {
+        assert_eq!(borrowed.run(seed).unwrap(), owned.run(seed).unwrap());
+    }
+}
