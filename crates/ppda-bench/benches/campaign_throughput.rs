@@ -1,0 +1,59 @@
+//! Criterion benchmarks for campaign throughput: wall-clock cost of one
+//! executed round at the testbed operating points, scalar vs batched.
+//!
+//! The `campaign_throughput` binary reports the same metric over whole
+//! campaigns (with thread fan-out); this bench isolates the single-round
+//! cost the batching work targets: per-round crypto (T-table AES, cached
+//! CCM contexts, one seal per (source, destination) carrying all B lanes)
+//! plus the MiniCast transport simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ppda_bench::{Protocol, TestbedSetup};
+use ppda_mpc::RoundPlan;
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_throughput");
+    for (setup, sources) in [
+        (TestbedSetup::flocklab(), 3usize),
+        (TestbedSetup::flocklab(), 24),
+        (TestbedSetup::dcube(), 5),
+    ] {
+        let topology = setup.topology();
+        for batch in [1usize, 16] {
+            let config = setup
+                .config_batched(sources, batch)
+                .expect("operating point is valid");
+            let plan = RoundPlan::new(&topology, &config, Protocol::S4).expect("plan compiles");
+            let mut executor = plan.executor();
+            let mut seed = 0u64;
+            group.bench_function(
+                format!("S4/{}-{}src/batch-{}", setup.name, sources, batch),
+                |bench| {
+                    bench.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        black_box(executor.run(seed).expect("round runs"))
+                    })
+                },
+            );
+        }
+    }
+    // The scalar (non-executor) path at one point, as the allocation-churn
+    // reference.
+    let setup = TestbedSetup::flocklab();
+    let topology = setup.topology();
+    let config = setup.config(3).unwrap();
+    let plan = RoundPlan::new(&topology, &config, Protocol::S4).unwrap();
+    let mut seed = 0u64;
+    group.bench_function("S4/flocklab-3src/scalar-path", |bench| {
+        bench.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(plan.run(seed).expect("round runs"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_throughput);
+criterion_main!(benches);

@@ -68,8 +68,18 @@ fn bench_aes(c: &mut Criterion) {
     group.bench_function("encrypt_block", |bench| {
         bench.iter(|| aes.encrypt_block(black_box(&block)))
     });
+    group.bench_function("encrypt_block_reference", |bench| {
+        bench.iter(|| aes.encrypt_block_reference(black_box(&block)))
+    });
     group.bench_function("decrypt_block", |bench| {
         bench.iter(|| aes.decrypt_block(black_box(&block)))
+    });
+    let mut buf = vec![0u8; 1024];
+    group.bench_function("ctr_bulk_1k", |bench| {
+        bench.iter(|| {
+            let mut counter = [0u8; 16];
+            ppda_crypto::ctr::xor_keystream_bulk(&aes, &mut counter, black_box(&mut buf));
+        })
     });
     group.finish();
 }
@@ -104,6 +114,14 @@ fn bench_sss(c: &mut Criterion) {
         bench.iter_batched(
             || Xoshiro256::seed_from(3),
             |mut rng| split_secret(Gf31::new(42), 15, &xs16, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let secrets16: Vec<Gf31> = (0..16).map(|i| Gf31::new(42 + i)).collect();
+    group.bench_function("split_batch16/k8-n9", |bench| {
+        bench.iter_batched(
+            || Xoshiro256::seed_from(3),
+            |mut rng| ppda_sss::split_secret_batch(&secrets16, 8, &xs9, &mut rng).unwrap(),
             BatchSize::SmallInput,
         )
     });

@@ -1,0 +1,91 @@
+//! Wall-clock campaign throughput: how many aggregation rounds (and how
+//! many aggregated values) the simulator executes per second of host time.
+//!
+//! ```text
+//! cargo run -p ppda-bench --release --bin campaign_throughput -- \
+//!     [--testbed flocklab|dcube|both] [--protocol s3|s4|both] \
+//!     [--iterations N] [--batch B] [--seed S] [--sources K]
+//! ```
+//!
+//! Unlike `fig1` (which reports *simulated* latency), this harness times
+//! the campaign itself — the metric the batching work optimizes. `--batch`
+//! selects the lane width B: every source contributes B readings per round
+//! and the campaign aggregates B values per round at one round's transport
+//! cost. B = 1 is the paper's scalar protocol.
+
+use std::time::Instant;
+
+use ppda_bench::{arg_value, run_campaign, Protocol, TestbedSetup};
+use ppda_metrics::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let testbed = arg_value(&args, "--testbed").unwrap_or_else(|| "both".into());
+    let protocol = arg_value(&args, "--protocol").unwrap_or_else(|| "s4".into());
+    let iterations: u64 = arg_value(&args, "--iterations")
+        .map(|v| v.parse().expect("--iterations must be a number"))
+        .unwrap_or(200);
+    let batch: usize = arg_value(&args, "--batch")
+        .map(|v| v.parse().expect("--batch must be a number"))
+        .unwrap_or(1);
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed must be a number"))
+        .unwrap_or(0xBA7C);
+    let sources_override: Option<usize> =
+        arg_value(&args, "--sources").map(|v| v.parse().expect("--sources must be a number"));
+
+    let setups: Vec<TestbedSetup> = match testbed.as_str() {
+        "both" => vec![TestbedSetup::flocklab(), TestbedSetup::dcube()],
+        name => vec![TestbedSetup::by_name(name)
+            .unwrap_or_else(|| panic!("unknown testbed {name} (flocklab|dcube)"))],
+    };
+    let protocols: Vec<Protocol> = match protocol.as_str() {
+        "s3" => vec![Protocol::S3],
+        "s4" => vec![Protocol::S4],
+        "both" => vec![Protocol::S4, Protocol::S3],
+        other => panic!("unknown protocol {other} (s3|s4|both)"),
+    };
+
+    for setup in setups {
+        let topology = setup.topology();
+        let sweep: Vec<usize> = match sources_override {
+            Some(s) => vec![s],
+            None => setup.source_sweep.clone(),
+        };
+        println!(
+            "\n=== {} — campaign throughput ({} iterations, batch {}) ===",
+            setup.name, iterations, batch
+        );
+        let mut table = Table::new(vec![
+            "protocol",
+            "sources",
+            "batch",
+            "rounds/s",
+            "µs/round",
+            "values/s",
+            "node ok",
+        ]);
+        for &sources in &sweep {
+            for &proto in &protocols {
+                let config = setup
+                    .config_batched(sources, batch)
+                    .expect("sweep point is valid");
+                let start = Instant::now();
+                let result = run_campaign(proto, &topology, &config, iterations, seed)
+                    .expect("campaign runs");
+                let elapsed = start.elapsed().as_secs_f64();
+                let rounds_per_sec = result.rounds as f64 / elapsed;
+                table.row(vec![
+                    proto.name().to_string(),
+                    sources.to_string(),
+                    batch.to_string(),
+                    format!("{rounds_per_sec:.0}"),
+                    format!("{:.1}", 1e6 * elapsed / result.rounds as f64),
+                    format!("{:.0}", rounds_per_sec * result.lanes as f64),
+                    format!("{:.2}", result.node_success),
+                ]);
+            }
+        }
+        print!("{table}");
+    }
+}

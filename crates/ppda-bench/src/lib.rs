@@ -100,6 +100,16 @@ impl TestbedSetup {
     ///
     /// Propagates configuration validation errors.
     pub fn config(&self, sources: usize) -> Result<ProtocolConfig, MpcError> {
+        self.config_batched(sources, 1)
+    }
+
+    /// Build the configuration for a given source count and lane width B
+    /// (each source contributes B readings per round).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn config_batched(&self, sources: usize, batch: usize) -> Result<ProtocolConfig, MpcError> {
         let topology = self.topology();
         ProtocolConfig::builder(topology.len())
             .sources(sources)
@@ -108,6 +118,7 @@ impl TestbedSetup {
             .full_coverage_ntx(self.s3_ntx)
             .aggregator_redundancy(self.redundancy)
             .fading(self.fading)
+            .batch(batch)
             .build()
     }
 }
@@ -125,18 +136,29 @@ pub struct CampaignResult {
     pub round_success: f64,
     /// Rounds executed.
     pub rounds: usize,
+    /// Lane width B: aggregated values per round (1 = the paper's scalar
+    /// protocol).
+    pub lanes: usize,
 }
 
 /// Run `iterations` seeded rounds of `protocol` and aggregate the metrics.
 ///
-/// The deployment's [`RoundPlan`] (bootstrap, chain schedules,
-/// reconstruction weights) is compiled **once** and borrowed by every
-/// worker thread; each round streams into a
-/// [`CampaignAccumulator`] the moment it completes — no per-iteration
-/// configuration clones and no buffered outcome structures. (The
-/// accumulator keeps two scalars per live node-round for the exact
-/// percentile summaries; that is the only state growing with
-/// `iterations`.)
+/// The deployment's [`RoundPlan`] (bootstrap, chain schedules, cipher
+/// contexts, reconstruction weights) is compiled **once** and borrowed by
+/// every worker thread; each worker drives a
+/// [`RoundExecutor`](ppda_mpc::RoundExecutor) whose scratch buffers
+/// (sealed payloads, share/sum slabs) persist across its rounds, and each
+/// round streams into a [`CampaignAccumulator`] the moment it completes —
+/// no per-iteration configuration clones, no buffered outcome structures,
+/// no per-round crypto buffer churn. (The accumulator keeps two scalars
+/// per live node-round for the exact percentile summaries; that is the
+/// only state growing with `iterations`.)
+///
+/// With `config.batch > 1` every round aggregates B values per source at
+/// one round's transport cost; a node-round counts as successful only if
+/// **all** B lanes reconstructed correctly. B = 1 reproduces the scalar
+/// campaign bit-for-bit (the executor path is byte-identical; see
+/// `tests/plan_reuse.rs`).
 ///
 /// Rounds are distributed over all available cores; results are
 /// deterministic for a given `(base_seed, iterations)` regardless of the
@@ -171,16 +193,18 @@ pub fn run_campaign(
                 .map(|worker| {
                     let plan = &plan;
                     scope.spawn(move || {
+                        let mut executor = plan.executor();
                         let mut acc = CampaignAccumulator::new();
                         let mut first_error: Option<(u64, MpcError)> = None;
                         let mut seed = base_seed + worker as u64;
                         while seed < base_seed + iterations {
-                            match plan.run(seed) {
+                            match executor.run(seed) {
                                 Ok(outcome) => {
                                     acc.record_round(outcome.correct());
                                     for node in outcome.live_nodes() {
                                         acc.record_node(
-                                            node.aggregate == Some(outcome.expected_sum),
+                                            node.aggregates.as_deref()
+                                                == Some(&outcome.expected_sums[..]),
                                             node.latency.map(|l| l.as_millis_f64()),
                                             node.radio_on.as_millis_f64(),
                                         );
@@ -224,6 +248,7 @@ pub fn run_campaign(
         node_success: acc.node_success(),
         round_success: acc.round_success(),
         rounds: acc.rounds() as usize,
+        lanes: config.batch,
     })
 }
 
@@ -282,6 +307,27 @@ mod tests {
             s3.latency_ms.mean(),
             s4.latency_ms.mean()
         );
+    }
+
+    #[test]
+    fn batched_campaign_runs_and_is_deterministic() {
+        let setup = TestbedSetup::flocklab();
+        let topology = setup.topology();
+        let config = setup.config_batched(3, 8).unwrap();
+        let a = run_campaign(Protocol::S4, &topology, &config, 4, 42).unwrap();
+        let b = run_campaign(Protocol::S4, &topology, &config, 4, 42).unwrap();
+        assert_eq!(a.latency_ms.mean(), b.latency_ms.mean());
+        assert_eq!(a.lanes, 8);
+        assert!(a.node_success > 0.9, "success {}", a.node_success);
+    }
+
+    #[test]
+    fn scalar_campaign_reports_one_lane() {
+        let setup = TestbedSetup::flocklab();
+        let topology = setup.topology();
+        let config = setup.config(3).unwrap();
+        let r = run_campaign(Protocol::S4, &topology, &config, 2, 7).unwrap();
+        assert_eq!(r.lanes, 1);
     }
 
     #[test]

@@ -1,8 +1,15 @@
-//! AES-128 block cipher (FIPS-197), byte-oriented implementation.
+//! AES-128 block cipher (FIPS-197).
 //!
-//! This is a straightforward table-free implementation (S-box lookups plus
-//! `xtime` GF(2⁸) doubling). It favors clarity and auditability over raw
-//! speed; on the simulator's packet sizes it is far from any bottleneck.
+//! Two encryption paths share one key schedule:
+//!
+//! * [`Aes128::encrypt_block`] — the hot path: a word-oriented T-table
+//!   round function (SubBytes, ShiftRows and MixColumns folded into one
+//!   256-entry table, built at compile time). Every CCM seal/open and every
+//!   DRBG output block in a simulated round goes through it, so it *is* a
+//!   campaign bottleneck at scale.
+//! * [`Aes128::encrypt_block_reference`] — the original byte-oriented
+//!   implementation (S-box lookups plus `xtime` doubling), kept as the
+//!   auditable test oracle the table path is checked against.
 
 /// AES block length in bytes.
 pub const BLOCK_LEN: usize = 16;
@@ -59,7 +66,7 @@ const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x
 
 /// Multiply by x (i.e. {02}) in GF(2⁸) modulo x⁸+x⁴+x³+x+1.
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
 }
 
@@ -78,6 +85,32 @@ fn gmul(a: u8, mut b: u8) -> u8 {
     acc
 }
 
+/// T-table for the word-oriented round function, built at compile time.
+///
+/// Entry `x` is the MixColumns contribution of a *row-0* state byte `x`
+/// (SubBytes folded in), packed little-endian: bytes `[2·S, S, S, 3·S]`.
+/// The contributions of rows 1..3 are byte rotations of the same word
+/// (`T0.rotate_left(8·r)`), so a single 1 KiB table serves all four rows —
+/// a deliberately small cache footprint for the simulator's many
+/// interleaved AES contexts.
+const T0: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        t[i] = (s2 as u32) | ((s as u32) << 8) | ((s as u32) << 16) | ((s3 as u32) << 24);
+        i += 1;
+    }
+    t
+};
+
+#[inline(always)]
+fn t0(b: u32) -> u32 {
+    T0[(b & 0xff) as usize]
+}
+
 /// AES-128 with a precomputed key schedule.
 ///
 /// The state layout follows FIPS-197: byte `i` of a block maps to state row
@@ -94,6 +127,8 @@ fn gmul(a: u8, mut b: u8) -> u8 {
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
+    /// The same schedule as little-endian column words, for the T-table path.
+    round_key_words: [[u32; 4]; 11],
 }
 
 impl core::fmt::Debug for Aes128 {
@@ -124,12 +159,17 @@ impl Aes128 {
             }
         }
         let mut round_keys = [[0u8; 16]; 11];
+        let mut round_key_words = [[0u32; 4]; 11];
         for (round, rk) in round_keys.iter_mut().enumerate() {
             for c in 0..4 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * round + c]);
+                round_key_words[round][c] = u32::from_le_bytes(w[4 * round + c]);
             }
         }
-        Aes128 { round_keys }
+        Aes128 {
+            round_keys,
+            round_key_words,
+        }
     }
 
     fn add_round_key(state: &mut Block, rk: &[u8; 16]) {
@@ -203,8 +243,60 @@ impl Aes128 {
         }
     }
 
-    /// Encrypt one block.
+    /// Encrypt one block (word-oriented T-table path).
+    #[inline]
     pub fn encrypt_block(&self, block: &Block) -> Block {
+        let rk = &self.round_key_words;
+        // State column c lives in word c: bytes [row0, row1, row2, row3],
+        // little-endian. ShiftRows means output column c pulls row r from
+        // input column (c + r) mod 4.
+        let mut w0 = u32::from_le_bytes(block[0..4].try_into().expect("4 bytes")) ^ rk[0][0];
+        let mut w1 = u32::from_le_bytes(block[4..8].try_into().expect("4 bytes")) ^ rk[0][1];
+        let mut w2 = u32::from_le_bytes(block[8..12].try_into().expect("4 bytes")) ^ rk[0][2];
+        let mut w3 = u32::from_le_bytes(block[12..16].try_into().expect("4 bytes")) ^ rk[0][3];
+        for round in rk[1..10].iter() {
+            let n0 = t0(w0)
+                ^ t0(w1 >> 8).rotate_left(8)
+                ^ t0(w2 >> 16).rotate_left(16)
+                ^ t0(w3 >> 24).rotate_left(24)
+                ^ round[0];
+            let n1 = t0(w1)
+                ^ t0(w2 >> 8).rotate_left(8)
+                ^ t0(w3 >> 16).rotate_left(16)
+                ^ t0(w0 >> 24).rotate_left(24)
+                ^ round[1];
+            let n2 = t0(w2)
+                ^ t0(w3 >> 8).rotate_left(8)
+                ^ t0(w0 >> 16).rotate_left(16)
+                ^ t0(w1 >> 24).rotate_left(24)
+                ^ round[2];
+            let n3 = t0(w3)
+                ^ t0(w0 >> 8).rotate_left(8)
+                ^ t0(w1 >> 16).rotate_left(16)
+                ^ t0(w2 >> 24).rotate_left(24)
+                ^ round[3];
+            (w0, w1, w2, w3) = (n0, n1, n2, n3);
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let rk10 = &self.round_keys[10];
+        let mut out = [0u8; 16];
+        let words = [w0, w1, w2, w3];
+        for c in 0..4 {
+            out[4 * c] = SBOX[(words[c] & 0xff) as usize] ^ rk10[4 * c];
+            out[4 * c + 1] = SBOX[((words[(c + 1) % 4] >> 8) & 0xff) as usize] ^ rk10[4 * c + 1];
+            out[4 * c + 2] = SBOX[((words[(c + 2) % 4] >> 16) & 0xff) as usize] ^ rk10[4 * c + 2];
+            out[4 * c + 3] = SBOX[((words[(c + 3) % 4] >> 24) & 0xff) as usize] ^ rk10[4 * c + 3];
+        }
+        out
+    }
+
+    /// Encrypt one block with the byte-oriented FIPS-197 transcription.
+    ///
+    /// This is the test oracle for [`Aes128::encrypt_block`]: slower but a
+    /// line-by-line match with the standard's pseudocode. Equivalence over
+    /// the full input space is enforced by known-answer tests and the
+    /// property suite.
+    pub fn encrypt_block_reference(&self, block: &Block) -> Block {
         let mut state = *block;
         Self::add_round_key(&mut state, &self.round_keys[0]);
         for round in 1..10 {
@@ -259,6 +351,7 @@ mod tests {
         let pt = block("3243f6a8885a308d313198a2e0370734");
         let ct = aes.encrypt_block(&pt);
         assert_eq!(ct, block("3925841d02dc09fbdc118597196a0b32"));
+        assert_eq!(aes.encrypt_block_reference(&pt), ct);
         assert_eq!(aes.decrypt_block(&ct), pt);
     }
 
@@ -270,12 +363,14 @@ mod tests {
         let pt = block("00112233445566778899aabbccddeeff");
         let ct = aes.encrypt_block(&pt);
         assert_eq!(ct, block("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.encrypt_block_reference(&pt), ct);
         assert_eq!(aes.decrypt_block(&ct), pt);
     }
 
     #[test]
     fn sp800_38a_ecb_vectors() {
-        // NIST SP 800-38A F.1.1 (AES-128 ECB), all four blocks.
+        // NIST SP 800-38A F.1.1 (AES-128 ECB), all four blocks, exercising
+        // both the T-table path and the byte-oriented oracle.
         let aes = Aes128::new(&block("2b7e151628aed2a6abf7158809cf4f3c"));
         let cases = [
             (
@@ -297,7 +392,25 @@ mod tests {
         ];
         for (pt, ct) in cases {
             assert_eq!(aes.encrypt_block(&block(pt)), block(ct));
+            assert_eq!(aes.encrypt_block_reference(&block(pt)), block(ct));
             assert_eq!(aes.decrypt_block(&block(ct)), block(pt));
+        }
+    }
+
+    #[test]
+    fn ttable_matches_reference_exhaustive_bytes() {
+        // Single-active-byte inputs hit every T0 entry in every position.
+        let aes = Aes128::new(&[0x5A; 16]);
+        for pos in 0..16 {
+            for v in 0..=255u8 {
+                let mut pt = [0u8; 16];
+                pt[pos] = v;
+                assert_eq!(
+                    aes.encrypt_block(&pt),
+                    aes.encrypt_block_reference(&pt),
+                    "diverged at byte {pos} = {v:#04x}"
+                );
+            }
         }
     }
 
@@ -312,6 +425,7 @@ mod tests {
                 *b = (state >> 33) as u8;
             }
             assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+            assert_eq!(aes.encrypt_block(&pt), aes.encrypt_block_reference(&pt));
         }
     }
 
@@ -335,6 +449,18 @@ mod tests {
     fn sbox_inverse_consistency() {
         for i in 0..256 {
             assert_eq!(INV_SBOX[SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn t0_entries_pack_mix_column_constants() {
+        for i in 0..256 {
+            let s = SBOX[i];
+            let [b0, b1, b2, b3] = T0[i].to_le_bytes();
+            assert_eq!(b0, xtime(s));
+            assert_eq!(b1, s);
+            assert_eq!(b2, s);
+            assert_eq!(b3, xtime(s) ^ s);
         }
     }
 

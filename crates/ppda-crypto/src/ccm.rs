@@ -122,22 +122,41 @@ impl Ccm {
         aad: &[u8],
         payload: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::with_capacity(payload.len() + self.tag_len);
+        self.seal_into(nonce, aad, payload, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Ccm::seal`] into a caller-supplied buffer (cleared first), so hot
+    /// paths sealing many packets per round can reuse one allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ccm::seal`]; `out` is left empty on error.
+    pub fn seal_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        out.clear();
         if payload.len() > u16::MAX as usize {
             return Err(CryptoError::PayloadTooLong { got: payload.len() });
         }
         let tag = self.raw_tag(nonce, aad, payload);
 
-        let mut out = Vec::with_capacity(payload.len() + self.tag_len);
+        out.reserve(payload.len() + self.tag_len);
         out.extend_from_slice(payload);
         let mut a1 = Self::counter_block(nonce, 1);
-        ctr::xor_keystream(&self.aes, &mut a1, &mut out);
+        ctr::xor_keystream_bulk(&self.aes, &mut a1, out);
 
         // Tag is encrypted with S₀ (counter 0).
         let mut enc_tag = tag;
         let mut a0 = Self::counter_block(nonce, 0);
         ctr::xor_keystream(&self.aes, &mut a0, &mut enc_tag);
         out.extend_from_slice(&enc_tag[..self.tag_len]);
-        Ok(out)
+        Ok(())
     }
 
     /// Verify and decrypt `ciphertext ‖ tag` produced by [`Ccm::seal`].
@@ -154,6 +173,25 @@ impl Ccm {
         aad: &[u8],
         sealed: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
+        let mut payload = Vec::new();
+        self.open_into(nonce, aad, sealed, &mut payload)?;
+        Ok(payload)
+    }
+
+    /// [`Ccm::open`] into a caller-supplied buffer (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ccm::open`]. On authentication failure the
+    /// buffer is emptied, so no unverified plaintext is released.
+    pub fn open_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+        payload: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        payload.clear();
         if sealed.len() < self.tag_len {
             return Err(CryptoError::CiphertextTooShort {
                 got: sealed.len(),
@@ -162,11 +200,11 @@ impl Ccm {
         }
         let (ct, recv_tag) = sealed.split_at(sealed.len() - self.tag_len);
 
-        let mut payload = ct.to_vec();
+        payload.extend_from_slice(ct);
         let mut a1 = Self::counter_block(nonce, 1);
-        ctr::xor_keystream(&self.aes, &mut a1, &mut payload);
+        ctr::xor_keystream_bulk(&self.aes, &mut a1, payload);
 
-        let tag = self.raw_tag(nonce, aad, &payload);
+        let tag = self.raw_tag(nonce, aad, payload);
         let mut enc_tag = tag;
         let mut a0 = Self::counter_block(nonce, 0);
         ctr::xor_keystream(&self.aes, &mut a0, &mut enc_tag);
@@ -177,9 +215,10 @@ impl Ccm {
             diff |= a ^ b;
         }
         if diff != 0 {
+            payload.clear();
             return Err(CryptoError::AuthenticationFailed);
         }
-        Ok(payload)
+        Ok(())
     }
 }
 

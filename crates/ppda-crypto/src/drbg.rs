@@ -45,10 +45,17 @@ impl CtrDrbg {
     /// Instantiate from a master key and a domain-separation string
     /// (e.g. the node id). Identical inputs give identical streams.
     pub fn new(master: Key, domain: &[u8]) -> Self {
+        Self::with_master_cipher(&Aes128::new(&master), domain)
+    }
+
+    /// [`CtrDrbg::new`] with a pre-expanded master cipher. A deployment
+    /// instantiates many DRBGs from the *same* master secret (one per
+    /// source per round); expanding the master key schedule once and
+    /// reusing it here produces the identical stream as [`CtrDrbg::new`].
+    pub fn with_master_cipher(master_aes: &Aes128, domain: &[u8]) -> Self {
         // Derive the working key: K = AES_master(pad(domain)) xor-folded over
         // domain chunks — a simple PRF application, sufficient for the
         // deterministic-simulation threat model.
-        let master_aes = Aes128::new(&master);
         let mut derived: Block = [0u8; 16];
         for (i, chunk) in domain.chunks(16).enumerate() {
             let mut block = [0u8; 16];
@@ -89,6 +96,26 @@ impl CtrDrbg {
         self.buffer = self.next_block();
         self.buffered = 16;
     }
+
+    /// Fill whole 16-byte blocks of output.
+    ///
+    /// Emits exactly the same byte stream as [`RngCore::fill_bytes`] over
+    /// the same total length: a partially drained buffer is consumed first,
+    /// after which every block comes straight off the cipher with no
+    /// intermediate buffering.
+    pub fn fill_blocks(&mut self, out: &mut [Block]) {
+        if self.buffered == 0 {
+            for block in out.iter_mut() {
+                *block = self.next_block();
+            }
+        } else {
+            // Unaligned relative to the buffered tail; the generic path
+            // below handles the straddling copies.
+            for block in out.iter_mut() {
+                self.fill_bytes(block);
+            }
+        }
+    }
 }
 
 impl RngCore for CtrDrbg {
@@ -105,12 +132,26 @@ impl RngCore for CtrDrbg {
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for b in dest.iter_mut() {
-            if self.buffered == 0 {
-                self.refill();
-            }
-            *b = self.buffer[16 - self.buffered];
-            self.buffered -= 1;
+        // Drain any partially consumed buffer first (bytes come off the
+        // front, i.e. index 16 - buffered), …
+        let take = self.buffered.min(dest.len());
+        if take > 0 {
+            let start = 16 - self.buffered;
+            dest[..take].copy_from_slice(&self.buffer[start..start + take]);
+            self.buffered -= take;
+        }
+        let rest = &mut dest[take..];
+        // … then copy whole blocks straight from the cipher, …
+        let mut blocks = rest.chunks_exact_mut(16);
+        for chunk in &mut blocks {
+            chunk.copy_from_slice(&self.next_block());
+        }
+        // … and buffer only the tail block.
+        let tail = blocks.into_remainder();
+        if !tail.is_empty() {
+            self.refill();
+            tail.copy_from_slice(&self.buffer[..tail.len()]);
+            self.buffered = 16 - tail.len();
         }
     }
 
@@ -131,6 +172,19 @@ impl SeedableRng for CtrDrbg {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn master_cipher_constructor_matches_new() {
+        let master = [0x3Cu8; 16];
+        let cipher = Aes128::new(&master);
+        let mut a = CtrDrbg::new(master, b"node-4");
+        let mut b = CtrDrbg::with_master_cipher(&cipher, b"node-4");
+        let mut buf_a = [0u8; 48];
+        let mut buf_b = [0u8; 48];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+    }
 
     #[test]
     fn deterministic_replay() {
@@ -200,6 +254,57 @@ mod tests {
             b.fill_bytes(chunk);
         }
         assert_eq!(bulk, pieces);
+    }
+
+    /// The pre-fast-path semantics, byte by byte: the provable oracle for
+    /// the block-aligned `fill_bytes`.
+    fn fill_bytes_bytewise(rng: &mut CtrDrbg, dest: &mut [u8]) {
+        for b in dest.iter_mut() {
+            if rng.buffered == 0 {
+                rng.refill();
+            }
+            *b = rng.buffer[16 - rng.buffered];
+            rng.buffered -= 1;
+        }
+    }
+
+    #[test]
+    fn fast_path_emits_identical_stream() {
+        // Every request length from 0..64, issued twice back-to-back so the
+        // second request starts at every possible buffer offset.
+        for len in 0..64usize {
+            let mut fast = CtrDrbg::new([4u8; 16], b"stream");
+            let mut slow = CtrDrbg::new([4u8; 16], b"stream");
+            for _ in 0..2 {
+                let mut a = vec![0u8; len];
+                let mut b = vec![0u8; len];
+                fast.fill_bytes(&mut a);
+                fill_bytes_bytewise(&mut slow, &mut b);
+                assert_eq!(a, b, "diverged at request length {len}");
+            }
+            assert_eq!(fast.buffered, slow.buffered);
+            assert_eq!(fast.counter, slow.counter);
+        }
+    }
+
+    #[test]
+    fn fill_blocks_matches_fill_bytes() {
+        // Aligned: straight off the cipher.
+        let mut a = CtrDrbg::new([6u8; 16], b"blocks");
+        let mut b = CtrDrbg::new([6u8; 16], b"blocks");
+        let mut blocks = [[0u8; 16]; 5];
+        let mut bytes = [0u8; 80];
+        a.fill_blocks(&mut blocks);
+        b.fill_bytes(&mut bytes);
+        assert_eq!(blocks.concat(), bytes);
+
+        // Unaligned: a partially drained buffer must be consumed first.
+        let mut skew = [0u8; 3];
+        a.fill_bytes(&mut skew);
+        b.fill_bytes(&mut skew);
+        a.fill_blocks(&mut blocks);
+        b.fill_bytes(&mut bytes);
+        assert_eq!(blocks.concat(), bytes);
     }
 
     #[test]

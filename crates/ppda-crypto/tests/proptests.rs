@@ -123,6 +123,74 @@ proptest! {
     }
 
     #[test]
+    fn ttable_encrypt_matches_byte_oriented_reference(
+        key in any::<[u8; 16]>(),
+        block in any::<[u8; 16]>(),
+    ) {
+        // The word-oriented T-table hot path against its auditable
+        // FIPS-197 transcription oracle.
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.encrypt_block(&block), aes.encrypt_block_reference(&block));
+    }
+
+    #[test]
+    fn bulk_keystream_matches_blockwise(
+        key in any::<[u8; 16]>(),
+        counter in any::<[u8; 16]>(),
+        data in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let aes = Aes128::new(&key);
+        let mut blockwise = data.clone();
+        let mut c1 = counter;
+        ctr::xor_keystream(&aes, &mut c1, &mut blockwise);
+        let mut bulk = data;
+        let mut c2 = counter;
+        ctr::xor_keystream_bulk(&aes, &mut c2, &mut bulk);
+        prop_assert_eq!(blockwise, bulk);
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn drbg_chunked_reads_match_one_shot(
+        master in any::<[u8; 16]>(),
+        chunks in prop::collection::vec(0usize..40, 1..8),
+    ) {
+        // The block-aligned fill_bytes fast path must emit the same
+        // stream as one contiguous read, whatever the request pattern.
+        let total: usize = chunks.iter().sum();
+        let mut one_shot = vec![0u8; total];
+        CtrDrbg::new(master, b"chunked").fill_bytes(&mut one_shot);
+
+        let mut pieced = Vec::with_capacity(total);
+        let mut rng = CtrDrbg::new(master, b"chunked");
+        for len in chunks {
+            let mut part = vec![0u8; len];
+            rng.fill_bytes(&mut part);
+            pieced.extend_from_slice(&part);
+        }
+        prop_assert_eq!(one_shot, pieced);
+    }
+
+    #[test]
+    fn drbg_fill_blocks_matches_fill_bytes(
+        master in any::<[u8; 16]>(),
+        skew in 0usize..16,
+        blocks in 1usize..6,
+    ) {
+        let mut a = CtrDrbg::new(master, b"fb");
+        let mut b = CtrDrbg::new(master, b"fb");
+        // Put both generators at an arbitrary buffer offset first.
+        let mut pre = vec![0u8; skew];
+        a.fill_bytes(&mut pre);
+        b.fill_bytes(&mut pre);
+        let mut as_blocks = vec![[0u8; 16]; blocks];
+        let mut as_bytes = vec![0u8; blocks * 16];
+        a.fill_blocks(&mut as_blocks);
+        b.fill_bytes(&mut as_bytes);
+        prop_assert_eq!(as_blocks.concat(), as_bytes);
+    }
+
+    #[test]
     fn drbg_streams_reproducible(master in any::<[u8; 16]>(), domain in prop::collection::vec(any::<u8>(), 0..40)) {
         let mut a = CtrDrbg::new(master, &domain);
         let mut b = CtrDrbg::new(master, &domain);

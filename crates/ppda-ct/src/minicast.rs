@@ -383,6 +383,22 @@ impl MiniCastSchedule {
         }
 
         let mut is_tx_scratch = vec![false; n];
+        // Slot resolution runs in whichever direction touches fewer links:
+        // transmitter-major (one pass over the transmitter set accumulates
+        // every receiver's miss product; stamps make resets O(touched))
+        // when few nodes transmit — the join wave and the tail of a round —
+        // or receiver-major (`reception_prob` per listener) when the flood
+        // is dense and listeners are the minority. Both directions multiply
+        // link misses in ascending transmitter order, so the probabilities,
+        // the RNG draw sequence and the round outcomes are bit-identical
+        // (see `engine::tests::transmitter_major_accumulation_is_bit_identical`).
+        let mut tx_list: Vec<usize> = Vec::with_capacity(n);
+        let mut miss = vec![1.0f64; n];
+        let mut in_range = vec![0u32; n];
+        let mut slot_stamp = vec![u64::MAX; n];
+        let mut stamp = 0u64;
+        let mut active = vec![false; n];
+        let mut off_count = off.iter().filter(|&&o| o).count();
         let mut cycles_run = 0u32;
 
         'round: for cycle in 0..self.round_cycles {
@@ -390,21 +406,39 @@ impl MiniCastSchedule {
             let cycle_start = SimTime::ZERO + cycle_dur * cycle as u64;
 
             // Who transmits the chain during this cycle.
-            let active: Vec<bool> = (0..n)
-                .map(|v| joined[v] && !off[v] && tx_count[v] < self.config.ntx)
-                .collect();
+            for v in 0..n {
+                active[v] = joined[v] && !off[v] && tx_count[v] < self.config.ntx;
+            }
 
             for j in 0..l {
                 let slot_start = cycle_start + slot * j as u64;
                 // Transmitter set: active nodes holding packet j.
-                let mut any_tx = false;
+                tx_list.clear();
                 for v in 0..n {
                     let tx = active[v] && have[v][j];
                     is_tx_scratch[v] = tx;
-                    any_tx |= tx;
                     if tx {
+                        tx_list.push(v);
                         ledgers[v].add_tx(airtime);
                         ledgers[v].add_listen(slot.saturating_sub(airtime));
+                    }
+                }
+                let any_tx = !tx_list.is_empty();
+                let listeners = n - off_count - tx_list.len();
+                let tx_major = any_tx && tx_list.len() < listeners;
+                if tx_major {
+                    stamp = stamp.wrapping_add(1);
+                    for &u in &tx_list {
+                        for &(v, prr) in conditions.links.in_neighbors(u) {
+                            let v = v as usize;
+                            if slot_stamp[v] != stamp {
+                                slot_stamp[v] = stamp;
+                                miss[v] = 1.0;
+                                in_range[v] = 0;
+                            }
+                            miss[v] *= 1.0 - prr;
+                            in_range[v] += 1;
+                        }
                     }
                 }
                 // Receivers.
@@ -412,24 +446,31 @@ impl MiniCastSchedule {
                     if off[v] || is_tx_scratch[v] {
                         continue;
                     }
-                    if any_tx && !have[v][j] {
-                        let p = conditions.links.reception_prob(v, &is_tx_scratch);
-                        if p > 0.0 && rng.chance(p) {
-                            have[v][j] = true;
-                            rx_at[v][j] = Some(slot_start + slot);
-                            heard[v] = true;
-                            ledgers[v].add_rx(airtime);
-                            ledgers[v].add_listen(slot.saturating_sub(airtime));
-                            if predicate_met_at[v].is_none() && predicate(v, &have[v]) {
-                                predicate_met_at[v] = Some(slot_start + slot);
+                    if any_tx {
+                        let p = if !tx_major {
+                            conditions.links.reception_prob(v, &is_tx_scratch)
+                        } else if slot_stamp[v] == stamp {
+                            LinkTable::combine(miss[v], in_range[v])
+                        } else {
+                            0.0
+                        };
+                        if !have[v][j] {
+                            if p > 0.0 && rng.chance(p) {
+                                have[v][j] = true;
+                                rx_at[v][j] = Some(slot_start + slot);
+                                heard[v] = true;
+                                ledgers[v].add_rx(airtime);
+                                ledgers[v].add_listen(slot.saturating_sub(airtime));
+                                if predicate_met_at[v].is_none() && predicate(v, &have[v]) {
+                                    predicate_met_at[v] = Some(slot_start + slot);
+                                }
+                                continue;
                             }
-                            continue;
-                        }
-                    } else if any_tx && have[v][j] {
-                        // Overhearing a known packet still synchronizes.
-                        let p = conditions.links.reception_prob(v, &is_tx_scratch);
-                        if p > 0.0 && rng.chance(p) {
-                            heard[v] = true;
+                        } else {
+                            // Overhearing a known packet still synchronizes.
+                            if p > 0.0 && rng.chance(p) {
+                                heard[v] = true;
+                            }
                         }
                     }
                     ledgers[v].add_listen(slot);
@@ -452,10 +493,11 @@ impl MiniCastSchedule {
                     && predicate_met_at[v].is_some()
                 {
                     off[v] = true;
+                    off_count += 1;
                     radio_off_at[v] = Some(cycle_end);
                 }
             }
-            if (0..n).all(|v| off[v]) {
+            if off_count == n {
                 break 'round;
             }
         }

@@ -236,9 +236,26 @@ impl<P: PrimeField> Gf<P> {
         }
     }
 
-    /// Encode into `P::ENCODED_LEN` little-endian bytes.
-    pub fn to_bytes(self) -> Vec<u8> {
-        self.0.to_le_bytes()[..P::ENCODED_LEN].to_vec()
+    /// Encode into `P::ENCODED_LEN` little-endian bytes, without a heap
+    /// allocation (the returned [`GfBytes`] derefs to the byte slice).
+    pub fn to_bytes(self) -> GfBytes {
+        GfBytes {
+            buf: self.0.to_le_bytes(),
+            len: P::ENCODED_LEN as u8,
+        }
+    }
+
+    /// Write the `P::ENCODED_LEN`-byte little-endian encoding into `out`.
+    ///
+    /// The buffer-oriented twin of [`Gf::to_bytes`] for wire paths that
+    /// serialize many elements into one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `P::ENCODED_LEN` bytes.
+    #[inline]
+    pub fn write_bytes(self, out: &mut [u8]) {
+        out[..P::ENCODED_LEN].copy_from_slice(&self.0.to_le_bytes()[..P::ENCODED_LEN]);
     }
 
     /// Decode from little-endian bytes produced by [`Gf::to_bytes`].
@@ -257,6 +274,32 @@ impl<P: PrimeField> Gf<P> {
         } else {
             Some(Gf(v, PhantomData))
         }
+    }
+}
+
+/// The stack-allocated wire encoding of one [`Gf`] element: up to 8
+/// little-endian bytes, of which the first `len` are significant.
+///
+/// Returned by [`Gf::to_bytes`]; derefs to `&[u8]` so existing slice-based
+/// callers work unchanged, minus the per-element heap `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GfBytes {
+    buf: [u8; 8],
+    len: u8,
+}
+
+impl core::ops::Deref for GfBytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl AsRef<[u8]> for GfBytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
     }
 }
 
@@ -550,6 +593,24 @@ mod tests {
             let b = Gf61::random(&mut rng);
             assert_eq!(Gf61::from_bytes(&b.to_bytes()), Some(b));
         }
+    }
+
+    #[test]
+    fn write_bytes_matches_to_bytes() {
+        let mut rng = SplitMix64::new(6);
+        for _ in 0..100 {
+            let a = Gf31::random(&mut rng);
+            let mut buf = [0xFFu8; 8];
+            a.write_bytes(&mut buf);
+            assert_eq!(&buf[..4], &*a.to_bytes());
+            assert_eq!(buf[4..], [0xFF; 4], "only ENCODED_LEN bytes written");
+            let b = Gf61::random(&mut rng);
+            let mut buf = [0u8; 8];
+            b.write_bytes(&mut buf);
+            assert_eq!(&buf[..], &*b.to_bytes());
+        }
+        assert_eq!(Gf31::new(7).to_bytes().len(), 4);
+        assert_eq!(Gf61::new(7).to_bytes().len(), 8);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod element;
 mod error;
 mod poly;
@@ -44,8 +45,10 @@ mod rng;
 
 pub mod lagrange;
 
-pub use element::{Gf, Gf31, Gf61, Mersenne31, Mersenne61, PrimeField};
+pub use batch::PolyBatch;
+pub use element::{Gf, Gf31, Gf61, GfBytes, Mersenne31, Mersenne61, PrimeField};
 pub use error::FieldError;
+pub use lagrange::batch_invert;
 pub use poly::Polynomial;
 pub use rng::SplitMix64;
 

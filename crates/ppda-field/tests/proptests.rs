@@ -209,6 +209,44 @@ proptest! {
         }
     }
 
+    // ---- Batched polynomial evaluation vs the scalar path ----
+
+    #[test]
+    fn poly_batch_equals_sequential_scalar_polynomials(
+        secrets in prop::collection::vec(0u64..1_000_000, 1..8),
+        degree in 0usize..6,
+        seed in any::<u64>(),
+        xs in prop::collection::vec(1u64..100_000, 1..10),
+    ) {
+        let constants: Vec<Gf31> = secrets.iter().map(|&s| Gf31::new(s)).collect();
+        let points: Vec<Gf31> = xs.iter().map(|&x| Gf31::new(x)).collect();
+
+        // Same RNG, drawn lane-major: the batch IS the scalar sequence.
+        let mut rng_batch = SplitMix64::new(seed);
+        let batch = ppda_field::PolyBatch::<Mersenne31>::random_with_constants(
+            &constants, degree, &mut rng_batch);
+        let slab = batch.eval_many(&points);
+
+        let mut rng_scalar = SplitMix64::new(seed);
+        for (lane, &c) in constants.iter().enumerate() {
+            let poly = Polynomial::<Mersenne31>::random_with_constant(c, degree, &mut rng_scalar);
+            for (i, &x) in points.iter().enumerate() {
+                prop_assert_eq!(slab[i * constants.len() + lane], poly.eval(x));
+            }
+        }
+    }
+
+    #[test]
+    fn write_bytes_is_to_bytes(v in any::<u64>()) {
+        let a = Gf31::new(v);
+        let mut buf = [0u8; 8];
+        a.write_bytes(&mut buf);
+        prop_assert_eq!(&buf[..4], &*a.to_bytes());
+        let b = Gf61::new(v);
+        b.write_bytes(&mut buf);
+        prop_assert_eq!(&buf[..], &*b.to_bytes());
+    }
+
     // ---- The SSS aggregation identity end-to-end in field land ----
 
     #[test]

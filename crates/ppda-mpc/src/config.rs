@@ -36,6 +36,11 @@ pub struct ProtocolConfig {
     pub max_reading: u64,
     /// Round-scale fading/interference mixture of the deployment site.
     pub fading: FadingProfile,
+    /// Lane width B: readings each source contributes per round. The B
+    /// values share one sealed packet per (source, destination) and one
+    /// transport round; B = 1 is the paper's scalar protocol. Upper bound
+    /// is whatever fits the 802.15.4 frame (checked at plan compile).
+    pub batch: usize,
 }
 
 impl ProtocolConfig {
@@ -56,6 +61,7 @@ impl ProtocolConfig {
             round_id: 1,
             max_reading: 1 << 16,
             fading: FadingProfile::office(),
+            batch: 1,
         }
     }
 
@@ -86,6 +92,7 @@ pub struct ProtocolConfigBuilder {
     round_id: u32,
     max_reading: u64,
     fading: FadingProfile,
+    batch: usize,
 }
 
 impl ProtocolConfigBuilder {
@@ -172,6 +179,13 @@ impl ProtocolConfigBuilder {
         self
     }
 
+    /// Lane width B: readings each source contributes per round (default 1,
+    /// the paper's scalar protocol).
+    pub fn batch(mut self, lanes: usize) -> Self {
+        self.batch = lanes;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -236,6 +250,11 @@ impl ProtocolConfigBuilder {
                 what: format!("link threshold {} outside [0, 1]", self.link_threshold),
             });
         }
+        if self.batch == 0 {
+            return Err(MpcError::InvalidConfig {
+                what: "batch lane width must be at least 1".into(),
+            });
+        }
         if self.max_reading == 0 || self.max_reading >= ppda_field::Gf31::modulus() {
             return Err(MpcError::InvalidConfig {
                 what: format!(
@@ -258,6 +277,7 @@ impl ProtocolConfigBuilder {
             round_id: self.round_id,
             max_reading: self.max_reading,
             fading: self.fading,
+            batch: self.batch,
         })
     }
 }
@@ -370,6 +390,19 @@ mod tests {
             ProtocolConfig::builder(10).max_reading(u64::MAX).build(),
             Err(MpcError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn batch_validation() {
+        assert!(matches!(
+            ProtocolConfig::builder(10).batch(0).build(),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        assert_eq!(ProtocolConfig::builder(10).build().unwrap().batch, 1);
+        assert_eq!(
+            ProtocolConfig::builder(10).batch(16).build().unwrap().batch,
+            16
+        );
     }
 
     #[test]

@@ -4,33 +4,65 @@
 //! reading generation, DRBG share generation and CCM sealing, the round's
 //! fading draw and MiniCast simulation, sum accumulation, and per-node
 //! reconstruction. All deployment-scoped computation (bootstrap, chains,
-//! schedules, Lagrange weights) comes precompiled from the plan.
+//! schedules, cipher contexts, Lagrange weights) comes precompiled from
+//! the plan.
+//!
+//! Two entry points share the pipeline:
+//!
+//! * the scalar methods on [`RoundPlan`] (`run`/`run_with`/`run_epoch`) —
+//!   the paper's one-reading-per-source round, kept as the reference path;
+//! * [`RoundExecutor`] — the batched hot path: each source contributes a
+//!   vector of B readings, the whole lane batch travels in one sealed
+//!   packet per (source, destination), and per-round scratch buffers are
+//!   owned by the executor instead of reallocated every round. A 1-lane
+//!   executor round is byte-identical to the scalar path (proved by
+//!   `tests/plan_reuse.rs`).
 
-use ppda_crypto::CtrDrbg;
+use std::io::Write as _;
+
+use ppda_crypto::{Aes128, CtrDrbg};
 use ppda_ct::{LinkConditions, MiniCastResult};
-use ppda_field::Gf;
+use ppda_field::{lagrange, Gf};
 use ppda_sim::{derive_stream, SimDuration, SimTime, Xoshiro256};
-use ppda_sss::{split_secret, ReconstructionPlan, Share, SharePacket, SumAccumulator, SumPacket};
+use ppda_sss::{
+    open_share_lanes, seal_share_lanes, split_secret, BatchSplitter, ReconstructionPlan, Share,
+    SharePacket, SumAccumulator, SumPacket,
+};
 use rand::RngCore;
 
 use crate::config::ProtocolConfig;
 use crate::error::MpcError;
-use crate::outcome::{AggregationOutcome, NodeResult, PhaseStats};
+use crate::outcome::{
+    AggregationOutcome, BatchAggregationOutcome, BatchNodeResult, NodeResult, PhaseStats,
+};
 use crate::plan::RoundPlan;
 use crate::{Elem, Field};
 
 /// Deterministic sensor readings for a round: uniform in
 /// `[0, max_reading)`, derived from the master key, round id and seed.
 pub(crate) fn generate_readings(config: &ProtocolConfig, round_id: u32, seed: u64) -> Vec<u64> {
-    let mut drbg = CtrDrbg::new(
-        config.master_key,
-        format!("readings|{round_id}|{seed}").as_bytes(),
-    );
-    config
-        .sources
-        .iter()
-        .map(|_| drbg.next_u64() % config.max_reading)
-        .collect()
+    readings_with_cipher(&Aes128::new(&config.master_key), config, round_id, seed, 1)
+}
+
+/// Batched readings: `lanes` values per source, lane-major per source
+/// (`out[si * lanes + lane]`). A 1-lane call draws exactly the scalar
+/// [`generate_readings`] sequence.
+fn readings_with_cipher(
+    master: &Aes128,
+    config: &ProtocolConfig,
+    round_id: u32,
+    seed: u64,
+    lanes: usize,
+) -> Vec<u64> {
+    let mut drbg =
+        CtrDrbg::with_master_cipher(master, format!("readings|{round_id}|{seed}").as_bytes());
+    let mut out = Vec::with_capacity(config.sources.len() * lanes);
+    for _ in &config.sources {
+        for _ in 0..lanes {
+            out.push(drbg.next_u64() % config.max_reading);
+        }
+    }
+    out
 }
 
 fn phase_stats(result: &MiniCastResult, chain_len: usize, ntx: u32) -> PhaseStats {
@@ -42,6 +74,57 @@ fn phase_stats(result: &MiniCastResult, chain_len: usize, ntx: u32) -> PhaseStat
         coverage: result.coverage(),
         ntx,
     }
+}
+
+/// Record `source`'s contribution in a mask, with the scalar
+/// [`SumAccumulator`]'s checks (id fits the 128-bit mask, no duplicates).
+fn contribute(mask: u128, source: u16) -> Result<u128, MpcError> {
+    if source as usize >= ppda_sss::MAX_MASK_SOURCES {
+        return Err(MpcError::Sss(ppda_sss::SssError::SourceIdTooLarge {
+            source,
+        }));
+    }
+    let bit = 1u128 << source;
+    if mask & bit != 0 {
+        return Err(MpcError::Sss(ppda_sss::SssError::DuplicateSource {
+            source,
+        }));
+    }
+    Ok(mask | bit)
+}
+
+/// Validate per-round inputs shared by the scalar and batched paths.
+fn validate_inputs(
+    config: &ProtocolConfig,
+    lanes: usize,
+    secrets: &[u64],
+    failed: &[bool],
+) -> Result<(), MpcError> {
+    if secrets.len() != config.sources.len() * lanes {
+        return Err(MpcError::InputMismatch {
+            what: format!(
+                "{} secrets for {} sources × {} lanes",
+                secrets.len(),
+                config.sources.len(),
+                lanes
+            ),
+        });
+    }
+    if failed.len() != config.n_nodes {
+        return Err(MpcError::InputMismatch {
+            what: format!(
+                "failure mask of {} for {} nodes",
+                failed.len(),
+                config.n_nodes
+            ),
+        });
+    }
+    for &s in secrets {
+        if s >= Elem::modulus() {
+            return Err(MpcError::ReadingTooLarge { value: s });
+        }
+    }
+    Ok(())
 }
 
 impl RoundPlan<'_> {
@@ -77,6 +160,8 @@ impl RoundPlan<'_> {
     ///
     /// # Errors
     ///
+    /// * [`MpcError::InvalidConfig`] on a plan compiled with `batch > 1`
+    ///   (use [`RoundPlan::executor`] for lane batches).
     /// * [`MpcError::InputMismatch`] on wrong-sized inputs.
     /// * [`MpcError::ReadingTooLarge`] if a reading exceeds the field.
     pub fn run_epoch(
@@ -87,26 +172,16 @@ impl RoundPlan<'_> {
         failed: &[bool],
     ) -> Result<AggregationOutcome, MpcError> {
         let config = self.config();
-        let n = config.n_nodes;
-        if secrets.len() != config.sources.len() {
-            return Err(MpcError::InputMismatch {
+        if config.batch != 1 {
+            return Err(MpcError::InvalidConfig {
                 what: format!(
-                    "{} secrets for {} sources",
-                    secrets.len(),
-                    config.sources.len()
+                    "scalar round on a {}-lane plan; use RoundPlan::executor()",
+                    config.batch
                 ),
             });
         }
-        if failed.len() != n {
-            return Err(MpcError::InputMismatch {
-                what: format!("failure mask of {} for {} nodes", failed.len(), n),
-            });
-        }
-        for &s in secrets {
-            if s >= Elem::modulus() {
-                return Err(MpcError::ReadingTooLarge { value: s });
-            }
-        }
+        let n = config.n_nodes;
+        validate_inputs(config, 1, secrets, failed)?;
 
         // This round's radio conditions (drawn once; both phases happen
         // within seconds of each other, so one link table serves both).
@@ -141,8 +216,8 @@ impl RoundPlan<'_> {
                 shares_by_source.push(None);
                 continue;
             }
-            let mut drbg = CtrDrbg::new(
-                config.master_key,
+            let mut drbg = CtrDrbg::with_master_cipher(
+                &self.master_cipher,
                 format!("share|{round_id}|{seed}|{src}").as_bytes(),
             );
             shares_by_source.push(Some(split_secret(
@@ -153,7 +228,7 @@ impl RoundPlan<'_> {
             )?));
         }
         let mut sealed: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.slots.len());
-        for slot in &self.slots {
+        for (j, slot) in self.slots.iter().enumerate() {
             match &shares_by_source[slot.src_index] {
                 Some(shares) => {
                     let pkt = SharePacket::<Field> {
@@ -162,7 +237,9 @@ impl RoundPlan<'_> {
                         round: round_id,
                         share: shares[slot.dst_index],
                     };
-                    sealed.push(Some(pkt.seal(self.bootstrap.keys(), config.tag_len)?));
+                    let mut buf = Vec::new();
+                    pkt.seal_with(&self.slot_ccm[j], &mut buf)?;
+                    sealed.push(Some(buf));
                 }
                 None => sealed.push(None),
             }
@@ -172,8 +249,10 @@ impl RoundPlan<'_> {
             // Predicate: which sub-slots a node must hold before its
             // sharing duty is complete.
             let slot_live: Vec<bool> = sealed.iter().map(|s| s.is_some()).collect();
-            let slot_dst = &self.slot_dst;
             let is_destination = &self.is_destination;
+            let dest_index = &self.dest_index;
+            let slots_by_dest = &self.slots_by_dest;
+            let offsets = &self.dest_slot_offsets;
             let strict = self.variant.strict_completion;
             let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0x5A1));
             self.sharing_schedule
@@ -185,8 +264,12 @@ impl RoundPlan<'_> {
                         // the rigidity the paper's S4 removes.
                         have.iter().all(|&h| h)
                     } else if is_destination[v] {
-                        // Aggregator: needs exactly the packets addressed to it.
-                        (0..have.len()).all(|j| !slot_live[j] || slot_dst[j] != v as u16 || have[j])
+                        // Aggregator: needs exactly the packets addressed
+                        // to it (the plan's per-destination slot index).
+                        let di = dest_index[v];
+                        slots_by_dest[offsets[di]..offsets[di + 1]]
+                            .iter()
+                            .all(|&j| !slot_live[j] || have[j])
                     } else {
                         // Pure relay: no data needs of its own.
                         true
@@ -207,17 +290,16 @@ impl RoundPlan<'_> {
                     acc.add(d, shares[di].y)?;
                 }
             }
-            for (j, slot) in self.slots.iter().enumerate() {
-                if slot.dst != d || sealed[j].is_none() {
-                    continue;
-                }
-                if !sharing_result.nodes[d as usize].received[j] {
+            let my_slots =
+                &self.slots_by_dest[self.dest_slot_offsets[di]..self.dest_slot_offsets[di + 1]];
+            for &j in my_slots {
+                let slot = &self.slots[j];
+                if sealed[j].is_none() || !sharing_result.nodes[d as usize].received[j] {
                     continue;
                 }
                 let payload = sealed[j].as_ref().expect("checked above");
-                let pkt = SharePacket::<Field>::open(
-                    self.bootstrap.keys(),
-                    config.tag_len,
+                let pkt = SharePacket::<Field>::open_with(
+                    &self.slot_ccm[j],
                     slot.src,
                     d,
                     round_id,
@@ -322,6 +404,402 @@ impl RoundPlan<'_> {
     }
 }
 
+/// Per-round scratch buffers: every slab a batched round writes, allocated
+/// once per executor and reused for its lifetime.
+#[derive(Debug, Clone)]
+struct RoundScratch {
+    /// DRBG domain-separation string under construction.
+    domain: Vec<u8>,
+    /// One source's lane readings as field elements.
+    lane_secrets: Vec<Elem>,
+    /// Reusable polynomial slab for share generation.
+    splitter: BatchSplitter<Field>,
+    /// Per source: x-major share slab (`dests × lanes`), live sources only.
+    share_slabs: Vec<Vec<Elem>>,
+    share_live: Vec<bool>,
+    /// Per sub-slot: the sealed frame payload.
+    sealed: Vec<Vec<u8>>,
+    slot_live: Vec<bool>,
+    /// Decrypted payload and decoded lanes of the packet being opened.
+    open_payload: Vec<u8>,
+    open_lanes: Vec<Elem>,
+    /// Per destination: lane sums (x-major slab), contributor masks,
+    /// liveness and threshold-usability.
+    sum_ys: Vec<Elem>,
+    sum_mask: Vec<u128>,
+    sum_live: Vec<bool>,
+    usable: Vec<bool>,
+    /// Reconstruction workspace: chosen subset rows and per-lane output.
+    recon_xs: Vec<Elem>,
+    recon_slab: Vec<Elem>,
+    recon_out: Vec<Elem>,
+    /// Destination indices a node holds, grouped during aggregation.
+    held: Vec<usize>,
+}
+
+/// Executes batched rounds over a borrowed [`RoundPlan`], owning the
+/// per-round scratch buffers (sealed payloads, share and sum slabs, frame
+/// workspace) so consecutive rounds allocate nothing.
+///
+/// Each campaign worker takes its own executor over one shared plan; the
+/// executor is `Send` (it owns its scratch) but deliberately not shared —
+/// cross-thread reuse would serialize the hot path on a lock.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{ProtocolConfig, ProtocolKind, RoundPlan};
+/// use ppda_topology::Topology;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::flocklab();
+/// let config = ProtocolConfig::builder(topology.len())
+///     .sources(6)
+///     .batch(4) // 4 readings per source per round
+///     .build()?;
+/// let plan = RoundPlan::new(&topology, &config, ProtocolKind::S4)?;
+/// let mut executor = plan.executor();
+/// let outcome = executor.run(7)?;
+/// assert_eq!(outcome.lanes, 4);
+/// assert!(outcome.correct());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundExecutor<'p, 't> {
+    plan: &'p RoundPlan<'t>,
+    scratch: RoundScratch,
+}
+
+impl<'p, 't> RoundExecutor<'p, 't> {
+    pub(crate) fn new(plan: &'p RoundPlan<'t>) -> Self {
+        let config = plan.config();
+        let lanes = config.batch;
+        let n_sources = config.sources.len();
+        let n_dests = plan.destinations.len();
+        let n_slots = plan.slots.len();
+        RoundExecutor {
+            plan,
+            scratch: RoundScratch {
+                domain: Vec::with_capacity(32),
+                lane_secrets: Vec::with_capacity(lanes),
+                splitter: BatchSplitter::new(config.degree, lanes),
+                share_slabs: vec![Vec::with_capacity(n_dests * lanes); n_sources],
+                share_live: vec![false; n_sources],
+                sealed: vec![Vec::new(); n_slots],
+                slot_live: vec![false; n_slots],
+                open_payload: Vec::with_capacity(lanes * 8),
+                open_lanes: Vec::with_capacity(lanes),
+                sum_ys: vec![Elem::ZERO; n_dests * lanes],
+                sum_mask: vec![0; n_dests],
+                sum_live: vec![false; n_dests],
+                usable: vec![false; n_dests],
+                recon_xs: Vec::with_capacity(plan.threshold),
+                recon_slab: Vec::with_capacity(plan.threshold * lanes),
+                recon_out: Vec::with_capacity(lanes),
+                held: Vec::with_capacity(n_dests),
+            },
+        }
+    }
+
+    /// The plan this executor runs over.
+    pub fn plan(&self) -> &'p RoundPlan<'t> {
+        self.plan
+    }
+
+    /// The lane width B of every round this executor runs.
+    pub fn lanes(&self) -> usize {
+        self.plan.config().batch
+    }
+
+    /// Run one batched round with deterministically generated readings
+    /// (B per source) and no failures.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundExecutor::run_epoch`].
+    pub fn run(&mut self, seed: u64) -> Result<BatchAggregationOutcome, MpcError> {
+        let config = self.plan.config();
+        let secrets = readings_with_cipher(
+            &self.plan.master_cipher,
+            config,
+            config.round_id,
+            seed,
+            config.batch,
+        );
+        let failed = vec![false; config.n_nodes];
+        self.run_epoch(config.round_id, seed, &secrets, &failed)
+    }
+
+    /// Run one batched round with explicit readings (lane-major per
+    /// source: `secrets[si * B + lane]`) and failure injection.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundExecutor::run_epoch`].
+    pub fn run_with(
+        &mut self,
+        seed: u64,
+        secrets: &[u64],
+        failed: &[bool],
+    ) -> Result<BatchAggregationOutcome, MpcError> {
+        self.run_epoch(self.plan.config().round_id, seed, secrets, failed)
+    }
+
+    /// Run one batched round under an explicit round id.
+    ///
+    /// With B = 1 this is byte-identical to [`RoundPlan::run_epoch`]
+    /// (identical DRBG draws, ciphertexts, transport outcomes and
+    /// aggregates); `tests/plan_reuse.rs` enforces that contract.
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcError::InputMismatch`] on wrong-sized inputs.
+    /// * [`MpcError::ReadingTooLarge`] if a reading exceeds the field.
+    pub fn run_epoch(
+        &mut self,
+        round_id: u32,
+        seed: u64,
+        secrets: &[u64],
+        failed: &[bool],
+    ) -> Result<BatchAggregationOutcome, MpcError> {
+        let plan = self.plan;
+        let config = plan.config();
+        let lanes = config.batch;
+        let n = config.n_nodes;
+        validate_inputs(config, lanes, secrets, failed)?;
+        let scratch = &mut self.scratch;
+
+        let attenuation_db = {
+            let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0xFAD));
+            config.fading.draw(&mut rng)
+        };
+        let conditions = LinkConditions::new(plan.topology(), attenuation_db);
+
+        let mut live_source_mask = 0u128;
+        let mut expected = vec![Elem::ZERO; lanes];
+        for (si, &src) in config.sources.iter().enumerate() {
+            if failed[src as usize] {
+                continue;
+            }
+            live_source_mask |= 1u128 << src;
+            for (lane, e) in expected.iter_mut().enumerate() {
+                *e += Elem::new(secrets[si * lanes + lane]);
+            }
+        }
+
+        // ---- Sharing phase ------------------------------------------------
+        for (si, &src) in config.sources.iter().enumerate() {
+            if failed[src as usize] {
+                scratch.share_live[si] = false;
+                continue;
+            }
+            scratch.share_live[si] = true;
+            scratch.domain.clear();
+            write!(scratch.domain, "share|{round_id}|{seed}|{src}").expect("vec write");
+            let mut drbg = CtrDrbg::with_master_cipher(&plan.master_cipher, &scratch.domain);
+            scratch.lane_secrets.clear();
+            scratch.lane_secrets.extend(
+                secrets[si * lanes..(si + 1) * lanes]
+                    .iter()
+                    .map(|&v| Elem::new(v)),
+            );
+            scratch.splitter.split_into(
+                &scratch.lane_secrets,
+                &plan.dest_xs,
+                &mut drbg,
+                &mut scratch.share_slabs[si],
+            )?;
+        }
+        for (j, slot) in plan.slots.iter().enumerate() {
+            if !scratch.share_live[slot.src_index] {
+                scratch.slot_live[j] = false;
+                scratch.sealed[j].clear();
+                continue;
+            }
+            scratch.slot_live[j] = true;
+            let ys = &scratch.share_slabs[slot.src_index]
+                [slot.dst_index * lanes..(slot.dst_index + 1) * lanes];
+            seal_share_lanes(
+                &plan.slot_ccm[j],
+                slot.src,
+                slot.dst,
+                round_id,
+                plan.dest_xs[slot.dst_index],
+                ys,
+                &mut scratch.sealed[j],
+            )?;
+        }
+
+        let sharing_result = {
+            let slot_live = &scratch.slot_live;
+            let is_destination = &plan.is_destination;
+            let dest_index = &plan.dest_index;
+            let slots_by_dest = &plan.slots_by_dest;
+            let offsets = &plan.dest_slot_offsets;
+            let strict = plan.variant.strict_completion;
+            let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0x5A1));
+            plan.sharing_schedule
+                .run_with(&conditions, &mut rng, failed, |v, have| {
+                    if strict {
+                        have.iter().all(|&h| h)
+                    } else if is_destination[v] {
+                        let di = dest_index[v];
+                        slots_by_dest[offsets[di]..offsets[di + 1]]
+                            .iter()
+                            .all(|&j| !slot_live[j] || have[j])
+                    } else {
+                        true
+                    }
+                })
+        };
+
+        // ---- Local sum accumulation ---------------------------------------
+        for (di, &d) in plan.destinations.iter().enumerate() {
+            scratch.sum_live[di] = false;
+            scratch.sum_mask[di] = 0;
+            if failed[d as usize] {
+                continue;
+            }
+            // Mirror the scalar SumAccumulator over the lane slab: same
+            // source-id/duplicate checks, same field sums, one mask for
+            // all lanes (they travel together).
+            let row_start = di * lanes;
+            scratch.sum_ys[row_start..row_start + lanes].fill(Elem::ZERO);
+            let mut mask = 0u128;
+            if let Some(si) = config.sources.iter().position(|&s| s == d) {
+                if scratch.share_live[si] {
+                    mask = contribute(mask, d)?;
+                    let own = &scratch.share_slabs[si][di * lanes..(di + 1) * lanes];
+                    for (acc, &y) in scratch.sum_ys[row_start..row_start + lanes]
+                        .iter_mut()
+                        .zip(own)
+                    {
+                        *acc += y;
+                    }
+                }
+            }
+            let my_slots =
+                &plan.slots_by_dest[plan.dest_slot_offsets[di]..plan.dest_slot_offsets[di + 1]];
+            for &j in my_slots {
+                let slot = &plan.slots[j];
+                if !scratch.slot_live[j] || !sharing_result.nodes[d as usize].received[j] {
+                    continue;
+                }
+                open_share_lanes(
+                    &plan.slot_ccm[j],
+                    slot.src,
+                    d,
+                    round_id,
+                    plan.dest_xs[di],
+                    lanes,
+                    &scratch.sealed[j],
+                    &mut scratch.open_payload,
+                    &mut scratch.open_lanes,
+                )?;
+                mask = contribute(mask, slot.src)?;
+                for (acc, &y) in scratch.sum_ys[row_start..row_start + lanes]
+                    .iter_mut()
+                    .zip(&scratch.open_lanes)
+                {
+                    *acc += y;
+                }
+            }
+            scratch.sum_live[di] = true;
+            scratch.sum_mask[di] = mask;
+        }
+
+        // ---- Reconstruction phase ------------------------------------------
+        for di in 0..plan.destinations.len() {
+            scratch.usable[di] = scratch.sum_live[di] && scratch.sum_mask[di] == live_source_mask;
+        }
+        let threshold = plan.threshold;
+        let recon_result = {
+            let strict = plan.variant.strict_completion;
+            let usable = &scratch.usable;
+            let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0x5A2));
+            plan.recon_schedule
+                .run_with(&conditions, &mut rng, failed, move |_, have| {
+                    if strict {
+                        have.iter().all(|&h| h)
+                    } else {
+                        have.iter().zip(usable).filter(|&(&h, &u)| h && u).count() >= threshold
+                    }
+                })
+        };
+
+        // ---- Per-node aggregation -------------------------------------------
+        let sharing_sched = sharing_result.scheduled_duration();
+        let strict = plan.variant.strict_completion;
+        let mut nodes = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // v indexes four parallel per-node tables
+        for v in 0..n {
+            if failed[v] {
+                nodes.push(BatchNodeResult {
+                    aggregates: None,
+                    included_sources: 0,
+                    latency: None,
+                    radio_on: SimDuration::ZERO,
+                    energy_mj: 0.0,
+                    failed: true,
+                });
+                continue;
+            }
+            let (aggregates, included) =
+                if strict && recon_result.nodes[v].predicate_met_at.is_none() {
+                    (None, 0)
+                } else {
+                    scratch.held.clear();
+                    for di in 0..plan.destinations.len() {
+                        if scratch.sum_live[di] && recon_result.nodes[v].received[di] {
+                            scratch.held.push(di);
+                        }
+                    }
+                    aggregate_lanes(
+                        &scratch.held,
+                        &scratch.sum_ys,
+                        &scratch.sum_mask,
+                        &plan.dest_xs,
+                        lanes,
+                        config.degree,
+                        &plan.recon_weights,
+                        &mut scratch.recon_xs,
+                        &mut scratch.recon_slab,
+                        &mut scratch.recon_out,
+                    )
+                };
+            let latency = recon_result.nodes[v]
+                .predicate_met_at
+                .map(|t| sharing_sched + (t - SimTime::ZERO));
+            let mut radio = sharing_result.nodes[v].ledger;
+            radio.merge(&recon_result.nodes[v].ledger);
+            nodes.push(BatchNodeResult {
+                aggregates,
+                included_sources: included,
+                latency,
+                radio_on: radio.radio_on(),
+                energy_mj: radio.energy_mj(&ppda_radio::RadioCurrents::nrf52840()),
+                failed: false,
+            });
+        }
+
+        Ok(BatchAggregationOutcome {
+            protocol: plan.variant.name,
+            lanes,
+            expected_sums: expected.iter().map(|e| e.value()).collect(),
+            nodes,
+            sharing: phase_stats(&sharing_result, plan.slots.len(), plan.ntx_sharing),
+            reconstruction: phase_stats(
+                &recon_result,
+                plan.destinations.len(),
+                plan.ntx_reconstruction,
+            ),
+            degree: config.degree,
+            aggregator_count: plan.destinations.len(),
+            source_count: config.sources.len(),
+        })
+    }
+}
+
 /// Reconstruct the aggregate from whatever sum shares a node holds:
 /// group by contributor mask, prefer the mask covering the most sources
 /// (ties: the mask held by more nodes), and reconstruct once a group
@@ -333,6 +811,23 @@ fn aggregate_from_sums(
     weights: &ReconstructionPlan<Field>,
 ) -> (Option<Gf<Field>>, u32) {
     use std::collections::HashMap;
+    // Fast path: in a loss-free round every held sum carries the same
+    // mask, making the mask-grouping below a one-entry map — skip it.
+    if held.windows(2).all(|w| w[0].mask == w[1].mask) {
+        let Some(first) = held.first() else {
+            return (None, 0);
+        };
+        if first.mask == 0 || held.len() < degree + 1 {
+            return (None, 0);
+        }
+        let mut members: Vec<&&SumPacket<Field>> = held.iter().collect();
+        members.sort_by_key(|p| p.share.x);
+        let points: Vec<Share<Field>> = members[..degree + 1].iter().map(|p| p.share).collect();
+        return match weights.reconstruct(&points) {
+            Ok(v) => (Some(v), first.mask.count_ones()),
+            Err(_) => (None, 0),
+        };
+    }
     let mut groups: HashMap<u128, Vec<&SumPacket<Field>>> = HashMap::new();
     for p in held {
         groups.entry(p.mask).or_default().push(p);
@@ -363,6 +858,92 @@ fn aggregate_from_sums(
     }
 }
 
+/// The lane-batched twin of [`aggregate_from_sums`]: the same mask-group
+/// selection over destination indices, then one weight application across
+/// all lanes (plan weights on the canonical subset, a fresh basis
+/// otherwise). Lane 0 of a 1-lane batch equals the scalar result exactly.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_lanes(
+    held: &[usize],
+    sum_ys: &[Elem],
+    sum_mask: &[u128],
+    dest_xs: &[Elem],
+    lanes: usize,
+    degree: usize,
+    weights: &ReconstructionPlan<Field>,
+    recon_xs: &mut Vec<Elem>,
+    recon_slab: &mut Vec<Elem>,
+    recon_out: &mut Vec<Elem>,
+) -> (Option<Vec<u64>>, u32) {
+    use std::collections::HashMap;
+    let uniform = held.windows(2).all(|w| sum_mask[w[0]] == sum_mask[w[1]]);
+    let (bits, mask) = if uniform {
+        // Fast path for the loss-free round: one mask, no grouping map.
+        let Some(&first) = held.first() else {
+            return (None, 0);
+        };
+        let mask = sum_mask[first];
+        if mask == 0 || held.len() < degree + 1 {
+            return (None, 0);
+        }
+        (mask.count_ones(), mask)
+    } else {
+        let mut groups: HashMap<u128, usize> = HashMap::new();
+        for &di in held {
+            *groups.entry(sum_mask[di]).or_default() += 1;
+        }
+        let mut best: Option<(u32, usize, u128)> = None;
+        for (&mask, &count) in &groups {
+            if mask == 0 || count < degree + 1 {
+                continue;
+            }
+            let key = (mask.count_ones(), count, mask);
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+            }
+        }
+        let Some((bits, _, mask)) = best else {
+            return (None, 0);
+        };
+        (bits, mask)
+    };
+    let mut members: Vec<usize> = held
+        .iter()
+        .copied()
+        .filter(|&di| sum_mask[di] == mask)
+        .collect();
+    members.sort_by_key(|&di| dest_xs[di]);
+    members.truncate(degree + 1);
+
+    recon_xs.clear();
+    recon_xs.extend(members.iter().map(|&di| dest_xs[di]));
+    recon_slab.clear();
+    for &di in &members {
+        recon_slab.extend_from_slice(&sum_ys[di * lanes..(di + 1) * lanes]);
+    }
+
+    if weights.xs() == &recon_xs[..] {
+        if weights
+            .reconstruct_batch_into(lanes, recon_slab, recon_out)
+            .is_err()
+        {
+            return (None, 0);
+        }
+    } else {
+        let Ok(basis) = lagrange::basis_at_zero(recon_xs) else {
+            return (None, 0);
+        };
+        recon_out.clear();
+        recon_out.resize(lanes, Elem::ZERO);
+        for (&w, row) in basis.iter().zip(recon_slab.chunks(lanes)) {
+            for (acc, &y) in recon_out.iter_mut().zip(row) {
+                *acc += y * w;
+            }
+        }
+    }
+    (Some(recon_out.iter().map(|e| e.value()).collect()), bits)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +962,24 @@ mod tests {
         assert!(a.iter().all(|&v| v < 100));
         assert_ne!(a, generate_readings(&c, c.round_id, 6));
         assert_ne!(a, generate_readings(&c, c.round_id + 1, 5));
+    }
+
+    #[test]
+    fn batched_readings_extend_the_scalar_stream() {
+        // Lane-major per source: lane 0 of a B-lane draw is NOT required
+        // to equal the scalar draw (the DRBG stream interleaves), but a
+        // 1-lane draw must be the scalar sequence exactly.
+        let c = ProtocolConfig::builder(8)
+            .max_reading(1000)
+            .build()
+            .unwrap();
+        let master = Aes128::new(&c.master_key);
+        let scalar = generate_readings(&c, c.round_id, 3);
+        let one_lane = readings_with_cipher(&master, &c, c.round_id, 3, 1);
+        assert_eq!(scalar, one_lane);
+        let four_lanes = readings_with_cipher(&master, &c, c.round_id, 3, 4);
+        assert_eq!(four_lanes.len(), 8 * 4);
+        assert!(four_lanes.iter().all(|&v| v < 1000));
     }
 
     fn weights(nodes: &[usize], threshold: usize) -> ReconstructionPlan<Field> {
@@ -457,5 +1056,55 @@ mod tests {
         let b = aggregate_from_sums(&held, 1, &fallback);
         assert_eq!(a, b);
         assert_eq!(a.0, Some(Elem::new(7)));
+    }
+
+    #[test]
+    fn aggregate_lanes_matches_scalar_selection() {
+        // Same scenario as aggregate_from_sums_prefers_widest_mask, in
+        // slab form with 2 lanes; lane 0 mirrors the scalar values.
+        let dest_xs: Vec<Elem> = (0..4).map(share_x::<Field>).collect();
+        // Lane 0: polynomials 10 + x (wide) and 20 + x (narrow).
+        // Lane 1: polynomials 30 + 2x (wide) and 40 + 2x (narrow).
+        let sum_ys: Vec<Elem> = [
+            (11u64, 32u64), // node 0: x=1
+            (12, 34),       // node 1: x=2
+            (23, 46),       // node 2: x=3 (narrow)
+            (24, 48),       // node 3: x=4 (narrow)
+        ]
+        .iter()
+        .flat_map(|&(a, b)| [Elem::new(a), Elem::new(b)])
+        .collect();
+        let sum_mask = vec![0b111u128, 0b111, 0b011, 0b011];
+        let held = vec![0usize, 1, 2, 3];
+        let w = weights(&[0, 1, 2, 3], 2);
+        let (mut xs, mut slab, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        let (agg, bits) = aggregate_lanes(
+            &held, &sum_ys, &sum_mask, &dest_xs, 2, 1, &w, &mut xs, &mut slab, &mut out,
+        );
+        assert_eq!(agg, Some(vec![10, 30]));
+        assert_eq!(bits, 3);
+    }
+
+    #[test]
+    fn aggregate_lanes_needs_threshold() {
+        let dest_xs: Vec<Elem> = (0..2).map(share_x::<Field>).collect();
+        let sum_ys = vec![Elem::new(5), Elem::new(6)];
+        let sum_mask = vec![1u128, 1];
+        let w = weights(&[0, 1], 2);
+        let (mut xs, mut slab, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        let (agg, bits) = aggregate_lanes(
+            &[0],
+            &sum_ys,
+            &sum_mask,
+            &dest_xs,
+            1,
+            1,
+            &w,
+            &mut xs,
+            &mut slab,
+            &mut out,
+        );
+        assert_eq!(agg, None);
+        assert_eq!(bits, 0);
     }
 }

@@ -57,7 +57,10 @@ mod session;
 pub use bootstrap::Bootstrap;
 pub use config::{ProtocolConfig, ProtocolConfigBuilder};
 pub use error::MpcError;
-pub use outcome::{AggregationOutcome, NodeResult, PhaseStats};
+pub use execute::RoundExecutor;
+pub use outcome::{
+    AggregationOutcome, BatchAggregationOutcome, BatchNodeResult, NodeResult, PhaseStats,
+};
 pub use plan::{ProtocolKind, RoundPlan};
 pub use s3::S3Protocol;
 pub use s4::S4Protocol;

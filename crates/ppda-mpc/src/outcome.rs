@@ -156,6 +156,96 @@ impl AggregationOutcome {
     }
 }
 
+/// The outcome at one node of a batched round: one aggregate per lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNodeResult {
+    /// The lane aggregates the node computed, if it could (field values,
+    /// lane-ordered).
+    pub aggregates: Option<Vec<u64>>,
+    /// Number of source readings included in those aggregates (shared by
+    /// all lanes: the lanes travel together).
+    pub included_sources: u32,
+    /// Time from round start until this node held the final aggregates.
+    pub latency: Option<SimDuration>,
+    /// Total radio-on time across both phases.
+    pub radio_on: SimDuration,
+    /// Radio energy for the round (mJ, nRF52840 current profile).
+    pub energy_mj: f64,
+    /// Whether this node was failure-injected.
+    pub failed: bool,
+}
+
+/// Complete outcome of one batched aggregation round: B independent
+/// aggregates at one round's transport cost.
+///
+/// A 1-lane batch is informationally identical to [`AggregationOutcome`];
+/// [`BatchAggregationOutcome::into_scalar`] performs that conversion (and
+/// the `plan_reuse` suite proves the executed values are byte-identical to
+/// the scalar path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchAggregationOutcome {
+    /// Protocol name: `"S3"` or `"S4"`.
+    pub protocol: &'static str,
+    /// Lane width B.
+    pub lanes: usize,
+    /// The true aggregates (field values) over live sources, lane-ordered.
+    pub expected_sums: Vec<u64>,
+    /// Per-node results, indexed by node id.
+    pub nodes: Vec<BatchNodeResult>,
+    /// Sharing-phase transport stats.
+    pub sharing: PhaseStats,
+    /// Reconstruction-phase transport stats.
+    pub reconstruction: PhaseStats,
+    /// Polynomial degree used.
+    pub degree: usize,
+    /// Number of designated aggregators (n for S3).
+    pub aggregator_count: usize,
+    /// Number of configured sources.
+    pub source_count: usize,
+}
+
+impl BatchAggregationOutcome {
+    /// Live (non-failed) node results.
+    pub fn live_nodes(&self) -> impl Iterator<Item = &BatchNodeResult> {
+        self.nodes.iter().filter(|n| !n.failed)
+    }
+
+    /// `true` if every live node computed every lane's correct aggregate.
+    pub fn correct(&self) -> bool {
+        self.live_nodes()
+            .all(|n| n.aggregates.as_deref() == Some(&self.expected_sums[..]))
+    }
+
+    /// Convert a 1-lane outcome into the scalar form; `None` for wider
+    /// batches (they have no scalar equivalent).
+    pub fn into_scalar(self) -> Option<AggregationOutcome> {
+        if self.lanes != 1 {
+            return None;
+        }
+        Some(AggregationOutcome {
+            protocol: self.protocol,
+            expected_sum: self.expected_sums[0],
+            nodes: self
+                .nodes
+                .into_iter()
+                .map(|n| NodeResult {
+                    aggregate: n.aggregates.map(|a| a[0]),
+                    included_sources: n.included_sources,
+                    latency: n.latency,
+                    radio_on: n.radio_on,
+                    energy_mj: n.energy_mj,
+                    failed: n.failed,
+                })
+                .collect(),
+            sharing: self.sharing,
+            reconstruction: self.reconstruction,
+            degree: self.degree,
+            aggregator_count: self.aggregator_count,
+            source_count: self.source_count,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,5 +347,52 @@ mod tests {
         assert_eq!(o.success_fraction(), 0.0);
         assert!(!o.all_nodes_agree());
         assert_eq!(o.mean_radio_on_ms(), 0.0);
+    }
+
+    fn batch_node(aggregates: Option<Vec<u64>>, failed: bool) -> BatchNodeResult {
+        BatchNodeResult {
+            aggregates,
+            included_sources: 3,
+            latency: Some(SimDuration::from_millis(5)),
+            radio_on: SimDuration::from_millis(10),
+            energy_mj: 0.15,
+            failed,
+        }
+    }
+
+    fn batch_outcome(lanes: usize, nodes: Vec<BatchNodeResult>) -> BatchAggregationOutcome {
+        BatchAggregationOutcome {
+            protocol: "S4",
+            lanes,
+            expected_sums: (0..lanes as u64).map(|l| 42 + l).collect(),
+            nodes,
+            sharing: phase(),
+            reconstruction: phase(),
+            degree: 2,
+            aggregator_count: 5,
+            source_count: 3,
+        }
+    }
+
+    #[test]
+    fn batch_correctness_requires_every_lane() {
+        let good = batch_outcome(2, vec![batch_node(Some(vec![42, 43]), false)]);
+        assert!(good.correct());
+        let one_lane_wrong = batch_outcome(2, vec![batch_node(Some(vec![42, 99]), false)]);
+        assert!(!one_lane_wrong.correct());
+        let failed_ignored = batch_outcome(2, vec![batch_node(None, true)]);
+        assert!(failed_ignored.correct(), "no live nodes, vacuously correct");
+    }
+
+    #[test]
+    fn into_scalar_only_for_single_lane() {
+        let wide = batch_outcome(2, vec![batch_node(Some(vec![42, 43]), false)]);
+        assert!(wide.into_scalar().is_none());
+
+        let narrow = batch_outcome(1, vec![batch_node(Some(vec![42]), false)]);
+        let scalar = narrow.into_scalar().unwrap();
+        assert_eq!(scalar.expected_sum, 42);
+        assert_eq!(scalar.nodes[0].aggregate, Some(42));
+        assert!(scalar.correct());
     }
 }

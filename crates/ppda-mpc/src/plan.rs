@@ -12,10 +12,11 @@
 
 use std::borrow::Cow;
 
+use ppda_crypto::{Aes128, Ccm};
 use ppda_ct::{ChainSpec, MiniCastConfig, MiniCastSchedule};
-use ppda_field::share_x;
+use ppda_field::{share_x, PrimeField};
 use ppda_radio::FrameSpec;
-use ppda_sss::{ReconstructionPlan, SumPacket};
+use ppda_sss::{ReconstructionPlan, SumBatch};
 use ppda_topology::Topology;
 
 use crate::bootstrap::Bootstrap;
@@ -133,10 +134,23 @@ pub struct RoundPlan<'t> {
     pub(crate) dest_xs: Vec<Elem>,
     /// Per node: is it a share destination?
     pub(crate) is_destination: Vec<bool>,
+    /// Per node: its index in `destinations` (unused entries are 0; check
+    /// `is_destination` first).
+    pub(crate) dest_index: Vec<usize>,
+    /// Slot indices addressed to each destination, concatenated;
+    /// destination `di`'s slots are
+    /// `slots_by_dest[dest_slot_offsets[di]..dest_slot_offsets[di + 1]]`.
+    pub(crate) slots_by_dest: Vec<usize>,
+    pub(crate) dest_slot_offsets: Vec<usize>,
     /// The sharing chain's sub-slots, in chain order.
     pub(crate) slots: Vec<ShareSlotSpec>,
-    /// `slots[j].dst`, flattened for the completion predicate.
-    pub(crate) slot_dst: Vec<u16>,
+    /// One CCM context per sub-slot: the pairwise key of a (src, dst) pair
+    /// is deployment-scoped, so the AES key schedule expands once here
+    /// instead of once per sealed packet per round.
+    pub(crate) slot_ccm: Vec<Ccm>,
+    /// The master secret's expanded key schedule, shared by every per-round
+    /// DRBG instantiation.
+    pub(crate) master_cipher: Aes128,
     pub(crate) sharing_schedule: MiniCastSchedule,
     pub(crate) recon_schedule: MiniCastSchedule,
     pub(crate) ntx_sharing: u32,
@@ -201,8 +215,10 @@ impl<'t> RoundPlan<'t> {
             .map(|&d| share_x::<Field>(d as usize))
             .collect();
         let mut is_destination = vec![false; n];
-        for &d in &destinations {
+        let mut dest_index = vec![0usize; n];
+        for (di, &d) in destinations.iter().enumerate() {
             is_destination[d as usize] = true;
+            dest_index[d as usize] = di;
         }
 
         // Sharing chain: for every configured source, one sub-slot per
@@ -222,7 +238,31 @@ impl<'t> RoundPlan<'t> {
                 });
             }
         }
-        let slot_dst: Vec<u16> = slots.iter().map(|s| s.dst).collect();
+        // Per-destination slot index (CSR layout): the completion
+        // predicate of an aggregator checks only the slots addressed to it
+        // instead of scanning the whole chain on every reception.
+        let mut dest_slot_offsets = Vec::with_capacity(destinations.len() + 1);
+        let mut slots_by_dest = Vec::with_capacity(slots.len());
+        dest_slot_offsets.push(0);
+        for &d in &destinations {
+            for (j, slot) in slots.iter().enumerate() {
+                if slot.dst == d {
+                    slots_by_dest.push(j);
+                }
+            }
+            dest_slot_offsets.push(slots_by_dest.len());
+        }
+        let slot_ccm: Vec<Ccm> = slots
+            .iter()
+            .map(|s| {
+                let key = bootstrap
+                    .keys()
+                    .key(s.src, s.dst)
+                    .map_err(ppda_sss::SssError::from)?;
+                Ccm::new(key, config.tag_len).map_err(ppda_sss::SssError::from)
+            })
+            .collect::<Result<_, ppda_sss::SssError>>()?;
+        let master_cipher = Aes128::new(&config.master_key);
 
         let ntx_sharing = if variant.full_coverage {
             config.full_coverage_ntx
@@ -235,10 +275,16 @@ impl<'t> RoundPlan<'t> {
             config.ntx_reconstruction
         };
 
-        let share_frame =
-            FrameSpec::new(4, config.tag_len).map_err(|e| MpcError::InvalidConfig {
-                what: e.to_string(),
-            })?;
+        // Frames carry the whole lane batch: B field elements per share
+        // packet (B = 1 is the paper's scalar layout). FrameSpec rejects
+        // lane widths that overflow the 127-byte 802.15.4 PSDU.
+        let share_frame = FrameSpec::new(
+            config.batch * <Field as PrimeField>::ENCODED_LEN,
+            config.tag_len,
+        )
+        .map_err(|e| MpcError::InvalidConfig {
+            what: e.to_string(),
+        })?;
         let owners: Vec<u16> = slots.iter().map(|s| s.src).collect();
         let sharing_chain =
             ChainSpec::new(share_frame, owners).map_err(|e| MpcError::InvalidConfig {
@@ -262,11 +308,12 @@ impl<'t> RoundPlan<'t> {
             },
         );
 
-        let sum_frame = FrameSpec::new(SumPacket::<Field>::encoded_len(), 0).map_err(|e| {
-            MpcError::InvalidConfig {
-                what: e.to_string(),
-            }
-        })?;
+        let sum_frame =
+            FrameSpec::new(SumBatch::<Field>::encoded_len(config.batch), 0).map_err(|e| {
+                MpcError::InvalidConfig {
+                    what: e.to_string(),
+                }
+            })?;
         // Reconstruction data must reach *every* node (all of them need
         // the aggregate), so even S4 keeps the full-length schedule here —
         // the chain is only |A| sub-slots, so this is cheap; the low NTX
@@ -305,8 +352,12 @@ impl<'t> RoundPlan<'t> {
             destinations,
             dest_xs,
             is_destination,
+            dest_index,
+            slots_by_dest,
+            dest_slot_offsets,
             slots,
-            slot_dst,
+            slot_ccm,
+            master_cipher,
             sharing_schedule,
             recon_schedule,
             ntx_sharing,
@@ -327,8 +378,12 @@ impl<'t> RoundPlan<'t> {
             destinations: self.destinations,
             dest_xs: self.dest_xs,
             is_destination: self.is_destination,
+            dest_index: self.dest_index,
+            slots_by_dest: self.slots_by_dest,
+            dest_slot_offsets: self.dest_slot_offsets,
             slots: self.slots,
-            slot_dst: self.slot_dst,
+            slot_ccm: self.slot_ccm,
+            master_cipher: self.master_cipher,
             sharing_schedule: self.sharing_schedule,
             recon_schedule: self.recon_schedule,
             ntx_sharing: self.ntx_sharing,
@@ -367,6 +422,19 @@ impl<'t> RoundPlan<'t> {
     /// Sub-slots in the sharing chain.
     pub fn sharing_chain_len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The compiled lane width B (the configuration's `batch`).
+    pub fn lanes(&self) -> usize {
+        self.config.batch
+    }
+
+    /// A per-caller round executor holding reusable scratch buffers
+    /// (sealed payloads, share slabs, sum slabs) so repeated rounds do not
+    /// reallocate. The plan itself stays shared and immutable — campaign
+    /// workers each take their own executor over one borrowed plan.
+    pub fn executor(&self) -> crate::execute::RoundExecutor<'_, 't> {
+        crate::execute::RoundExecutor::new(self)
     }
 }
 

@@ -46,14 +46,18 @@
 #![warn(missing_docs)]
 
 mod accumulate;
+mod batch;
 mod error;
 mod packet;
 mod share;
 mod weights;
 
 pub use accumulate::SumAccumulator;
+pub use batch::{split_secret_batch, BatchSplitter, ShareBatch};
 pub use error::SssError;
-pub use packet::{SharePacket, SumPacket, MAX_MASK_SOURCES};
+pub use packet::{
+    open_share_lanes, seal_share_lanes, SharePacket, SumBatch, SumPacket, MAX_MASK_SOURCES,
+};
 pub use share::{reconstruct, reconstruct_checked, split_secret, Share};
 pub use weights::ReconstructionPlan;
 

@@ -35,7 +35,13 @@ pub struct SharePacket<P: PrimeField> {
 impl<P: PrimeField> SharePacket<P> {
     /// Sealed (ciphertext) payload length for this field and tag size.
     pub fn sealed_len(tag_len: usize) -> usize {
-        P::ENCODED_LEN + tag_len
+        Self::sealed_len_batch(1, tag_len)
+    }
+
+    /// Sealed payload length for a `lanes`-wide batch (see
+    /// [`seal_share_lanes`]).
+    pub fn sealed_len_batch(lanes: usize, tag_len: usize) -> usize {
+        lanes * P::ENCODED_LEN + tag_len
     }
 
     /// Associated data binding the ciphertext to its chain position.
@@ -55,12 +61,29 @@ impl<P: PrimeField> SharePacket<P> {
     pub fn seal(&self, keys: &PairwiseKeys, tag_len: usize) -> Result<Vec<u8>, SssError> {
         let key = keys.key(self.src, self.dst)?;
         let ccm = Ccm::new(key, tag_len)?;
-        let nonce = Ccm::nonce(self.src, self.dst, self.round, self.share.x.value() as u32);
-        Ok(ccm.seal(
-            &nonce,
-            &Self::aad(self.src, self.dst, self.round),
-            &self.share.y.to_bytes(),
-        )?)
+        let mut out = Vec::new();
+        self.seal_with(&ccm, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SharePacket::seal`] with a prebuilt cipher context and a reusable
+    /// output buffer: the pairwise key of a (src, dst) pair never changes
+    /// within a deployment, so periodic senders expand the AES key schedule
+    /// once instead of once per packet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sealing failures from `ppda-crypto`.
+    pub fn seal_with(&self, ccm: &Ccm, out: &mut Vec<u8>) -> Result<(), SssError> {
+        seal_share_lanes(
+            ccm,
+            self.src,
+            self.dst,
+            self.round,
+            self.share.x,
+            &[self.share.y],
+            out,
+        )
     }
 
     /// Decrypt and authenticate a sealed share value.
@@ -85,6 +108,23 @@ impl<P: PrimeField> SharePacket<P> {
     ) -> Result<Self, SssError> {
         let key = keys.key(src, dst)?;
         let ccm = Ccm::new(key, tag_len)?;
+        Self::open_with(&ccm, src, dst, round, x, sealed)
+    }
+
+    /// [`SharePacket::open`] with a prebuilt cipher context (the receiving
+    /// twin of [`SharePacket::seal_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SharePacket::open`].
+    pub fn open_with(
+        ccm: &Ccm,
+        src: u16,
+        dst: u16,
+        round: u32,
+        x: Gf<P>,
+        sealed: &[u8],
+    ) -> Result<Self, SssError> {
         let nonce = Ccm::nonce(src, dst, round, x.value() as u32);
         let plain = ccm.open(&nonce, &Self::aad(src, dst, round), sealed)?;
         let y = Gf::from_bytes(&plain).ok_or(SssError::BadPacket {
@@ -97,6 +137,92 @@ impl<P: PrimeField> SharePacket<P> {
             share: Share { x, y },
         })
     }
+}
+
+/// Seal a lane batch of share values for one `(src, dst, round, x)`
+/// coordinate under **one** CCM invocation: the payload is the
+/// concatenation of the B little-endian lane encodings, the nonce and
+/// associated data are exactly those of the scalar [`SharePacket::seal`] —
+/// so a 1-lane batch is byte-identical to the scalar packet on the wire.
+///
+/// `out` is cleared and receives `ciphertext ‖ tag`.
+///
+/// # Errors
+///
+/// Propagates sealing failures from `ppda-crypto`.
+///
+/// # Panics
+///
+/// Panics if the lane payload exceeds the 802.15.4 frame bound (128
+/// bytes); deployments validate lane counts at plan-compile time.
+pub fn seal_share_lanes<P: PrimeField>(
+    ccm: &Ccm,
+    src: u16,
+    dst: u16,
+    round: u32,
+    x: Gf<P>,
+    ys: &[Gf<P>],
+    out: &mut Vec<u8>,
+) -> Result<(), SssError> {
+    let mut payload = [0u8; 128];
+    let len = ys.len() * P::ENCODED_LEN;
+    assert!(len <= payload.len(), "lane payload exceeds frame bounds");
+    for (chunk, &y) in payload.chunks_exact_mut(P::ENCODED_LEN).zip(ys) {
+        y.write_bytes(chunk);
+    }
+    let nonce = Ccm::nonce(src, dst, round, x.value() as u32);
+    ccm.seal_into(
+        &nonce,
+        &SharePacket::<P>::aad(src, dst, round),
+        &payload[..len],
+        out,
+    )?;
+    Ok(())
+}
+
+/// Open a lane batch sealed by [`seal_share_lanes`]: authenticates the
+/// ciphertext, then decodes exactly `lanes` canonical field elements into
+/// `out` (cleared first). `scratch` holds the decrypted payload between
+/// the two steps so round loops can reuse one buffer.
+///
+/// # Errors
+///
+/// * [`SssError::Crypto`] on authentication failure.
+/// * [`SssError::BadPacket`] if the plaintext length disagrees with
+///   `lanes` or any lane is non-canonical.
+// The argument list is the packet coordinate plus two scratch buffers;
+// bundling them into a struct would only rename the problem.
+#[allow(clippy::too_many_arguments)]
+pub fn open_share_lanes<P: PrimeField>(
+    ccm: &Ccm,
+    src: u16,
+    dst: u16,
+    round: u32,
+    x: Gf<P>,
+    lanes: usize,
+    sealed: &[u8],
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<Gf<P>>,
+) -> Result<(), SssError> {
+    let nonce = Ccm::nonce(src, dst, round, x.value() as u32);
+    ccm.open_into(
+        &nonce,
+        &SharePacket::<P>::aad(src, dst, round),
+        sealed,
+        scratch,
+    )?;
+    if scratch.len() != lanes * P::ENCODED_LEN {
+        return Err(SssError::BadPacket {
+            what: "lane payload length disagrees with the batch width",
+        });
+    }
+    out.clear();
+    for chunk in scratch.chunks_exact(P::ENCODED_LEN) {
+        out.push(Gf::from_bytes(chunk).ok_or(SssError::BadPacket {
+            what: "share lane is not a canonical field element",
+        })?);
+    }
+    Ok(())
 }
 
 /// A reconstruction-phase packet: the sum share of one aggregation point,
@@ -157,6 +283,84 @@ impl<P: PrimeField> SumPacket<P> {
                 x: ppda_field::share_x::<P>(node as usize),
                 y,
             },
+            mask,
+        })
+    }
+}
+
+/// The reconstruction-phase packet of a batched round: one sum share *per
+/// lane* plus the shared contributor mask. Every lane was accumulated from
+/// the same set of sources (they travel in the same sealed share packets),
+/// so one mask covers the batch.
+///
+/// A 1-lane [`SumBatch`] is byte-identical on the wire to [`SumPacket`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SumBatch<P: PrimeField> {
+    /// The node publishing its sums (identifies the public point).
+    pub node: u16,
+    /// Round identifier.
+    pub round: u32,
+    /// The public evaluation point (implied by `node`, not transmitted).
+    pub x: Gf<P>,
+    /// Lane-ordered sum share values at `x`.
+    pub ys: Vec<Gf<P>>,
+    /// Contributor mask: bit s set iff source s's shares were included.
+    pub mask: u128,
+}
+
+impl<P: PrimeField> SumBatch<P> {
+    /// Encoded payload length: node(2) + round(4) + lanes·y + mask(16).
+    pub fn encoded_len(lanes: usize) -> usize {
+        2 + 4 + lanes * P::ENCODED_LEN + 16
+    }
+
+    /// Serialize to the wire form, appending to `out` (cleared first).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(Self::encoded_len(self.ys.len()));
+        out.put_u16(self.node);
+        out.put_u32(self.round);
+        for &y in &self.ys {
+            out.extend_from_slice(&y.to_bytes());
+        }
+        out.put_u128(self.mask);
+    }
+
+    /// Serialize to the wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Deserialize a `lanes`-wide batch from the wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`SssError::BadPacket`] on truncation or a non-canonical lane value.
+    pub fn decode(bytes: &[u8], lanes: usize) -> Result<Self, SssError> {
+        if bytes.len() < Self::encoded_len(lanes) {
+            return Err(SssError::BadPacket {
+                what: "sum batch truncated",
+            });
+        }
+        let mut buf = bytes;
+        let node = buf.get_u16();
+        let round = buf.get_u32();
+        let mut ys = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let y = Gf::from_bytes(&buf[..P::ENCODED_LEN]).ok_or(SssError::BadPacket {
+                what: "sum lane is not a canonical field element",
+            })?;
+            buf.advance(P::ENCODED_LEN);
+            ys.push(y);
+        }
+        let mask = buf.get_u128();
+        Ok(SumBatch {
+            node,
+            round,
+            x: ppda_field::share_x::<P>(node as usize),
+            ys,
             mask,
         })
     }
@@ -248,6 +452,135 @@ mod tests {
         let r =
             SharePacket::<Mersenne31>::open(&keys(), 4, 0, 1, 0, share_x::<Mersenne31>(1), &sealed);
         assert!(matches!(r, Err(SssError::Crypto(_))));
+    }
+
+    #[test]
+    fn one_lane_batch_seal_is_byte_identical_to_scalar() {
+        let pkt = SharePacket::<Mersenne31> {
+            src: 2,
+            dst: 5,
+            round: 7,
+            share: Share {
+                x: share_x::<Mersenne31>(5),
+                y: Gf31::new(987654),
+            },
+        };
+        let scalar = pkt.seal(&keys(), 4).unwrap();
+        let ccm = Ccm::new(keys().key(2, 5).unwrap(), 4).unwrap();
+        let mut batch = Vec::new();
+        seal_share_lanes(&ccm, 2, 5, 7, pkt.share.x, &[pkt.share.y], &mut batch).unwrap();
+        assert_eq!(scalar, batch);
+
+        // And the batch opener recovers the scalar value.
+        let mut scratch = Vec::new();
+        let mut lanes = Vec::new();
+        open_share_lanes(
+            &ccm,
+            2,
+            5,
+            7,
+            pkt.share.x,
+            1,
+            &batch,
+            &mut scratch,
+            &mut lanes,
+        )
+        .unwrap();
+        assert_eq!(lanes, vec![pkt.share.y]);
+    }
+
+    #[test]
+    fn lane_batch_round_trips_and_authenticates() {
+        let ccm = Ccm::new(keys().key(1, 3).unwrap(), 4).unwrap();
+        let x = share_x::<Mersenne31>(3);
+        let ys: Vec<Gf31> = (0..16).map(|i| Gf31::new(1_000_000 + i)).collect();
+        let mut sealed = Vec::new();
+        seal_share_lanes(&ccm, 1, 3, 9, x, &ys, &mut sealed).unwrap();
+        assert_eq!(
+            sealed.len(),
+            SharePacket::<Mersenne31>::sealed_len_batch(16, 4)
+        );
+
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        open_share_lanes(&ccm, 1, 3, 9, x, 16, &sealed, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, ys);
+
+        // Wrong lane count: authentic ciphertext, wrong shape.
+        assert!(matches!(
+            open_share_lanes(&ccm, 1, 3, 9, x, 8, &sealed, &mut scratch, &mut out),
+            Err(SssError::BadPacket { .. })
+        ));
+        // Tampering is caught before decoding.
+        sealed[0] ^= 1;
+        assert!(matches!(
+            open_share_lanes(&ccm, 1, 3, 9, x, 16, &sealed, &mut scratch, &mut out),
+            Err(SssError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn seal_with_matches_seal() {
+        let pkt = SharePacket::<Mersenne31> {
+            src: 0,
+            dst: 6,
+            round: 3,
+            share: Share {
+                x: share_x::<Mersenne31>(6),
+                y: Gf31::new(31337),
+            },
+        };
+        let ccm = Ccm::new(keys().key(0, 6).unwrap(), 4).unwrap();
+        let mut reused = Vec::new();
+        pkt.seal_with(&ccm, &mut reused).unwrap();
+        assert_eq!(reused, pkt.seal(&keys(), 4).unwrap());
+        let opened =
+            SharePacket::<Mersenne31>::open_with(&ccm, 0, 6, 3, pkt.share.x, &reused).unwrap();
+        assert_eq!(opened, pkt);
+    }
+
+    #[test]
+    fn one_lane_sum_batch_matches_sum_packet_wire() {
+        let scalar = SumPacket::<Mersenne31> {
+            node: 3,
+            round: 9,
+            share: Share {
+                x: share_x::<Mersenne31>(3),
+                y: Gf31::new(999),
+            },
+            mask: 0b1011,
+        };
+        let batch = SumBatch::<Mersenne31> {
+            node: 3,
+            round: 9,
+            x: share_x::<Mersenne31>(3),
+            ys: vec![Gf31::new(999)],
+            mask: 0b1011,
+        };
+        assert_eq!(scalar.encode(), batch.encode());
+        assert_eq!(
+            SumBatch::<Mersenne31>::encoded_len(1),
+            SumPacket::<Mersenne31>::encoded_len()
+        );
+    }
+
+    #[test]
+    fn sum_batch_round_trip() {
+        let batch = SumBatch::<Mersenne31> {
+            node: 7,
+            round: 2,
+            x: share_x::<Mersenne31>(7),
+            ys: (0..5).map(|i| Gf31::new(40 + i)).collect(),
+            mask: u128::MAX >> 1,
+        };
+        let bytes = batch.encode();
+        assert_eq!(bytes.len(), SumBatch::<Mersenne31>::encoded_len(5));
+        let decoded = SumBatch::<Mersenne31>::decode(&bytes, 5).unwrap();
+        assert_eq!(decoded, batch);
+        assert!(matches!(
+            SumBatch::<Mersenne31>::decode(&bytes[..bytes.len() - 1], 5),
+            Err(SssError::BadPacket { .. })
+        ));
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub fn split_secret<P: PrimeField, R: RngCore + ?Sized>(
     Ok(xs.iter().map(|&x| Share { x, y: poly.eval(x) }).collect())
 }
 
-fn validate_points<P: PrimeField>(xs: &[Gf<P>]) -> Result<(), SssError> {
+pub(crate) fn validate_points<P: PrimeField>(xs: &[Gf<P>]) -> Result<(), SssError> {
     for (i, &xi) in xs.iter().enumerate() {
         if xi.is_zero() {
             return Err(SssError::Field(ppda_field::FieldError::ZeroAbscissa));

@@ -95,6 +95,51 @@ impl<P: PrimeField> ReconstructionPlan<P> {
             reconstruct(shares)
         }
     }
+
+    /// Reconstruct a whole lane batch with one weight pass: `ys` is an
+    /// x-major slab (`ys[i * lanes + lane]` = lane `lane`'s sum share at
+    /// canonical point `i`), `out[lane]` becomes `Σᵢ wᵢ · ys[i][lane]`.
+    ///
+    /// The weights are applied in canonical order, so lane `l` equals
+    /// [`ReconstructionPlan::reconstruct`] over lane `l`'s scalar shares.
+    ///
+    /// `out` is cleared and resized to `lanes`.
+    ///
+    /// # Errors
+    ///
+    /// [`SssError::BadPacket`] if the slab length is not
+    /// `self.len() * lanes`.
+    pub fn reconstruct_batch_into(
+        &self,
+        lanes: usize,
+        ys: &[Gf<P>],
+        out: &mut Vec<Gf<P>>,
+    ) -> Result<(), SssError> {
+        if ys.len() != self.xs.len() * lanes {
+            return Err(SssError::BadPacket {
+                what: "share slab length disagrees with plan size × lanes",
+            });
+        }
+        out.clear();
+        out.resize(lanes, Gf::ZERO);
+        for (&w, row) in self.weights.iter().zip(ys.chunks(lanes)) {
+            for (acc, &y) in out.iter_mut().zip(row) {
+                *acc += y * w;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience over [`ReconstructionPlan::reconstruct_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReconstructionPlan::reconstruct_batch_into`].
+    pub fn reconstruct_batch(&self, lanes: usize, ys: &[Gf<P>]) -> Result<Vec<Gf<P>>, SssError> {
+        let mut out = Vec::new();
+        self.reconstruct_batch_into(lanes, ys, &mut out)?;
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +192,34 @@ mod tests {
         assert_eq!(plan.xs(), &points[..]);
         assert_eq!(plan.len(), 5);
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn batch_reconstruction_matches_per_lane() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let points = xs(4);
+        let plan = ReconstructionPlan::new(&points).unwrap();
+        let secrets: Vec<Gf31> = (0..6).map(|i| Gf31::new(7000 + i)).collect();
+        let batch = crate::split_secret_batch(&secrets, 3, &points, &mut rng).unwrap();
+        let slab: Vec<Gf31> = (0..points.len())
+            .flat_map(|i| batch.values_at(i).to_vec())
+            .collect();
+        let recovered = plan.reconstruct_batch(secrets.len(), &slab).unwrap();
+        assert_eq!(recovered, secrets);
+        for (lane, &rec) in recovered.iter().enumerate() {
+            let shares: Vec<_> = (0..points.len()).map(|i| batch.share(i, lane)).collect();
+            assert_eq!(plan.reconstruct(&shares).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn batch_reconstruction_rejects_misshapen_slab() {
+        let plan = ReconstructionPlan::new(&xs(3)).unwrap();
+        let slab = vec![Gf31::ONE; 5]; // not 3 × lanes for any integer lanes=2
+        assert!(matches!(
+            plan.reconstruct_batch(2, &slab),
+            Err(SssError::BadPacket { .. })
+        ));
     }
 
     #[test]

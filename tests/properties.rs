@@ -94,4 +94,59 @@ proptest! {
             prop_assert_eq!(x.latency, y.latency);
         }
     }
+
+    /// Batched share generation is the scalar path, lane for lane, under
+    /// one shared RNG stream.
+    #[test]
+    fn split_secret_batch_equals_sequential_scalar_splits(
+        secrets in prop::collection::vec(0u64..2_000_000_000, 1..9),
+        degree in 1usize..5,
+        holders in 6usize..12,
+        seed in any::<u64>(),
+    ) {
+        use ppda::field::{share_x, Gf31, Mersenne31};
+        use ppda::sss::{split_secret, split_secret_batch};
+
+        let constants: Vec<Gf31> = secrets.iter().map(|&s| Gf31::new(s)).collect();
+        let xs: Vec<Gf31> = (0..holders).map(share_x::<Mersenne31>).collect();
+
+        let mut rng_batch = ppda::sim::Xoshiro256::seed_from(seed);
+        let batch = split_secret_batch(&constants, degree, &xs, &mut rng_batch).unwrap();
+
+        let mut rng_scalar = ppda::sim::Xoshiro256::seed_from(seed);
+        for (lane, &c) in constants.iter().enumerate() {
+            let scalar = split_secret(c, degree, &xs, &mut rng_scalar).unwrap();
+            for (i, sh) in scalar.iter().enumerate() {
+                prop_assert_eq!(batch.share(i, lane), *sh);
+            }
+        }
+    }
+
+    /// Batched reconstruction over the canonical weights equals per-lane
+    /// scalar reconstruction for every lane.
+    #[test]
+    fn reconstruct_batch_equals_per_lane_reconstruct(
+        secrets in prop::collection::vec(0u64..2_000_000_000, 1..9),
+        degree in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use ppda::field::{share_x, Gf31, Mersenne31};
+        use ppda::sss::{split_secret_batch, ReconstructionPlan};
+
+        let constants: Vec<Gf31> = secrets.iter().map(|&s| Gf31::new(s)).collect();
+        let xs: Vec<Gf31> = (0..degree + 1).map(share_x::<Mersenne31>).collect();
+        let plan = ReconstructionPlan::new(&xs).unwrap();
+
+        let mut rng = ppda::sim::Xoshiro256::seed_from(seed);
+        let batch = split_secret_batch(&constants, degree, &xs, &mut rng).unwrap();
+        let slab: Vec<Gf31> = (0..xs.len())
+            .flat_map(|i| batch.values_at(i).to_vec())
+            .collect();
+        let lanes = plan.reconstruct_batch(constants.len(), &slab).unwrap();
+        prop_assert_eq!(&lanes, &constants);
+        for (lane, &c) in constants.iter().enumerate() {
+            let shares: Vec<_> = (0..xs.len()).map(|i| batch.share(i, lane)).collect();
+            prop_assert_eq!(plan.reconstruct(&shares).unwrap(), c);
+        }
+    }
 }
