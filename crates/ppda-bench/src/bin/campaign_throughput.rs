@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run -p ppda-bench --release --bin campaign_throughput -- \
 //!     [--testbed flocklab|dcube|both] [--protocol s3|s4|both] \
-//!     [--iterations N] [--batch B] [--seed S] [--sources K]
+//!     [--iterations N] [--batch B] [--seed S] [--sources K] \
+//!     [--loss p] [--dropout q] [--fault-seed F]
 //! ```
 //!
 //! Unlike `fig1` (which reports *simulated* latency), this harness times
@@ -12,11 +13,19 @@
 //! selects the lane width B: every source contributes B readings per round
 //! and the campaign aggregates B values per round at one round's transport
 //! cost. B = 1 is the paper's scalar protocol.
+//!
+//! `--loss p` and `--dropout q` sweep degraded operating points: every
+//! link PRR is scaled by `1 - p` and every node independently misses a
+//! round with probability `q` (seeded by `--fault-seed`, default 0xFA17).
+//! The table then also reports the campaign's recovery rate — the
+//! fraction of rounds whose surviving sum shares still reached the
+//! reconstruction threshold.
 
 use std::time::Instant;
 
-use ppda_bench::{arg_value, run_campaign, Protocol, TestbedSetup};
+use ppda_bench::{arg_value, run_campaign_faulty, Protocol, TestbedSetup};
 use ppda_metrics::Table;
+use ppda_mpc::FaultPlan;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +42,16 @@ fn main() {
         .unwrap_or(0xBA7C);
     let sources_override: Option<usize> =
         arg_value(&args, "--sources").map(|v| v.parse().expect("--sources must be a number"));
+    let loss: f64 = arg_value(&args, "--loss")
+        .map(|v| v.parse().expect("--loss must be a probability"))
+        .unwrap_or(0.0);
+    let dropout: f64 = arg_value(&args, "--dropout")
+        .map(|v| v.parse().expect("--dropout must be a probability"))
+        .unwrap_or(0.0);
+    let fault_seed: u64 = arg_value(&args, "--fault-seed")
+        .map(|v| v.parse().expect("--fault-seed must be a number"))
+        .unwrap_or(0xFA17);
+    let faults = FaultPlan::lossy(fault_seed, loss).with_dropout(dropout);
 
     let setups: Vec<TestbedSetup> = match testbed.as_str() {
         "both" => vec![TestbedSetup::flocklab(), TestbedSetup::dcube()],
@@ -53,8 +72,8 @@ fn main() {
             None => setup.source_sweep.clone(),
         };
         println!(
-            "\n=== {} — campaign throughput ({} iterations, batch {}) ===",
-            setup.name, iterations, batch
+            "\n=== {} — campaign throughput ({} iterations, batch {}, loss {:.2}, dropout {:.2}) ===",
+            setup.name, iterations, batch, loss, dropout
         );
         let mut table = Table::new(vec![
             "protocol",
@@ -64,6 +83,7 @@ fn main() {
             "µs/round",
             "values/s",
             "node ok",
+            "recovery",
         ]);
         for &sources in &sweep {
             for &proto in &protocols {
@@ -71,8 +91,9 @@ fn main() {
                     .config_batched(sources, batch)
                     .expect("sweep point is valid");
                 let start = Instant::now();
-                let result = run_campaign(proto, &topology, &config, iterations, seed)
-                    .expect("campaign runs");
+                let result =
+                    run_campaign_faulty(proto, &topology, &config, iterations, seed, &faults)
+                        .expect("campaign runs");
                 let elapsed = start.elapsed().as_secs_f64();
                 let rounds_per_sec = result.rounds as f64 / elapsed;
                 table.row(vec![
@@ -83,6 +104,7 @@ fn main() {
                     format!("{:.1}", 1e6 * elapsed / result.rounds as f64),
                     format!("{:.0}", rounds_per_sec * result.lanes as f64),
                     format!("{:.2}", result.node_success),
+                    format!("{:.2}", result.recovery_rate),
                 ]);
             }
         }

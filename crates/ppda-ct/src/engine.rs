@@ -20,13 +20,22 @@ pub(crate) struct LinkTable {
 
 impl LinkTable {
     pub(crate) fn new(topology: &Topology, attenuation_db: f64) -> Self {
+        Self::with_loss(topology, attenuation_db, 0.0)
+    }
+
+    /// Build the table with every link PRR scaled by `1 - loss` — the
+    /// fault layer's per-link erasure model. `loss = 0` multiplies by
+    /// exactly 1.0, so the zero-fault table is bit-identical to
+    /// [`LinkTable::new`].
+    pub(crate) fn with_loss(topology: &Topology, attenuation_db: f64, loss: f64) -> Self {
+        let keep = 1.0 - loss.clamp(0.0, 1.0);
         let n = topology.len();
         let neighbors: Vec<Vec<(u16, f64)>> = (0..n)
             .map(|i| {
                 (0..n)
                     .filter(|&j| j != i)
                     .filter_map(|j| {
-                        let p = topology.prr_at(i, j, attenuation_db);
+                        let p = topology.prr_at(i, j, attenuation_db) * keep;
                         (p > 0.0).then_some((j as u16, p))
                     })
                     .collect()

@@ -49,10 +49,12 @@
 
 mod chain;
 mod engine;
+mod fault;
 mod glossy;
 mod minicast;
 
 pub use chain::{ChainError, ChainSpec};
+pub use fault::{Delivery, FaultPlan, RoundFaults};
 pub use glossy::{Glossy, GlossyConfig, GlossyResult};
 pub use minicast::{
     LinkConditions, MiniCast, MiniCastConfig, MiniCastResult, MiniCastSchedule, NodeOutcome,

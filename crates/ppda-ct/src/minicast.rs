@@ -201,6 +201,18 @@ impl LinkConditions {
         }
     }
 
+    /// Evaluate every link under extra attenuation *and* a per-link
+    /// erasure probability `loss`: each PRR is scaled by `1 - loss` for
+    /// the round. This is the fault-injection layer's entry point
+    /// (see [`FaultPlan`](crate::FaultPlan)); `loss = 0` produces a table
+    /// bit-identical to [`LinkConditions::new`].
+    pub fn degraded(topology: &Topology, attenuation_db: f64, loss: f64) -> Self {
+        LinkConditions {
+            links: LinkTable::with_loss(topology, attenuation_db, loss),
+            n: topology.len(),
+        }
+    }
+
     /// Number of nodes the conditions cover.
     pub fn len(&self) -> usize {
         self.n
@@ -737,6 +749,47 @@ mod tests {
         let a = fresh.run(&mut Xoshiro256::seed_from(21));
         let b = schedule.run(&conditions, &mut Xoshiro256::seed_from(21));
         assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn degraded_conditions_at_zero_loss_match_plain() {
+        // The fault layer's contract: loss = 0 (and no extra attenuation)
+        // is byte-identical to the undegraded table.
+        let t = Topology::flocklab();
+        let schedule = MiniCastSchedule::new(&t, all_to_all(&t), MiniCastConfig::default());
+        let plain = LinkConditions::new(&t, 1.5);
+        let degraded = LinkConditions::degraded(&t, 1.5, 0.0);
+        let a = schedule.run(&plain, &mut Xoshiro256::seed_from(31));
+        let b = schedule.run(&degraded, &mut Xoshiro256::seed_from(31));
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.cycles_run, b.cycles_run);
+    }
+
+    #[test]
+    fn degraded_conditions_reduce_coverage() {
+        let t = Topology::flocklab();
+        let config = MiniCastConfig {
+            ntx: 2,
+            max_cycles: Some(4),
+            ..Default::default()
+        };
+        let schedule = MiniCastSchedule::new(&t, all_to_all(&t), config);
+        let clean = LinkConditions::new(&t, 0.0);
+        let lossy = LinkConditions::degraded(&t, 0.0, 0.6);
+        let mut clean_cov = 0.0;
+        let mut lossy_cov = 0.0;
+        for seed in 0..8u64 {
+            clean_cov += schedule
+                .run(&clean, &mut Xoshiro256::seed_from(seed))
+                .coverage();
+            lossy_cov += schedule
+                .run(&lossy, &mut Xoshiro256::seed_from(seed))
+                .coverage();
+        }
+        assert!(
+            lossy_cov < clean_cov,
+            "60% link loss must hurt coverage: {lossy_cov} vs {clean_cov}"
+        );
     }
 
     #[test]

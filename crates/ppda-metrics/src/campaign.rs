@@ -41,6 +41,11 @@ pub struct CampaignAccumulator {
     node_total: u64,
     round_ok: u64,
     rounds: u64,
+    recovered: u64,
+    recovery_failed: u64,
+    /// Histogram of recovery margins: `margin_hist[m]` counts recovered
+    /// rounds that had `m` spare survivors beyond the threshold.
+    margin_hist: Vec<u64>,
 }
 
 impl CampaignAccumulator {
@@ -72,6 +77,23 @@ impl CampaignAccumulator {
         self.radios.push(radio_on_ms);
     }
 
+    /// Record one fault-injected round's availability verdict:
+    /// `Some(margin)` when the survivor set reached the reconstruction
+    /// threshold with `margin` spares, `None` when the round ended below
+    /// the threshold (aggregation failed).
+    pub fn record_recovery(&mut self, margin: Option<usize>) {
+        match margin {
+            Some(m) => {
+                self.recovered += 1;
+                if self.margin_hist.len() <= m {
+                    self.margin_hist.resize(m + 1, 0);
+                }
+                self.margin_hist[m] += 1;
+            }
+            None => self.recovery_failed += 1,
+        }
+    }
+
     /// Absorb another accumulator (e.g. a worker thread's share of the
     /// campaign).
     pub fn merge(&mut self, other: CampaignAccumulator) {
@@ -81,6 +103,14 @@ impl CampaignAccumulator {
         self.node_total += other.node_total;
         self.round_ok += other.round_ok;
         self.rounds += other.rounds;
+        self.recovered += other.recovered;
+        self.recovery_failed += other.recovery_failed;
+        if self.margin_hist.len() < other.margin_hist.len() {
+            self.margin_hist.resize(other.margin_hist.len(), 0);
+        }
+        for (acc, count) in self.margin_hist.iter_mut().zip(other.margin_hist) {
+            *acc += count;
+        }
     }
 
     /// Rounds recorded so far.
@@ -106,6 +136,45 @@ impl CampaignAccumulator {
         } else {
             self.node_ok as f64 / self.node_total as f64
         }
+    }
+
+    /// Fault-injected rounds whose survivor set reached the threshold.
+    pub fn rounds_recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Fault-injected rounds that ended below the threshold.
+    pub fn rounds_failed(&self) -> u64 {
+        self.recovery_failed
+    }
+
+    /// Fraction of fault-injected rounds that recovered (0 when none were
+    /// recorded).
+    pub fn recovery_rate(&self) -> f64 {
+        let total = self.recovered + self.recovery_failed;
+        if total == 0 {
+            0.0
+        } else {
+            self.recovered as f64 / total as f64
+        }
+    }
+
+    /// Histogram of recovery margins: entry `m` counts recovered rounds
+    /// with `m` spare survivors beyond the threshold.
+    pub fn margin_histogram(&self) -> &[u64] {
+        &self.margin_hist
+    }
+
+    /// Summary over the recovery margins of recovered rounds (expands the
+    /// histogram; empty when no recoveries were recorded).
+    pub fn margin(&self) -> Summary {
+        let samples: Vec<f64> = self
+            .margin_hist
+            .iter()
+            .enumerate()
+            .flat_map(|(m, &count)| std::iter::repeat_n(m as f64, count as usize))
+            .collect();
+        Summary::of(&samples)
     }
 
     /// Summary of per-node completion latencies (nodes that finished).
@@ -155,9 +224,12 @@ mod tests {
         let mut a = CampaignAccumulator::new();
         a.record_round(true);
         a.record_node(true, Some(5.0), 1.0);
+        a.record_recovery(Some(2));
         let mut b = CampaignAccumulator::new();
         b.record_round(false);
         b.record_node(false, Some(7.0), 2.0);
+        b.record_recovery(None);
+        b.record_recovery(Some(0));
 
         let mut ab = a.clone();
         ab.merge(b.clone());
@@ -169,5 +241,35 @@ mod tests {
         // Summaries sort, so the sample order of arrival cannot matter.
         assert_eq!(ab.latency(), ba.latency());
         assert_eq!(ab.radio_on(), ba.radio_on());
+        assert_eq!(ab.recovery_rate(), ba.recovery_rate());
+        assert_eq!(ab.margin_histogram(), ba.margin_histogram());
+    }
+
+    #[test]
+    fn recovery_counters_and_histogram() {
+        let mut acc = CampaignAccumulator::new();
+        assert_eq!(acc.recovery_rate(), 0.0);
+        assert!(acc.margin().is_empty());
+        acc.record_recovery(Some(0));
+        acc.record_recovery(Some(2));
+        acc.record_recovery(Some(2));
+        acc.record_recovery(None);
+        assert_eq!(acc.rounds_recovered(), 3);
+        assert_eq!(acc.rounds_failed(), 1);
+        assert_eq!(acc.recovery_rate(), 0.75);
+        assert_eq!(acc.margin_histogram(), &[1, 0, 2]);
+        let margins = acc.margin();
+        assert_eq!(margins.len(), 3);
+        assert!((margins.mean() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_histograms_align_by_margin() {
+        let mut a = CampaignAccumulator::new();
+        a.record_recovery(Some(5));
+        let mut b = CampaignAccumulator::new();
+        b.record_recovery(Some(1));
+        a.merge(b);
+        assert_eq!(a.margin_histogram(), &[0, 1, 0, 0, 0, 1]);
     }
 }

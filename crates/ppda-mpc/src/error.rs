@@ -26,6 +26,13 @@ pub enum MpcError {
         /// The offending reading.
         value: u64,
     },
+    /// A degraded round ended with fewer surviving sum shares than the
+    /// reconstruction threshold: the aggregate is unrecoverable this
+    /// round (it is *not* silently wrong — nothing reconstructs).
+    AggregationFailed {
+        /// How many more surviving shares the threshold needed.
+        missing: usize,
+    },
     /// Propagated SSS-layer failure.
     Sss(SssError),
 }
@@ -40,6 +47,12 @@ impl fmt::Display for MpcError {
             }
             MpcError::ReadingTooLarge { value } => {
                 write!(f, "reading {value} does not fit the field modulus")
+            }
+            MpcError::AggregationFailed { missing } => {
+                write!(
+                    f,
+                    "aggregation failed: {missing} surviving sum share(s) short of the threshold"
+                )
             }
             MpcError::Sss(e) => write!(f, "secret-sharing error: {e}"),
         }
@@ -76,6 +89,9 @@ mod tests {
         assert!(MpcError::ReadingTooLarge { value: 7 }
             .to_string()
             .contains('7'));
+        let failed = MpcError::AggregationFailed { missing: 3 };
+        assert!(failed.to_string().contains("aggregation failed"));
+        assert!(failed.to_string().contains('3'));
         let e = MpcError::from(SssError::InconsistentShares);
         assert!(e.to_string().contains("secret-sharing"));
         assert!(std::error::Error::source(&e).is_some());

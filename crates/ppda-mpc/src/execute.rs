@@ -21,22 +21,27 @@
 use std::io::Write as _;
 
 use ppda_crypto::{Aes128, CtrDrbg};
-use ppda_ct::{LinkConditions, MiniCastResult};
-use ppda_field::{lagrange, Gf};
+use ppda_ct::{Delivery, FaultPlan, LinkConditions, MiniCastResult};
+use ppda_field::Gf;
 use ppda_sim::{derive_stream, SimDuration, SimTime, Xoshiro256};
 use ppda_sss::{
     open_share_lanes, seal_share_lanes, split_secret, BatchSplitter, ReconstructionPlan, Share,
-    SharePacket, SumAccumulator, SumPacket,
+    SharePacket, SumAccumulator, SumPacket, WeightCache,
 };
 use rand::RngCore;
 
 use crate::config::ProtocolConfig;
 use crate::error::MpcError;
 use crate::outcome::{
-    AggregationOutcome, BatchAggregationOutcome, BatchNodeResult, NodeResult, PhaseStats,
+    AggregationOutcome, BatchAggregationOutcome, BatchNodeResult, DegradedBatchOutcome,
+    DegradedOutcome, FaultReport, NodeResult, PhaseStats, RecoveryStatus,
 };
 use crate::plan::RoundPlan;
 use crate::{Elem, Field};
+
+/// Delivery-fault sub-stream tags for the two flooding phases.
+const PHASE_SHARING: u32 = 0;
+const PHASE_RECONSTRUCTION: u32 = 1;
 
 /// Deterministic sensor readings for a round: uniform in
 /// `[0, max_reading)`, derived from the master key, round id and seed.
@@ -143,6 +148,13 @@ impl RoundPlan<'_> {
     /// Run one round with explicit readings and failure injection, at the
     /// configuration's round id.
     ///
+    /// The failure mask is the only fault model on this path: transport
+    /// simulation otherwise assumes every surviving delivery decodes.
+    /// For seeded link loss, dropout, churn and delivery faults — and a
+    /// typed [`DegradedOutcome`] report instead of silent completeness —
+    /// use [`RoundExecutor::run_epoch_degraded`] (via
+    /// [`RoundPlan::executor`]).
+    ///
     /// # Errors
     ///
     /// See [`RoundPlan::run_epoch`].
@@ -157,6 +169,14 @@ impl RoundPlan<'_> {
 
     /// Run one round under an explicit round id (periodic sessions advance
     /// it every epoch so CCM nonces and share randomness never repeat).
+    ///
+    /// This is the loss-free reference path: every share a flood delivers
+    /// is decoded, and a node that cannot reach the reconstruction
+    /// threshold simply reports no aggregate (`NodeResult::aggregate =
+    /// None`) — never a wrong one. Degraded networks (seeded link loss,
+    /// dropout, churn, decode-deadline misses) are exercised through
+    /// [`RoundExecutor::run_epoch_degraded`], which additionally reports
+    /// the survivor set and recovery margin as a [`DegradedOutcome`].
     ///
     /// # Errors
     ///
@@ -468,6 +488,13 @@ struct RoundScratch {
 pub struct RoundExecutor<'p, 't> {
     plan: &'p RoundPlan<'t>,
     scratch: RoundScratch,
+    /// Effective failure mask of a degraded round: caller's mask OR'd
+    /// with the fault plan's dropout/churn draws.
+    failed_eff: Vec<bool>,
+    /// Lagrange weights per survivor mask, memoized across the
+    /// executor's rounds: lossy rounds repeat the same few survivor
+    /// patterns, so each distinct subset pays its O(t²) basis once.
+    weight_cache: WeightCache<Field>,
 }
 
 impl<'p, 't> RoundExecutor<'p, 't> {
@@ -479,6 +506,8 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         let n_slots = plan.slots.len();
         RoundExecutor {
             plan,
+            failed_eff: Vec::with_capacity(config.n_nodes),
+            weight_cache: plan.survivor_weight_cache(),
             scratch: RoundScratch {
                 domain: Vec::with_capacity(32),
                 lane_secrets: Vec::with_capacity(lanes),
@@ -509,6 +538,13 @@ impl<'p, 't> RoundExecutor<'p, 't> {
     /// The lane width B of every round this executor runs.
     pub fn lanes(&self) -> usize {
         self.plan.config().batch
+    }
+
+    /// The survivor-mask weight cache, for holders that outlive this
+    /// executor (sessions swap a long-lived cache in and out so the
+    /// memoized bases survive per-epoch executors).
+    pub(crate) fn weight_cache_mut(&mut self) -> &mut WeightCache<Field> {
+        &mut self.weight_cache
     }
 
     /// Run one batched round with deterministically generated readings
@@ -549,7 +585,9 @@ impl<'p, 't> RoundExecutor<'p, 't> {
     ///
     /// With B = 1 this is byte-identical to [`RoundPlan::run_epoch`]
     /// (identical DRBG draws, ciphertexts, transport outcomes and
-    /// aggregates); `tests/plan_reuse.rs` enforces that contract.
+    /// aggregates); `tests/plan_reuse.rs` enforces that contract. Like
+    /// the scalar path, this assumes every flooded delivery decodes; see
+    /// [`RoundExecutor::run_epoch_degraded`] for fault injection.
     ///
     /// # Errors
     ///
@@ -562,18 +600,128 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         secrets: &[u64],
         failed: &[bool],
     ) -> Result<BatchAggregationOutcome, MpcError> {
-        let plan = self.plan;
+        Ok(self
+            .run_epoch_inner(round_id, seed, secrets, failed, None)?
+            .0)
+    }
+
+    /// Run one batched round under fault injection, with deterministically
+    /// generated readings (B per source) and no explicit failures.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundExecutor::run_epoch_degraded`].
+    pub fn run_degraded(
+        &mut self,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<DegradedBatchOutcome, MpcError> {
+        let config = self.plan.config();
+        let secrets = readings_with_cipher(
+            &self.plan.master_cipher,
+            config,
+            config.round_id,
+            seed,
+            config.batch,
+        );
+        let failed = vec![false; config.n_nodes];
+        self.run_epoch_degraded(config.round_id, seed, &secrets, &failed, faults)
+    }
+
+    /// Run one batched round under an explicit round id with fault
+    /// injection from `faults`, reporting the round's survivor set and
+    /// recovery margin as a typed [`DegradedOutcome`].
+    ///
+    /// The degraded path is the regular pipeline with the fault layer's
+    /// draws applied: dropout/churn extend the failure mask, link loss
+    /// and extra attenuation degrade the round's [`LinkConditions`], and
+    /// per-delivery faults erase (or duplicate) decoded packets. Every
+    /// node reconstructs from whichever ≥ t+1 sum shares actually
+    /// survived, with Lagrange weights selected per observed x-set (and
+    /// memoized per survivor mask). A zero [`FaultPlan`] is
+    /// **byte-identical** to [`RoundExecutor::run_epoch`] — the
+    /// `fault_tolerance` differential suite enforces it — and a round
+    /// below the threshold reports
+    /// [`RecoveryStatus::Failed`], never a wrong aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoundExecutor::run_epoch`]. A below-threshold
+    /// round is *not* an error here (the report carries it); use
+    /// [`DegradedOutcome::require_recovered`] to convert it into
+    /// [`MpcError::AggregationFailed`].
+    pub fn run_epoch_degraded(
+        &mut self,
+        round_id: u32,
+        seed: u64,
+        secrets: &[u64],
+        failed: &[bool],
+        faults: &FaultPlan,
+    ) -> Result<DegradedBatchOutcome, MpcError> {
+        let (round, degraded) =
+            self.run_epoch_inner(round_id, seed, secrets, failed, Some(faults))?;
+        Ok(DegradedBatchOutcome {
+            round,
+            degraded: degraded.expect("fault-injected rounds produce a report"),
+        })
+    }
+
+    /// The shared round pipeline. `faults: None` is the plain path;
+    /// `Some(plan)` applies the fault layer and returns the degraded
+    /// report alongside the outcome.
+    fn run_epoch_inner(
+        &mut self,
+        round_id: u32,
+        seed: u64,
+        secrets: &[u64],
+        failed: &[bool],
+        faults: Option<&FaultPlan>,
+    ) -> Result<(BatchAggregationOutcome, Option<DegradedOutcome>), MpcError> {
+        let RoundExecutor {
+            plan,
+            scratch,
+            failed_eff,
+            weight_cache,
+        } = self;
+        let plan: &RoundPlan<'_> = plan;
         let config = plan.config();
         let lanes = config.batch;
         let n = config.n_nodes;
         validate_inputs(config, lanes, secrets, failed)?;
-        let scratch = &mut self.scratch;
+
+        let rf = faults.map(|f| f.realize(round_id, seed));
+        let mut report = FaultReport::default();
+        // Dropout and churn extend the caller's failure mask for this
+        // round; the zero plan leaves it untouched (and unallocated).
+        let failed: &[bool] = if let Some(rf) = rf.as_ref() {
+            failed_eff.clear();
+            failed_eff.extend_from_slice(failed);
+            for (v, f) in failed_eff.iter_mut().enumerate() {
+                if !*f && rf.node_down(v) {
+                    *f = true;
+                    report.nodes_dropped += 1;
+                }
+            }
+            failed_eff
+        } else {
+            failed
+        };
 
         let attenuation_db = {
             let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0xFAD));
             config.fading.draw(&mut rng)
         };
-        let conditions = LinkConditions::new(plan.topology(), attenuation_db);
+        // The fault layer sits *under* the link conditions: loss scales
+        // every PRR, extra attenuation shifts the fading draw. Zero plans
+        // build a bit-identical table.
+        let conditions = match rf.as_ref() {
+            Some(rf) => LinkConditions::degraded(
+                plan.topology(),
+                attenuation_db + rf.extra_attenuation_db(),
+                rf.loss(),
+            ),
+            None => LinkConditions::new(plan.topology(), attenuation_db),
+        };
 
         let mut live_source_mask = 0u128;
         let mut expected = vec![Elem::ZERO; lanes];
@@ -682,8 +830,24 @@ impl<'p, 't> RoundExecutor<'p, 't> {
                 &plan.slots_by_dest[plan.dest_slot_offsets[di]..plan.dest_slot_offsets[di + 1]];
             for &j in my_slots {
                 let slot = &plan.slots[j];
-                if !scratch.slot_live[j] || !sharing_result.nodes[d as usize].received[j] {
+                if !scratch.slot_live[j] {
                     continue;
+                }
+                if !sharing_result.nodes[d as usize].received[j] {
+                    report.shares_missing += 1;
+                    continue;
+                }
+                // Per-delivery faults: a flooded share can still miss its
+                // decode deadline or arrive twice (idempotent).
+                if let Some(rf) = rf.as_ref() {
+                    match rf.delivery(PHASE_SHARING, j, d as usize) {
+                        Delivery::Delayed => {
+                            report.shares_delayed += 1;
+                            continue;
+                        }
+                        Delivery::Duplicated => report.duplicates += 1,
+                        Delivery::OnTime => {}
+                    }
                 }
                 open_share_lanes(
                     &plan.slot_ccm[j],
@@ -712,6 +876,17 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         for di in 0..plan.destinations.len() {
             scratch.usable[di] = scratch.sum_live[di] && scratch.sum_mask[di] == live_source_mask;
         }
+        // The degraded round's survivor set: destinations whose sum share
+        // covers every live source — the shares the network can still
+        // reconstruct the full aggregate from.
+        let survivors: Option<Vec<u16>> = rf.as_ref().map(|_| {
+            plan.destinations
+                .iter()
+                .enumerate()
+                .filter(|&(di, _)| scratch.usable[di])
+                .map(|(_, &d)| d)
+                .collect()
+        });
         let threshold = plan.threshold;
         let recon_result = {
             let strict = plan.variant.strict_completion;
@@ -730,6 +905,9 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         // ---- Per-node aggregation -------------------------------------------
         let sharing_sched = sharing_result.scheduled_duration();
         let strict = plan.variant.strict_completion;
+        let live_source_count = live_source_mask.count_ones() as usize;
+        let mut live_nodes = 0usize;
+        let mut nodes_recovered = 0usize;
         let mut nodes = Vec::with_capacity(n);
         #[allow(clippy::needless_range_loop)] // v indexes four parallel per-node tables
         for v in 0..n {
@@ -744,15 +922,35 @@ impl<'p, 't> RoundExecutor<'p, 't> {
                 });
                 continue;
             }
+            live_nodes += 1;
             let (aggregates, included) =
                 if strict && recon_result.nodes[v].predicate_met_at.is_none() {
                     (None, 0)
                 } else {
                     scratch.held.clear();
                     for di in 0..plan.destinations.len() {
-                        if scratch.sum_live[di] && recon_result.nodes[v].received[di] {
-                            scratch.held.push(di);
+                        if !scratch.sum_live[di] {
+                            continue;
                         }
+                        if !recon_result.nodes[v].received[di] {
+                            report.sums_missing += 1;
+                            continue;
+                        }
+                        // A node's own sum never crossed a link; only
+                        // relayed sums can suffer delivery faults.
+                        if let Some(rf) = rf.as_ref() {
+                            if plan.destinations[di] as usize != v {
+                                match rf.delivery(PHASE_RECONSTRUCTION, di, v) {
+                                    Delivery::Delayed => {
+                                        report.sums_delayed += 1;
+                                        continue;
+                                    }
+                                    Delivery::Duplicated => report.duplicates += 1,
+                                    Delivery::OnTime => {}
+                                }
+                            }
+                        }
+                        scratch.held.push(di);
                     }
                     aggregate_lanes(
                         &scratch.held,
@@ -762,11 +960,15 @@ impl<'p, 't> RoundExecutor<'p, 't> {
                         lanes,
                         config.degree,
                         &plan.recon_weights,
+                        weight_cache,
                         &mut scratch.recon_xs,
                         &mut scratch.recon_slab,
                         &mut scratch.recon_out,
                     )
                 };
+            if aggregates.is_some() && included as usize == live_source_count {
+                nodes_recovered += 1;
+            }
             let latency = recon_result.nodes[v]
                 .predicate_met_at
                 .map(|t| sharing_sched + (t - SimTime::ZERO));
@@ -782,21 +984,44 @@ impl<'p, 't> RoundExecutor<'p, 't> {
             });
         }
 
-        Ok(BatchAggregationOutcome {
-            protocol: plan.variant.name,
-            lanes,
-            expected_sums: expected.iter().map(|e| e.value()).collect(),
-            nodes,
-            sharing: phase_stats(&sharing_result, plan.slots.len(), plan.ntx_sharing),
-            reconstruction: phase_stats(
-                &recon_result,
-                plan.destinations.len(),
-                plan.ntx_reconstruction,
-            ),
-            degree: config.degree,
-            aggregator_count: plan.destinations.len(),
-            source_count: config.sources.len(),
-        })
+        let degraded = survivors.map(|survivors| {
+            let recovery = if survivors.len() >= threshold {
+                RecoveryStatus::Recovered {
+                    margin: survivors.len() - threshold,
+                }
+            } else {
+                RecoveryStatus::Failed {
+                    missing: threshold - survivors.len(),
+                }
+            };
+            DegradedOutcome {
+                threshold,
+                survivors,
+                recovery,
+                nodes_recovered,
+                live_nodes,
+                faults: report,
+            }
+        });
+
+        Ok((
+            BatchAggregationOutcome {
+                protocol: plan.variant.name,
+                lanes,
+                expected_sums: expected.iter().map(|e| e.value()).collect(),
+                nodes,
+                sharing: phase_stats(&sharing_result, plan.slots.len(), plan.ntx_sharing),
+                reconstruction: phase_stats(
+                    &recon_result,
+                    plan.destinations.len(),
+                    plan.ntx_reconstruction,
+                ),
+                degree: config.degree,
+                aggregator_count: plan.destinations.len(),
+                source_count: config.sources.len(),
+            },
+            degraded,
+        ))
     }
 }
 
@@ -860,8 +1085,10 @@ fn aggregate_from_sums(
 
 /// The lane-batched twin of [`aggregate_from_sums`]: the same mask-group
 /// selection over destination indices, then one weight application across
-/// all lanes (plan weights on the canonical subset, a fresh basis
-/// otherwise). Lane 0 of a 1-lane batch equals the scalar result exactly.
+/// all lanes — plan weights on the canonical subset, cached survivor-mask
+/// weights otherwise (value-identical to a fresh basis; see
+/// [`WeightCache`]). Lane 0 of a 1-lane batch equals the scalar result
+/// exactly.
 #[allow(clippy::too_many_arguments)]
 fn aggregate_lanes(
     held: &[usize],
@@ -871,6 +1098,7 @@ fn aggregate_lanes(
     lanes: usize,
     degree: usize,
     weights: &ReconstructionPlan<Field>,
+    cache: &mut WeightCache<Field>,
     recon_xs: &mut Vec<Elem>,
     recon_slab: &mut Vec<Elem>,
     recon_out: &mut Vec<Elem>,
@@ -930,7 +1158,13 @@ fn aggregate_lanes(
             return (None, 0);
         }
     } else {
-        let Ok(basis) = lagrange::basis_at_zero(recon_xs) else {
+        // Non-canonical survivor subset: weights per observed x-set,
+        // memoized by survivor mask. The members are sorted ascending by
+        // x and truncated to degree + 1, which is exactly the subset the
+        // cache selects for this mask — same xs, same weights a fresh
+        // `basis_at_zero` would produce.
+        let survivor_mask = members.iter().fold(0u128, |m, &di| m | (1u128 << di));
+        let Ok(basis) = cache.weights(survivor_mask) else {
             return (None, 0);
         };
         recon_out.clear();
@@ -1077,9 +1311,10 @@ mod tests {
         let sum_mask = vec![0b111u128, 0b111, 0b011, 0b011];
         let held = vec![0usize, 1, 2, 3];
         let w = weights(&[0, 1, 2, 3], 2);
+        let mut cache = WeightCache::new(&dest_xs, 2).unwrap();
         let (mut xs, mut slab, mut out) = (Vec::new(), Vec::new(), Vec::new());
         let (agg, bits) = aggregate_lanes(
-            &held, &sum_ys, &sum_mask, &dest_xs, 2, 1, &w, &mut xs, &mut slab, &mut out,
+            &held, &sum_ys, &sum_mask, &dest_xs, 2, 1, &w, &mut cache, &mut xs, &mut slab, &mut out,
         );
         assert_eq!(agg, Some(vec![10, 30]));
         assert_eq!(bits, 3);
@@ -1091,6 +1326,7 @@ mod tests {
         let sum_ys = vec![Elem::new(5), Elem::new(6)];
         let sum_mask = vec![1u128, 1];
         let w = weights(&[0, 1], 2);
+        let mut cache = WeightCache::new(&dest_xs, 2).unwrap();
         let (mut xs, mut slab, mut out) = (Vec::new(), Vec::new(), Vec::new());
         let (agg, bits) = aggregate_lanes(
             &[0],
@@ -1100,11 +1336,38 @@ mod tests {
             1,
             1,
             &w,
+            &mut cache,
             &mut xs,
             &mut slab,
             &mut out,
         );
         assert_eq!(agg, None);
         assert_eq!(bits, 0);
+    }
+
+    #[test]
+    fn aggregate_lanes_cached_weights_match_fresh_basis() {
+        // A survivor subset off the canonical fast path, resolved twice:
+        // the second call must hit the cache and produce the same lanes.
+        let dest_xs: Vec<Elem> = (0..5).map(share_x::<Field>).collect();
+        // Polynomial 9 + 4x on lane 0, 21 + 2x on lane 1 at x = di + 1.
+        let sum_ys: Vec<Elem> = (0..5u64)
+            .flat_map(|di| [Elem::new(9 + 4 * (di + 1)), Elem::new(21 + 2 * (di + 1))])
+            .collect();
+        let sum_mask = vec![0b11u128; 5];
+        let held = vec![2usize, 3, 4]; // not the canonical lowest-x subset
+        let w = weights(&[0, 1], 2);
+        let mut cache = WeightCache::new(&dest_xs, 2).unwrap();
+        let (mut xs, mut slab, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        let first = aggregate_lanes(
+            &held, &sum_ys, &sum_mask, &dest_xs, 2, 1, &w, &mut cache, &mut xs, &mut slab, &mut out,
+        );
+        assert_eq!(first.0, Some(vec![9, 21]));
+        assert_eq!(cache.cached(), 1);
+        let again = aggregate_lanes(
+            &held, &sum_ys, &sum_mask, &dest_xs, 2, 1, &w, &mut cache, &mut xs, &mut slab, &mut out,
+        );
+        assert_eq!(first, again);
+        assert_eq!(cache.cached(), 1, "second resolution must hit the cache");
     }
 }

@@ -59,9 +59,13 @@ pub use config::{ProtocolConfig, ProtocolConfigBuilder};
 pub use error::MpcError;
 pub use execute::RoundExecutor;
 pub use outcome::{
-    AggregationOutcome, BatchAggregationOutcome, BatchNodeResult, NodeResult, PhaseStats,
+    AggregationOutcome, BatchAggregationOutcome, BatchNodeResult, DegradedBatchOutcome,
+    DegradedOutcome, DegradedRound, FaultReport, NodeResult, PhaseStats, RecoveryStatus,
 };
 pub use plan::{ProtocolKind, RoundPlan};
+// The fault model consumed by the degraded execution paths, re-exported
+// so protocol users need not depend on the transport crate directly.
+pub use ppda_ct::{Delivery, FaultPlan};
 pub use s3::S3Protocol;
 pub use s4::S4Protocol;
 pub use session::{AggregationSession, SessionProtocol, SessionStats};

@@ -1,6 +1,10 @@
 //! Results of one aggregation round.
 
+use core::fmt;
+
 use ppda_sim::SimDuration;
+
+use crate::error::MpcError;
 
 /// Per-phase transport statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -246,6 +250,164 @@ impl BatchAggregationOutcome {
     }
 }
 
+/// Fault events observed during one degraded round. The dropout,
+/// delayed and duplicate counters record what the injection layer
+/// actually did; the `*_missing` counters record deliveries the
+/// *transport* never produced — which includes the testbed's ordinary
+/// radio loss, so they can be nonzero even under a zero
+/// [`FaultPlan`](ppda_ct::FaultPlan).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Nodes the fault plan took down this round (beyond the caller's
+    /// explicit failure mask).
+    pub nodes_dropped: u32,
+    /// Sharing-phase share deliveries that never reached their
+    /// destination (lost in the flood).
+    pub shares_missing: u32,
+    /// Share deliveries that arrived but missed the decode deadline.
+    pub shares_delayed: u32,
+    /// Reconstruction-phase sum deliveries a live node never received.
+    pub sums_missing: u32,
+    /// Sum deliveries that arrived but missed the decode deadline.
+    pub sums_delayed: u32,
+    /// Duplicated deliveries across both phases (idempotent at the SSS
+    /// layer; counted for diagnosis only).
+    pub duplicates: u32,
+}
+
+/// Whether a degraded round's aggregate was recoverable at the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStatus {
+    /// At least `threshold` destinations produced usable sum shares;
+    /// `margin` counts the spares beyond the minimum.
+    Recovered {
+        /// Surviving shares beyond the reconstruction threshold.
+        margin: usize,
+    },
+    /// Fewer survivors than the threshold: no node can reconstruct the
+    /// full aggregate this round.
+    Failed {
+        /// Survivors short of the threshold.
+        missing: usize,
+    },
+}
+
+/// The degraded-operation report of one round: who survived, whether the
+/// threshold held, and which faults were observed. Produced by the
+/// fault-injected execution paths instead of silently assuming complete
+/// delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedOutcome {
+    /// Reconstruction threshold t = degree + 1.
+    pub threshold: usize,
+    /// Destinations (node ids, plan order) whose sum shares cover every
+    /// live source — the shares the network can still reconstruct from.
+    pub survivors: Vec<u16>,
+    /// Threshold verdict for the round.
+    pub recovery: RecoveryStatus,
+    /// Live nodes that actually reconstructed the full aggregate.
+    pub nodes_recovered: usize,
+    /// Live nodes in the round (denominator for `nodes_recovered`).
+    pub live_nodes: usize,
+    /// Observed fault events.
+    pub faults: FaultReport,
+}
+
+impl DegradedOutcome {
+    /// `true` when the surviving share set reached the threshold.
+    pub fn recovered(&self) -> bool {
+        matches!(self.recovery, RecoveryStatus::Recovered { .. })
+    }
+
+    /// Recovery margin (spare survivors beyond the threshold); `None`
+    /// when the round failed.
+    pub fn margin(&self) -> Option<usize> {
+        match self.recovery {
+            RecoveryStatus::Recovered { margin } => Some(margin),
+            RecoveryStatus::Failed { .. } => None,
+        }
+    }
+
+    /// Turn a below-threshold round into a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::AggregationFailed`] with the share shortfall when the
+    /// survivor set is below the threshold.
+    pub fn require_recovered(&self) -> Result<(), MpcError> {
+        match self.recovery {
+            RecoveryStatus::Recovered { .. } => Ok(()),
+            RecoveryStatus::Failed { missing } => Err(MpcError::AggregationFailed { missing }),
+        }
+    }
+}
+
+impl fmt::Display for DegradedOutcome {
+    /// The stable degraded-outcome text format, frozen by the golden
+    /// fixtures under `tests/golden/`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.recovery {
+            RecoveryStatus::Recovered { margin } => {
+                writeln!(f, "recovery recovered margin={margin}")?;
+            }
+            RecoveryStatus::Failed { missing } => {
+                writeln!(f, "recovery failed missing={missing}")?;
+            }
+        }
+        writeln!(f, "threshold {}", self.threshold)?;
+        write!(f, "survivors {}", self.survivors.len())?;
+        for s in &self.survivors {
+            write!(f, " {s}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "nodes_recovered {}/{}",
+            self.nodes_recovered, self.live_nodes
+        )?;
+        writeln!(
+            f,
+            "faults dropped={} shares_missing={} shares_delayed={} sums_missing={} sums_delayed={} duplicates={}",
+            self.faults.nodes_dropped,
+            self.faults.shares_missing,
+            self.faults.shares_delayed,
+            self.faults.sums_missing,
+            self.faults.sums_delayed,
+            self.faults.duplicates,
+        )
+    }
+}
+
+/// A batched round executed under fault injection: the regular outcome
+/// plus the degraded-operation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedBatchOutcome {
+    /// The round's aggregation outcome (per-node, per-lane).
+    pub round: BatchAggregationOutcome,
+    /// The degraded-operation report.
+    pub degraded: DegradedOutcome,
+}
+
+impl DegradedBatchOutcome {
+    /// Convert a 1-lane degraded outcome into the scalar form; `None`
+    /// for wider batches.
+    pub fn into_scalar(self) -> Option<DegradedRound> {
+        Some(DegradedRound {
+            round: self.round.into_scalar()?,
+            degraded: self.degraded,
+        })
+    }
+}
+
+/// A scalar round executed under fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedRound {
+    /// The round's aggregation outcome.
+    pub round: AggregationOutcome,
+    /// The degraded-operation report.
+    pub degraded: DegradedOutcome,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,5 +556,70 @@ mod tests {
         assert_eq!(scalar.expected_sum, 42);
         assert_eq!(scalar.nodes[0].aggregate, Some(42));
         assert!(scalar.correct());
+    }
+
+    fn degraded(recovery: RecoveryStatus) -> DegradedOutcome {
+        DegradedOutcome {
+            threshold: 3,
+            survivors: vec![1, 4, 6, 8],
+            recovery,
+            nodes_recovered: 7,
+            live_nodes: 9,
+            faults: FaultReport {
+                nodes_dropped: 1,
+                shares_missing: 2,
+                shares_delayed: 0,
+                sums_missing: 3,
+                sums_delayed: 1,
+                duplicates: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn recovery_accessors() {
+        let ok = degraded(RecoveryStatus::Recovered { margin: 1 });
+        assert!(ok.recovered());
+        assert_eq!(ok.margin(), Some(1));
+        assert!(ok.require_recovered().is_ok());
+
+        let bad = degraded(RecoveryStatus::Failed { missing: 2 });
+        assert!(!bad.recovered());
+        assert_eq!(bad.margin(), None);
+        assert!(matches!(
+            bad.require_recovered(),
+            Err(MpcError::AggregationFailed { missing: 2 })
+        ));
+    }
+
+    #[test]
+    fn degraded_display_is_stable() {
+        let text = degraded(RecoveryStatus::Recovered { margin: 1 }).to_string();
+        assert_eq!(
+            text,
+            "recovery recovered margin=1\n\
+             threshold 3\n\
+             survivors 4 1 4 6 8\n\
+             nodes_recovered 7/9\n\
+             faults dropped=1 shares_missing=2 shares_delayed=0 sums_missing=3 sums_delayed=1 duplicates=4\n"
+        );
+        let failed = degraded(RecoveryStatus::Failed { missing: 2 }).to_string();
+        assert!(failed.starts_with("recovery failed missing=2\n"));
+    }
+
+    #[test]
+    fn degraded_into_scalar_mirrors_batch_rule() {
+        let wide = DegradedBatchOutcome {
+            round: batch_outcome(2, vec![batch_node(Some(vec![42, 43]), false)]),
+            degraded: degraded(RecoveryStatus::Recovered { margin: 0 }),
+        };
+        assert!(wide.into_scalar().is_none());
+        let narrow = DegradedBatchOutcome {
+            round: batch_outcome(1, vec![batch_node(Some(vec![42]), false)]),
+            degraded: degraded(RecoveryStatus::Recovered { margin: 0 }),
+        };
+        let scalar = narrow.into_scalar().unwrap();
+        assert_eq!(scalar.round.expected_sum, 42);
+        assert!(scalar.degraded.recovered());
     }
 }

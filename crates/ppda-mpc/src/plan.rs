@@ -429,6 +429,20 @@ impl<'t> RoundPlan<'t> {
         self.config.batch
     }
 
+    /// The reconstruction threshold t = degree + 1: how many surviving
+    /// sum shares any node needs to recover the aggregate. Degraded
+    /// rounds report their survivor margin against this number.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// A fresh survivor-mask weight cache over this plan's destination
+    /// x-set (mask bit `di` ↔ destination `di`).
+    pub(crate) fn survivor_weight_cache(&self) -> ppda_sss::WeightCache<Field> {
+        ppda_sss::WeightCache::new(&self.dest_xs, self.threshold)
+            .expect("plan guarantees 0 < threshold <= destinations <= 128")
+    }
+
     /// A per-caller round executor holding reusable scratch buffers
     /// (sealed payloads, share slabs, sum slabs) so repeated rounds do not
     /// reallocate. The plan itself stays shared and immutable — campaign

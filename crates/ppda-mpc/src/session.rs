@@ -8,12 +8,13 @@
 //! fresh round ids per epoch (so CCM nonces never repeat) and cumulative
 //! cost accounting.
 
+use ppda_ct::FaultPlan;
 use ppda_topology::Topology;
 
 use crate::config::ProtocolConfig;
 use crate::error::MpcError;
 use crate::execute::generate_readings;
-use crate::outcome::AggregationOutcome;
+use crate::outcome::{AggregationOutcome, DegradedRound};
 use crate::plan::{ProtocolKind, RoundPlan};
 
 /// Which protocol variant a session runs (alias of [`ProtocolKind`], kept
@@ -31,6 +32,11 @@ pub struct SessionStats {
     pub total_schedule_ms: f64,
     /// Mean per-node radio energy accumulated across rounds (mJ).
     pub total_energy_mj: f64,
+    /// Fault-injected epochs whose survivor set reached the threshold
+    /// (only [`AggregationSession::next_round_degraded`] counts here).
+    pub recovered_rounds: u64,
+    /// Fault-injected epochs that ended below the threshold.
+    pub failed_recoveries: u64,
 }
 
 /// A long-running aggregation session over a fixed deployment.
@@ -58,6 +64,11 @@ pub struct AggregationSession {
     plan: RoundPlan<'static>,
     seed: u64,
     stats: SessionStats,
+    /// Survivor-mask weight cache carried across degraded epochs: the
+    /// per-epoch executor is transient (it borrows the plan), but lossy
+    /// sessions repeat the same few survivor patterns, so the memoized
+    /// bases are swapped into each epoch's executor and back out.
+    recon_cache: ppda_sss::WeightCache<crate::Field>,
 }
 
 impl AggregationSession {
@@ -76,10 +87,12 @@ impl AggregationSession {
         seed: u64,
     ) -> Result<Self, MpcError> {
         let plan = RoundPlan::new_owned(topology, config, protocol)?;
+        let recon_cache = plan.survivor_weight_cache();
         Ok(AggregationSession {
             plan,
             seed,
             stats: SessionStats::default(),
+            recon_cache,
         })
     }
 
@@ -115,6 +128,61 @@ impl AggregationSession {
         self.stats.total_schedule_ms += outcome.scheduled_round_ms();
         self.stats.total_energy_mj += outcome.mean_energy_mj();
         Ok(outcome)
+    }
+
+    /// The next epoch's round under fault injection: generated readings,
+    /// the fault plan's dropout/churn/loss draws for this epoch's round
+    /// id, and a typed [`DegradedRound`] report (survivor set, recovery
+    /// margin, observed faults) alongside the outcome.
+    ///
+    /// Churn schedules key off the round id, so a session naturally walks
+    /// through scheduled outage windows epoch by epoch. A below-threshold
+    /// epoch still returns `Ok` — the report carries the failure and the
+    /// session counts it in [`SessionStats::failed_recoveries`]; use
+    /// [`DegradedOutcome::require_recovered`](crate::DegradedOutcome::require_recovered)
+    /// to escalate it into [`MpcError::AggregationFailed`].
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::InvalidConfig`] on sessions compiled with `batch > 1`;
+    /// otherwise the same conditions as a plain round. The round counter
+    /// only advances on success.
+    pub fn next_round_degraded(&mut self, faults: &FaultPlan) -> Result<DegradedRound, MpcError> {
+        let config = self.plan.config();
+        if config.batch != 1 {
+            return Err(MpcError::InvalidConfig {
+                what: format!(
+                    "degraded session rounds are scalar; plan has {} lanes",
+                    config.batch
+                ),
+            });
+        }
+        let round_id = self.round_id();
+        let seed = self.round_seed();
+        let readings = generate_readings(config, round_id, seed);
+        let failed = vec![false; config.n_nodes];
+        // The executor is per-epoch (it borrows the plan), but the weight
+        // cache survives the session: swap it in, run, swap it back.
+        let mut executor = self.plan.executor();
+        std::mem::swap(executor.weight_cache_mut(), &mut self.recon_cache);
+        let result = executor.run_epoch_degraded(round_id, seed, &readings, &failed, faults);
+        std::mem::swap(executor.weight_cache_mut(), &mut self.recon_cache);
+        drop(executor);
+        let degraded_round = result?
+            .into_scalar()
+            .expect("scalar sessions run 1-lane rounds");
+        self.stats.rounds += 1;
+        if degraded_round.round.correct() {
+            self.stats.perfect_rounds += 1;
+        }
+        self.stats.total_schedule_ms += degraded_round.round.scheduled_round_ms();
+        self.stats.total_energy_mj += degraded_round.round.mean_energy_mj();
+        if degraded_round.degraded.recovered() {
+            self.stats.recovered_rounds += 1;
+        } else {
+            self.stats.failed_recoveries += 1;
+        }
+        Ok(degraded_round)
     }
 
     /// The round id of the upcoming epoch. Fresh per epoch: CCM nonces and
@@ -228,6 +296,71 @@ mod tests {
         s.next_round().unwrap();
         s.next_round().unwrap();
         assert_eq!(s.round_id(), base + 2);
+    }
+
+    #[test]
+    fn degraded_epochs_with_zero_faults_match_plain_epochs() {
+        let mut plain = session(SessionProtocol::S4);
+        let mut degraded = session(SessionProtocol::S4);
+        let none = FaultPlan::none();
+        for _ in 0..3 {
+            let a = plain.next_round().unwrap();
+            let b = degraded.next_round_degraded(&none).unwrap();
+            assert_eq!(a, b.round);
+            assert!(b.degraded.recovered());
+            assert_eq!(b.degraded.faults.nodes_dropped, 0);
+        }
+        assert_eq!(degraded.stats().recovered_rounds, 3);
+        assert_eq!(degraded.stats().failed_recoveries, 0);
+        assert_eq!(
+            plain.stats().recovered_rounds,
+            0,
+            "plain rounds don't count"
+        );
+    }
+
+    #[test]
+    fn session_walks_churn_windows_by_round_id() {
+        // Aggregator churn: take one destination down for epochs 2..4 of
+        // the session (round ids advance from the config's base).
+        let mut s = session(SessionProtocol::S4);
+        let base = s.config().round_id;
+        let victim = s.plan().destinations()[0];
+        let faults = FaultPlan::none().with_churn(ppda_sim::ChurnSchedule::new().window(
+            victim,
+            base + 1,
+            base + 3,
+        ));
+        for epoch in 0..4u32 {
+            let out = s.next_round_degraded(&faults).unwrap();
+            let down = epoch == 1 || epoch == 2;
+            assert_eq!(
+                out.round.nodes[victim as usize].failed, down,
+                "epoch {epoch}"
+            );
+            assert_eq!(
+                out.degraded.survivors.contains(&victim),
+                !down,
+                "epoch {epoch}"
+            );
+        }
+        assert_eq!(s.stats().rounds, 4);
+    }
+
+    #[test]
+    fn degraded_rounds_reject_batched_sessions() {
+        let topology = Topology::grid(3, 3, 18.0, 5);
+        let config = ProtocolConfig::builder(9)
+            .degree(2)
+            .batch(4)
+            .build()
+            .unwrap();
+        let mut s = AggregationSession::new(topology, config, SessionProtocol::S4, 7).unwrap();
+        assert!(matches!(
+            s.next_round_degraded(&FaultPlan::none()),
+            Err(MpcError::InvalidConfig { .. })
+        ));
+        assert_eq!(s.stats().rounds, 0, "failed rounds must not advance");
     }
 
     #[test]

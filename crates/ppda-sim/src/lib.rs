@@ -11,6 +11,8 @@
 //!   (xoshiro256++), with [`derive_stream`] for spawning per-node
 //!   independent streams from a campaign seed.
 //! * [`Simulator`] — a thin executor binding a clock to an event queue.
+//! * [`ChurnSchedule`] — deterministic per-round node outage windows,
+//!   consumed by the fault-injection layers above.
 //!
 //! # Example
 //!
@@ -30,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod events;
 mod rng;
 mod time;
 mod trace;
 
+pub use churn::{ChurnSchedule, ChurnWindow};
 pub use events::EventQueue;
 pub use rng::{derive_stream, Xoshiro256};
 pub use time::{SimDuration, SimTime};

@@ -142,6 +142,133 @@ impl<P: PrimeField> ReconstructionPlan<P> {
     }
 }
 
+/// Lagrange weights per *survivor subset* of one canonical point set,
+/// memoized by survivor bitmask.
+///
+/// Degraded rounds reconstruct from whichever `t = threshold` sum shares
+/// actually arrived, and lossy links tend to repeat the same few survivor
+/// patterns round after round. Recomputing the basis for every round is
+/// `O(t²)` field work; this cache pays it once per *distinct* survivor
+/// mask and then answers in a hash lookup. Bit `i` of a mask corresponds
+/// to `xs[i]` of the full canonical set (≤ 128 points, matching the
+/// protocol's node-id mask width).
+///
+/// # Example
+///
+/// ```
+/// use ppda_field::{share_x, Mersenne31};
+/// use ppda_sss::WeightCache;
+/// # fn main() -> Result<(), ppda_sss::SssError> {
+/// let xs: Vec<_> = (0..5).map(share_x::<Mersenne31>).collect();
+/// let mut cache = WeightCache::new(&xs, 3)?;
+/// // Survivors {0, 2, 4}: weights for their x-set, ascending by x.
+/// let w = cache.weights(0b10101)?.to_vec();
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(cache.cached(), 1);
+/// cache.weights(0b10101)?; // second hit: no recomputation
+/// assert_eq!(cache.cached(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightCache<P: PrimeField> {
+    xs: Vec<Gf<P>>,
+    threshold: usize,
+    cache: std::collections::HashMap<u128, Vec<Gf<P>>>,
+}
+
+impl<P: PrimeField> WeightCache<P> {
+    /// Build a cache over the full canonical point set `xs` with
+    /// reconstruction threshold `threshold` (= degree + 1).
+    ///
+    /// # Errors
+    ///
+    /// [`SssError::TooFewPoints`] if `threshold` is zero or exceeds
+    /// `xs.len()`, or [`SssError::BadPacket`] if `xs` has more than 128
+    /// points (the survivor mask width).
+    pub fn new(xs: &[Gf<P>], threshold: usize) -> Result<Self, SssError> {
+        if threshold == 0 || threshold > xs.len() {
+            return Err(SssError::TooFewPoints {
+                needed: threshold.max(1),
+                got: xs.len(),
+            });
+        }
+        if xs.len() > 128 {
+            return Err(SssError::BadPacket {
+                what: "survivor masks cover at most 128 canonical points",
+            });
+        }
+        Ok(WeightCache {
+            xs: xs.to_vec(),
+            threshold,
+            cache: std::collections::HashMap::new(),
+        })
+    }
+
+    /// The full canonical point set (mask bit `i` ↔ `xs[i]`).
+    pub fn full_xs(&self) -> &[Gf<P>] {
+        &self.xs
+    }
+
+    /// The reconstruction threshold t.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of distinct survivor masks cached so far.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The x-set a survivor mask reconstructs from: the `threshold`
+    /// smallest-x survivors among the set bits, ascending by x.
+    ///
+    /// # Errors
+    ///
+    /// [`SssError::TooFewPoints`] if the mask has fewer than `threshold`
+    /// surviving points, or [`SssError::BadPacket`] if a set bit is
+    /// outside the canonical set.
+    pub fn survivor_xs(&self, mask: u128) -> Result<Vec<Gf<P>>, SssError> {
+        if mask >> self.xs.len() != 0 {
+            return Err(SssError::BadPacket {
+                what: "survivor mask has bits outside the canonical point set",
+            });
+        }
+        let mut xs: Vec<Gf<P>> = self
+            .xs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask & (1u128 << i) != 0)
+            .map(|(_, &x)| x)
+            .collect();
+        if xs.len() < self.threshold {
+            return Err(SssError::TooFewPoints {
+                needed: self.threshold,
+                got: xs.len(),
+            });
+        }
+        xs.sort_unstable();
+        xs.truncate(self.threshold);
+        Ok(xs)
+    }
+
+    /// Lagrange weights at x = 0 for the survivor mask, computed once per
+    /// distinct mask and memoized. Weight order matches
+    /// [`WeightCache::survivor_xs`] (ascending by x).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WeightCache::survivor_xs`].
+    pub fn weights(&mut self, mask: u128) -> Result<&[Gf<P>], SssError> {
+        if !self.cache.contains_key(&mask) {
+            let xs = self.survivor_xs(mask)?;
+            let weights = lagrange::basis_at_zero(&xs)?;
+            self.cache.insert(mask, weights);
+        }
+        Ok(self.cache.get(&mask).expect("inserted above"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +354,83 @@ mod tests {
         assert!(ReconstructionPlan::<Mersenne31>::new(&[]).is_err());
         assert!(ReconstructionPlan::new(&[Gf31::ZERO, Gf31::ONE]).is_err());
         assert!(ReconstructionPlan::new(&[Gf31::ONE, Gf31::ONE]).is_err());
+    }
+
+    #[test]
+    fn cached_weights_equal_fresh_basis() {
+        let points = xs(8);
+        let mut cache = WeightCache::new(&points, 4).unwrap();
+        for mask in [0b0000_1111u128, 0b1111_0000, 0b1010_1010, 0b1111_1111] {
+            let survivors = cache.survivor_xs(mask).unwrap();
+            let fresh = lagrange::basis_at_zero(&survivors).unwrap();
+            assert_eq!(cache.weights(mask).unwrap(), &fresh[..]);
+        }
+        assert_eq!(cache.cached(), 4);
+    }
+
+    #[test]
+    fn any_threshold_survivor_subset_reconstructs_the_secret() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let points = xs(7);
+        let degree = 2;
+        let shares = split_secret(Gf31::new(987_654), degree, &points, &mut rng).unwrap();
+        let mut cache = WeightCache::new(&points, degree + 1).unwrap();
+        // Every 3-of-7 survivor pattern yields the same secret.
+        for mask in 0u128..(1 << 7) {
+            if mask.count_ones() as usize != degree + 1 {
+                continue;
+            }
+            let survivors = cache.survivor_xs(mask).unwrap();
+            let weights = cache.weights(mask).unwrap();
+            let value: Gf31 = survivors
+                .iter()
+                .zip(weights)
+                .map(|(&x, &w)| {
+                    let share = shares.iter().find(|s| s.x == x).unwrap();
+                    share.y * w
+                })
+                .sum();
+            assert_eq!(value, Gf31::new(987_654), "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn wide_masks_use_the_lowest_x_survivors() {
+        let points = xs(6);
+        let mut cache = WeightCache::new(&points, 2).unwrap();
+        // Mask with 4 survivors {1, 2, 4, 5}: selection is {x(1), x(2)}.
+        assert_eq!(
+            cache.survivor_xs(0b110110).unwrap(),
+            vec![points[1], points[2]]
+        );
+        assert_eq!(
+            cache.weights(0b110110).unwrap(),
+            &lagrange::basis_at_zero(&[points[1], points[2]]).unwrap()[..]
+        );
+    }
+
+    #[test]
+    fn cache_rejects_bad_inputs() {
+        let points = xs(4);
+        assert!(matches!(
+            WeightCache::new(&points, 0),
+            Err(SssError::TooFewPoints { .. })
+        ));
+        assert!(matches!(
+            WeightCache::new(&points, 5),
+            Err(SssError::TooFewPoints { .. })
+        ));
+        let mut cache = WeightCache::new(&points, 3).unwrap();
+        assert!(matches!(
+            cache.weights(0b11),
+            Err(SssError::TooFewPoints { needed: 3, got: 2 })
+        ));
+        assert!(matches!(
+            cache.weights(1 << 10),
+            Err(SssError::BadPacket { .. })
+        ));
+        assert_eq!(cache.cached(), 0, "failed lookups must not pollute");
+        assert_eq!(cache.threshold(), 3);
+        assert_eq!(cache.full_xs(), &points[..]);
     }
 }

@@ -12,8 +12,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use ppda_ct::FaultPlan;
 use ppda_mpc::{Bootstrap, ProtocolConfig, ProtocolConfigBuilder};
-use ppda_sim::Xoshiro256;
+use ppda_sim::{ChurnSchedule, Xoshiro256};
 use ppda_topology::Topology;
 
 /// The canonical small synthetic scenario: a 3×3 jittered grid, 18 m
@@ -59,6 +60,42 @@ pub fn rng(seed: u64) -> Xoshiro256 {
     Xoshiro256::seed_from(seed)
 }
 
+/// The canonical seed of the fault-injection suites.
+pub const FAULT_SEED: u64 = 0xFA17;
+
+/// A lossy testbed's fault plan: every link PRR scaled by `1 - loss`,
+/// drawn from the canonical fault seed. The standard ingredient of the
+/// degraded-network suites — pair it with [`flocklab_scenario`] (or any
+/// other topology/config) and the degraded execution paths.
+pub fn lossy(loss: f64) -> FaultPlan {
+    FaultPlan::lossy(FAULT_SEED, loss)
+}
+
+/// A lossy testbed that also drops whole nodes: link loss `loss` plus
+/// per-round per-node dropout `dropout`.
+pub fn lossy_dropout(loss: f64, dropout: f64) -> FaultPlan {
+    lossy(loss).with_dropout(dropout)
+}
+
+/// A churning testbed's fault plan: deterministic multi-round outages
+/// from `(node, from_round, until_round)` windows, no probabilistic
+/// faults — sessions walk the windows epoch by epoch.
+pub fn churn(windows: &[(u16, u32, u32)]) -> FaultPlan {
+    FaultPlan::none().with_churn(ChurnSchedule::from_windows(windows.iter().copied()))
+}
+
+/// The lossy FlockLab scenario at one call: the testbed topology, a
+/// config with `sources` evenly spread sources, and the [`lossy`] fault
+/// plan at `loss` — the setup the degraded campaign suites sweep.
+pub fn lossy_flocklab(sources: usize, loss: f64) -> (Topology, ProtocolConfig, FaultPlan) {
+    let topology = Topology::flocklab();
+    let config = ProtocolConfig::builder(topology.len())
+        .sources(sources)
+        .build()
+        .expect("flocklab source sweep configs are valid");
+    (topology, config, lossy(loss))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +120,33 @@ mod tests {
         let (_, b) = aggregator_setup(&t);
         assert_eq!(a, b);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn fault_builders_are_deterministic() {
+        assert_eq!(lossy(0.2), lossy(0.2));
+        assert_eq!(lossy(0.2).loss, 0.2);
+        assert_eq!(lossy(0.2).seed, FAULT_SEED);
+        let ld = lossy_dropout(0.1, 0.05);
+        assert_eq!(ld.loss, 0.1);
+        assert_eq!(ld.dropout, 0.05);
+        assert!(lossy(0.0).is_zero());
+    }
+
+    #[test]
+    fn churn_builder_schedules_windows() {
+        let plan = churn(&[(3, 5, 8), (7, 6, 7)]);
+        assert!(plan.churn.is_down(3, 6));
+        assert!(!plan.churn.is_down(3, 8));
+        assert!(plan.churn.is_down(7, 6));
+        assert_eq!(plan.loss, 0.0);
+    }
+
+    #[test]
+    fn lossy_flocklab_matches_paper_sweep_point() {
+        let (topology, config, faults) = lossy_flocklab(24, 0.2);
+        assert_eq!(topology.len(), 26);
+        assert_eq!(config.sources.len(), 24);
+        assert_eq!(faults.loss, 0.2);
     }
 }

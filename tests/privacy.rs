@@ -1,15 +1,18 @@
 //! End-to-end privacy tests: the collusion threshold holds for the actual
 //! destination assignments produced by the bootstrap on the real testbed
-//! models, and the constructive indistinguishability argument goes through
-//! with real shares.
+//! models, the constructive indistinguishability argument goes through
+//! with real shares, and the fault-injection layer leaks nothing — which
+//! shares were lost is secret-independent metadata, and losing shares can
+//! only *shrink* what a collusion observes.
 
 use ppda::field::{lagrange, share_x, Gf31, Mersenne31};
 use ppda::mpc::adversary::{
     consistent_polynomial, destination_points, observed_shares, SecrecyAnalysis,
 };
+use ppda::mpc::{ProtocolKind, RoundPlan};
 use ppda::sss::split_secret;
 use ppda::topology::Topology;
-use ppda_testkit::{aggregator_setup, rng};
+use ppda_testkit::{aggregator_setup, lossy_dropout, rng};
 
 #[test]
 fn threshold_collusion_learns_nothing_on_flocklab() {
@@ -98,6 +101,84 @@ fn share_x_assignment_is_injective_over_testbeds() {
         for v in 0..topology.len() {
             assert!(seen.insert(share_x::<Mersenne31>(v)));
         }
+    }
+}
+
+#[test]
+fn fault_metadata_is_secret_independent() {
+    // The fault layer's draws (which links lost, who dropped out, what
+    // was delayed) are pure functions of seeds and coordinates — NEVER of
+    // the secrets. Two degraded rounds with identical seeds but entirely
+    // different readings must realize the *identical* fault pattern and
+    // survivor set, so observing loss metadata gives a colluder zero bits
+    // about any reading.
+    let topology = Topology::flocklab();
+    let config = ppda::mpc::ProtocolConfig::builder(topology.len())
+        .sources(6)
+        .build()
+        .unwrap();
+    let plan = RoundPlan::new(&topology, &config, ProtocolKind::S4).unwrap();
+    let faults = lossy_dropout(0.3, 0.1).with_delay(0.1);
+    let failed = vec![false; topology.len()];
+    let secrets_a: Vec<u64> = (0..6u64).map(|i| 100 + i).collect();
+    let secrets_b: Vec<u64> = (0..6u64).map(|i| 65_000 - 7 * i).collect();
+    let mut executor = plan.executor();
+    for seed in [4u64, 17, 0xC0FFEE] {
+        let a = executor
+            .run_epoch_degraded(config.round_id, seed, &secrets_a, &failed, &faults)
+            .unwrap();
+        let b = executor
+            .run_epoch_degraded(config.round_id, seed, &secrets_b, &failed, &faults)
+            .unwrap();
+        assert_eq!(
+            a.degraded, b.degraded,
+            "fault realization must not depend on the secrets (seed {seed})"
+        );
+        assert_ne!(
+            a.round.expected_sums, b.round.expected_sums,
+            "sanity: the readings really differ"
+        );
+    }
+}
+
+#[test]
+fn lost_shares_grant_no_collusion_margin() {
+    // Share loss only removes points from a collusion's view: for every
+    // loss pattern, the colluders' observed count is ≤ the loss-free
+    // count, so the secrecy margin never shrinks. Sweep seeded loss
+    // patterns over the real FlockLab aggregator assignment.
+    let topology = Topology::flocklab();
+    let (config, aggregators) = aggregator_setup(&topology);
+    let k = config.degree;
+    let colluders: Vec<u16> = aggregators[..k].to_vec();
+    let baseline = SecrecyAnalysis::new(k, &aggregators, &colluders);
+    assert!(baseline.secret_hidden());
+
+    let faults = ppda::mpc::FaultPlan::none().with_delay(0.4);
+    for round_seed in 0..32u64 {
+        let rf = faults.realize(1, round_seed);
+        // Destinations whose share delivery survived this round's faults.
+        let delivered: Vec<u16> = aggregators
+            .iter()
+            .enumerate()
+            .filter(|&(slot, &d)| {
+                matches!(
+                    rf.delivery(0, slot, d as usize),
+                    ppda::mpc::Delivery::OnTime | ppda::mpc::Delivery::Duplicated
+                )
+            })
+            .map(|(_, &d)| d)
+            .collect();
+        let degraded = SecrecyAnalysis::new(k, &delivered, &colluders);
+        assert!(
+            degraded.observed_points() <= baseline.observed_points(),
+            "loss cannot add observations"
+        );
+        assert!(
+            degraded.margin() >= baseline.margin(),
+            "loss cannot shrink the secrecy margin"
+        );
+        assert!(degraded.secret_hidden());
     }
 }
 
