@@ -4,6 +4,7 @@
 //! split). The gap is the amortized work — pairwise key derivation, hop
 //! tables, aggregator election, chain/schedule compilation, Lagrange
 //! weights. Recorded ratios live in `EXPERIMENTS.md`.
+#![allow(deprecated)] // the bootstrap-per-round baseline *is* the legacy path
 
 use criterion::{criterion_group, criterion_main, Criterion};
 

@@ -3,6 +3,7 @@
 //! guard against performance regressions in the simulation core; the
 //! *measured system metrics* (latency, radio-on) come from the `fig1`
 //! harness, not from wall-clock times here.
+#![allow(deprecated)] // benches keep the legacy single-shot baseline measurable
 
 use criterion::{criterion_group, criterion_main, Criterion};
 

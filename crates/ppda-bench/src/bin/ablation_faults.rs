@@ -15,7 +15,7 @@
 
 use ppda_bench::{arg_value, TestbedSetup};
 use ppda_metrics::Table;
-use ppda_mpc::{ProtocolConfig, S3Protocol, S4Protocol};
+use ppda_mpc::{Deployment, ProtocolConfig, ProtocolKind};
 use ppda_radio::FadingProfile;
 use ppda_sim::{derive_stream, Xoshiro256};
 
@@ -32,7 +32,6 @@ fn main() {
         // channel is kept calm (no round fading) to isolate the effect of
         // the injected crashes.
         let sources = n / 2;
-        let topology = setup.topology();
         let config = ProtocolConfig::builder(n)
             .sources(sources)
             .ntx_sharing(setup.s4_ntx)
@@ -43,6 +42,20 @@ fn main() {
             .build()
             .expect("valid config");
         let source_set: Vec<u16> = config.sources.clone();
+        let round_id = config.round_id;
+        // One compiled deployment per variant, shared by every sweep point.
+        let deploy = |kind| {
+            Deployment::builder()
+                .topology(setup.topology())
+                .config(config.clone())
+                .protocol(kind)
+                .build()
+                .expect("deployment compiles")
+        };
+        let s3_deployment = deploy(ProtocolKind::S3);
+        let s4_deployment = deploy(ProtocolKind::S4);
+        let mut s3_driver = s3_deployment.driver();
+        let mut s4_driver = s4_deployment.driver();
 
         let mut table = Table::new(vec![
             "failed nodes",
@@ -72,23 +85,25 @@ fn main() {
                     }
                 }
                 let secrets: Vec<u64> = (0..sources as u64).map(|i| 100 + i).collect();
-                let s3 = S3Protocol::new(config.clone())
-                    .run_with(&topology, seed, &secrets, &failed)
-                    .expect("S3 run");
-                let s4 = S4Protocol::new(config.clone())
-                    .run_with(&topology, seed, &secrets, &failed)
-                    .expect("S4 run");
+                let s3 = s3_driver
+                    .round_at_with(round_id, seed, &secrets, &failed)
+                    .expect("S3 round")
+                    .outcome;
+                let s4 = s4_driver
+                    .round_at_with(round_id, seed, &secrets, &failed)
+                    .expect("S4 round")
+                    .outcome;
                 if s3.max_latency_ms().is_some() {
                     s3_complete += 1;
                 }
                 for node in s3.live_nodes() {
                     total += 1;
-                    if node.aggregate == Some(s3.expected_sum) {
+                    if node.aggregates.as_deref() == Some(&s3.expected_sums[..]) {
                         s3_ok += 1;
                     }
                 }
                 for node in s4.live_nodes() {
-                    if node.aggregate == Some(s4.expected_sum) {
+                    if node.aggregates.as_deref() == Some(&s4.expected_sums[..]) {
                         s4_ok += 1;
                     }
                 }

@@ -52,11 +52,17 @@ fn main() {
 fn run_one(protocol: Protocol, setup: &TestbedSetup) -> (usize, u32, f64, usize, u32, f64) {
     let topology = setup.topology();
     let config = setup.config(topology.len()).expect("valid config");
-    let outcome = match protocol {
-        Protocol::S3 => ppda_mpc::S3Protocol::new(config).run(&topology, 1),
-        Protocol::S4 => ppda_mpc::S4Protocol::new(config).run(&topology, 1),
-    }
-    .expect("round runs");
+    let outcome = ppda_mpc::Deployment::builder()
+        .topology(topology)
+        .config(config)
+        .protocol(protocol)
+        .seed(1)
+        .build()
+        .expect("deployment compiles")
+        .driver()
+        .step()
+        .expect("round runs")
+        .outcome;
     (
         outcome.sharing.chain_len,
         outcome.sharing.cycles_scheduled,

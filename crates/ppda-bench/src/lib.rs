@@ -18,7 +18,10 @@
 #![warn(missing_docs)]
 
 use ppda_metrics::{CampaignAccumulator, Summary};
-use ppda_mpc::{FaultPlan, MpcError, ProtocolConfig, RoundPlan};
+use ppda_mpc::{
+    Deployment, FaultPlan, FaultReport, MpcError, ProtocolConfig, RecoveryStatus, RoundObserver,
+    RoundReport,
+};
 use ppda_radio::FadingProfile;
 use ppda_topology::Topology;
 
@@ -153,16 +156,17 @@ pub struct CampaignResult {
 
 /// Run `iterations` seeded rounds of `protocol` and aggregate the metrics.
 ///
-/// The deployment's [`RoundPlan`] (bootstrap, chain schedules, cipher
-/// contexts, reconstruction weights) is compiled **once** and borrowed by
-/// every worker thread; each worker drives a
-/// [`RoundExecutor`](ppda_mpc::RoundExecutor) whose scratch buffers
-/// (sealed payloads, share/sum slabs) persist across its rounds, and each
-/// round streams into a [`CampaignAccumulator`] the moment it completes —
-/// no per-iteration configuration clones, no buffered outcome structures,
-/// no per-round crypto buffer churn. (The accumulator keeps two scalars
-/// per live node-round for the exact percentile summaries; that is the
-/// only state growing with `iterations`.)
+/// Built on the [`Deployment`] façade: the deployment (bootstrap, chain
+/// schedules, cipher contexts, reconstruction weights) is compiled
+/// **once** and shared by every worker thread; each worker takes its own
+/// [`RoundDriver`](ppda_mpc::RoundDriver) — whose scratch buffers (sealed
+/// payloads, share/sum slabs) persist across its rounds — with a
+/// [`CampaignAccumulator`] attached as a [`RoundObserver`], so each round
+/// folds into the summary state the moment it completes. No
+/// per-iteration configuration clones, no buffered outcome structures, no
+/// hand-threaded metrics. (The accumulator keeps two scalars per live
+/// node-round for the exact percentile summaries; that is the only state
+/// growing with `iterations`.)
 ///
 /// With `config.batch > 1` every round aggregates B values per source at
 /// one round's transport cost; a node-round counts as successful only if
@@ -230,7 +234,15 @@ pub fn run_campaign_faulty(
             what: "campaign needs at least one iteration".into(),
         });
     }
-    let plan = RoundPlan::new(topology, config, protocol)?;
+    let deployment = Deployment::builder()
+        .topology_ref(topology)
+        .config(config.clone())
+        .protocol(protocol)
+        .faults(faults.clone())
+        .build()?;
+    // Campaign iterations vary the *seed* at one fixed round id, so every
+    // round is pinned with `round_at` instead of the driver's epoch clock.
+    let round_id = config.round_id;
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -240,34 +252,22 @@ pub fn run_campaign_faulty(
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|worker| {
-                    let plan = &plan;
+                    let deployment = &deployment;
                     scope.spawn(move || {
-                        let mut executor = plan.executor();
                         let mut acc = CampaignAccumulator::new();
                         let mut first_error: Option<(u64, MpcError)> = None;
-                        let mut seed = base_seed + worker as u64;
-                        while seed < base_seed + iterations {
-                            match executor.run_degraded(seed, faults) {
-                                Ok(out) => {
-                                    let outcome = &out.round;
-                                    acc.record_round(outcome.correct());
-                                    acc.record_recovery(out.degraded.margin());
-                                    for node in outcome.live_nodes() {
-                                        acc.record_node(
-                                            node.aggregates.as_deref()
-                                                == Some(&outcome.expected_sums[..]),
-                                            node.latency.map(|l| l.as_millis_f64()),
-                                            node.radio_on.as_millis_f64(),
-                                        );
-                                    }
-                                }
-                                Err(e) => {
+                        {
+                            let mut driver = deployment.driver();
+                            driver.attach(&mut acc);
+                            let mut seed = base_seed + worker as u64;
+                            while seed < base_seed + iterations {
+                                if let Err(e) = driver.round_at(round_id, seed) {
                                     if first_error.is_none() {
                                         first_error = Some((seed, e));
                                     }
                                 }
+                                seed += threads as u64;
                             }
-                            seed += threads as u64;
                         }
                         (acc, first_error)
                     })
@@ -304,6 +304,106 @@ pub fn run_campaign_faulty(
         rounds_failed: acc.rounds_failed() as usize,
         margin: acc.margin(),
     })
+}
+
+/// One recorded round of a [`RoundRecorder`] trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// The round id the round ran under.
+    pub round_id: u32,
+    /// The per-round seed.
+    pub seed: u64,
+    /// Whether every live node got every lane's correct aggregate.
+    pub correct: bool,
+    /// The round's threshold verdict.
+    pub recovery: RecoveryStatus,
+    /// Survivor-set size (destinations covering every live source).
+    pub survivors: usize,
+    /// Observed fault events.
+    pub faults: FaultReport,
+}
+
+/// A per-round trace recorder: the benchmark-side [`RoundObserver`] sink.
+///
+/// Where [`CampaignAccumulator`] folds rounds into summary statistics,
+/// the recorder keeps one compact [`RoundRecord`] per round, in execution
+/// order — the raw material for availability timelines, debugging a
+/// specific seed, or printing per-round campaign traces. Both sinks can
+/// be attached to the same [`RoundDriver`](ppda_mpc::RoundDriver).
+///
+/// # Example
+///
+/// ```
+/// use ppda_bench::{RoundRecorder, TestbedSetup};
+/// use ppda_mpc::Deployment;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let setup = TestbedSetup::flocklab();
+/// let deployment = Deployment::builder()
+///     .topology(setup.topology())
+///     .config(setup.config(3)?)
+///     .build()?;
+/// let mut trace = RoundRecorder::new();
+/// let mut driver = deployment.driver();
+/// driver.attach(&mut trace);
+/// driver.run_epoch(4)?;
+/// drop(driver);
+/// assert_eq!(trace.len(), 4);
+/// assert_eq!(trace.recovery_rate(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundRecorder {
+    rows: Vec<RoundRecord>,
+}
+
+impl RoundRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded rounds, in execution order.
+    pub fn rows(&self) -> &[RoundRecord] {
+        &self.rows
+    }
+
+    /// Rounds recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rounds were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Fraction of recorded rounds whose survivor set reached the
+    /// threshold (0 when none were recorded).
+    pub fn recovery_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .rows
+            .iter()
+            .filter(|r| matches!(r.recovery, RecoveryStatus::Recovered { .. }))
+            .count();
+        ok as f64 / self.rows.len() as f64
+    }
+}
+
+impl RoundObserver for RoundRecorder {
+    fn on_round(&mut self, report: &RoundReport) {
+        self.rows.push(RoundRecord {
+            round_id: report.round_id,
+            seed: report.seed,
+            correct: report.correct(),
+            recovery: report.recovery(),
+            survivors: report.survivors().len(),
+            faults: report.degraded.faults,
+        });
+    }
 }
 
 /// Parse `--key value`-style arguments; returns the value following `key`.
@@ -421,6 +521,36 @@ mod tests {
             4,
             "every round recovered with a margin"
         );
+    }
+
+    #[test]
+    fn recorder_traces_match_the_accumulator() {
+        // Both sinks on one driver: the recorder's per-round rows must
+        // aggregate to exactly the accumulator's counters.
+        let setup = TestbedSetup::flocklab();
+        let deployment = Deployment::builder()
+            .topology(setup.topology())
+            .config(setup.config(3).unwrap())
+            .seed(0xBEE)
+            .build()
+            .unwrap();
+        let mut trace = RoundRecorder::new();
+        let mut acc = ppda_metrics::CampaignAccumulator::new();
+        let mut driver = deployment.driver();
+        driver.attach(&mut trace);
+        driver.attach(&mut acc);
+        driver.run_epoch(5).unwrap();
+        drop(driver);
+        assert_eq!(trace.len(), 5);
+        assert_eq!(acc.rounds(), 5);
+        assert_eq!(trace.recovery_rate(), acc.recovery_rate());
+        let perfect = trace.rows().iter().filter(|r| r.correct).count();
+        assert_eq!(perfect as f64 / 5.0, acc.round_success());
+        // Rows carry the driver's advancing clock.
+        let base = deployment.config().round_id;
+        for (i, row) in trace.rows().iter().enumerate() {
+            assert_eq!(row.round_id, base + i as u32);
+        }
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub enum Delivery {
 
 /// A deterministic, seeded fault model for degraded rounds.
 ///
-/// The plan is deployment-scoped (like a [`MiniCastSchedule`]
-/// [`crate::MiniCastSchedule`]): build it once, then
+/// The plan is deployment-scoped (like a
+/// [`MiniCastSchedule`](crate::MiniCastSchedule)): build it once, then
 /// [`realize`](FaultPlan::realize) it per round to draw that round's
 /// faults. [`FaultPlan::none`] (also `Default`) injects nothing.
 ///

@@ -17,6 +17,8 @@
 //!
 //! [`merge`]: CampaignAccumulator::merge
 
+use ppda_mpc::{RoundObserver, RoundReport};
+
 use crate::summary::Summary;
 
 /// Folds per-round, per-node campaign observations into summary state.
@@ -185,6 +187,25 @@ impl CampaignAccumulator {
     /// Summary of per-node radio-on times.
     pub fn radio_on(&self) -> Summary {
         Summary::of(&self.radios)
+    }
+}
+
+/// The accumulator is a [`RoundObserver`]: attach it to a
+/// [`RoundDriver`](ppda_mpc::RoundDriver) and every driven round folds in
+/// the moment it completes — round correctness, the availability verdict
+/// and every live node's (correctness, latency, radio-on) triple — instead
+/// of harnesses hand-threading those fields out of each outcome.
+impl RoundObserver for CampaignAccumulator {
+    fn on_round(&mut self, report: &RoundReport) {
+        self.record_round(report.correct());
+        self.record_recovery(report.degraded.margin());
+        for node in report.outcome.live_nodes() {
+            self.record_node(
+                node.aggregates.as_deref() == Some(report.expected_sums()),
+                node.latency.map(|l| l.as_millis_f64()),
+                node.radio_on.as_millis_f64(),
+            );
+        }
     }
 }
 

@@ -1,13 +1,29 @@
 //! Protocol configuration.
 
-use ppda_radio::FadingProfile;
+use ppda_field::PrimeField;
+use ppda_radio::{FadingProfile, FrameSpec};
+use ppda_sss::SumBatch;
 
 use crate::error::MpcError;
+use crate::Field;
 
 /// Configuration shared by both protocol variants.
 ///
 /// Build with [`ProtocolConfig::builder`]; defaults follow the paper's
 /// evaluation setup (degree ⌊n/3⌋, S4 NTX ≈ 6, AES-128 with 4-byte MIC).
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::ProtocolConfig;
+/// let config = ProtocolConfig::builder(26)
+///     .sources(6)
+///     .degree(4)
+///     .batch(8) // 8 readings per source per round
+///     .build()?;
+/// assert_eq!(config.aggregator_count(), 7); // 4 + 1 + redundancy 2
+/// # Ok::<(), ppda_mpc::MpcError>(())
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
     /// Total nodes in the deployment.
@@ -96,6 +112,13 @@ pub struct ProtocolConfigBuilder {
 }
 
 impl ProtocolConfigBuilder {
+    /// Whether a lane batch of `batch` fits both phases' 802.15.4 frames
+    /// at CCM tag length `tag_len`.
+    fn batch_fits_frames(batch: usize, tag_len: usize) -> bool {
+        FrameSpec::new(batch * <Field as PrimeField>::ENCODED_LEN, tag_len).is_ok()
+            && FrameSpec::new(SumBatch::<Field>::encoded_len(batch), 0).is_ok()
+    }
+
     /// Use `count` sources spread evenly over the node id space (the
     /// paper's "different number of source nodes" sweeps).
     pub fn sources(mut self, count: usize) -> Self {
@@ -180,7 +203,8 @@ impl ProtocolConfigBuilder {
     }
 
     /// Lane width B: readings each source contributes per round (default 1,
-    /// the paper's scalar protocol).
+    /// the paper's scalar protocol). Validated against the 802.15.4 frame
+    /// budget at [`build`](ProtocolConfigBuilder::build) time.
     pub fn batch(mut self, lanes: usize) -> Self {
         self.batch = lanes;
         self
@@ -253,6 +277,21 @@ impl ProtocolConfigBuilder {
         if self.batch == 0 {
             return Err(MpcError::InvalidConfig {
                 what: "batch lane width must be at least 1".into(),
+            });
+        }
+        // The whole lane batch travels in one 802.15.4 frame per packet,
+        // in both phases: the sealed share payload (B field elements +
+        // MIC) and the sum-share packet must each fit the PSDU. Checked
+        // here, where the lane width is chosen, instead of surfacing as a
+        // frame error at plan compile time.
+        if !Self::batch_fits_frames(self.batch, self.tag_len) {
+            let max_lanes = (1..=self.batch)
+                .take_while(|&b| Self::batch_fits_frames(b, self.tag_len))
+                .last()
+                .unwrap_or(0);
+            return Err(MpcError::BatchTooWide {
+                lanes: self.batch,
+                max_lanes,
             });
         }
         if self.max_reading == 0 || self.max_reading >= ppda_field::Gf31::modulus() {
@@ -403,6 +442,32 @@ mod tests {
             ProtocolConfig::builder(10).batch(16).build().unwrap().batch,
             16
         );
+    }
+
+    #[test]
+    fn batch_checked_against_frame_budget_at_build_time() {
+        // The sum-share packet (node 2 + round 4 + B·4 + mask 16 bytes)
+        // is the binding constraint: 23 lanes fit the 116-byte PSDU
+        // payload budget, 24 do not.
+        assert_eq!(
+            ProtocolConfig::builder(10).batch(23).build().unwrap().batch,
+            23
+        );
+        let err = ProtocolConfig::builder(10).batch(24).build().unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::BatchTooWide {
+                lanes: 24,
+                max_lanes: 23
+            }
+        ));
+        assert!(err.to_string().contains("frame budget"));
+        // A longer MIC cannot shrink the sum-bound maximum below the
+        // share-frame bound (share: B·4 + tag ≤ 116).
+        assert!(matches!(
+            ProtocolConfig::builder(10).tag_len(16).batch(26).build(),
+            Err(MpcError::BatchTooWide { max_lanes: 23, .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,844 @@
+//! The unified execution façade: [`Deployment`] + [`RoundDriver`].
+//!
+//! Four PRs of growth left the workspace with three parallel ways to run
+//! an aggregation round — the single-shot protocol wrappers
+//! ([`S3Protocol`](crate::S3Protocol) / [`S4Protocol`](crate::S4Protocol)),
+//! the plan-level methods (`RoundPlan::run*`, `RoundExecutor::run*`), and
+//! the session API — each with its own outcome type. This module collapses
+//! them into one composable pipeline, the way platform-style MPC
+//! deployments expose a single orchestration API:
+//!
+//! * [`Deployment`] fuses everything deployment-scoped — a
+//!   [`Topology`], a [`ProtocolConfig`], a [`ProtocolKind`] and an
+//!   optional [`FaultPlan`] / [`ChurnSchedule`](ppda_sim::ChurnSchedule) —
+//!   and compiles the [`RoundPlan`] exactly once at
+//!   [`build`](DeploymentBuilder::build) time.
+//! * [`RoundDriver`] streams rounds over the compiled plan:
+//!   [`step`](RoundDriver::step) advances the deployment's epoch clock one
+//!   round, [`run_epoch`](RoundDriver::run_epoch) drives `n` rounds, and
+//!   the `Iterator` impl yields rounds forever (`driver.take(n)`).
+//!   Every round runs the **same** internal path — the zero fault plan is
+//!   simply the default — so plain vs degraded and scalar vs batched are
+//!   no longer different APIs: each round yields one
+//!   [`RoundReport`] carrying the lane aggregates, the survivor set, the
+//!   [`RecoveryStatus`](crate::RecoveryStatus) verdict and the round's
+//!   transport statistics.
+//! * [`RoundObserver`] is the metrics sink contract: observers
+//!   [`attach`](RoundDriver::attach) to a driver and see every completed
+//!   round, so accumulators (e.g.
+//!   `ppda_metrics::CampaignAccumulator`) subscribe instead of being
+//!   hand-threaded through every harness.
+//!
+//! Campaign fan-out works by sharing one `Deployment` across worker
+//! threads: the deployment is immutable (`Sync`), and each worker takes
+//! its own driver (owning the per-round scratch buffers) via
+//! [`Deployment::driver`].
+//!
+//! # Determinism
+//!
+//! A driver's automatic clock replays exactly: round r runs at
+//! `config.round_id + r` with per-round seed `derive_stream(base_seed, r)`
+//! — the same scheme the session API has always used, so CCM nonces and
+//! share randomness never repeat across epochs. The explicit
+//! [`round_at`](RoundDriver::round_at) escape hatch pins both coordinates,
+//! which is what the differential suites use to prove a B = 1 zero-fault
+//! driver round **byte-identical** to the legacy `S3Protocol::run` /
+//! `S4Protocol::run` paths (`tests/facade.rs`).
+
+use std::borrow::Cow;
+use std::fmt;
+
+use ppda_ct::FaultPlan;
+use ppda_sim::{derive_stream, ChurnSchedule};
+use ppda_topology::Topology;
+
+use crate::config::ProtocolConfig;
+use crate::error::MpcError;
+use crate::execute::{readings_into, RoundExecutor};
+use crate::outcome::RoundReport;
+use crate::plan::{ProtocolKind, RoundPlan};
+
+/// A sink for completed rounds: attach one (or several) to a
+/// [`RoundDriver`] and it sees every [`RoundReport`] the moment the round
+/// finishes — the subscription contract metrics accumulators implement so
+/// harnesses stop hand-threading outcome fields.
+///
+/// `&mut T` implements the trait whenever `T` does, so an observer can be
+/// attached by mutable borrow and read back after the driver is dropped.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{Deployment, ProtocolConfig, RoundObserver, RoundReport};
+/// use ppda_topology::Topology;
+///
+/// #[derive(Default)]
+/// struct Recovered(u64);
+/// impl RoundObserver for Recovered {
+///     fn on_round(&mut self, report: &RoundReport) {
+///         self.0 += u64::from(report.recovered());
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::flocklab();
+/// let config = ProtocolConfig::builder(topology.len()).sources(6).build()?;
+/// let deployment = Deployment::builder()
+///     .topology(topology)
+///     .config(config)
+///     .build()?;
+/// let mut counter = Recovered::default();
+/// let mut driver = deployment.driver();
+/// driver.attach(&mut counter);
+/// driver.run_epoch(3)?;
+/// drop(driver);
+/// assert_eq!(counter.0, 3);
+/// # Ok(())
+/// # }
+/// ```
+pub trait RoundObserver {
+    /// Called once per completed round, in execution order.
+    fn on_round(&mut self, report: &RoundReport);
+}
+
+impl<T: RoundObserver + ?Sized> RoundObserver for &mut T {
+    fn on_round(&mut self, report: &RoundReport) {
+        (**self).on_round(report);
+    }
+}
+
+/// Cumulative statistics of a [`RoundDriver`].
+///
+/// Every round counts toward the recovery tally — a fault-free round is
+/// simply one that recovered with full margin — so availability is always
+/// observable, unlike the legacy session stats that only counted
+/// explicitly degraded epochs.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{Deployment, DriverStats, ProtocolConfig};
+/// use ppda_topology::Topology;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::flocklab();
+/// let config = ProtocolConfig::builder(topology.len()).sources(6).build()?;
+/// let deployment = Deployment::builder().topology(topology).config(config).build()?;
+/// let mut driver = deployment.driver();
+/// let epoch: DriverStats = driver.run_epoch(2)?;
+/// assert_eq!(epoch.rounds, 2);
+/// assert_eq!(driver.stats(), epoch);
+/// assert_eq!(epoch.recovery_rate(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DriverStats {
+    /// Rounds executed so far.
+    pub rounds: u64,
+    /// Rounds where every live node got every lane's correct aggregate.
+    pub perfect_rounds: u64,
+    /// Rounds whose survivor set reached the reconstruction threshold.
+    pub recovered_rounds: u64,
+    /// Rounds that ended below the threshold (aggregation failed).
+    pub failed_rounds: u64,
+    /// Total scheduled air-time across rounds (ms).
+    pub total_schedule_ms: f64,
+    /// Mean per-node radio energy accumulated across rounds (mJ).
+    pub total_energy_mj: f64,
+}
+
+impl DriverStats {
+    fn record(&mut self, report: &RoundReport) {
+        self.rounds += 1;
+        if report.correct() {
+            self.perfect_rounds += 1;
+        }
+        if report.recovered() {
+            self.recovered_rounds += 1;
+        } else {
+            self.failed_rounds += 1;
+        }
+        self.total_schedule_ms += report.outcome.scheduled_round_ms();
+        self.total_energy_mj += report.outcome.mean_energy_mj();
+    }
+
+    /// Fraction of rounds whose survivor set reached the threshold
+    /// (0 when no rounds ran).
+    pub fn recovery_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.recovered_rounds as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Builder for a [`Deployment`] (see [`Deployment::builder`]).
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{DeploymentBuilder, Deployment, FaultPlan, ProtocolConfig, ProtocolKind};
+/// use ppda_topology::Topology;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::dcube();
+/// let config = ProtocolConfig::builder(topology.len())
+///     .sources(7)
+///     .ntx_sharing(7)
+///     .ntx_reconstruction(7)
+///     .build()?;
+/// let deployment: Deployment = Deployment::builder()
+///     .topology(topology)
+///     .config(config)
+///     .protocol(ProtocolKind::S4)
+///     .faults(FaultPlan::lossy(0xFA, 0.1))
+///     .seed(0xD0)
+///     .build()?;
+/// assert!(deployment.driver().step()?.recovered());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeploymentBuilder<'t> {
+    topology: Option<Cow<'t, Topology>>,
+    config: Option<ProtocolConfig>,
+    protocol: ProtocolKind,
+    faults: FaultPlan,
+    seed: u64,
+}
+
+impl<'t> DeploymentBuilder<'t> {
+    /// Deployment topology, owned (long-lived deployments, sessions).
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(Cow::Owned(topology));
+        self
+    }
+
+    /// Deployment topology by reference (zero-copy campaign fan-out; the
+    /// deployment then borrows it for its lifetime).
+    #[must_use]
+    pub fn topology_ref(mut self, topology: &'t Topology) -> Self {
+        self.topology = Some(Cow::Borrowed(topology));
+        self
+    }
+
+    /// The per-round protocol configuration.
+    #[must_use]
+    pub fn config(mut self, config: ProtocolConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Protocol variant to compile (default: [`ProtocolKind::S4`]).
+    #[must_use]
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Fault model every driven round runs under (default:
+    /// [`FaultPlan::none`], which is byte-identical to fault-free
+    /// execution). Replaces any churn schedule set earlier.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Scheduled multi-round outages, fused into the deployment's fault
+    /// plan: drivers walk the windows as their round ids advance.
+    #[must_use]
+    pub fn churn(mut self, churn: ChurnSchedule) -> Self {
+        self.faults.churn = churn;
+        self
+    }
+
+    /// Base seed of the deployment's automatic round clock (round r draws
+    /// per-round seed `derive_stream(seed, r)`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Compile the deployment: run the bootstrap and build the
+    /// [`RoundPlan`] once, for arbitrarily many rounds and drivers.
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcError::InvalidConfig`] if no topology or configuration was
+    ///   supplied, or a chain constraint is violated.
+    /// * [`MpcError::InputMismatch`] if the topology size differs from the
+    ///   configured one.
+    /// * [`MpcError::TopologyDisconnected`] if the network is not
+    ///   connected at the configured link threshold.
+    pub fn build(self) -> Result<Deployment<'t>, MpcError> {
+        let topology = self.topology.ok_or_else(|| MpcError::InvalidConfig {
+            what: "deployment needs a topology (DeploymentBuilder::topology)".into(),
+        })?;
+        let config = self.config.ok_or_else(|| MpcError::InvalidConfig {
+            what: "deployment needs a configuration (DeploymentBuilder::config)".into(),
+        })?;
+        let plan = match topology {
+            Cow::Borrowed(t) => RoundPlan::new(t, &config, self.protocol)?,
+            Cow::Owned(t) => RoundPlan::new_owned(t, config, self.protocol)?,
+        };
+        Ok(Deployment {
+            plan,
+            faults: self.faults,
+            seed: self.seed,
+        })
+    }
+}
+
+/// A compiled PPDA deployment: the single entry point for running
+/// aggregation rounds, whatever the scenario.
+///
+/// One deployment fuses the topology, the protocol configuration, the
+/// protocol variant and the (possibly zero) fault model, and compiles the
+/// [`RoundPlan`] — bootstrap, chain schedules, cipher contexts,
+/// reconstruction weights — exactly once. Rounds are then driven through
+/// [`RoundDriver`]s; every future scenario (churn, faults, batching, new
+/// protocol variants) plugs into this same pipeline instead of forking
+/// another `run_*` entry point.
+///
+/// The deployment itself is immutable and `Sync`: campaign harnesses
+/// share one deployment across worker threads, each worker owning its own
+/// driver (and thus its own per-round scratch buffers).
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{Deployment, ProtocolConfig, ProtocolKind};
+/// use ppda_topology::Topology;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::flocklab();
+/// let config = ProtocolConfig::builder(topology.len()).sources(6).build()?;
+/// let deployment = Deployment::builder()
+///     .topology(topology)
+///     .config(config)
+///     .protocol(ProtocolKind::S4)
+///     .build()?;
+/// for report in deployment.driver().take(3) {
+///     let report = report?;
+///     assert!(report.correct() && report.recovered());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Deployment<'t> {
+    plan: RoundPlan<'t>,
+    faults: FaultPlan,
+    seed: u64,
+}
+
+impl<'t> Deployment<'t> {
+    /// Start building a deployment. A topology and a configuration are
+    /// required; the protocol defaults to [`ProtocolKind::S4`], the fault
+    /// plan to [`FaultPlan::none`], the seed to 0.
+    pub fn builder() -> DeploymentBuilder<'t> {
+        DeploymentBuilder {
+            topology: None,
+            config: None,
+            protocol: ProtocolKind::S4,
+            faults: FaultPlan::none(),
+            seed: 0,
+        }
+    }
+
+    /// A fresh round driver over this deployment's compiled plan. Each
+    /// driver owns its per-round scratch buffers, so concurrent drivers
+    /// (one per campaign worker) never contend.
+    pub fn driver(&self) -> RoundDriver<'_> {
+        let config = self.plan.config();
+        RoundDriver {
+            executor: self.plan.executor(),
+            faults: self.faults.clone(),
+            base_seed: self.seed,
+            stats: DriverStats::default(),
+            observers: Vec::new(),
+            readings_scratch: Vec::with_capacity(config.sources.len() * config.batch),
+            all_live: vec![false; config.n_nodes],
+        }
+    }
+
+    /// The compiled round plan.
+    pub fn plan(&self) -> &RoundPlan<'t> {
+        &self.plan
+    }
+
+    /// The deployment's topology.
+    pub fn topology(&self) -> &Topology {
+        self.plan.topology()
+    }
+
+    /// The per-round configuration template.
+    pub fn config(&self) -> &ProtocolConfig {
+        self.plan.config()
+    }
+
+    /// The compiled protocol variant.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.plan.protocol()
+    }
+
+    /// The fault model driven rounds run under.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The base seed of the automatic round clock.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Streams aggregation rounds over a [`Deployment`]'s compiled plan.
+///
+/// One driver = one independent round stream: it owns the executor's
+/// reusable scratch plus its own input buffers (generated readings and
+/// the all-live failure mask are reused round to round), an epoch clock
+/// (round id + per-round seed, advancing once per executed round), the
+/// cumulative [`DriverStats`], and the attached [`RoundObserver`] sinks.
+///
+/// All execution surfaces converge here:
+///
+/// * [`step`](RoundDriver::step) — one round at the clock, generated
+///   readings, no explicit failures;
+/// * [`step_with`](RoundDriver::step_with) — one round at the clock with
+///   explicit readings and failure mask;
+/// * [`run_epoch`](RoundDriver::run_epoch) — `n` rounds, returning the
+///   epoch's stats;
+/// * the `Iterator` impl — an endless stream of `Result<RoundReport, _>`
+///   (combine with `take(n)`);
+/// * [`round_at`](RoundDriver::round_at) /
+///   [`round_at_with`](RoundDriver::round_at_with) — explicit round id
+///   and seed, for differential testing and seed-striped campaigns.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{Deployment, ProtocolConfig, ProtocolKind};
+/// use ppda_topology::Topology;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::flocklab();
+/// let config = ProtocolConfig::builder(topology.len())
+///     .sources(6)
+///     .batch(4) // 4 readings per source per round, same API
+///     .build()?;
+/// let deployment = Deployment::builder().topology(topology).config(config).build()?;
+/// let mut driver = deployment.driver();
+/// let report = driver.step()?;
+/// assert_eq!(report.lanes(), 4);
+/// assert!(report.correct());
+/// let epoch = driver.run_epoch(5)?;
+/// assert_eq!(epoch.rounds, 5);
+/// assert_eq!(driver.stats().rounds, 6);
+/// # Ok(())
+/// # }
+/// ```
+pub struct RoundDriver<'d> {
+    executor: RoundExecutor<'d, 'd>,
+    faults: FaultPlan,
+    base_seed: u64,
+    stats: DriverStats,
+    observers: Vec<Box<dyn RoundObserver + 'd>>,
+    /// Reusable buffer for generated readings (the `step`/`round_at`
+    /// common case draws fresh values without reallocating).
+    readings_scratch: Vec<u64>,
+    /// The no-explicit-failures mask, allocated once per driver.
+    all_live: Vec<bool>,
+}
+
+impl fmt::Debug for RoundDriver<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoundDriver")
+            .field("protocol", &self.executor.plan().protocol())
+            .field("lanes", &self.executor.lanes())
+            .field("base_seed", &self.base_seed)
+            .field("stats", &self.stats)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'d> RoundDriver<'d> {
+    /// The compiled plan this driver executes over.
+    pub fn plan(&self) -> &'d RoundPlan<'d> {
+        self.executor.plan()
+    }
+
+    /// Lane width B of every round this driver runs.
+    pub fn lanes(&self) -> usize {
+        self.executor.lanes()
+    }
+
+    /// Cumulative statistics over every round this driver ran.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// The round id the *next* [`step`](RoundDriver::step) will run under.
+    /// Fresh per round, so CCM nonces and share randomness never repeat.
+    pub fn round_id(&self) -> u32 {
+        self.executor
+            .plan()
+            .config()
+            .round_id
+            .wrapping_add(self.stats.rounds as u32)
+    }
+
+    /// Subscribe an observer: it sees every round this driver completes
+    /// from now on. Attach `&mut observer` to read it back after the
+    /// driver is dropped.
+    pub fn attach(&mut self, observer: impl RoundObserver + 'd) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// Replace the fault model for subsequent rounds (sessions route
+    /// their per-call fault plans through this).
+    pub(crate) fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The survivor-mask weight cache, for holders that outlive this
+    /// driver (sessions swap a long-lived cache in and out).
+    pub(crate) fn weight_cache_mut(&mut self) -> &mut ppda_sss::WeightCache<crate::Field> {
+        self.executor.weight_cache_mut()
+    }
+
+    fn next_seed(&self) -> u64 {
+        derive_stream(self.base_seed, self.stats.rounds)
+    }
+
+    /// Run the next round of the deployment: generated readings (B per
+    /// source), no explicit failures, fault plan applied, clock advanced.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundDriver::round_at_with`]. The clock only advances on
+    /// success.
+    pub fn step(&mut self) -> Result<RoundReport, MpcError> {
+        let (round_id, seed) = (self.round_id(), self.next_seed());
+        self.run_round(round_id, seed, None, None)
+    }
+
+    /// Run the next round with explicit readings (lane-major per source:
+    /// `readings[si * B + lane]`) and failure mask.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundDriver::round_at_with`]. The clock only advances on
+    /// success.
+    pub fn step_with(
+        &mut self,
+        readings: &[u64],
+        failed: &[bool],
+    ) -> Result<RoundReport, MpcError> {
+        let (round_id, seed) = (self.round_id(), self.next_seed());
+        self.run_round(round_id, seed, Some(readings), Some(failed))
+    }
+
+    /// Run `rounds` rounds and return the epoch's cumulative stats
+    /// (observers see every round; the driver's own stats advance too).
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and propagates) the first round error.
+    pub fn run_epoch(&mut self, rounds: u64) -> Result<DriverStats, MpcError> {
+        let mut epoch = DriverStats::default();
+        for _ in 0..rounds {
+            let report = self.step()?;
+            epoch.record(&report);
+        }
+        Ok(epoch)
+    }
+
+    /// Run one round at an explicit round id and seed with generated
+    /// readings — the pinned-coordinate form differential suites and
+    /// seed-striped campaigns use. Advances the clock like any round.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundDriver::round_at_with`].
+    pub fn round_at(&mut self, round_id: u32, seed: u64) -> Result<RoundReport, MpcError> {
+        self.run_round(round_id, seed, None, None)
+    }
+
+    /// Run one round with every coordinate pinned: round id, seed,
+    /// readings and failure mask.
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcError::InputMismatch`] on wrong-sized inputs.
+    /// * [`MpcError::ReadingTooLarge`] if a reading exceeds the field.
+    pub fn round_at_with(
+        &mut self,
+        round_id: u32,
+        seed: u64,
+        readings: &[u64],
+        failed: &[bool],
+    ) -> Result<RoundReport, MpcError> {
+        self.run_round(round_id, seed, Some(readings), Some(failed))
+    }
+
+    /// The single internal path every public surface funnels into.
+    fn run_round(
+        &mut self,
+        round_id: u32,
+        seed: u64,
+        readings: Option<&[u64]>,
+        failed: Option<&[bool]>,
+    ) -> Result<RoundReport, MpcError> {
+        let plan = self.executor.plan();
+        let config = plan.config();
+        let readings = match readings {
+            Some(r) => r,
+            None => {
+                readings_into(
+                    &plan.master_cipher,
+                    config,
+                    round_id,
+                    seed,
+                    config.batch,
+                    &mut self.readings_scratch,
+                );
+                &self.readings_scratch
+            }
+        };
+        let failed = match failed {
+            Some(f) => f,
+            None => &self.all_live,
+        };
+        let out =
+            self.executor
+                .run_epoch_degraded(round_id, seed, readings, failed, &self.faults)?;
+        let report = RoundReport {
+            round_id,
+            seed,
+            outcome: out.round,
+            degraded: out.degraded,
+        };
+        self.stats.record(&report);
+        for observer in &mut self.observers {
+            observer.on_round(&report);
+        }
+        Ok(report)
+    }
+}
+
+impl Iterator for RoundDriver<'_> {
+    type Item = Result<RoundReport, MpcError>;
+
+    /// An endless round stream (bound it with `take(n)`). Every yielded
+    /// item is a [`step`](RoundDriver::step); errors are yielded, not
+    /// terminal, matching the driver's only-advance-on-success clock.
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_deployment(kind: ProtocolKind) -> Deployment<'static> {
+        let topology = Topology::grid(3, 3, 18.0, 5);
+        let config = ProtocolConfig::builder(9)
+            .degree(2)
+            .build()
+            .expect("grid config is valid");
+        Deployment::builder()
+            .topology(topology)
+            .config(config)
+            .protocol(kind)
+            .seed(7)
+            .build()
+            .expect("grid deployment compiles")
+    }
+
+    #[test]
+    fn builder_requires_topology_and_config() {
+        let err = Deployment::builder().build().unwrap_err();
+        assert!(err.to_string().contains("topology"));
+        let err = Deployment::builder()
+            .topology(Topology::grid(3, 3, 18.0, 5))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("configuration"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_deployments_at_compile_time() {
+        let topology = Topology::line(9, 400.0, 1);
+        let config = ProtocolConfig::builder(9).degree(2).build().unwrap();
+        assert!(matches!(
+            Deployment::builder()
+                .topology(topology)
+                .config(config)
+                .build(),
+            Err(MpcError::TopologyDisconnected)
+        ));
+    }
+
+    #[test]
+    fn drivers_replay_deterministically() {
+        let deployment = grid_deployment(ProtocolKind::S4);
+        let run = || {
+            let mut driver = deployment.driver();
+            (0..3)
+                .map(|_| driver.step().unwrap())
+                .collect::<Vec<RoundReport>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clock_advances_round_ids_and_seeds() {
+        let deployment = grid_deployment(ProtocolKind::S4);
+        let base = deployment.config().round_id;
+        let mut driver = deployment.driver();
+        assert_eq!(driver.round_id(), base);
+        let a = driver.step().unwrap();
+        let b = driver.step().unwrap();
+        assert_eq!(a.round_id, base);
+        assert_eq!(b.round_id, base + 1);
+        assert_eq!(a.seed, derive_stream(7, 0));
+        assert_eq!(b.seed, derive_stream(7, 1));
+        assert_ne!(
+            a.expected_sums(),
+            b.expected_sums(),
+            "fresh readings per round"
+        );
+        assert_eq!(driver.stats().rounds, 2);
+    }
+
+    #[test]
+    fn iterator_streams_the_same_rounds_as_stepping() {
+        let deployment = grid_deployment(ProtocolKind::S4);
+        let stepped: Vec<RoundReport> = {
+            let mut driver = deployment.driver();
+            (0..4).map(|_| driver.step().unwrap()).collect()
+        };
+        let iterated: Vec<RoundReport> = deployment
+            .driver()
+            .take(4)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(stepped, iterated);
+    }
+
+    #[test]
+    fn run_epoch_returns_the_epoch_slice_of_stats() {
+        let deployment = grid_deployment(ProtocolKind::S4);
+        let mut driver = deployment.driver();
+        driver.step().unwrap();
+        let epoch = driver.run_epoch(3).unwrap();
+        assert_eq!(epoch.rounds, 3);
+        assert_eq!(driver.stats().rounds, 4);
+        assert!(driver.stats().total_schedule_ms > epoch.total_schedule_ms);
+        assert_eq!(epoch.recovery_rate(), 1.0);
+        assert_eq!(DriverStats::default().recovery_rate(), 0.0);
+    }
+
+    #[test]
+    fn observers_see_every_round_and_fan_out() {
+        struct Count(u64);
+        impl RoundObserver for Count {
+            fn on_round(&mut self, report: &RoundReport) {
+                assert!(report.recovered());
+                self.0 += 1;
+            }
+        }
+        let deployment = grid_deployment(ProtocolKind::S4);
+        let mut first = Count(0);
+        let mut second = Count(0);
+        let mut driver = deployment.driver();
+        driver.attach(&mut first);
+        driver.attach(&mut second);
+        driver.run_epoch(3).unwrap();
+        drop(driver);
+        assert_eq!(first.0, 3);
+        assert_eq!(second.0, 3);
+    }
+
+    #[test]
+    fn explicit_inputs_flow_through_reports() {
+        let deployment = grid_deployment(ProtocolKind::S4);
+        let mut driver = deployment.driver();
+        let report = driver
+            .step_with(&[1, 2, 3, 4, 5, 6, 7, 8, 9], &[false; 9])
+            .unwrap();
+        assert_eq!(report.expected_sums(), &[45]);
+        assert_eq!(report.aggregates(), Some(&[45u64][..]));
+        // Bad inputs are typed errors and do not advance the clock.
+        let before = driver.round_id();
+        assert!(matches!(
+            driver.step_with(&[1, 2], &[false; 9]),
+            Err(MpcError::InputMismatch { .. })
+        ));
+        assert_eq!(driver.round_id(), before);
+    }
+
+    #[test]
+    fn deployment_faults_apply_to_every_round() {
+        // Churn one aggregator down for the second round only: the driver
+        // walks the schedule as its round ids advance.
+        let base_deployment = grid_deployment(ProtocolKind::S4);
+        let victim = base_deployment.plan().destinations()[0];
+        let base = base_deployment.config().round_id;
+        let topology = base_deployment.topology().clone();
+        let config = base_deployment.config().clone();
+        let deployment = Deployment::builder()
+            .topology(topology)
+            .config(config)
+            .churn(ChurnSchedule::new().window(victim, base + 1, base + 2))
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut driver = deployment.driver();
+        let up = driver.step().unwrap();
+        let down = driver.step().unwrap();
+        assert!(up.survivors().contains(&victim));
+        assert!(!down.survivors().contains(&victim));
+        assert!(down.outcome.nodes[victim as usize].failed);
+    }
+
+    #[test]
+    fn s3_and_s4_both_drive() {
+        for kind in [ProtocolKind::S3, ProtocolKind::S4] {
+            let deployment = grid_deployment(kind);
+            assert_eq!(deployment.protocol(), kind);
+            let report = deployment.driver().step().unwrap();
+            assert_eq!(report.outcome.protocol, kind.name());
+            assert!(report.correct());
+        }
+    }
+
+    #[test]
+    fn shared_deployment_drives_concurrent_workers() {
+        // The campaign fan-out shape: one deployment, one driver per
+        // worker thread, identical per-seed results regardless of which
+        // worker ran a seed.
+        let deployment = grid_deployment(ProtocolKind::S4);
+        let round_id = deployment.config().round_id;
+        let serial: Vec<RoundReport> = {
+            let mut driver = deployment.driver();
+            (0..4)
+                .map(|seed| driver.round_at(round_id, seed).unwrap())
+                .collect()
+        };
+        let parallel: Vec<RoundReport> = std::thread::scope(|scope| {
+            let deployment = &deployment;
+            let handles: Vec<_> = (0..4u64)
+                .map(|seed| {
+                    scope.spawn(move || deployment.driver().round_at(round_id, seed).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(serial, parallel);
+    }
+}

@@ -5,6 +5,18 @@ use core::fmt;
 use ppda_sss::SssError;
 
 /// Errors raised while configuring or running an aggregation protocol.
+///
+/// Marked `#[non_exhaustive]`; it implements [`std::error::Error`], so it
+/// boxes into `Box<dyn Error>` like any other error.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{MpcError, ProtocolConfig};
+/// let err = ProtocolConfig::builder(1).build().unwrap_err();
+/// assert!(matches!(err, MpcError::InvalidConfig { .. }));
+/// assert!(err.to_string().contains("2..=128"));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum MpcError {
@@ -25,6 +37,17 @@ pub enum MpcError {
     ReadingTooLarge {
         /// The offending reading.
         value: u64,
+    },
+    /// The configured lane width `batch` cannot fit the 802.15.4 frame
+    /// budget: either the sealed share payload or the sum-share packet
+    /// would overflow the 127-byte PSDU. Raised at configuration build
+    /// time so a deployment never compiles a plan it cannot transmit.
+    BatchTooWide {
+        /// The requested lane width.
+        lanes: usize,
+        /// The widest lane batch the frame budget admits at this tag
+        /// length.
+        max_lanes: usize,
     },
     /// A degraded round ended with fewer surviving sum shares than the
     /// reconstruction threshold: the aggregate is unrecoverable this
@@ -47,6 +70,13 @@ impl fmt::Display for MpcError {
             }
             MpcError::ReadingTooLarge { value } => {
                 write!(f, "reading {value} does not fit the field modulus")
+            }
+            MpcError::BatchTooWide { lanes, max_lanes } => {
+                write!(
+                    f,
+                    "lane width {lanes} overflows the 802.15.4 frame budget \
+                     (at most {max_lanes} lanes fit)"
+                )
             }
             MpcError::AggregationFailed { missing } => {
                 write!(
@@ -92,6 +122,12 @@ mod tests {
         let failed = MpcError::AggregationFailed { missing: 3 };
         assert!(failed.to_string().contains("aggregation failed"));
         assert!(failed.to_string().contains('3'));
+        let wide = MpcError::BatchTooWide {
+            lanes: 64,
+            max_lanes: 23,
+        };
+        assert!(wide.to_string().contains("64"));
+        assert!(wide.to_string().contains("23"));
         let e = MpcError::from(SssError::InconsistentShares);
         assert!(e.to_string().contains("secret-sharing"));
         assert!(std::error::Error::source(&e).is_some());

@@ -52,22 +52,37 @@ pub(crate) fn generate_readings(config: &ProtocolConfig, round_id: u32, seed: u6
 /// Batched readings: `lanes` values per source, lane-major per source
 /// (`out[si * lanes + lane]`). A 1-lane call draws exactly the scalar
 /// [`generate_readings`] sequence.
-fn readings_with_cipher(
+pub(crate) fn readings_with_cipher(
     master: &Aes128,
     config: &ProtocolConfig,
     round_id: u32,
     seed: u64,
     lanes: usize,
 ) -> Vec<u64> {
+    let mut out = Vec::with_capacity(config.sources.len() * lanes);
+    readings_into(master, config, round_id, seed, lanes, &mut out);
+    out
+}
+
+/// [`readings_with_cipher`] into a reusable buffer (cleared first), so
+/// hot loops draw fresh readings without reallocating.
+pub(crate) fn readings_into(
+    master: &Aes128,
+    config: &ProtocolConfig,
+    round_id: u32,
+    seed: u64,
+    lanes: usize,
+    out: &mut Vec<u64>,
+) {
     let mut drbg =
         CtrDrbg::with_master_cipher(master, format!("readings|{round_id}|{seed}").as_bytes());
-    let mut out = Vec::with_capacity(config.sources.len() * lanes);
+    out.clear();
+    out.reserve(config.sources.len() * lanes);
     for _ in &config.sources {
         for _ in 0..lanes {
             out.push(drbg.next_u64() % config.max_reading);
         }
     }
-    out
 }
 
 fn phase_stats(result: &MiniCastResult, chain_len: usize, ntx: u32) -> PhaseStats {

@@ -22,20 +22,38 @@
 //!
 //! # Example
 //!
+//! Execution goes through the [`Deployment`] façade: fuse a topology, a
+//! configuration, a protocol variant and an optional fault model once,
+//! then stream rounds from a [`RoundDriver`].
+//!
 //! ```
-//! use ppda_mpc::{ProtocolConfig, S3Protocol, S4Protocol};
+//! use ppda_mpc::{Deployment, ProtocolConfig, ProtocolKind};
 //! use ppda_topology::Topology;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let topology = Topology::flocklab();
 //! let config = ProtocolConfig::builder(topology.len()).build()?;
 //!
-//! let s3 = S3Protocol::new(config.clone()).run(&topology, 7)?;
-//! let s4 = S4Protocol::new(config).run(&topology, 7)?;
+//! let s3 = Deployment::builder()
+//!     .topology(topology.clone())
+//!     .config(config.clone())
+//!     .protocol(ProtocolKind::S3)
+//!     .build()?
+//!     .driver()
+//!     .step()?;
+//! let s4 = Deployment::builder()
+//!     .topology(topology)
+//!     .config(config)
+//!     .protocol(ProtocolKind::S4)
+//!     .build()?
+//!     .driver()
+//!     .step()?;
 //!
 //! assert!(s3.correct() && s4.correct());
 //! // The headline of the paper: S4 is several times faster.
-//! assert!(s4.max_latency_ms().unwrap() < s3.max_latency_ms().unwrap());
+//! assert!(
+//!     s4.outcome.mean_latency_ms().unwrap() < s3.outcome.mean_latency_ms().unwrap()
+//! );
 //! # Ok(())
 //! # }
 //! ```
@@ -46,6 +64,7 @@
 pub mod adversary;
 mod bootstrap;
 mod config;
+mod driver;
 mod error;
 mod execute;
 mod outcome;
@@ -56,16 +75,19 @@ mod session;
 
 pub use bootstrap::Bootstrap;
 pub use config::{ProtocolConfig, ProtocolConfigBuilder};
+pub use driver::{Deployment, DeploymentBuilder, DriverStats, RoundDriver, RoundObserver};
 pub use error::MpcError;
 pub use execute::RoundExecutor;
 pub use outcome::{
     AggregationOutcome, BatchAggregationOutcome, BatchNodeResult, DegradedBatchOutcome,
     DegradedOutcome, DegradedRound, FaultReport, NodeResult, PhaseStats, RecoveryStatus,
+    RoundReport,
 };
 pub use plan::{ProtocolKind, RoundPlan};
-// The fault model consumed by the degraded execution paths, re-exported
-// so protocol users need not depend on the transport crate directly.
+// The fault/churn model consumed by every driven round, re-exported so
+// protocol users need not depend on the transport/sim crates directly.
 pub use ppda_ct::{Delivery, FaultPlan};
+pub use ppda_sim::ChurnSchedule;
 pub use s3::S3Protocol;
 pub use s4::S4Protocol;
 pub use session::{AggregationSession, SessionProtocol, SessionStats};

@@ -6,6 +6,26 @@ use ppda_sim::SimDuration;
 
 use crate::error::MpcError;
 
+/// Allocation-free mean over a sample stream; `None` when it is empty.
+fn mean_of(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let (mut sum, mut count) = (0.0f64, 0u64);
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+/// Worst-case completion latency over a node stream, ms; `None` if any
+/// node never finished.
+fn fold_max_latency_ms(latencies: impl Iterator<Item = Option<SimDuration>>) -> Option<f64> {
+    let mut worst: f64 = 0.0;
+    for l in latencies {
+        worst = worst.max(l?.as_millis_f64());
+    }
+    Some(worst)
+}
+
 /// Per-phase transport statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseStats {
@@ -104,37 +124,20 @@ impl AggregationOutcome {
     /// Worst-case latency over live nodes, ms (`None` if any live node
     /// never finished).
     pub fn max_latency_ms(&self) -> Option<f64> {
-        let mut worst: f64 = 0.0;
-        for n in self.live_nodes() {
-            worst = worst.max(n.latency?.as_millis_f64());
-        }
-        Some(worst)
+        fold_max_latency_ms(self.live_nodes().map(|n| n.latency))
     }
 
     /// Mean latency over live nodes that finished, ms (`None` if none did).
     pub fn mean_latency_ms(&self) -> Option<f64> {
-        let done: Vec<f64> = self
-            .live_nodes()
-            .filter_map(|n| n.latency.map(|l| l.as_millis_f64()))
-            .collect();
-        if done.is_empty() {
-            None
-        } else {
-            Some(done.iter().sum::<f64>() / done.len() as f64)
-        }
+        mean_of(
+            self.live_nodes()
+                .filter_map(|n| n.latency.map(|l| l.as_millis_f64())),
+        )
     }
 
     /// Mean radio-on time over live nodes, ms.
     pub fn mean_radio_on_ms(&self) -> f64 {
-        let live: Vec<f64> = self
-            .live_nodes()
-            .map(|n| n.radio_on.as_millis_f64())
-            .collect();
-        if live.is_empty() {
-            0.0
-        } else {
-            live.iter().sum::<f64>() / live.len() as f64
-        }
+        mean_of(self.live_nodes().map(|n| n.radio_on.as_millis_f64())).unwrap_or(0.0)
     }
 
     /// Worst radio-on time over live nodes, ms.
@@ -146,12 +149,7 @@ impl AggregationOutcome {
 
     /// Mean per-node radio energy over live nodes, mJ.
     pub fn mean_energy_mj(&self) -> f64 {
-        let live: Vec<f64> = self.live_nodes().map(|n| n.energy_mj).collect();
-        if live.is_empty() {
-            0.0
-        } else {
-            live.iter().sum::<f64>() / live.len() as f64
-        }
+        mean_of(self.live_nodes().map(|n| n.energy_mj)).unwrap_or(0.0)
     }
 
     /// Total scheduled round duration (both phases), ms.
@@ -220,6 +218,35 @@ impl BatchAggregationOutcome {
             .all(|n| n.aggregates.as_deref() == Some(&self.expected_sums[..]))
     }
 
+    /// Worst-case latency over live nodes, ms (`None` if any live node
+    /// never finished).
+    pub fn max_latency_ms(&self) -> Option<f64> {
+        fold_max_latency_ms(self.live_nodes().map(|n| n.latency))
+    }
+
+    /// Mean latency over live nodes that finished, ms (`None` if none did).
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        mean_of(
+            self.live_nodes()
+                .filter_map(|n| n.latency.map(|l| l.as_millis_f64())),
+        )
+    }
+
+    /// Mean radio-on time over live nodes, ms.
+    pub fn mean_radio_on_ms(&self) -> f64 {
+        mean_of(self.live_nodes().map(|n| n.radio_on.as_millis_f64())).unwrap_or(0.0)
+    }
+
+    /// Mean per-node radio energy over live nodes, mJ.
+    pub fn mean_energy_mj(&self) -> f64 {
+        mean_of(self.live_nodes().map(|n| n.energy_mj)).unwrap_or(0.0)
+    }
+
+    /// Total scheduled round duration (both phases), ms.
+    pub fn scheduled_round_ms(&self) -> f64 {
+        (self.sharing.scheduled_duration + self.reconstruction.scheduled_duration).as_millis_f64()
+    }
+
     /// Convert a 1-lane outcome into the scalar form; `None` for wider
     /// batches (they have no scalar equivalent).
     pub fn into_scalar(self) -> Option<AggregationOutcome> {
@@ -275,8 +302,26 @@ pub struct FaultReport {
     pub duplicates: u32,
 }
 
-/// Whether a degraded round's aggregate was recoverable at the threshold.
+/// Whether a round's aggregate was recoverable at the threshold.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm so
+/// future verdicts (e.g. partially-recovered lanes) can be added without
+/// a breaking release.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::RecoveryStatus;
+/// let status = RecoveryStatus::Recovered { margin: 2 };
+/// let spare = match status {
+///     RecoveryStatus::Recovered { margin } => margin,
+///     RecoveryStatus::Failed { .. } => 0,
+///     _ => 0, // non_exhaustive: future verdicts land here
+/// };
+/// assert_eq!(spare, 2);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RecoveryStatus {
     /// At least `threshold` destinations produced usable sum shares;
     /// `margin` counts the spares beyond the minimum.
@@ -406,6 +451,132 @@ pub struct DegradedRound {
     pub round: AggregationOutcome,
     /// The degraded-operation report.
     pub degraded: DegradedOutcome,
+}
+
+/// The unified report of one driven round — what every round of a
+/// [`Deployment`](crate::Deployment) produces, whatever the lane width or
+/// fault plan.
+///
+/// This collapses the historical plain/degraded × scalar/batch outcome
+/// split: a report always carries the per-lane aggregates (B = 1 is the
+/// paper's scalar round), the survivor set and [`RecoveryStatus`] (a
+/// fault-free round simply recovers with full margin), the observed
+/// [`FaultReport`], and the round's transport statistics.
+///
+/// Marked `#[non_exhaustive]`: reports are produced by
+/// [`RoundDriver`](crate::RoundDriver), never constructed downstream, so
+/// fields can be added without a breaking release.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::{Deployment, ProtocolConfig, ProtocolKind};
+/// use ppda_topology::Topology;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::flocklab();
+/// let config = ProtocolConfig::builder(topology.len()).sources(6).build()?;
+/// let deployment = Deployment::builder()
+///     .topology(topology)
+///     .config(config)
+///     .protocol(ProtocolKind::S4)
+///     .build()?;
+/// let report = deployment.driver().step()?;
+/// assert_eq!(report.lanes(), 1);
+/// assert!(report.correct() && report.recovered());
+/// assert_eq!(report.aggregates(), Some(&report.outcome.expected_sums[..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct RoundReport {
+    /// The round id this round ran under (CCM nonce / share freshness).
+    pub round_id: u32,
+    /// The per-round seed that drove readings, fading and transport.
+    pub seed: u64,
+    /// Per-node, per-lane aggregation outcome and transport stats.
+    pub outcome: BatchAggregationOutcome,
+    /// Survivor set, threshold verdict and observed faults.
+    pub degraded: DegradedOutcome,
+}
+
+impl RoundReport {
+    /// Lane width B of this round.
+    pub fn lanes(&self) -> usize {
+        self.outcome.lanes
+    }
+
+    /// `true` if every live node computed every lane's correct aggregate.
+    pub fn correct(&self) -> bool {
+        self.outcome.correct()
+    }
+
+    /// `true` when the surviving share set reached the threshold.
+    pub fn recovered(&self) -> bool {
+        self.degraded.recovered()
+    }
+
+    /// The round's threshold verdict.
+    pub fn recovery(&self) -> RecoveryStatus {
+        self.degraded.recovery
+    }
+
+    /// Destinations whose sum shares cover every live source.
+    pub fn survivors(&self) -> &[u16] {
+        &self.degraded.survivors
+    }
+
+    /// The expected per-lane aggregates over live sources.
+    pub fn expected_sums(&self) -> &[u64] {
+        &self.outcome.expected_sums
+    }
+
+    /// The lane aggregates the network agreed on: the first live node's
+    /// reconstruction (`None` if no live node reconstructed this round).
+    pub fn aggregates(&self) -> Option<&[u64]> {
+        self.outcome
+            .live_nodes()
+            .find_map(|n| n.aggregates.as_deref())
+    }
+
+    /// Turn a below-threshold round into a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::AggregationFailed`] with the share shortfall when the
+    /// survivor set is below the threshold.
+    pub fn require_recovered(&self) -> Result<(), MpcError> {
+        self.degraded.require_recovered()
+    }
+
+    /// Convert a 1-lane report into the scalar outcome pair; `None` for
+    /// wider batches (they have no scalar equivalent).
+    pub fn into_scalar(self) -> Option<DegradedRound> {
+        Some(DegradedRound {
+            round: self.outcome.into_scalar()?,
+            degraded: self.degraded,
+        })
+    }
+}
+
+impl fmt::Display for RoundReport {
+    /// The stable round-report text format, frozen by the golden fixture
+    /// `tests/golden/round_report.txt`: a round header, the expected lane
+    /// sums, then the [`DegradedOutcome`] block.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "round {} seed {}", self.round_id, self.seed)?;
+        writeln!(
+            f,
+            "protocol {} lanes {}",
+            self.outcome.protocol, self.outcome.lanes
+        )?;
+        write!(f, "expected")?;
+        for sum in &self.outcome.expected_sums {
+            write!(f, " {sum}")?;
+        }
+        writeln!(f)?;
+        write!(f, "{}", self.degraded)
+    }
 }
 
 #[cfg(test)]
@@ -605,6 +776,60 @@ mod tests {
         );
         let failed = degraded(RecoveryStatus::Failed { missing: 2 }).to_string();
         assert!(failed.starts_with("recovery failed missing=2\n"));
+    }
+
+    #[test]
+    fn round_report_accessors_and_display() {
+        let report = RoundReport {
+            round_id: 9,
+            seed: 77,
+            outcome: batch_outcome(2, vec![batch_node(Some(vec![42, 43]), false)]),
+            degraded: degraded(RecoveryStatus::Recovered { margin: 1 }),
+        };
+        assert_eq!(report.lanes(), 2);
+        assert!(report.correct());
+        assert!(report.recovered());
+        assert_eq!(report.survivors(), &[1, 4, 6, 8]);
+        assert_eq!(report.expected_sums(), &[42, 43]);
+        assert_eq!(report.aggregates(), Some(&[42u64, 43][..]));
+        assert!(report.require_recovered().is_ok());
+        let text = report.to_string();
+        assert!(text.starts_with(
+            "round 9 seed 77\nprotocol S4 lanes 2\nexpected 42 43\nrecovery recovered margin=1\n"
+        ));
+        assert!(
+            report.into_scalar().is_none(),
+            "2 lanes have no scalar form"
+        );
+    }
+
+    #[test]
+    fn round_report_scalar_conversion_and_failure() {
+        let report = RoundReport {
+            round_id: 1,
+            seed: 5,
+            outcome: batch_outcome(1, vec![batch_node(None, false)]),
+            degraded: degraded(RecoveryStatus::Failed { missing: 2 }),
+        };
+        assert!(!report.recovered());
+        assert_eq!(report.aggregates(), None);
+        assert!(matches!(
+            report.require_recovered(),
+            Err(MpcError::AggregationFailed { missing: 2 })
+        ));
+        let scalar = report.into_scalar().unwrap();
+        assert_eq!(scalar.round.expected_sum, 42);
+        assert!(!scalar.degraded.recovered());
+    }
+
+    #[test]
+    fn batch_outcome_round_stats_match_scalar_form() {
+        let batch = batch_outcome(1, vec![batch_node(Some(vec![42]), false)]);
+        let scalar = batch.clone().into_scalar().unwrap();
+        assert_eq!(batch.mean_latency_ms(), scalar.mean_latency_ms());
+        assert_eq!(batch.mean_radio_on_ms(), scalar.mean_radio_on_ms());
+        assert_eq!(batch.mean_energy_mj(), scalar.mean_energy_mj());
+        assert_eq!(batch.scheduled_round_ms(), scalar.scheduled_round_ms());
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub(crate) const S4_VARIANT: Variant = Variant {
 };
 
 /// Which protocol variant a plan compiles.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::ProtocolKind;
+/// assert_eq!(ProtocolKind::S3.name(), "S3");
+/// assert_eq!(ProtocolKind::S4.name(), "S4");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolKind {
     /// Naive SSS over MiniCast.

@@ -12,21 +12,27 @@ use crate::plan::{ProtocolKind, RoundPlan};
 /// to **every** node — an O(n²)-sub-slot sharing chain — and both phases
 /// run at the full-coverage NTX so that strict all-to-all delivery holds.
 ///
-/// This type is a thin single-shot wrapper: each `run` compiles a
-/// [`RoundPlan`] and executes one round over it. Callers running many
-/// rounds over a fixed deployment should build the plan once with
-/// [`RoundPlan::new`] and reuse it.
+/// This type is a thin single-shot wrapper kept as the legacy reference
+/// oracle (each deprecated `run` compiles a fresh [`RoundPlan`] and
+/// executes one scalar round over it — the differential suites compare
+/// the modern driver against it). New code runs S3 through the façade:
 ///
 /// # Example
 ///
 /// ```
-/// use ppda_mpc::{ProtocolConfig, S3Protocol};
+/// use ppda_mpc::{Deployment, ProtocolConfig, ProtocolKind};
 /// use ppda_topology::Topology;
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let topology = Topology::flocklab();
 /// let config = ProtocolConfig::builder(topology.len()).sources(6).build()?;
-/// let outcome = S3Protocol::new(config).run(&topology, 1)?;
-/// assert!(outcome.correct());
+/// let report = Deployment::builder()
+///     .topology(topology)
+///     .config(config)
+///     .protocol(ProtocolKind::S3)
+///     .build()?
+///     .driver()
+///     .step()?;
+/// assert!(report.correct());
 /// # Ok(())
 /// # }
 /// ```
@@ -51,8 +57,13 @@ impl S3Protocol {
     /// # Errors
     ///
     /// See [`S3Protocol::run_with`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `Deployment` with `ProtocolKind::S3` and drive rounds with `RoundDriver`"
+    )]
     pub fn run(&self, topology: &Topology, seed: u64) -> Result<AggregationOutcome, MpcError> {
         let secrets = generate_readings(&self.config, self.config.round_id, seed);
+        #[allow(deprecated)] // the legacy oracle delegates to itself
         self.run_with(topology, seed, &secrets, &vec![false; self.config.n_nodes])
     }
 
@@ -64,6 +75,10 @@ impl S3Protocol {
     /// * [`MpcError::TopologyDisconnected`] if the network cannot be
     ///   covered.
     /// * [`MpcError::ReadingTooLarge`] if a reading exceeds the field.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `Deployment` with `ProtocolKind::S3` and drive rounds with `RoundDriver::step_with`"
+    )]
     pub fn run_with(
         &self,
         topology: &Topology,

@@ -21,15 +21,15 @@ use crate::plan::{ProtocolKind, RoundPlan};
 ///    as it holds any `k+1` matching sum shares, which also tolerates
 ///    aggregator failures.
 ///
-/// This type is a thin single-shot wrapper: each `run` compiles a
-/// [`RoundPlan`] and executes one round over it. Callers running many
-/// rounds over a fixed deployment should build the plan once with
-/// [`RoundPlan::new`] and reuse it.
+/// This type is a thin single-shot wrapper kept as the legacy reference
+/// oracle (each deprecated `run` compiles a fresh [`RoundPlan`] and
+/// executes one scalar round over it — the differential suites compare
+/// the modern driver against it). New code runs S4 through the façade:
 ///
 /// # Example
 ///
 /// ```
-/// use ppda_mpc::{ProtocolConfig, S4Protocol};
+/// use ppda_mpc::{Deployment, ProtocolConfig, ProtocolKind};
 /// use ppda_radio::FadingProfile;
 /// use ppda_topology::Topology;
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,8 +40,15 @@ use crate::plan::{ProtocolKind, RoundPlan};
 ///     .ntx_reconstruction(7)
 ///     .fading(FadingProfile::none()) // calm conditions for the doc run
 ///     .build()?;
-/// let outcome = S4Protocol::new(config).run(&topology, 3)?;
-/// assert!(outcome.correct());
+/// let report = Deployment::builder()
+///     .topology(topology)
+///     .config(config)
+///     .protocol(ProtocolKind::S4)
+///     .seed(3)
+///     .build()?
+///     .driver()
+///     .step()?;
+/// assert!(report.correct());
 /// # Ok(())
 /// # }
 /// ```
@@ -66,8 +73,13 @@ impl S4Protocol {
     /// # Errors
     ///
     /// See [`S4Protocol::run_with`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `Deployment` with `ProtocolKind::S4` and drive rounds with `RoundDriver`"
+    )]
     pub fn run(&self, topology: &Topology, seed: u64) -> Result<AggregationOutcome, MpcError> {
         let secrets = generate_readings(&self.config, self.config.round_id, seed);
+        #[allow(deprecated)] // the legacy oracle delegates to itself
         self.run_with(topology, seed, &secrets, &vec![false; self.config.n_nodes])
     }
 
@@ -83,6 +95,10 @@ impl S4Protocol {
     /// * [`MpcError::TopologyDisconnected`] if the network cannot be
     ///   covered.
     /// * [`MpcError::ReadingTooLarge`] if a reading exceeds the field.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `Deployment` with `ProtocolKind::S4` and drive rounds with `RoundDriver::step_with`"
+    )]
     pub fn run_with(
         &self,
         topology: &Topology,

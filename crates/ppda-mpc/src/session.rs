@@ -1,19 +1,19 @@
-//! Multi-round aggregation sessions.
+//! Multi-round aggregation sessions (legacy wrapper).
 //!
-//! A deployed PPDA system doesn't run one round — it aggregates
-//! periodically (every sensing epoch) over the same bootstrap state. The
-//! session API captures that lifecycle: one [`RoundPlan`] (pairwise keys,
-//! aggregator designation, hop tables, chain schedules, reconstruction
-//! weights) compiled at session start and amortized over many rounds, with
-//! fresh round ids per epoch (so CCM nonces never repeat) and cumulative
-//! cost accounting.
+//! [`AggregationSession`] predates the [`Deployment`] façade and is kept
+//! as a thin delegating wrapper: it owns a `Deployment`, replays one
+//! compiled plan across epochs, and converts each epoch's
+//! [`RoundReport`](crate::RoundReport) back into the historical scalar
+//! outcome types. New code should use [`Deployment::builder`] and drive
+//! rounds with a [`RoundDriver`](crate::RoundDriver) — see the migration
+//! notes in `CHANGES.md`.
 
 use ppda_ct::FaultPlan;
 use ppda_topology::Topology;
 
 use crate::config::ProtocolConfig;
+use crate::driver::Deployment;
 use crate::error::MpcError;
-use crate::execute::generate_readings;
 use crate::outcome::{AggregationOutcome, DegradedRound};
 use crate::plan::{ProtocolKind, RoundPlan};
 
@@ -39,11 +39,13 @@ pub struct SessionStats {
     pub failed_recoveries: u64,
 }
 
-/// A long-running aggregation session over a fixed deployment.
+/// A long-running aggregation session over a fixed deployment (legacy
+/// wrapper around [`Deployment`] + [`RoundDriver`](crate::RoundDriver)).
 ///
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use ppda_mpc::{AggregationSession, ProtocolConfig, SessionProtocol};
 /// use ppda_topology::Topology;
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,20 +63,20 @@ pub struct SessionStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AggregationSession {
-    plan: RoundPlan<'static>,
+    deployment: Deployment<'static>,
     seed: u64,
     stats: SessionStats,
-    /// Survivor-mask weight cache carried across degraded epochs: the
-    /// per-epoch executor is transient (it borrows the plan), but lossy
+    /// Survivor-mask weight cache carried across epochs: each epoch's
+    /// driver is transient (it borrows the deployment), but lossy
     /// sessions repeat the same few survivor patterns, so the memoized
-    /// bases are swapped into each epoch's executor and back out.
+    /// bases are swapped into each epoch's driver and back out.
     recon_cache: ppda_sss::WeightCache<crate::Field>,
 }
 
 impl AggregationSession {
-    /// Start a session. Compiles the deployment's [`RoundPlan`] up front
-    /// (one failed bootstrap is better than failing every epoch) and keeps
-    /// it for the session's lifetime.
+    /// Start a session. Compiles the [`Deployment`] (and thus the
+    /// [`RoundPlan`]) up front — one failed bootstrap is better than
+    /// failing every epoch — and keeps it for the session's lifetime.
     ///
     /// # Errors
     ///
@@ -86,10 +88,15 @@ impl AggregationSession {
         protocol: SessionProtocol,
         seed: u64,
     ) -> Result<Self, MpcError> {
-        let plan = RoundPlan::new_owned(topology, config, protocol)?;
-        let recon_cache = plan.survivor_weight_cache();
+        let deployment = Deployment::builder()
+            .topology(topology)
+            .config(config)
+            .protocol(protocol)
+            .seed(seed)
+            .build()?;
+        let recon_cache = deployment.plan().survivor_weight_cache();
         Ok(AggregationSession {
-            plan,
+            deployment,
             seed,
             stats: SessionStats::default(),
             recon_cache,
@@ -102,9 +109,12 @@ impl AggregationSession {
     ///
     /// Propagates protocol errors; the round counter only advances on
     /// success.
+    #[deprecated(
+        since = "0.1.0",
+        note = "drive rounds through `Deployment::builder()` + `RoundDriver::step` instead"
+    )]
     pub fn next_round(&mut self) -> Result<AggregationOutcome, MpcError> {
-        let readings = generate_readings(self.plan.config(), self.round_id(), self.round_seed());
-        self.next_round_with(&readings, &vec![false; self.plan.config().n_nodes])
+        self.epoch(None, None, None).map(|d| d.round)
     }
 
     /// The next epoch's round with explicit readings and failure mask.
@@ -113,21 +123,17 @@ impl AggregationSession {
     ///
     /// Propagates protocol errors; the round counter only advances on
     /// success.
+    #[deprecated(
+        since = "0.1.0",
+        note = "drive rounds through `Deployment::builder()` + `RoundDriver::step_with` instead"
+    )]
     pub fn next_round_with(
         &mut self,
         readings: &[u64],
         failed: &[bool],
     ) -> Result<AggregationOutcome, MpcError> {
-        let outcome = self
-            .plan
-            .run_epoch(self.round_id(), self.round_seed(), readings, failed)?;
-        self.stats.rounds += 1;
-        if outcome.correct() {
-            self.stats.perfect_rounds += 1;
-        }
-        self.stats.total_schedule_ms += outcome.scheduled_round_ms();
-        self.stats.total_energy_mj += outcome.mean_energy_mj();
-        Ok(outcome)
+        self.epoch(Some(readings), Some(failed), None)
+            .map(|d| d.round)
     }
 
     /// The next epoch's round under fault injection: generated readings,
@@ -135,10 +141,9 @@ impl AggregationSession {
     /// id, and a typed [`DegradedRound`] report (survivor set, recovery
     /// margin, observed faults) alongside the outcome.
     ///
-    /// Churn schedules key off the round id, so a session naturally walks
-    /// through scheduled outage windows epoch by epoch. A below-threshold
-    /// epoch still returns `Ok` — the report carries the failure and the
-    /// session counts it in [`SessionStats::failed_recoveries`]; use
+    /// A below-threshold epoch still returns `Ok` — the report carries
+    /// the failure and the session counts it in
+    /// [`SessionStats::failed_recoveries`]; use
     /// [`DegradedOutcome::require_recovered`](crate::DegradedOutcome::require_recovered)
     /// to escalate it into [`MpcError::AggregationFailed`].
     ///
@@ -147,27 +152,52 @@ impl AggregationSession {
     /// [`MpcError::InvalidConfig`] on sessions compiled with `batch > 1`;
     /// otherwise the same conditions as a plain round. The round counter
     /// only advances on success.
+    #[deprecated(
+        since = "0.1.0",
+        note = "fuse the fault plan into `Deployment::builder().faults(..)` and step a `RoundDriver`"
+    )]
     pub fn next_round_degraded(&mut self, faults: &FaultPlan) -> Result<DegradedRound, MpcError> {
-        let config = self.plan.config();
+        let degraded_round = self.epoch(None, None, Some(faults))?;
+        if degraded_round.degraded.recovered() {
+            self.stats.recovered_rounds += 1;
+        } else {
+            self.stats.failed_recoveries += 1;
+        }
+        Ok(degraded_round)
+    }
+
+    /// One delegated epoch through a transient [`RoundDriver`]: the
+    /// single path behind every legacy entry point.
+    fn epoch(
+        &mut self,
+        readings: Option<&[u64]>,
+        failed: Option<&[bool]>,
+        faults: Option<&FaultPlan>,
+    ) -> Result<DegradedRound, MpcError> {
+        let config = self.deployment.config();
         if config.batch != 1 {
             return Err(MpcError::InvalidConfig {
                 what: format!(
-                    "degraded session rounds are scalar; plan has {} lanes",
+                    "session rounds are scalar; plan has {} lanes (use Deployment + RoundDriver)",
                     config.batch
                 ),
             });
         }
         let round_id = self.round_id();
         let seed = self.round_seed();
-        let readings = generate_readings(config, round_id, seed);
-        let failed = vec![false; config.n_nodes];
-        // The executor is per-epoch (it borrows the plan), but the weight
-        // cache survives the session: swap it in, run, swap it back.
-        let mut executor = self.plan.executor();
-        std::mem::swap(executor.weight_cache_mut(), &mut self.recon_cache);
-        let result = executor.run_epoch_degraded(round_id, seed, &readings, &failed, faults);
-        std::mem::swap(executor.weight_cache_mut(), &mut self.recon_cache);
-        drop(executor);
+        // The driver is per-epoch (it borrows the deployment), but the
+        // weight cache survives the session: swap it in, run, swap it back.
+        let mut driver = self.deployment.driver();
+        if let Some(f) = faults {
+            driver.set_faults(f.clone());
+        }
+        std::mem::swap(driver.weight_cache_mut(), &mut self.recon_cache);
+        let result = match (readings, failed) {
+            (Some(r), Some(f)) => driver.round_at_with(round_id, seed, r, f),
+            _ => driver.round_at(round_id, seed),
+        };
+        std::mem::swap(driver.weight_cache_mut(), &mut self.recon_cache);
+        drop(driver);
         let degraded_round = result?
             .into_scalar()
             .expect("scalar sessions run 1-lane rounds");
@@ -177,18 +207,13 @@ impl AggregationSession {
         }
         self.stats.total_schedule_ms += degraded_round.round.scheduled_round_ms();
         self.stats.total_energy_mj += degraded_round.round.mean_energy_mj();
-        if degraded_round.degraded.recovered() {
-            self.stats.recovered_rounds += 1;
-        } else {
-            self.stats.failed_recoveries += 1;
-        }
         Ok(degraded_round)
     }
 
     /// The round id of the upcoming epoch. Fresh per epoch: CCM nonces and
     /// share randomness never repeat across the session.
     pub fn round_id(&self) -> u32 {
-        self.plan
+        self.deployment
             .config()
             .round_id
             .wrapping_add(self.stats.rounds as u32)
@@ -205,21 +230,22 @@ impl AggregationSession {
 
     /// The compiled plan the session replays every epoch.
     pub fn plan(&self) -> &RoundPlan<'static> {
-        &self.plan
+        self.deployment.plan()
     }
 
     /// The deployment's topology.
     pub fn topology(&self) -> &Topology {
-        self.plan.topology()
+        self.deployment.topology()
     }
 
     /// The per-round configuration template.
     pub fn config(&self) -> &ProtocolConfig {
-        self.plan.config()
+        self.deployment.config()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // this suite pins the legacy wrapper's contract
 mod tests {
     use super::*;
     use crate::s4::S4Protocol;

@@ -1,5 +1,6 @@
 //! Protocol-level integration tests on small synthetic topologies (fast in
 //! debug builds; the testbed-scale runs live in the workspace-root tests).
+#![allow(deprecated)] // this suite exercises the legacy single-shot oracle
 
 use ppda_mpc::{MpcError, ProtocolConfig, S3Protocol, S4Protocol};
 use ppda_testkit::grid9;

@@ -26,4 +26,4 @@ pub mod phy;
 pub use channel::{capture_receives, combine_same_packet, PathLossModel};
 pub use energy::{EnergyLedger, RadioCurrents};
 pub use fading::FadingProfile;
-pub use frame::{FrameSpec, MAX_PSDU_LEN};
+pub use frame::{FrameSpec, FrameTooLong, MAX_PSDU_LEN};

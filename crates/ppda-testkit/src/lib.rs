@@ -13,7 +13,7 @@
 #![warn(missing_docs)]
 
 use ppda_ct::FaultPlan;
-use ppda_mpc::{Bootstrap, ProtocolConfig, ProtocolConfigBuilder};
+use ppda_mpc::{Bootstrap, Deployment, ProtocolConfig, ProtocolConfigBuilder, ProtocolKind};
 use ppda_sim::{ChurnSchedule, Xoshiro256};
 use ppda_topology::Topology;
 
@@ -96,6 +96,34 @@ pub fn lossy_flocklab(sources: usize, loss: f64) -> (Topology, ProtocolConfig, F
     (topology, config, lossy(loss))
 }
 
+/// A compiled [`grid9`] deployment at the standard operating point
+/// (degree 2, NTX 6, seed 0xD00D) — the façade-level twin of
+/// [`grid9_config`] for suites that drive rounds through
+/// [`RoundDriver`](ppda_mpc::RoundDriver).
+pub fn grid9_deployment(kind: ProtocolKind) -> Deployment<'static> {
+    Deployment::builder()
+        .topology(grid9())
+        .config(grid9_config().build().expect("grid9 config is valid"))
+        .protocol(kind)
+        .seed(0xD00D)
+        .build()
+        .expect("grid9 deployment compiles")
+}
+
+/// The [`lossy_flocklab`] scenario compiled into a deployment: the fault
+/// plan is fused at build time, so every driven round runs degraded.
+pub fn lossy_flocklab_deployment(sources: usize, loss: f64) -> Deployment<'static> {
+    let (topology, config, faults) = lossy_flocklab(sources, loss);
+    Deployment::builder()
+        .topology(topology)
+        .config(config)
+        .protocol(ProtocolKind::S4)
+        .faults(faults)
+        .seed(FAULT_SEED)
+        .build()
+        .expect("lossy flocklab deployment compiles")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +176,17 @@ mod tests {
         assert_eq!(topology.len(), 26);
         assert_eq!(config.sources.len(), 24);
         assert_eq!(faults.loss, 0.2);
+    }
+
+    #[test]
+    fn deployment_builders_compile_once_and_drive() {
+        let deployment = grid9_deployment(ProtocolKind::S4);
+        assert_eq!(deployment.topology().len(), 9);
+        assert!(deployment.faults().is_zero());
+        assert!(deployment.driver().step().unwrap().correct());
+
+        let lossy = lossy_flocklab_deployment(6, 0.2);
+        assert_eq!(lossy.faults().loss, 0.2);
+        assert_eq!(lossy.config().sources.len(), 6);
     }
 }

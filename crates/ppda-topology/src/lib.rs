@@ -44,6 +44,17 @@ pub const LINK_PRR_FLOOR: f64 = 0.01;
 /// A fixed deployment: node positions plus static link-quality matrices.
 ///
 /// Link metrics are symmetric (channel reciprocity) and exclude self-links.
+///
+/// # Example
+///
+/// ```
+/// use ppda_topology::Topology;
+/// let flocklab = Topology::flocklab();
+/// assert_eq!(flocklab.len(), 26);
+/// assert_eq!(flocklab.name(), "flocklab");
+/// let grid = Topology::grid(3, 3, 18.0, 5);
+/// assert_eq!(grid.len(), 9);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Topology {
     name: String,

@@ -4,15 +4,18 @@
 //! We crash two designated aggregator nodes mid-deployment. S3's strict
 //! all-to-all discipline means the dead nodes' sum shares never appear and
 //! nodes wait in vain; S4 simply reconstructs from k+1 of the surviving
-//! aggregators.
+//! aggregators. Both variants run through the same `Deployment` façade —
+//! only the `ProtocolKind` differs — and a `RoundRecorder` observer
+//! collects the per-round trace instead of hand-threading outcomes.
 //!
 //! ```text
 //! cargo run --release --example fault_tolerance
 //! ```
+#![deny(deprecated)] // examples demonstrate the current API only
 
-use ppda::mpc::{Bootstrap, ProtocolConfig, S3Protocol, S4Protocol};
+use ppda::prelude::*;
 use ppda::radio::FadingProfile;
-use ppda::topology::Topology;
+use ppda_bench::RoundRecorder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topology = Topology::flocklab();
@@ -27,37 +30,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let readings: Vec<u64> = (0..n as u64 / 2).map(|i| 500 + 7 * i).collect();
 
-    // Crash two aggregators that are not sources.
-    let bootstrap = Bootstrap::run(&topology, &config)?;
+    let deploy = |protocol| {
+        Deployment::builder()
+            .topology(topology.clone())
+            .config(config.clone())
+            .protocol(protocol)
+            .build()
+    };
+    let s3 = deploy(ProtocolKind::S3)?;
+    let s4 = deploy(ProtocolKind::S4)?;
+
+    // Crash two aggregators that are not sources (the aggregator set is a
+    // compiled artifact of the deployment).
+    let aggregators = s4.plan().destinations().to_vec();
     let mut failed = vec![false; n];
     let mut crashed = Vec::new();
-    for &a in bootstrap.aggregators() {
+    for &a in &aggregators {
         if !config.sources.contains(&a) && crashed.len() < 2 {
             failed[a as usize] = true;
             crashed.push(a);
         }
     }
-    println!(
-        "aggregator set: {:?}\ncrashed       : {crashed:?}\n",
-        bootstrap.aggregators()
-    );
+    println!("aggregator set: {aggregators:?}\ncrashed       : {crashed:?}\n");
 
-    for seed in [1u64, 2, 3] {
-        let s3 = S3Protocol::new(config.clone()).run_with(&topology, seed, &readings, &failed)?;
-        let s4 = S4Protocol::new(config.clone()).run_with(&topology, seed, &readings, &failed)?;
+    // Declared before the drivers so the observer borrow outlives them on
+    // every exit path.
+    let mut s4_trace = RoundRecorder::new();
+    let mut s3_driver = s3.driver();
+    let mut s4_driver = s4.driver();
+    s4_driver.attach(&mut s4_trace);
+    let success = |report: &RoundReport| {
+        let live = report.outcome.live_nodes().count();
+        let ok = report
+            .outcome
+            .live_nodes()
+            .filter(|node| node.aggregates.as_deref() == Some(report.expected_sums()))
+            .count();
+        ok as f64 / live as f64
+    };
+    for _round in 0..3 {
+        let s3_report = s3_driver.step_with(&readings, &failed)?;
+        let s4_report = s4_driver.step_with(&readings, &failed)?;
         println!(
-            "seed {seed}: S3 success {:.2} | S4 success {:.2}  (expected sum {})",
-            s3.success_fraction(),
-            s4.success_fraction(),
-            s4.expected_sum
+            "round {}: S3 success {:.2} | S4 success {:.2}, survivors {} (expected sum {})",
+            s3_report.round_id,
+            success(&s3_report),
+            success(&s4_report),
+            s4_report.survivors().len(),
+            s4_report.expected_sums()[0],
         );
         assert!(
-            s4.success_fraction() > 0.9,
+            success(&s4_report) > 0.9,
             "S4 must ride out two aggregator crashes"
         );
     }
+    drop(s4_driver);
 
-    println!("\nS4 reconstructed the aggregate from the surviving k+1 sum shares;");
+    println!(
+        "\nS4 recovery rate over the trace: {:.2} ({} rounds recorded by the observer)",
+        s4_trace.recovery_rate(),
+        s4_trace.len()
+    );
+    println!("S4 reconstructed the aggregate from the surviving k+1 sum shares;");
     println!("naive S3 nodes waited for the crashed nodes' packets until the");
     println!("round schedule expired.");
     Ok(())

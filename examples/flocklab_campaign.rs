@@ -7,6 +7,11 @@
 //! ```text
 //! cargo run --release --example flocklab_campaign
 //! ```
+//!
+//! `run_campaign` is built on the `Deployment` façade: one compiled
+//! deployment shared by all worker threads, each streaming rounds into an
+//! observer-attached accumulator.
+#![deny(deprecated)] // examples demonstrate the current API only
 
 use ppda_bench::{run_campaign, Protocol, TestbedSetup};
 use ppda_metrics::Table;

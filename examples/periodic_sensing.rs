@@ -2,50 +2,55 @@
 //! aggregation epochs, with cumulative energy accounting — the way a real
 //! PPDA system would run for months.
 //!
+//! The `Deployment` compiles the round plan once; the `RoundDriver`'s
+//! epoch clock then replays it with fresh randomness and a fresh round id
+//! every step, accumulating `DriverStats` as it goes.
+//!
 //! ```text
 //! cargo run --release --example periodic_sensing
 //! ```
+#![deny(deprecated)] // examples demonstrate the current API only
 
-use ppda::mpc::{AggregationSession, ProtocolConfig, SessionProtocol};
-use ppda::topology::Topology;
+use ppda::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topology = Topology::flocklab();
     let config = ProtocolConfig::builder(topology.len()).build()?;
-    let mut session = AggregationSession::new(topology, config, SessionProtocol::S4, 0x5E55)?;
+    let deployment = Deployment::builder()
+        .topology(topology)
+        .config(config)
+        .protocol(ProtocolKind::S4)
+        .seed(0x5E55)
+        .build()?;
 
-    // The session compiled its round plan once at bootstrap; every epoch
-    // below replays it with fresh randomness and a fresh round id.
     println!(
         "deployment: {} nodes, {} aggregators, {}-slot sharing chain (compiled once)\n",
-        session.topology().len(),
-        session.plan().destinations().len(),
-        session.plan().sharing_chain_len(),
+        deployment.topology().len(),
+        deployment.plan().destinations().len(),
+        deployment.plan().sharing_chain_len(),
     );
     println!("epoch  aggregate   latency(ms)  radio-on(ms)  energy(mJ)");
     println!("----------------------------------------------------------");
-    let epochs = 10;
-    for epoch in 0..epochs {
-        let outcome = session.next_round()?;
+    let mut driver = deployment.driver();
+    for epoch in 0..10 {
+        let report = driver.step()?;
         println!(
             "{:>5}  {:>9}  {:>11.0}  {:>12.0}  {:>10.3}",
             epoch,
-            outcome
-                .nodes
-                .iter()
-                .find_map(|n| n.aggregate)
-                .map(|a| a.to_string())
+            report
+                .aggregates()
+                .map(|a| a[0].to_string())
                 .unwrap_or_else(|| "-".into()),
-            outcome.mean_latency_ms().unwrap_or(f64::NAN),
-            outcome.mean_radio_on_ms(),
-            outcome.mean_energy_mj(),
+            report.outcome.mean_latency_ms().unwrap_or(f64::NAN),
+            report.outcome.mean_radio_on_ms(),
+            report.outcome.mean_energy_mj(),
         );
     }
 
-    let stats = session.stats();
+    let stats = driver.stats();
     println!(
-        "\n{} rounds, {} perfect; cumulative mean-node energy {:.1} mJ",
-        stats.rounds, stats.perfect_rounds, stats.total_energy_mj
+        "\n{} rounds, {} perfect, {} recovered; cumulative mean-node energy {:.1} mJ",
+        stats.rounds, stats.perfect_rounds, stats.recovered_rounds, stats.total_energy_mj
     );
 
     // Back-of-envelope lifetime: a CR2477 coin cell holds ~3.4 kJ. At one

@@ -1,9 +1,10 @@
 //! Quickstart: privately aggregate sensor readings over a simulated IoT
-//! testbed in a dozen lines.
+//! testbed in a dozen lines — one `Deployment`, one driven round.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+#![deny(deprecated)] // examples demonstrate the current API only
 
 use ppda::prelude::*;
 
@@ -15,20 +16,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // degree ⌊n/3⌋ (the collusion threshold), AES-128-CCM share packets.
     let config = ProtocolConfig::builder(topology.len()).build()?;
 
+    // Fuse topology + config + protocol once; the round plan (bootstrap,
+    // chain schedules, cipher contexts) compiles here, not per round.
+    let deployment = Deployment::builder()
+        .topology(topology)
+        .config(config)
+        .protocol(ProtocolKind::S4)
+        .seed(0xC0FFEE)
+        .build()?;
+
     // Run one round of the scalable protocol (S4).
-    let outcome = S4Protocol::new(config).run(&topology, 0xC0FFEE)?;
+    let report = deployment.driver().step()?;
+    let outcome = &report.outcome;
 
     println!("protocol          : {}", outcome.protocol);
     println!("nodes             : {}", outcome.nodes.len());
     println!("sources           : {}", outcome.source_count);
     println!("degree (threshold): {}", outcome.degree);
     println!("aggregators       : {}", outcome.aggregator_count);
-    println!("expected sum      : {}", outcome.expected_sum);
+    println!("expected sum      : {}", report.expected_sums()[0]);
     println!(
-        "all nodes agree   : {} (correct: {})",
-        outcome.all_nodes_agree(),
-        outcome.correct()
+        "survivors         : {} of {} (recovered: {})",
+        report.survivors().len(),
+        outcome.aggregator_count,
+        report.recovered()
     );
+    println!("correct           : {}", report.correct());
     if let Some(latency) = outcome.max_latency_ms() {
         println!("latency (worst)   : {latency:.1} ms");
     }
@@ -36,7 +49,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Every node independently computed the same aggregate — and no node
     // (nor any collusion of up to `degree` nodes) learned anyone's reading.
-    let sample = outcome.nodes[0].aggregate.expect("node 0 finished");
-    assert_eq!(sample, outcome.expected_sum);
+    assert_eq!(report.aggregates(), Some(report.expected_sums()));
     Ok(())
 }

@@ -9,13 +9,13 @@
 //! ```text
 //! cargo run --release --example temperature_aggregation
 //! ```
+#![deny(deprecated)] // examples demonstrate the current API only
 
 use ppda::field::Gf31;
 use ppda::mpc::adversary::{consistent_polynomial, SecrecyAnalysis};
-use ppda::mpc::{Bootstrap, ProtocolConfig, S4Protocol};
+use ppda::prelude::*;
 use ppda::sim::Xoshiro256;
 use ppda::sss::split_secret;
-use ppda::topology::Topology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topology = Topology::flocklab();
@@ -26,11 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let readings: Vec<u64> = (0..n).map(|_| 1800 + rng.below(801)).collect();
 
     let config = ProtocolConfig::builder(n).max_reading(3000).build()?;
-    let outcome =
-        S4Protocol::new(config.clone()).run_with(&topology, 42, &readings, &vec![false; n])?;
+    let deployment = Deployment::builder()
+        .topology(topology)
+        .config(config.clone())
+        .protocol(ProtocolKind::S4)
+        .seed(42)
+        .build()?;
+    let report = deployment.driver().step_with(&readings, &vec![false; n])?;
 
-    assert!(outcome.correct(), "aggregation must succeed");
-    let sum = outcome.expected_sum;
+    assert!(report.correct(), "aggregation must succeed");
+    let sum = report.expected_sums()[0];
     println!("offices                : {n}");
     println!("true sum (hidden work) : {sum} c°C");
     println!(
@@ -39,16 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "per-round cost         : {:.0} ms latency, {:.0} ms radio-on (mean)",
-        outcome.mean_latency_ms().unwrap_or(f64::NAN),
-        outcome.mean_radio_on_ms()
+        report.outcome.mean_latency_ms().unwrap_or(f64::NAN),
+        report.outcome.mean_radio_on_ms(),
     );
 
     // --- Why is this private? ---------------------------------------
-    // Reconstruct the aggregator assignment of this deployment and show
-    // that a collusion of `degree` aggregators can explain office 3's
-    // share trail with *any* temperature whatsoever.
-    let bootstrap = Bootstrap::run(&topology, &config)?;
-    let aggregators = bootstrap.aggregators().to_vec();
+    // The aggregator assignment is a compiled artifact of the deployment;
+    // show that a collusion of `degree` aggregators can explain office
+    // 3's share trail with *any* temperature whatsoever.
+    let aggregators = deployment.plan().destinations().to_vec();
     let degree = config.degree;
     let colluders: Vec<u16> = aggregators[..degree].to_vec();
     let analysis = SecrecyAnalysis::new(degree, &aggregators, &colluders);

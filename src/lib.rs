@@ -5,9 +5,11 @@
 //! Goyal & Saha, *Multi-Party Computation in IoT for Privacy-Preservation*
 //! (ICDCS 2022, arXiv:2206.01956).
 //!
-//! The two protocol variants from the paper are [`mpc::S3Protocol`] (the
-//! naive SSS-over-MiniCast mapping) and [`mpc::S4Protocol`] (the scalable
-//! variant: trimmed sharing chain, low NTX, fault-tolerant reconstruction).
+//! Execution goes through one façade: a [`mpc::Deployment`] fuses the
+//! topology, the protocol configuration, the variant
+//! ([`mpc::ProtocolKind::S3`] naive / [`mpc::ProtocolKind::S4`] scalable)
+//! and an optional fault model, compiles the round plan once, and streams
+//! rounds from a [`mpc::RoundDriver`].
 //!
 //! ## Quickstart
 //!
@@ -15,12 +17,18 @@
 //! use ppda::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let topology = ppda::topology::Topology::flocklab();
+//! let topology = Topology::flocklab();
 //! let config = ProtocolConfig::builder(topology.len())
 //!     .sources(topology.len())
 //!     .build()?;
-//! let outcome = S4Protocol::new(config.clone()).run(&topology, 0xBEEF)?;
-//! assert!(outcome.all_nodes_agree());
+//! let deployment = Deployment::builder()
+//!     .topology(topology)
+//!     .config(config)
+//!     .protocol(ProtocolKind::S4)
+//!     .seed(0xBEEF)
+//!     .build()?;
+//! let report = deployment.driver().step()?;
+//! assert!(report.correct() && report.recovered());
 //! # Ok(())
 //! # }
 //! ```
@@ -36,11 +44,18 @@ pub use ppda_sss as sss;
 pub use ppda_topology as topology;
 
 /// Commonly used items, for glob import in examples and applications.
+///
+/// The prelude is the façade's surface: deployments, drivers, reports and
+/// the fault/churn models they fuse. Every item re-exported here carries
+/// a runnable doctest on its own definition. Lower-level machinery
+/// (plans, executors, the legacy protocol wrappers) stays behind the
+/// [`mpc`] module path.
 pub mod prelude {
-    pub use ppda_ct::{Glossy, MiniCast};
-    pub use ppda_field::{Gf31, Mersenne31, Polynomial};
+    pub use ppda_ct::FaultPlan;
     pub use ppda_mpc::{
-        AggregationOutcome, ProtocolConfig, ProtocolKind, RoundPlan, S3Protocol, S4Protocol,
+        Deployment, DeploymentBuilder, DriverStats, MpcError, ProtocolConfig, ProtocolKind,
+        RecoveryStatus, RoundDriver, RoundObserver, RoundReport,
     };
+    pub use ppda_sim::ChurnSchedule;
     pub use ppda_topology::Topology;
 }

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: full protocol rounds on both testbed
 //! models, exercising field + crypto + sim + radio + topology + ct + sss +
 //! mpc together.
+#![allow(deprecated)] // this suite exercises the legacy single-shot oracle
 
 use ppda::mpc::{ProtocolConfig, S3Protocol, S4Protocol};
 use ppda::topology::Topology;

@@ -1,0 +1,309 @@
+//! The `Deployment` façade's conformance suite.
+//!
+//! Contracts enforced here:
+//!
+//! 1. **The driver subsumes the legacy paths byte for byte** — a B = 1
+//!    driver round under the default zero fault plan produces an
+//!    `AggregationOutcome` *equal* to the deprecated `S3Protocol::run` /
+//!    `S4Protocol::run` single-shot oracles, on both testbed topologies,
+//!    with and without explicit inputs — the acceptance differential of
+//!    the API redesign.
+//! 2. **One pipeline, every scenario** — batching, fault plans and churn
+//!    all flow through the same `step()`; observers see every round; the
+//!    driver clock replays the session scheme exactly.
+//! 3. **The report format is frozen** — a golden fixture pins
+//!    `RoundReport`'s `Display` text alongside the degraded-outcome
+//!    fixtures.
+//! 4. **Error-type hygiene** — every public error type in the workspace
+//!    implements `Display + std::error::Error + Send + Sync`.
+
+#![allow(deprecated)] // the legacy single-shot wrappers are the oracle here
+
+use ppda::mpc::{
+    Deployment, MpcError, ProtocolConfig, ProtocolKind, RecoveryStatus, RoundObserver, RoundReport,
+    S3Protocol, S4Protocol,
+};
+use ppda::prelude::FaultPlan;
+use ppda::topology::Topology;
+use ppda_metrics::CampaignAccumulator;
+use ppda_testkit::{grid9_deployment, lossy_flocklab_deployment};
+
+fn testbeds() -> Vec<(Topology, ProtocolConfig)> {
+    let flocklab = Topology::flocklab();
+    let dcube = Topology::dcube();
+    let flocklab_config = ProtocolConfig::builder(flocklab.len())
+        .sources(6)
+        .build()
+        .unwrap();
+    let dcube_config = ProtocolConfig::builder(dcube.len())
+        .sources(7)
+        .ntx_sharing(7)
+        .ntx_reconstruction(7)
+        .build()
+        .unwrap();
+    vec![(flocklab, flocklab_config), (dcube, dcube_config)]
+}
+
+/// The acceptance differential: a zero-fault B = 1 driver round equals
+/// the legacy single-shot protocol runs, field for field, for both
+/// protocols on both testbeds.
+#[test]
+fn driver_rounds_are_byte_identical_to_legacy_single_shot() {
+    for (topology, config) in testbeds() {
+        for kind in [ProtocolKind::S3, ProtocolKind::S4] {
+            let deployment = Deployment::builder()
+                .topology_ref(&topology)
+                .config(config.clone())
+                .protocol(kind)
+                .build()
+                .unwrap();
+            let mut driver = deployment.driver();
+            for seed in [1u64, 7, 42, 0xBEEF] {
+                let report = driver.round_at(config.round_id, seed).unwrap();
+                assert!(report.recovered(), "zero-fault rounds always recover");
+                let via_driver = report.into_scalar().unwrap().round;
+                let legacy = match kind {
+                    ProtocolKind::S3 => S3Protocol::new(config.clone()).run(&topology, seed),
+                    ProtocolKind::S4 => S4Protocol::new(config.clone()).run(&topology, seed),
+                }
+                .unwrap();
+                assert_eq!(
+                    via_driver,
+                    legacy,
+                    "{} on {} diverged from the legacy path at seed {seed}",
+                    kind.name(),
+                    topology.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn driver_rounds_match_legacy_under_explicit_inputs_and_failures() {
+    for (topology, config) in testbeds() {
+        let n = topology.len();
+        let secrets: Vec<u64> = (0..config.sources.len() as u64).map(|i| 100 + i).collect();
+        let mut failed = vec![false; n];
+        failed[1] = true;
+        failed[n - 1] = true;
+        for kind in [ProtocolKind::S3, ProtocolKind::S4] {
+            let deployment = Deployment::builder()
+                .topology_ref(&topology)
+                .config(config.clone())
+                .protocol(kind)
+                .build()
+                .unwrap();
+            let mut driver = deployment.driver();
+            for seed in [3u64, 19] {
+                let via_driver = driver
+                    .round_at_with(config.round_id, seed, &secrets, &failed)
+                    .unwrap()
+                    .into_scalar()
+                    .unwrap()
+                    .round;
+                let legacy =
+                    match kind {
+                        ProtocolKind::S3 => S3Protocol::new(config.clone())
+                            .run_with(&topology, seed, &secrets, &failed),
+                        ProtocolKind::S4 => S4Protocol::new(config.clone())
+                            .run_with(&topology, seed, &secrets, &failed),
+                    }
+                    .unwrap();
+                assert_eq!(
+                    via_driver,
+                    legacy,
+                    "{} on {} diverged under failures at seed {seed}",
+                    kind.name(),
+                    topology.name()
+                );
+            }
+        }
+    }
+}
+
+/// The driver's automatic clock replays the session scheme: round r at
+/// `round_id + r` with seed `derive_stream(base, r)` — so stepped rounds
+/// equal legacy single-shot runs configured at those coordinates.
+#[test]
+fn driver_clock_matches_legacy_at_advanced_round_ids() {
+    for (topology, config) in testbeds() {
+        let deployment = Deployment::builder()
+            .topology_ref(&topology)
+            .config(config.clone())
+            .protocol(ProtocolKind::S4)
+            .seed(0xFEED)
+            .build()
+            .unwrap();
+        let mut driver = deployment.driver();
+        for epoch in 0..3u64 {
+            let report = driver.step().unwrap();
+            let mut epoch_config = config.clone();
+            epoch_config.round_id = config.round_id + epoch as u32;
+            let seed = ppda::sim::derive_stream(0xFEED, epoch);
+            assert_eq!(report.seed, seed);
+            let legacy = S4Protocol::new(epoch_config).run(&topology, seed).unwrap();
+            assert_eq!(
+                report.into_scalar().unwrap().round,
+                legacy,
+                "epoch {epoch} on {} diverged",
+                topology.name()
+            );
+        }
+    }
+}
+
+/// Batched rounds flow through the same single path: a 4-lane driver
+/// round equals the executor-level batched round (and its transport/
+/// survivor behaviour is lane-width-agnostic).
+#[test]
+fn batched_driver_rounds_take_the_same_path() {
+    let (topology, mut config) = testbeds().remove(0);
+    config.batch = 4;
+    let deployment = Deployment::builder()
+        .topology_ref(&topology)
+        .config(config.clone())
+        .protocol(ProtocolKind::S4)
+        .build()
+        .unwrap();
+    let plan = ppda::mpc::RoundPlan::new(&topology, &config, ProtocolKind::S4).unwrap();
+    let mut executor = plan.executor();
+    let mut driver = deployment.driver();
+    for seed in [2u64, 9, 33] {
+        let via_driver = driver.round_at(config.round_id, seed).unwrap();
+        let via_executor = executor.run_degraded(seed, &FaultPlan::none()).unwrap();
+        assert_eq!(via_driver.outcome, via_executor.round, "seed {seed}");
+        assert_eq!(via_driver.lanes(), 4);
+    }
+}
+
+/// An attached accumulator observes exactly what a hand-threaded harness
+/// would have recorded.
+#[test]
+fn campaign_accumulator_subscribes_to_the_driver() {
+    let deployment = lossy_flocklab_deployment(6, 0.25);
+    let mut acc = CampaignAccumulator::new();
+    let reports: Vec<RoundReport> = {
+        let mut driver = deployment.driver();
+        driver.attach(&mut acc);
+        (0..6).map(|_| driver.step().unwrap()).collect()
+    };
+    assert_eq!(acc.rounds(), 6);
+    let recovered = reports.iter().filter(|r| r.recovered()).count() as u64;
+    assert_eq!(acc.rounds_recovered(), recovered);
+    let live_nodes: usize = reports.iter().map(|r| r.outcome.live_nodes().count()).sum();
+    assert_eq!(acc.radio_on().len(), live_nodes);
+    let perfect = reports.iter().filter(|r| r.correct()).count();
+    assert_eq!(acc.round_success(), perfect as f64 / 6.0);
+}
+
+/// Fused fault plans and the driver's availability stats: a lossy
+/// deployment reports recovery like the campaign layer does.
+#[test]
+fn fused_fault_plans_shape_driver_stats() {
+    let deployment = lossy_flocklab_deployment(24, 0.3);
+    let mut driver = deployment.driver();
+    let epoch = driver.run_epoch(6).unwrap();
+    assert_eq!(epoch.rounds, 6);
+    assert_eq!(epoch.recovered_rounds + epoch.failed_rounds, 6);
+    // Determinism across drivers of the same deployment.
+    let again = deployment.driver().run_epoch(6).unwrap();
+    assert_eq!(epoch, again);
+}
+
+/// `RoundReport::Display` is frozen by a golden fixture, alongside the
+/// degraded-outcome fixtures (same regeneration contract:
+/// `GOLDEN_REGEN=1`).
+#[test]
+fn golden_round_report_display() {
+    let deployment = lossy_flocklab_deployment(6, 0.3);
+    let report = deployment.driver().step().unwrap();
+    assert_golden("round_report.txt", &report.to_string());
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "round report format drifted from {}; if intentional, regenerate with GOLDEN_REGEN=1",
+        path.display()
+    );
+}
+
+/// Observer fan-out and iterator streaming compose.
+#[test]
+fn observers_and_iterator_compose() {
+    struct Margins(Vec<Option<usize>>);
+    impl RoundObserver for Margins {
+        fn on_round(&mut self, report: &RoundReport) {
+            self.0.push(match report.recovery() {
+                RecoveryStatus::Recovered { margin } => Some(margin),
+                RecoveryStatus::Failed { .. } => None,
+                _ => None, // non_exhaustive: future verdicts
+            });
+        }
+    }
+    let deployment = grid9_deployment(ProtocolKind::S4);
+    let mut margins = Margins(Vec::new());
+    let mut driver = deployment.driver();
+    driver.attach(&mut margins);
+    // `take` consumes the driver; the observer borrow ends with it.
+    let reports: Vec<RoundReport> = driver.take(3).collect::<Result<_, _>>().unwrap();
+    assert_eq!(margins.0.len(), 3);
+    for (report, margin) in reports.iter().zip(&margins.0) {
+        assert_eq!(report.degraded.margin(), *margin);
+    }
+}
+
+/// Every public error type in the workspace is a well-behaved
+/// `std::error::Error`: Display, source chaining, Send + Sync — the audit
+/// the API redesign demands before anything lands in `#[non_exhaustive]`
+/// signatures.
+#[test]
+fn public_error_types_are_well_behaved() {
+    fn well_behaved<E: std::error::Error + std::fmt::Display + Send + Sync + 'static>(e: E) {
+        assert!(!e.to_string().is_empty());
+    }
+    well_behaved(MpcError::TopologyDisconnected);
+    well_behaved(MpcError::BatchTooWide {
+        lanes: 64,
+        max_lanes: 23,
+    });
+    well_behaved(ppda::sss::SssError::InconsistentShares);
+    well_behaved(ppda::field::FieldError::ZeroAbscissa);
+    well_behaved(ppda::crypto::CryptoError::AuthenticationFailed);
+    well_behaved(ppda::ct::ChainError::Empty);
+    well_behaved(
+        ppda::radio::FrameSpec::new(200, 4).expect_err("200-byte payload overflows the PSDU"),
+    );
+    // And the MpcError source chain survives the façade boundary.
+    let err = Deployment::builder().build().unwrap_err();
+    let boxed: Box<dyn std::error::Error> = Box::new(err);
+    assert!(boxed.to_string().contains("topology"));
+}
+
+/// The builder rejects incomplete or impossible deployments with typed
+/// errors at build time — nothing defers to the first round.
+#[test]
+fn deployment_build_time_validation() {
+    assert!(matches!(
+        Deployment::builder().build(),
+        Err(MpcError::InvalidConfig { .. })
+    ));
+    // Lane widths that overflow the 802.15.4 frame budget die in the
+    // config builder, before a deployment is even attempted.
+    assert!(matches!(
+        ProtocolConfig::builder(26).batch(64).build(),
+        Err(MpcError::BatchTooWide { .. })
+    ));
+}

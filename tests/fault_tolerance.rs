@@ -346,6 +346,7 @@ proptest! {
                 prop_assert_eq!(out.degraded.survivors.len() + missing, threshold);
                 prop_assert_eq!(out.degraded.nodes_recovered, 0);
             }
+            status => prop_assert!(false, "unknown recovery verdict {status:?}"),
         }
         // Live sources this round (the fault plan may have dropped some).
         let live_sources = out.round.source_count

@@ -5,6 +5,7 @@
 //! inputs and failure injection. The batched executor extends the same
 //! contract: a 1-lane [`RoundExecutor`](ppda::mpc::RoundExecutor) round is
 //! byte-identical to the scalar path.
+#![allow(deprecated)] // the legacy single-shot wrappers are the oracle here
 
 use ppda::mpc::{
     AggregationSession, MpcError, ProtocolConfig, ProtocolKind, RoundPlan, S3Protocol, S4Protocol,

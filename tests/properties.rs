@@ -1,6 +1,7 @@
 //! Cross-crate property tests: protocol invariants over randomized
 //! configurations on small synthetic topologies (kept small so the whole
 //! suite stays fast in debug builds).
+#![allow(deprecated)] // this suite exercises the legacy single-shot oracle
 
 use proptest::prelude::*;
 
