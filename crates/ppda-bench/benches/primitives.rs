@@ -58,6 +58,43 @@ fn bench_lagrange(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_packed(c: &mut Criterion) {
+    // The lane kernels the batched hot path runs through, packed build
+    // backend against the scalar oracle. Build with
+    // `RUSTFLAGS="-C target-cpu=native"` to measure the SIMD backend;
+    // the group name records which one the binary actually selected.
+    use ppda_field::packed;
+    let mut group = c.benchmark_group(format!("packed[{}]", packed::backend_name::<Mersenne31>()));
+    let mut rng = Xoshiro256::seed_from(7);
+    let lanes = 16usize;
+    let degree = 8usize;
+    let coeffs: Vec<Gf31> = (0..(degree + 1) * lanes)
+        .map(|_| Gf31::random(&mut rng))
+        .collect();
+    let x = Gf31::new(17);
+    let mut out = vec![Gf31::new(0); lanes];
+    group.bench_function("horner_lanes/b16-d8", |bench| {
+        bench.iter(|| packed::horner_lanes_into(black_box(&coeffs), lanes, degree, x, &mut out))
+    });
+    group.bench_function("horner_lanes_scalar/b16-d8", |bench| {
+        bench.iter(|| {
+            packed::horner_lanes_scalar_into(black_box(&coeffs), lanes, degree, x, &mut out)
+        })
+    });
+    let rows = 9usize;
+    let weights: Vec<Gf31> = (0..rows).map(|_| Gf31::random(&mut rng)).collect();
+    let slab: Vec<Gf31> = (0..rows * lanes).map(|_| Gf31::random(&mut rng)).collect();
+    group.bench_function("weighted_sum/r9-b16", |bench| {
+        bench.iter(|| packed::weighted_sum_rows_into(black_box(&weights), &slab, lanes, &mut out))
+    });
+    group.bench_function("weighted_sum_scalar/r9-b16", |bench| {
+        bench.iter(|| {
+            packed::weighted_sum_rows_scalar_into(black_box(&weights), &slab, lanes, &mut out)
+        })
+    });
+    group.finish();
+}
+
 fn bench_aes(c: &mut Criterion) {
     let mut group = c.benchmark_group("aes");
     let aes = Aes128::new(&[7u8; 16]);
@@ -149,6 +186,7 @@ criterion_group!(
     benches,
     bench_field,
     bench_poly,
+    bench_packed,
     bench_lagrange,
     bench_aes,
     bench_ccm,

@@ -5,7 +5,7 @@
 //! cargo run -p ppda-bench --release --bin campaign_throughput -- \
 //!     [--testbed flocklab|dcube|both] [--protocol s3|s4|both] \
 //!     [--iterations N] [--batch B] [--seed S] [--sources K] \
-//!     [--loss p] [--dropout q] [--fault-seed F]
+//!     [--loss p] [--dropout q] [--fault-seed F] [--json PATH]
 //! ```
 //!
 //! Unlike `fig1` (which reports *simulated* latency), this harness times
@@ -20,7 +20,14 @@
 //! The table then also reports the campaign's recovery rate — the
 //! fraction of rounds whose surviving sum shares still reached the
 //! reconstruction threshold.
+//!
+//! `--json PATH` additionally writes the run as one machine-readable JSON
+//! document (the `BENCH_*.json` perf-trajectory format documented in
+//! EXPERIMENTS.md): run parameters, the packed-field backend the binary
+//! was built with, and one record per sweep point with `rounds_per_sec`,
+//! `values_per_sec`, `node_success` and `recovery_rate`.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use ppda_bench::{arg_value, run_campaign_faulty, Protocol, TestbedSetup};
@@ -51,7 +58,10 @@ fn main() {
     let fault_seed: u64 = arg_value(&args, "--fault-seed")
         .map(|v| v.parse().expect("--fault-seed must be a number"))
         .unwrap_or(0xFA17);
+    let json_path = arg_value(&args, "--json");
     let faults = FaultPlan::lossy(fault_seed, loss).with_dropout(dropout);
+    let backend = ppda_field::packed::backend_name::<ppda_mpc::Field>();
+    let mut json_rows: Vec<String> = Vec::new();
 
     let setups: Vec<TestbedSetup> = match testbed.as_str() {
         "both" => vec![TestbedSetup::flocklab(), TestbedSetup::dcube()],
@@ -72,8 +82,8 @@ fn main() {
             None => setup.source_sweep.clone(),
         };
         println!(
-            "\n=== {} — campaign throughput ({} iterations, batch {}, loss {:.2}, dropout {:.2}) ===",
-            setup.name, iterations, batch, loss, dropout
+            "\n=== {} — campaign throughput ({} iterations, batch {}, loss {:.2}, dropout {:.2}, backend {}) ===",
+            setup.name, iterations, batch, loss, dropout, backend
         );
         let mut table = Table::new(vec![
             "protocol",
@@ -106,8 +116,60 @@ fn main() {
                     format!("{:.2}", result.node_success),
                     format!("{:.2}", result.recovery_rate),
                 ]);
+                if json_path.is_some() {
+                    let mut row = String::new();
+                    write!(
+                        row,
+                        concat!(
+                            "    {{\"testbed\": \"{}\", \"protocol\": \"{}\", ",
+                            "\"sources\": {}, \"batch\": {}, ",
+                            "\"rounds_per_sec\": {:.1}, \"us_per_round\": {:.1}, ",
+                            "\"values_per_sec\": {:.1}, \"node_success\": {:.4}, ",
+                            "\"recovery_rate\": {:.4}}}"
+                        ),
+                        setup.name,
+                        proto.name(),
+                        sources,
+                        batch,
+                        rounds_per_sec,
+                        1e6 * elapsed / result.rounds as f64,
+                        rounds_per_sec * result.lanes as f64,
+                        result.node_success,
+                        result.recovery_rate,
+                    )
+                    .expect("writing to a String cannot fail");
+                    json_rows.push(row);
+                }
             }
         }
         print!("{table}");
+    }
+
+    if let Some(path) = json_path {
+        let doc = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"campaign_throughput\",\n",
+                "  \"backend\": \"{}\",\n",
+                "  \"batch\": {},\n",
+                "  \"iterations\": {},\n",
+                "  \"seed\": {},\n",
+                "  \"fault_seed\": {},\n",
+                "  \"loss\": {:.4},\n",
+                "  \"dropout\": {:.4},\n",
+                "  \"rows\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            backend,
+            batch,
+            iterations,
+            seed,
+            fault_seed,
+            loss,
+            dropout,
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nwrote {path}");
     }
 }

@@ -102,29 +102,31 @@ impl<P: PrimeField> PolyBatch<P> {
         &self.coeffs[..self.lanes]
     }
 
-    /// Evaluate every lane at `x` by Horner's rule, one slab pass per
-    /// coefficient degree.
+    /// Evaluate every lane at `x` by Horner's rule through the build's
+    /// packed backend (see [`crate::packed`]): whole vector-width chunks
+    /// keep their accumulators in registers across all degrees, and the
+    /// `lanes % WIDTH` tail runs the scalar path — both produce the exact
+    /// element the scalar oracle does.
+    ///
+    /// A zero-lane batch is a no-op; a degree-0 batch copies the constants.
     ///
     /// # Panics
     ///
     /// Panics if `out.len()` differs from the lane count.
     pub fn eval_at_into(&self, x: Gf<P>, out: &mut [Gf<P>]) {
-        assert_eq!(out.len(), self.lanes, "output must cover all lanes");
-        out.fill(Gf::ZERO);
-        for d in (0..=self.degree).rev() {
-            let row = &self.coeffs[d * self.lanes..(d + 1) * self.lanes];
-            for (acc, &c) in out.iter_mut().zip(row) {
-                *acc = *acc * x + c;
-            }
-        }
+        crate::packed::horner_lanes_into(&self.coeffs, self.lanes, self.degree, x, out);
     }
 
     /// Evaluate every lane at every point of `xs` into an x-major slab:
     /// `out[i * lanes + lane]` is lane `lane` evaluated at `xs[i]`.
     ///
-    /// `out` is cleared and resized to `xs.len() * lanes`.
+    /// `out` is cleared and resized to `xs.len() * lanes` — so it ends
+    /// empty (not a panic) when `xs` is empty or the batch has zero lanes.
     pub fn eval_many_into(&self, xs: &[Gf<P>], out: &mut Vec<Gf<P>>) {
         out.clear();
+        if self.lanes == 0 || xs.is_empty() {
+            return;
+        }
         out.resize(xs.len() * self.lanes, Gf::ZERO);
         for (&x, row) in xs.iter().zip(out.chunks_mut(self.lanes)) {
             self.eval_at_into(x, row);
@@ -226,6 +228,52 @@ mod tests {
         let mut out = [Gf31::ZERO; 1];
         batch.eval_at_into(Gf31::new(1234), &mut out);
         assert_eq!(out[0], Gf31::new(9));
+    }
+
+    #[test]
+    fn zero_lane_batch_is_well_defined() {
+        // Zero lanes: every operation is a no-op, never a panic.
+        let mut rng = SplitMix64::new(8);
+        let mut batch = PolyBatch::<Mersenne31>::zeroed(3, 0);
+        batch.refill_random(&[], &mut rng);
+        assert_eq!(batch.lanes(), 0);
+        assert_eq!(batch.constants(), &[]);
+        let mut out: [Gf31; 0] = [];
+        batch.eval_at_into(Gf31::new(5), &mut out);
+        let mut slab = vec![Gf31::ONE; 3];
+        batch.eval_many_into(&[Gf31::ONE, Gf31::new(2)], &mut slab);
+        assert!(slab.is_empty(), "zero-lane slab is empty");
+        assert!(batch.eval_many(&[Gf31::ONE]).is_empty());
+    }
+
+    #[test]
+    fn empty_xs_yield_empty_slab() {
+        let mut rng = SplitMix64::new(9);
+        let batch = PolyBatch::<Mersenne31>::random_with_constants(&[Gf31::new(4)], 2, &mut rng);
+        let mut slab = vec![Gf31::ONE; 7];
+        batch.eval_many_into(&[], &mut slab);
+        assert!(slab.is_empty(), "no points, no values");
+    }
+
+    #[test]
+    fn odd_lane_counts_cover_packed_tails() {
+        // Lane counts straddling the packed width exercise full chunks,
+        // tails, and the all-tail case against the per-lane polynomials.
+        let mut rng = SplitMix64::new(10);
+        for lanes in [1usize, 3, 4, 5, 7, 9, 16, 23] {
+            let secrets: Vec<Gf31> = (0..lanes as u64).map(|i| Gf31::new(i * 31 + 1)).collect();
+            let batch = PolyBatch::<Mersenne31>::random_with_constants(&secrets, 3, &mut rng);
+            let x = Gf31::new(0xABCD);
+            let mut out = vec![Gf31::ZERO; lanes];
+            batch.eval_at_into(x, &mut out);
+            for (lane, &got) in out.iter().enumerate() {
+                assert_eq!(
+                    got,
+                    batch.lane_poly(lane).eval(x),
+                    "lanes={lanes} lane={lane}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub trait PrimeField:
     /// Number of bytes needed to encode one element on the wire.
     const ENCODED_LEN: usize;
 
+    /// The packed backend the lane hot paths use for this field, selected
+    /// at build time (see [`crate::packed`]). Experimental fields can
+    /// simply name the generic portable lanes:
+    /// `type Packed = ppda_field::packed::PortableGf<Self>;`.
+    type Packed: crate::packed::PackedField<Self>;
+
     /// Reduce an arbitrary 128-bit value into `[0, MODULUS)`.
     #[inline]
     fn reduce(x: u128) -> u64 {
@@ -36,6 +42,16 @@ pub trait PrimeField:
     #[inline]
     fn reduce64(x: u64) -> u64 {
         x % Self::MODULUS
+    }
+
+    /// Multiply two *reduced* residues and reduce the product — the
+    /// branch-free kernel the packed lanes build on. The default widens to
+    /// `u128`; the Mersenne fields override it with fold-based reductions
+    /// that stay in (or quickly return to) `u64` so the compiler can keep
+    /// lane loops in vector registers.
+    #[inline]
+    fn mul_reduced(a: u64, b: u64) -> u64 {
+        Self::reduce(a as u128 * b as u128)
     }
 }
 
@@ -51,6 +67,31 @@ impl PrimeField for Mersenne31 {
     const MODULUS: u64 = (1 << 31) - 1;
     const NAME: &'static str = "M31";
     const ENCODED_LEN: usize = 4;
+
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        not(feature = "force-portable")
+    ))]
+    type Packed = crate::packed::Avx2Gf31;
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        not(feature = "force-portable")
+    )))]
+    type Packed = crate::packed::PortableGf<Mersenne31>;
+
+    #[inline]
+    fn mul_reduced(a: u64, b: u64) -> u64 {
+        const P: u64 = (1 << 31) - 1;
+        // Both operands reduced (< 2^31): the product fits u64 exactly.
+        let prod = a * b;
+        // Two folds of 2^31 ≡ 1 (mod p): < 2^62 → < 2^32 → ≤ p + 1, then
+        // a branchless conditional subtract (the wrapping `min` idiom).
+        let fold1 = (prod & P) + (prod >> 31);
+        let fold2 = (fold1 & P) + (fold1 >> 31);
+        fold2.min(fold2.wrapping_sub(P))
+    }
 
     #[inline]
     fn reduce(x: u128) -> u64 {
@@ -86,6 +127,22 @@ impl PrimeField for Mersenne61 {
     const MODULUS: u64 = (1 << 61) - 1;
     const NAME: &'static str = "M61";
     const ENCODED_LEN: usize = 8;
+
+    // 61-bit products need 122 bits, out of reach of AVX2's 32×32
+    // multiplier — the branchless portable lanes are the packed backend on
+    // every target.
+    type Packed = crate::packed::PortableGf<Mersenne61>;
+
+    #[inline]
+    fn mul_reduced(a: u64, b: u64) -> u64 {
+        const P: u64 = (1 << 61) - 1;
+        let prod = a as u128 * b as u128; // < 2^122
+                                          // One 128-bit fold brings it under 2^62, one 64-bit fold under
+                                          // p + 2, then the branchless conditional subtract.
+        let fold1 = (prod as u64 & P) + ((prod >> 61) as u64);
+        let fold2 = (fold1 & P) + (fold1 >> 61);
+        fold2.min(fold2.wrapping_sub(P))
+    }
 
     #[inline]
     fn reduce(x: u128) -> u64 {
@@ -128,6 +185,9 @@ impl PrimeField for Mersenne61 {
 /// assert_eq!((a * b) / b, a);
 /// assert_eq!(a - a, Gf31::ZERO);
 /// ```
+// repr(transparent) lets the packed backends load/store slabs of elements
+// directly as their u64 residues.
+#[repr(transparent)]
 pub struct Gf<P: PrimeField>(u64, PhantomData<P>);
 
 /// Field element over [`Mersenne31`].
@@ -145,6 +205,16 @@ impl<P: PrimeField> Gf<P> {
     #[inline]
     pub fn new(v: u64) -> Self {
         Gf(P::reduce64(v), PhantomData)
+    }
+
+    /// Wrap an already-reduced residue without the reduction pass (packed
+    /// backends store lanes they have proven canonical).
+    ///
+    /// Callers must guarantee `v < P::MODULUS`.
+    #[inline]
+    pub(crate) fn new_unchecked(v: u64) -> Self {
+        debug_assert!(v < P::MODULUS, "residue must be canonical");
+        Gf(v, PhantomData)
     }
 
     /// The canonical representative in `[0, p)`.
@@ -527,6 +597,32 @@ mod tests {
             let expect = (a.value() as u128 * b.value() as u128 % Gf61::modulus() as u128) as u64;
             assert_eq!((a * b).value(), expect);
         }
+    }
+
+    #[test]
+    fn mul_reduced_matches_u128_reference() {
+        let mut rng = SplitMix64::new(0xfee3);
+        for _ in 0..2000 {
+            let a = Gf31::random(&mut rng);
+            let b = Gf31::random(&mut rng);
+            let expect = (a.value() as u128 * b.value() as u128 % Gf31::modulus() as u128) as u64;
+            assert_eq!(Mersenne31::mul_reduced(a.value(), b.value()), expect);
+            let c = Gf61::random(&mut rng);
+            let d = Gf61::random(&mut rng);
+            let expect = (c.value() as u128 * d.value() as u128 % Gf61::modulus() as u128) as u64;
+            assert_eq!(Mersenne61::mul_reduced(c.value(), d.value()), expect);
+        }
+        // Worst case: (p−1)² for both fields.
+        let p31 = Gf31::modulus();
+        assert_eq!(
+            Mersenne31::mul_reduced(p31 - 1, p31 - 1),
+            ((p31 - 1) as u128 * (p31 - 1) as u128 % p31 as u128) as u64
+        );
+        let p61 = Gf61::modulus();
+        assert_eq!(
+            Mersenne61::mul_reduced(p61 - 1, p61 - 1),
+            ((p61 - 1) as u128 * (p61 - 1) as u128 % p61 as u128) as u64
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back in exactly one place: the
+// cfg-gated AVX2 module of `packed`, whose intrinsics carry SAFETY notes.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
@@ -44,11 +46,13 @@ mod poly;
 mod rng;
 
 pub mod lagrange;
+pub mod packed;
 
 pub use batch::PolyBatch;
 pub use element::{Gf, Gf31, Gf61, GfBytes, Mersenne31, Mersenne61, PrimeField};
 pub use error::FieldError;
 pub use lagrange::batch_invert;
+pub use packed::PackedField;
 pub use poly::Polynomial;
 pub use rng::SplitMix64;
 

@@ -1,0 +1,595 @@
+//! Pluggable SIMD-packed field arithmetic for the lane hot paths.
+//!
+//! The batched protocols lay share data out structure-of-arrays precisely so
+//! that lanes can map onto hardware vector lanes. This module provides the
+//! [`PackedField`] abstraction over "`WIDTH` field elements at once", two
+//! implementations, and the two lane-loop shapes the workspace actually
+//! runs hot:
+//!
+//! * [`PortableGf`] — branchless scalar lanes over `u64`, written so the
+//!   compiler can autovectorize them on any target. Always available; the
+//!   build-time default everywhere SIMD is not.
+//! * `Avx2Gf31` — explicit AVX2 intrinsics for [`Mersenne31`](crate::Mersenne31), four
+//!   64-bit lanes per `__m256i` (values stay below 2³¹ so `vpmuludq`
+//!   produces exact products). Compiled in only when the build enables the
+//!   `avx2` target feature (e.g. `RUSTFLAGS="-C target-cpu=native"`), and
+//!   even then the `force-portable` cargo feature wins.
+//!
+//! Backend selection is **build-time**: each [`PrimeField`] names its
+//! packed representative through [`PrimeField::Packed`], chosen by
+//! `cfg(target_feature)`. On aarch64 the portable lanes are the backend —
+//! they are exactly the shape NEON autovectorization digests. There is no
+//! runtime dispatch, so the hot loops monomorphize to straight-line vector
+//! code.
+//!
+//! Every packed path is *bit-identical* to its scalar oracle
+//! ([`horner_lanes_scalar_into`], [`weighted_sum_rows_scalar_into`]) — the
+//! same discipline the T-table AES keeps with `encrypt_block_reference`.
+//! Field arithmetic is exact, so this is a strict equality, proptest-proven
+//! in `tests/packed_equivalence.rs` for both fields, and it is why golden
+//! wire fixtures are unaffected by the backend choice.
+//!
+//! # Example
+//!
+//! ```
+//! use ppda_field::{packed, Gf31, Mersenne31};
+//! let lanes: Vec<Gf31> = (0..7).map(Gf31::new).collect(); // odd count: tail covered
+//! let weights = [Gf31::new(3), Gf31::new(5)];
+//! let slab: Vec<Gf31> = (0..14).map(Gf31::new).collect();
+//! let mut out = vec![Gf31::ZERO; 7];
+//! packed::weighted_sum_rows_into(&weights, &slab, 7, &mut out);
+//! let mut oracle = vec![Gf31::ZERO; 7];
+//! packed::weighted_sum_rows_scalar_into(&weights, &slab, 7, &mut oracle);
+//! assert_eq!(out, oracle);
+//! assert!(!packed::backend_name::<Mersenne31>().is_empty());
+//! ```
+
+use core::marker::PhantomData;
+
+use crate::element::{Gf, PrimeField};
+
+/// `WIDTH` field elements of GF(p) processed as one value.
+///
+/// Implementations keep every lane in canonical reduced form (`< p`), so
+/// [`PackedField::store`] always writes valid [`Gf`] elements and packed
+/// results equal the scalar results exactly — field arithmetic has no
+/// rounding, so "bit-identical" is simply "correct".
+///
+/// The trait is deliberately small: the two hot loops (Horner evaluation
+/// and weighted sums) only need splat/load/store, `add`, `mul` and the
+/// fused [`PackedField::mul_add`].
+pub trait PackedField<P: PrimeField>: Copy + Clone + Send + Sync + Sized {
+    /// Number of field elements per packed value.
+    const WIDTH: usize;
+    /// Short backend label (`"portable"`, `"avx2"`), surfaced by
+    /// [`backend_name`] for benchmark records.
+    const BACKEND: &'static str;
+
+    /// Broadcast one element into every lane.
+    fn splat(v: Gf<P>) -> Self;
+
+    /// All lanes zero.
+    fn zero() -> Self;
+
+    /// Load `WIDTH` consecutive elements from the head of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() < WIDTH`.
+    fn load(src: &[Gf<P>]) -> Self;
+
+    /// Store the lanes into the head of `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() < WIDTH`.
+    fn store(self, dst: &mut [Gf<P>]);
+
+    /// Lane-wise field addition.
+    #[must_use]
+    fn add(self, rhs: Self) -> Self;
+
+    /// Lane-wise field multiplication.
+    #[must_use]
+    fn mul(self, rhs: Self) -> Self;
+
+    /// `self * m + a`, lane-wise (the Horner step).
+    #[inline]
+    #[must_use]
+    fn mul_add(self, m: Self, a: Self) -> Self {
+        self.mul(m).add(a)
+    }
+}
+
+/// The build-selected packed backend for field `P`.
+pub type Packed<P> = <P as PrimeField>::Packed;
+
+/// The build-selected backend's label for field `P` (`"portable"`,
+/// `"avx2"`) — benchmarks record it next to their numbers so a perf
+/// trajectory always names the code that produced it.
+pub fn backend_name<P: PrimeField>() -> &'static str {
+    Packed::<P>::BACKEND
+}
+
+/// The build-selected backend's lane width for field `P`.
+pub fn backend_width<P: PrimeField>() -> usize {
+    Packed::<P>::WIDTH
+}
+
+// ---------------------------------------------------------------------------
+// Portable backend
+// ---------------------------------------------------------------------------
+
+/// Portable packed lanes: four `u64` residues, all operations branchless.
+///
+/// The scalar [`Gf`] operators branch on the reduction carry, which blocks
+/// autovectorization; these lanes use the `min`-select idiom instead
+/// (`s.min(s - p)` picks the reduced representative because the subtraction
+/// wraps far above `p` when no fold is due), so the compiler can keep the
+/// whole Horner/weighted-sum kernel in vector registers on any target —
+/// this is the NEON story on aarch64.
+#[derive(Copy, Clone, Debug)]
+pub struct PortableGf<P: PrimeField>([u64; 4], PhantomData<P>);
+
+impl<P: PrimeField> PackedField<P> for PortableGf<P> {
+    const WIDTH: usize = 4;
+    const BACKEND: &'static str = "portable";
+
+    #[inline]
+    fn splat(v: Gf<P>) -> Self {
+        PortableGf([v.value(); 4], PhantomData)
+    }
+
+    #[inline]
+    fn zero() -> Self {
+        PortableGf([0; 4], PhantomData)
+    }
+
+    #[inline]
+    fn load(src: &[Gf<P>]) -> Self {
+        let mut lanes = [0u64; 4];
+        for (l, s) in lanes.iter_mut().zip(&src[..4]) {
+            *l = s.value();
+        }
+        PortableGf(lanes, PhantomData)
+    }
+
+    #[inline]
+    fn store(self, dst: &mut [Gf<P>]) {
+        for (d, &l) in dst[..4].iter_mut().zip(&self.0) {
+            *d = Gf::new_unchecked(l);
+        }
+    }
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut lanes = [0u64; 4];
+        for (lane, (&a, &b)) in lanes.iter_mut().zip(self.0.iter().zip(&rhs.0)) {
+            // Both operands < p < 2^62: the sum cannot overflow, and when
+            // it is already reduced the wrapping subtraction lands above
+            // 2^63, so `min` selects the canonical representative.
+            let s = a + b;
+            *lane = s.min(s.wrapping_sub(P::MODULUS));
+        }
+        PortableGf(lanes, PhantomData)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        let mut lanes = [0u64; 4];
+        for (lane, (&a, &b)) in lanes.iter_mut().zip(self.0.iter().zip(&rhs.0)) {
+            *lane = P::mul_reduced(a, b);
+        }
+        PortableGf(lanes, PhantomData)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend (x86-64, build-time opt-in)
+// ---------------------------------------------------------------------------
+
+/// Explicit AVX2 lanes for [`Mersenne31`](crate::Mersenne31): only
+/// compiled when the build itself enables the `avx2` target feature, so
+/// calling the intrinsics needs no runtime detection.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    not(feature = "force-portable")
+))]
+#[allow(unsafe_code)]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    use super::PackedField;
+    use crate::element::{Gf, Mersenne31};
+
+    const P: i64 = (1 << 31) - 1;
+
+    /// Four [`Mersenne31`] residues in the 64-bit lanes of one `__m256i`.
+    ///
+    /// Residues stay below 2³¹, so `vpmuludq` (low-32 × low-32 → 64-bit)
+    /// computes exact products and two 31-bit folds plus one conditional
+    /// subtract re-canonicalize — the classic packed-Mersenne pattern.
+    /// Loads and stores go straight through memory: [`Gf`] is
+    /// `repr(transparent)` over its `u64` residue.
+    #[derive(Copy, Clone, Debug)]
+    pub struct Avx2Gf31(__m256i);
+
+    impl Avx2Gf31 {
+        /// Select the canonical representative of `r ≤ p + 1` held in
+        /// 64-bit lanes: `r` when `r < p`, else `r − p`.
+        #[inline]
+        fn canonicalize(r: __m256i) -> __m256i {
+            // SAFETY: AVX2 is a compile-time target feature of this module.
+            unsafe {
+                let p = _mm256_set1_epi64x(P);
+                let folded = _mm256_sub_epi64(r, p);
+                // Lanes are far below 2^63, so the signed compare is exact.
+                let keep = _mm256_cmpgt_epi64(p, r);
+                _mm256_blendv_epi8(folded, r, keep)
+            }
+        }
+    }
+
+    impl PackedField<Mersenne31> for Avx2Gf31 {
+        const WIDTH: usize = 4;
+        const BACKEND: &'static str = "avx2";
+
+        #[inline]
+        fn splat(v: Gf<Mersenne31>) -> Self {
+            // SAFETY: AVX2 is a compile-time target feature of this module.
+            unsafe { Avx2Gf31(_mm256_set1_epi64x(v.value() as i64)) }
+        }
+
+        #[inline]
+        fn zero() -> Self {
+            // SAFETY: as above.
+            unsafe { Avx2Gf31(_mm256_setzero_si256()) }
+        }
+
+        #[inline]
+        fn load(src: &[Gf<Mersenne31>]) -> Self {
+            assert!(src.len() >= 4, "packed load needs WIDTH elements");
+            // SAFETY: `Gf` is repr(transparent) over u64, the bounds check
+            // guarantees 32 readable bytes, and loadu has no alignment
+            // requirement.
+            unsafe { Avx2Gf31(_mm256_loadu_si256(src.as_ptr() as *const __m256i)) }
+        }
+
+        #[inline]
+        fn store(self, dst: &mut [Gf<Mersenne31>]) {
+            assert!(dst.len() >= 4, "packed store needs WIDTH elements");
+            // SAFETY: as in `load`; every lane is kept canonical (< p), so
+            // the bytes written are valid `Gf` residues.
+            unsafe { _mm256_storeu_si256(dst.as_mut_ptr() as *mut __m256i, self.0) }
+        }
+
+        #[inline]
+        fn add(self, rhs: Self) -> Self {
+            // SAFETY: as above.
+            let sum = unsafe { _mm256_add_epi64(self.0, rhs.0) };
+            // sum < 2^32 ≤ p + p, one conditional subtract canonicalizes.
+            Avx2Gf31(Self::canonicalize(sum))
+        }
+
+        #[inline]
+        fn mul(self, rhs: Self) -> Self {
+            // SAFETY: as above.
+            unsafe {
+                let p = _mm256_set1_epi64x(P);
+                // Exact 62-bit products of the sub-2^31 residues.
+                let prod = _mm256_mul_epu32(self.0, rhs.0);
+                // Two folds of 2^31 ≡ 1 (mod p): < 2^62 → < 2^32 → ≤ p + 1.
+                let fold1 =
+                    _mm256_add_epi64(_mm256_and_si256(prod, p), _mm256_srli_epi64::<31>(prod));
+                let fold2 =
+                    _mm256_add_epi64(_mm256_and_si256(fold1, p), _mm256_srli_epi64::<31>(fold1));
+                Avx2Gf31(Self::canonicalize(fold2))
+            }
+        }
+    }
+}
+
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    not(feature = "force-portable")
+))]
+pub use avx2::Avx2Gf31;
+
+// ---------------------------------------------------------------------------
+// The two hot-loop shapes, packed with scalar tails + scalar oracles
+// ---------------------------------------------------------------------------
+
+/// Horner-evaluate `lanes` polynomials held degree-major in `coeffs`
+/// (`coeffs[d * lanes + lane]`) at `x`, writing lane results into `out`.
+///
+/// Full `WIDTH`-lane chunks keep their accumulator in a vector register
+/// across all degrees; the `lanes % WIDTH` tail runs the scalar oracle, so
+/// every lane — packed or tail — produces the identical element.
+///
+/// # Panics
+///
+/// Panics if `out.len() != lanes` or `coeffs.len() < (degree + 1) * lanes`.
+pub fn horner_lanes_into<P: PrimeField>(
+    coeffs: &[Gf<P>],
+    lanes: usize,
+    degree: usize,
+    x: Gf<P>,
+    out: &mut [Gf<P>],
+) {
+    assert_eq!(out.len(), lanes, "output must cover all lanes");
+    assert!(
+        coeffs.len() >= (degree + 1) * lanes,
+        "coefficient slab too short"
+    );
+    let width = Packed::<P>::WIDTH;
+    let xs = Packed::<P>::splat(x);
+    let mut lane = 0;
+    while lane + width <= lanes {
+        let mut acc = Packed::<P>::zero();
+        for d in (0..=degree).rev() {
+            let row = &coeffs[d * lanes + lane..];
+            acc = acc.mul_add(xs, Packed::<P>::load(row));
+        }
+        acc.store(&mut out[lane..]);
+        lane += width;
+    }
+    horner_tail_scalar(coeffs, lanes, degree, x, out, lane);
+}
+
+/// Scalar oracle for [`horner_lanes_into`]: the pre-SIMD loop, kept as the
+/// reference the packed path is proptest-proven identical to.
+pub fn horner_lanes_scalar_into<P: PrimeField>(
+    coeffs: &[Gf<P>],
+    lanes: usize,
+    degree: usize,
+    x: Gf<P>,
+    out: &mut [Gf<P>],
+) {
+    assert_eq!(out.len(), lanes, "output must cover all lanes");
+    assert!(
+        coeffs.len() >= (degree + 1) * lanes,
+        "coefficient slab too short"
+    );
+    horner_tail_scalar(coeffs, lanes, degree, x, out, 0);
+}
+
+/// Scalar Horner over lanes `from..lanes` (whole loop when `from == 0`).
+fn horner_tail_scalar<P: PrimeField>(
+    coeffs: &[Gf<P>],
+    lanes: usize,
+    degree: usize,
+    x: Gf<P>,
+    out: &mut [Gf<P>],
+    from: usize,
+) {
+    for lane in from..lanes {
+        let mut acc = Gf::ZERO;
+        for d in (0..=degree).rev() {
+            acc = acc * x + coeffs[d * lanes + lane];
+        }
+        out[lane] = acc;
+    }
+}
+
+/// Weighted row sum over an x-major slab: `out[lane] = Σᵢ wᵢ ·
+/// slab[i * lanes + lane]` — the reconstruction/aggregation kernel.
+///
+/// Accumulates whole `WIDTH`-lane chunks in vector registers across every
+/// row; the tail lanes run the scalar oracle.
+///
+/// # Panics
+///
+/// Panics if `out.len() != lanes` or `slab.len() < weights.len() * lanes`.
+pub fn weighted_sum_rows_into<P: PrimeField>(
+    weights: &[Gf<P>],
+    slab: &[Gf<P>],
+    lanes: usize,
+    out: &mut [Gf<P>],
+) {
+    assert_eq!(out.len(), lanes, "output must cover all lanes");
+    assert!(
+        slab.len() >= weights.len() * lanes,
+        "share slab shorter than weights × lanes"
+    );
+    let width = Packed::<P>::WIDTH;
+    let mut lane = 0;
+    while lane + width <= lanes {
+        let mut acc = Packed::<P>::zero();
+        for (i, &w) in weights.iter().enumerate() {
+            let row = Packed::<P>::load(&slab[i * lanes + lane..]);
+            acc = row.mul_add(Packed::<P>::splat(w), acc);
+        }
+        acc.store(&mut out[lane..]);
+        lane += width;
+    }
+    for l in lane..lanes {
+        let mut acc = Gf::ZERO;
+        for (i, &w) in weights.iter().enumerate() {
+            acc += slab[i * lanes + l] * w;
+        }
+        out[l] = acc;
+    }
+}
+
+/// Scalar oracle for [`weighted_sum_rows_into`]: row-major accumulation,
+/// exactly the pre-SIMD reconstruction loop.
+pub fn weighted_sum_rows_scalar_into<P: PrimeField>(
+    weights: &[Gf<P>],
+    slab: &[Gf<P>],
+    lanes: usize,
+    out: &mut [Gf<P>],
+) {
+    assert_eq!(out.len(), lanes, "output must cover all lanes");
+    assert!(
+        slab.len() >= weights.len() * lanes,
+        "share slab shorter than weights × lanes"
+    );
+    if lanes == 0 {
+        return; // zero lanes: nothing to accumulate (chunks(0) would panic)
+    }
+    out.fill(Gf::ZERO);
+    for (&w, row) in weights.iter().zip(slab.chunks(lanes)) {
+        for (acc, &y) in out.iter_mut().zip(row) {
+            *acc += y * w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Gf31, Gf61, Mersenne31, Mersenne61};
+    use crate::SplitMix64;
+    use rand::RngCore;
+
+    fn random_gf31(rng: &mut SplitMix64, n: usize) -> Vec<Gf31> {
+        (0..n).map(|_| Gf31::random(rng)).collect()
+    }
+
+    #[test]
+    fn packed_add_mul_match_scalar_lanewise() {
+        let mut rng = SplitMix64::new(0xACED);
+        for _ in 0..200 {
+            let a = random_gf31(&mut rng, 4);
+            let b = random_gf31(&mut rng, 4);
+            let pa = Packed::<Mersenne31>::load(&a);
+            let pb = Packed::<Mersenne31>::load(&b);
+            let mut sum = [Gf31::ZERO; 4];
+            let mut prod = [Gf31::ZERO; 4];
+            pa.add(pb).store(&mut sum);
+            pa.mul(pb).store(&mut prod);
+            for i in 0..4 {
+                assert_eq!(sum[i], a[i] + b[i]);
+                assert_eq!(prod[i], a[i] * b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_extremes_reduce_correctly() {
+        // p−1 is the worst case for every fold and conditional subtract.
+        let top31 = Gf31::new(Gf31::modulus() - 1);
+        let a = [top31; 4];
+        let p = Packed::<Mersenne31>::load(&a);
+        let mut out = [Gf31::ZERO; 4];
+        p.add(p).store(&mut out);
+        assert_eq!(out, [top31 + top31; 4]);
+        p.mul(p).store(&mut out);
+        assert_eq!(out, [top31 * top31; 4]);
+
+        let top61 = Gf61::new(Gf61::modulus() - 1);
+        let b = [top61; 4];
+        let q = Packed::<Mersenne61>::load(&b);
+        let mut out61 = [Gf61::ZERO; 4];
+        q.mul(q).store(&mut out61);
+        assert_eq!(out61, [top61 * top61; 4]);
+        q.add(q).store(&mut out61);
+        assert_eq!(out61, [top61 + top61; 4]);
+    }
+
+    #[test]
+    fn portable_backend_matches_build_backend() {
+        // Whatever the build selected, the generic portable lanes agree
+        // with it element for element (on AVX2 builds this is the
+        // cross-backend check; on portable builds it is an identity).
+        let mut rng = SplitMix64::new(0xBEEF);
+        for _ in 0..200 {
+            let a = random_gf31(&mut rng, 4);
+            let b = random_gf31(&mut rng, 4);
+            let mut native = [Gf31::ZERO; 4];
+            let mut portable = [Gf31::ZERO; 4];
+            Packed::<Mersenne31>::load(&a)
+                .mul_add(
+                    Packed::<Mersenne31>::load(&b),
+                    Packed::<Mersenne31>::splat(a[0]),
+                )
+                .store(&mut native);
+            PortableGf::<Mersenne31>::load(&a)
+                .mul_add(
+                    PortableGf::<Mersenne31>::load(&b),
+                    PortableGf::<Mersenne31>::splat(a[0]),
+                )
+                .store(&mut portable);
+            assert_eq!(native, portable);
+        }
+    }
+
+    #[test]
+    fn horner_matches_oracle_including_tails() {
+        let mut rng = SplitMix64::new(0x40E);
+        for lanes in [0usize, 1, 3, 4, 5, 7, 8, 11, 16, 23] {
+            for degree in [0usize, 1, 2, 5] {
+                let coeffs = random_gf31(&mut rng, (degree + 1) * lanes);
+                let x = Gf31::random(&mut rng);
+                let mut fast = vec![Gf31::ZERO; lanes];
+                let mut slow = vec![Gf31::ZERO; lanes];
+                horner_lanes_into(&coeffs, lanes, degree, x, &mut fast);
+                horner_lanes_scalar_into(&coeffs, lanes, degree, x, &mut slow);
+                assert_eq!(fast, slow, "lanes={lanes} degree={degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sum_matches_oracle_including_tails() {
+        let mut rng = SplitMix64::new(0x5EED);
+        for lanes in [0usize, 1, 2, 3, 5, 6, 9, 13, 16] {
+            for rows in [0usize, 1, 3, 7] {
+                let weights = random_gf31(&mut rng, rows);
+                let slab = random_gf31(&mut rng, rows * lanes);
+                let mut fast = vec![Gf31::ZERO; lanes];
+                let mut slow = vec![Gf31::ZERO; lanes];
+                weighted_sum_rows_into(&weights, &slab, lanes, &mut fast);
+                weighted_sum_rows_scalar_into(&weights, &slab, lanes, &mut slow);
+                assert_eq!(fast, slow, "lanes={lanes} rows={rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn m61_kernels_match_oracles() {
+        let mut rng = SplitMix64::new(0x61);
+        let lanes = 7;
+        let degree = 3;
+        let coeffs: Vec<Gf61> = (0..(degree + 1) * lanes)
+            .map(|_| Gf61::random(&mut rng))
+            .collect();
+        let x = Gf61::random(&mut rng);
+        let mut fast = vec![Gf61::ZERO; lanes];
+        let mut slow = vec![Gf61::ZERO; lanes];
+        horner_lanes_into(&coeffs, lanes, degree, x, &mut fast);
+        horner_lanes_scalar_into(&coeffs, lanes, degree, x, &mut slow);
+        assert_eq!(fast, slow);
+
+        let weights: Vec<Gf61> = (0..4).map(|_| Gf61::random(&mut rng)).collect();
+        let slab: Vec<Gf61> = (0..4 * lanes).map(|_| Gf61::random(&mut rng)).collect();
+        weighted_sum_rows_into(&weights, &slab, lanes, &mut fast);
+        weighted_sum_rows_scalar_into(&weights, &slab, lanes, &mut slow);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn backend_is_named_and_sized() {
+        let name = backend_name::<Mersenne31>();
+        assert!(name == "portable" || name == "avx2", "got {name}");
+        assert_eq!(backend_width::<Mersenne31>(), 4);
+        assert_eq!(backend_name::<Mersenne61>(), "portable");
+    }
+
+    #[test]
+    fn splat_rng_state_is_untouched() {
+        // Packed evaluation draws no randomness: RNG-order invariance of
+        // the callers reduces to "these kernels never touch an RNG", which
+        // the signatures already guarantee; this pins the weaker dynamic
+        // fact that a round of packed math leaves a shared RNG untouched.
+        let mut rng = SplitMix64::new(1);
+        let before = rng.next_u64();
+        let mut rng2 = SplitMix64::new(1);
+        let coeffs = random_gf31(&mut SplitMix64::new(9), 8);
+        let mut out = vec![Gf31::ZERO; 4];
+        horner_lanes_into(&coeffs, 4, 1, Gf31::new(3), &mut out);
+        assert_eq!(before, rng2.next_u64());
+    }
+}

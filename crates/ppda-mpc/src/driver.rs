@@ -145,6 +145,14 @@ pub struct DriverStats {
     pub total_schedule_ms: f64,
     /// Mean per-node radio energy accumulated across rounds (mJ).
     pub total_energy_mj: f64,
+    /// Gauge: distinct survivor masks memoized in the driver's Lagrange
+    /// weight cache after the last recorded round (bounded by the cache's
+    /// capacity; see [`ppda_sss::WeightCache`]).
+    pub weight_cache_masks: usize,
+    /// Cumulative entries evicted from that cache to stay within its
+    /// capacity — nonzero means the campaign churned through more survivor
+    /// patterns than the cache retains.
+    pub weight_cache_evictions: u64,
 }
 
 impl DriverStats {
@@ -553,6 +561,9 @@ impl<'d> RoundDriver<'d> {
             let report = self.step()?;
             epoch.record(&report);
         }
+        // The cache gauges are driver-lifetime state, not per-epoch sums.
+        epoch.weight_cache_masks = self.stats.weight_cache_masks;
+        epoch.weight_cache_evictions = self.stats.weight_cache_evictions;
         Ok(epoch)
     }
 
@@ -622,6 +633,9 @@ impl<'d> RoundDriver<'d> {
             degraded: out.degraded,
         };
         self.stats.record(&report);
+        let cache = self.executor.weight_cache();
+        self.stats.weight_cache_masks = cache.cached();
+        self.stats.weight_cache_evictions = cache.evictions();
         for observer in &mut self.observers {
             observer.on_round(&report);
         }
@@ -741,6 +755,36 @@ mod tests {
         assert!(driver.stats().total_schedule_ms > epoch.total_schedule_ms);
         assert_eq!(epoch.recovery_rate(), 1.0);
         assert_eq!(DriverStats::default().recovery_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_expose_a_bounded_weight_cache_under_churn() {
+        // Lossy links + dropout churn the survivor mask round over round;
+        // the stats gauge must track the cache and the cache must respect
+        // its bound for the campaign's whole lifetime.
+        let topology = Topology::grid(3, 3, 18.0, 5);
+        let config = ProtocolConfig::builder(9).degree(2).build().unwrap();
+        let deployment = Deployment::builder()
+            .topology(topology)
+            .config(config)
+            .protocol(ProtocolKind::S4)
+            .faults(FaultPlan::lossy(0xC0, 0.35).with_dropout(0.15))
+            .seed(11)
+            .build()
+            .unwrap();
+        let mut driver = deployment.driver();
+        let capacity = ppda_sss::DEFAULT_WEIGHT_CAPACITY;
+        for _ in 0..64 {
+            driver.step().unwrap();
+            let stats = driver.stats();
+            assert!(stats.weight_cache_masks <= capacity);
+        }
+        let epoch = driver.run_epoch(2).unwrap();
+        assert_eq!(epoch.weight_cache_masks, driver.stats().weight_cache_masks);
+        assert_eq!(
+            epoch.weight_cache_evictions,
+            driver.stats().weight_cache_evictions
+        );
     }
 
     #[test]

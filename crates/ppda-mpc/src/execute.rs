@@ -562,6 +562,10 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         &mut self.weight_cache
     }
 
+    pub(crate) fn weight_cache(&self) -> &WeightCache<Field> {
+        &self.weight_cache
+    }
+
     /// Run one batched round with deterministically generated readings
     /// (B per source) and no failures.
     ///
@@ -1184,11 +1188,7 @@ fn aggregate_lanes(
         };
         recon_out.clear();
         recon_out.resize(lanes, Elem::ZERO);
-        for (&w, row) in basis.iter().zip(recon_slab.chunks(lanes)) {
-            for (acc, &y) in recon_out.iter_mut().zip(row) {
-                *acc += y * w;
-            }
-        }
+        ppda_field::packed::weighted_sum_rows_into(basis, recon_slab, lanes, recon_out);
     }
     (Some(recon_out.iter().map(|e| e.value()).collect()), bits)
 }

@@ -59,7 +59,7 @@ pub use packet::{
     open_share_lanes, seal_share_lanes, SharePacket, SumBatch, SumPacket, MAX_MASK_SOURCES,
 };
 pub use share::{reconstruct, reconstruct_checked, split_secret, Share};
-pub use weights::{ReconstructionPlan, WeightCache};
+pub use weights::{ReconstructionPlan, WeightCache, DEFAULT_WEIGHT_CAPACITY};
 
 use rand::RngCore;
 

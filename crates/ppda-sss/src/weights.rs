@@ -100,8 +100,10 @@ impl<P: PrimeField> ReconstructionPlan<P> {
     /// x-major slab (`ys[i * lanes + lane]` = lane `lane`'s sum share at
     /// canonical point `i`), `out[lane]` becomes `Σᵢ wᵢ · ys[i][lane]`.
     ///
-    /// The weights are applied in canonical order, so lane `l` equals
-    /// [`ReconstructionPlan::reconstruct`] over lane `l`'s scalar shares.
+    /// The sum runs through the build's packed backend
+    /// ([`ppda_field::packed`]) with exact scalar tails, so lane `l`
+    /// equals [`ReconstructionPlan::reconstruct`] over lane `l`'s scalar
+    /// shares bit for bit.
     ///
     /// `out` is cleared and resized to `lanes`.
     ///
@@ -122,11 +124,7 @@ impl<P: PrimeField> ReconstructionPlan<P> {
         }
         out.clear();
         out.resize(lanes, Gf::ZERO);
-        for (&w, row) in self.weights.iter().zip(ys.chunks(lanes)) {
-            for (acc, &y) in out.iter_mut().zip(row) {
-                *acc += y * w;
-            }
-        }
+        ppda_field::packed::weighted_sum_rows_into(&self.weights, ys, lanes, out);
         Ok(())
     }
 
@@ -143,7 +141,8 @@ impl<P: PrimeField> ReconstructionPlan<P> {
 }
 
 /// Lagrange weights per *survivor subset* of one canonical point set,
-/// memoized by survivor bitmask.
+/// memoized by survivor bitmask, **bounded** by a capacity with
+/// oldest-first eviction.
 ///
 /// Degraded rounds reconstruct from whichever `t = threshold` sum shares
 /// actually arrived, and lossy links tend to repeat the same few survivor
@@ -152,6 +151,15 @@ impl<P: PrimeField> ReconstructionPlan<P> {
 /// mask and then answers in a hash lookup. Bit `i` of a mask corresponds
 /// to `xs[i]` of the full canonical set (≤ 128 points, matching the
 /// protocol's node-id mask width).
+///
+/// A churny campaign can produce a new survivor mask every round — with
+/// up to 2¹²⁸ possible masks an unbounded memo is a slow leak across a
+/// long deployment. The cache therefore holds at most
+/// [`WeightCache::capacity`] masks ([`DEFAULT_WEIGHT_CAPACITY`] unless
+/// [`WeightCache::with_capacity`] says otherwise) and evicts the
+/// oldest-inserted entry when full, counting evictions in
+/// [`WeightCache::evictions`]. Eviction only ever costs a recomputation,
+/// never correctness.
 ///
 /// # Example
 ///
@@ -167,6 +175,7 @@ impl<P: PrimeField> ReconstructionPlan<P> {
 /// assert_eq!(cache.cached(), 1);
 /// cache.weights(0b10101)?; // second hit: no recomputation
 /// assert_eq!(cache.cached(), 1);
+/// assert_eq!(cache.evictions(), 0);
 /// # Ok(())
 /// # }
 /// ```
@@ -174,12 +183,25 @@ impl<P: PrimeField> ReconstructionPlan<P> {
 pub struct WeightCache<P: PrimeField> {
     xs: Vec<Gf<P>>,
     threshold: usize,
+    capacity: usize,
     cache: std::collections::HashMap<u128, Vec<Gf<P>>>,
+    /// Masks in insertion order — the eviction queue.
+    order: std::collections::VecDeque<u128>,
+    evictions: u64,
 }
+
+/// Default bound on distinct survivor masks a [`WeightCache`] memoizes.
+///
+/// Sized for the protocols' realistic churn: a steady deployment repeats a
+/// handful of masks, a degraded one cycles through a few hundred; at ≤ 128
+/// weights per entry this caps the memo at a few MiB worst-case where the
+/// unbounded map grew with every novel mask forever.
+pub const DEFAULT_WEIGHT_CAPACITY: usize = 512;
 
 impl<P: PrimeField> WeightCache<P> {
     /// Build a cache over the full canonical point set `xs` with
-    /// reconstruction threshold `threshold` (= degree + 1).
+    /// reconstruction threshold `threshold` (= degree + 1) and the
+    /// [`DEFAULT_WEIGHT_CAPACITY`] mask bound.
     ///
     /// # Errors
     ///
@@ -187,6 +209,20 @@ impl<P: PrimeField> WeightCache<P> {
     /// `xs.len()`, or [`SssError::BadPacket`] if `xs` has more than 128
     /// points (the survivor mask width).
     pub fn new(xs: &[Gf<P>], threshold: usize) -> Result<Self, SssError> {
+        Self::with_capacity(xs, threshold, DEFAULT_WEIGHT_CAPACITY)
+    }
+
+    /// [`WeightCache::new`] with an explicit mask capacity (`capacity ≥ 1`;
+    /// zero is clamped to one so the current round's mask always fits).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WeightCache::new`].
+    pub fn with_capacity(
+        xs: &[Gf<P>],
+        threshold: usize,
+        capacity: usize,
+    ) -> Result<Self, SssError> {
         if threshold == 0 || threshold > xs.len() {
             return Err(SssError::TooFewPoints {
                 needed: threshold.max(1),
@@ -201,7 +237,10 @@ impl<P: PrimeField> WeightCache<P> {
         Ok(WeightCache {
             xs: xs.to_vec(),
             threshold,
+            capacity: capacity.max(1),
             cache: std::collections::HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            evictions: 0,
         })
     }
 
@@ -215,9 +254,21 @@ impl<P: PrimeField> WeightCache<P> {
         self.threshold
     }
 
-    /// Number of distinct survivor masks cached so far.
+    /// Number of distinct survivor masks currently cached (≤
+    /// [`WeightCache::capacity`] at all times).
     pub fn cached(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The bound on cached masks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many memoized entries have been evicted to stay within
+    /// capacity since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// The x-set a survivor mask reconstructs from: the `threshold`
@@ -253,17 +304,28 @@ impl<P: PrimeField> WeightCache<P> {
     }
 
     /// Lagrange weights at x = 0 for the survivor mask, computed once per
-    /// distinct mask and memoized. Weight order matches
-    /// [`WeightCache::survivor_xs`] (ascending by x).
+    /// distinct mask and memoized (up to [`WeightCache::capacity`] masks;
+    /// the oldest entry is evicted to admit a new one). Weight order
+    /// matches [`WeightCache::survivor_xs`] (ascending by x).
     ///
     /// # Errors
     ///
-    /// Same conditions as [`WeightCache::survivor_xs`].
+    /// Same conditions as [`WeightCache::survivor_xs`]; a failed lookup
+    /// never inserts or evicts anything.
     pub fn weights(&mut self, mask: u128) -> Result<&[Gf<P>], SssError> {
         if !self.cache.contains_key(&mask) {
             let xs = self.survivor_xs(mask)?;
             let weights = lagrange::basis_at_zero(&xs)?;
+            if self.cache.len() >= self.capacity {
+                // Oldest-first: under churn the masks that stopped
+                // recurring are the ones least likely to come back.
+                if let Some(old) = self.order.pop_front() {
+                    self.cache.remove(&old);
+                    self.evictions += 1;
+                }
+            }
             self.cache.insert(mask, weights);
+            self.order.push_back(mask);
         }
         Ok(self.cache.get(&mask).expect("inserted above"))
     }
@@ -407,6 +469,71 @@ mod tests {
             cache.weights(0b110110).unwrap(),
             &lagrange::basis_at_zero(&[points[1], points[2]]).unwrap()[..]
         );
+    }
+
+    #[test]
+    fn churny_10k_round_campaign_keeps_the_cache_bounded() {
+        // Regression for the unbounded-growth leak: a long campaign whose
+        // survivor pattern churns every round used to insert a fresh entry
+        // per distinct mask forever. 10 000 rounds over a 20-point set,
+        // mask drawn per round — the cache must stay at its capacity while
+        // every answer still matches a fresh basis.
+        let points = xs(20);
+        let threshold = 4;
+        let mut cache = WeightCache::new(&points, threshold).unwrap();
+        use rand::RngCore;
+        let mut rng = Xoshiro256::seed_from(0xC0FFEE);
+        let mut distinct = std::collections::HashSet::new();
+        for round in 0..10_000u32 {
+            // A churny survivor draw: 4–20 random survivors.
+            let mut mask = 0u128;
+            while (mask.count_ones() as usize) < threshold {
+                mask |= 1u128 << (rng.next_u64() % 20);
+            }
+            distinct.insert(mask);
+            let w = cache.weights(mask).unwrap().to_vec();
+            assert!(
+                cache.cached() <= cache.capacity(),
+                "round {round}: cache grew past its bound"
+            );
+            // Eviction must never change answers — only recompute them.
+            let survivors = cache.survivor_xs(mask).unwrap();
+            assert_eq!(w, lagrange::basis_at_zero(&survivors).unwrap());
+        }
+        assert!(
+            distinct.len() > cache.capacity(),
+            "the campaign must actually exercise eviction (saw {} masks)",
+            distinct.len()
+        );
+        assert_eq!(cache.capacity(), DEFAULT_WEIGHT_CAPACITY);
+        assert!(cache.cached() <= DEFAULT_WEIGHT_CAPACITY);
+        assert!(cache.evictions() > 0, "churn past capacity must evict");
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_and_reinsertable() {
+        let points = xs(6);
+        let mut cache = WeightCache::with_capacity(&points, 2, 2).unwrap();
+        assert_eq!(cache.capacity(), 2);
+        let first = cache.weights(0b000011).unwrap().to_vec();
+        cache.weights(0b000110).unwrap();
+        assert_eq!(cache.cached(), 2);
+        cache.weights(0b001100).unwrap(); // evicts 0b000011
+        assert_eq!(cache.cached(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // The evicted mask recomputes to the identical weights.
+        assert_eq!(cache.weights(0b000011).unwrap(), &first[..]);
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let points = xs(4);
+        let mut cache = WeightCache::with_capacity(&points, 2, 0).unwrap();
+        assert_eq!(cache.capacity(), 1);
+        cache.weights(0b0011).unwrap();
+        cache.weights(0b1100).unwrap();
+        assert_eq!(cache.cached(), 1);
     }
 
     #[test]
