@@ -17,12 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ppda_metrics::{CampaignAccumulator, Summary};
+use ppda_metrics::Summary;
 use ppda_mpc::{
-    Deployment, FaultPlan, FaultReport, MpcError, ProtocolConfig, RecoveryStatus, RoundObserver,
-    RoundReport,
+    FaultPlan, FaultReport, MpcError, ProtocolConfig, RecoveryStatus, RoundObserver, RoundReport,
 };
 use ppda_radio::FadingProfile;
+use ppda_service::{CampaignEngine, ClockMode, DeploymentSpec, EngineError};
 use ppda_topology::Topology;
 
 /// Which protocol variant a campaign exercises (the plan layer's
@@ -156,13 +156,15 @@ pub struct CampaignResult {
 
 /// Run `iterations` seeded rounds of `protocol` and aggregate the metrics.
 ///
-/// Built on the [`Deployment`] façade: the deployment (bootstrap, chain
-/// schedules, cipher contexts, reconstruction weights) is compiled
-/// **once** and shared by every worker thread; each worker takes its own
-/// [`RoundDriver`](ppda_mpc::RoundDriver) — whose scratch buffers (sealed
-/// payloads, share/sum slabs) persist across its rounds — with a
-/// [`CampaignAccumulator`] attached as a [`RoundObserver`], so each round
-/// folds into the summary state the moment it completes. No
+/// Built on the [`CampaignEngine`]: the
+/// [`Deployment`](ppda_mpc::Deployment) (bootstrap, chain schedules,
+/// cipher contexts, reconstruction weights) is compiled **once** and
+/// shared by every worker thread; each worker takes a
+/// [`RoundDriver`](ppda_mpc::RoundDriver) per stolen span — whose
+/// scratch buffers (sealed payloads, share/sum slabs) persist across the
+/// span's rounds — with a
+/// [`CampaignAccumulator`](ppda_metrics::CampaignAccumulator) folding
+/// each round into summary state the moment it completes. No
 /// per-iteration configuration clones, no buffered outcome structures, no
 /// hand-threaded metrics. (The accumulator keeps two scalars per live
 /// node-round for the exact percentile summaries; that is the only state
@@ -218,6 +220,14 @@ pub fn run_campaign(
 /// (`run_campaign` simply delegates here), and below-threshold rounds are
 /// *counted*, never turned into wrong aggregates or panics.
 ///
+/// The campaign is a one-deployment [`CampaignEngine`] fleet in
+/// [`ClockMode::SeedStripe`]: the deployment compiles once, workers
+/// execute stolen spans of the seed stripe, and a round failure stops
+/// the remaining workers early instead of letting them finish their
+/// stripes — while the *reported* error stays the lowest-seed one, for
+/// any worker count (the engine's scheduling floor guarantees every
+/// round below the first failure still runs).
+///
 /// # Errors
 ///
 /// Same conditions as [`run_campaign`].
@@ -234,64 +244,34 @@ pub fn run_campaign_faulty(
             what: "campaign needs at least one iteration".into(),
         });
     }
-    let deployment = Deployment::builder()
-        .topology_ref(topology)
-        .config(config.clone())
-        .protocol(protocol)
-        .faults(faults.clone())
-        .build()?;
-    // Campaign iterations vary the *seed* at one fixed round id, so every
-    // round is pinned with `round_at` instead of the driver's epoch clock.
-    let round_id = config.round_id;
-    let threads = std::thread::available_parallelism()
+    let spec = DeploymentSpec {
+        name: format!("campaign-{}", topology.name()),
+        topology: topology.clone(),
+        config: config.clone(),
+        protocol,
+        faults: faults.clone(),
+        seed: base_seed,
+        // Campaign iterations vary the *seed* at one fixed round id:
+        // engine round index i runs at (config.round_id, base_seed + i).
+        clock: ClockMode::SeedStripe {
+            round_id: config.round_id,
+        },
+    };
+    let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(iterations as usize);
-
-    let workers: Vec<(CampaignAccumulator, Option<(u64, MpcError)>)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|worker| {
-                    let deployment = &deployment;
-                    scope.spawn(move || {
-                        let mut acc = CampaignAccumulator::new();
-                        let mut first_error: Option<(u64, MpcError)> = None;
-                        {
-                            let mut driver = deployment.driver();
-                            driver.attach(&mut acc);
-                            let mut seed = base_seed + worker as u64;
-                            while seed < base_seed + iterations {
-                                if let Err(e) = driver.round_at(round_id, seed) {
-                                    if first_error.is_none() {
-                                        first_error = Some((seed, e));
-                                    }
-                                }
-                                seed += threads as u64;
-                            }
-                        }
-                        (acc, first_error)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign workers do not panic"))
-                .collect()
-        });
-
-    let mut acc = CampaignAccumulator::new();
-    let mut first_error: Option<(u64, MpcError)> = None;
-    for (worker_acc, error) in workers {
-        acc.merge(worker_acc);
-        if let Some((seed, e)) = error {
-            if first_error.as_ref().is_none_or(|&(s, _)| seed < s) {
-                first_error = Some((seed, e));
-            }
-        }
-    }
-    if let Some((_, e)) = first_error {
-        return Err(e);
-    }
+    let engine = CampaignEngine::builder()
+        .workers(workers)
+        .deployments([spec])
+        .build()?;
+    engine.advance(iterations).map_err(|e| match e {
+        EngineError::Round { source, .. } => source,
+        other => MpcError::InvalidConfig {
+            what: other.to_string(),
+        },
+    })?;
+    let acc = engine.snapshot().merged();
 
     Ok(CampaignResult {
         latency_ms: acc.latency(),
@@ -325,7 +305,8 @@ pub struct RoundRecord {
 
 /// A per-round trace recorder: the benchmark-side [`RoundObserver`] sink.
 ///
-/// Where [`CampaignAccumulator`] folds rounds into summary statistics,
+/// Where [`CampaignAccumulator`](ppda_metrics::CampaignAccumulator)
+/// folds rounds into summary statistics,
 /// the recorder keeps one compact [`RoundRecord`] per round, in execution
 /// order — the raw material for availability timelines, debugging a
 /// specific seed, or printing per-round campaign traces. Both sinks can
@@ -416,6 +397,7 @@ pub fn arg_value(args: &[String], key: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ppda_mpc::Deployment;
 
     #[test]
     fn setups_resolve() {

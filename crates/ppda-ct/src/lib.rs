@@ -57,5 +57,6 @@ pub use chain::{ChainError, ChainSpec};
 pub use fault::{Delivery, FaultPlan, RoundFaults};
 pub use glossy::{Glossy, GlossyConfig, GlossyResult};
 pub use minicast::{
-    LinkConditions, MiniCast, MiniCastConfig, MiniCastResult, MiniCastSchedule, NodeOutcome,
+    LinkConditions, LinkConditionsCache, MiniCast, MiniCastConfig, MiniCastResult,
+    MiniCastSchedule, NodeOutcome,
 };

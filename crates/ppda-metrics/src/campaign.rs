@@ -37,17 +37,17 @@ use crate::summary::Summary;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CampaignAccumulator {
-    latencies: Vec<f64>,
-    radios: Vec<f64>,
-    node_ok: u64,
-    node_total: u64,
-    round_ok: u64,
-    rounds: u64,
-    recovered: u64,
-    recovery_failed: u64,
+    pub(crate) latencies: Vec<f64>,
+    pub(crate) radios: Vec<f64>,
+    pub(crate) node_ok: u64,
+    pub(crate) node_total: u64,
+    pub(crate) round_ok: u64,
+    pub(crate) rounds: u64,
+    pub(crate) recovered: u64,
+    pub(crate) recovery_failed: u64,
     /// Histogram of recovery margins: `margin_hist[m]` counts recovered
     /// rounds that had `m` spare survivors beyond the threshold.
-    margin_hist: Vec<u64>,
+    pub(crate) margin_hist: Vec<u64>,
 }
 
 impl CampaignAccumulator {
@@ -99,8 +99,15 @@ impl CampaignAccumulator {
     /// Absorb another accumulator (e.g. a worker thread's share of the
     /// campaign).
     pub fn merge(&mut self, other: CampaignAccumulator) {
-        self.latencies.extend(other.latencies);
-        self.radios.extend(other.radios);
+        self.absorb(&other);
+    }
+
+    /// [`merge`](CampaignAccumulator::merge) by reference: fold a copy of
+    /// `other` in without consuming it. Live snapshots use this to merge
+    /// worker shards that keep accumulating afterwards.
+    pub fn absorb(&mut self, other: &CampaignAccumulator) {
+        self.latencies.extend_from_slice(&other.latencies);
+        self.radios.extend_from_slice(&other.radios);
         self.node_ok += other.node_ok;
         self.node_total += other.node_total;
         self.round_ok += other.round_ok;
@@ -110,7 +117,7 @@ impl CampaignAccumulator {
         if self.margin_hist.len() < other.margin_hist.len() {
             self.margin_hist.resize(other.margin_hist.len(), 0);
         }
-        for (acc, count) in self.margin_hist.iter_mut().zip(other.margin_hist) {
+        for (acc, &count) in self.margin_hist.iter_mut().zip(&other.margin_hist) {
             *acc += count;
         }
     }

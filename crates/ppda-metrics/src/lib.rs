@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 
 mod campaign;
+#[cfg(feature = "serde")]
+mod serde_impl;
 mod summary;
 mod table;
 

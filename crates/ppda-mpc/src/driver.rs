@@ -401,6 +401,17 @@ impl<'t> Deployment<'t> {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// The `(round_id, seed)` coordinates of the deployment's round
+    /// `index` — exactly what a fresh [`driver`](Deployment::driver)
+    /// would use for its `index`-th [`step`](RoundDriver::step). Schedulers
+    /// that execute a deployment's round stream out of order (or split it
+    /// across workers) use this to reproduce the sequential stream
+    /// byte-for-byte.
+    pub fn round_coordinates(&self, index: u64) -> (u32, u64) {
+        let round_id = self.plan.config().round_id.wrapping_add(index as u32);
+        (round_id, derive_stream(self.seed, index))
+    }
 }
 
 /// Streams aggregation rounds over a [`Deployment`]'s compiled plan.
@@ -575,6 +586,26 @@ impl<'d> RoundDriver<'d> {
     ///
     /// See [`RoundDriver::round_at_with`].
     pub fn round_at(&mut self, round_id: u32, seed: u64) -> Result<RoundReport, MpcError> {
+        self.run_round(round_id, seed, None, None)
+    }
+
+    /// Run the deployment's round `index` — the round a fresh driver would
+    /// reach as its `index`-th [`step`](RoundDriver::step) — regardless of
+    /// how many rounds *this* driver has run. Campaign schedulers use this
+    /// to execute disjoint index spans on different workers while
+    /// reproducing the sequential stream byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundDriver::round_at_with`].
+    pub fn step_at(&mut self, index: u64) -> Result<RoundReport, MpcError> {
+        let round_id = self
+            .executor
+            .plan()
+            .config()
+            .round_id
+            .wrapping_add(index as u32);
+        let seed = derive_stream(self.base_seed, index);
         self.run_round(round_id, seed, None, None)
     }
 

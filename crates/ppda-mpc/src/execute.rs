@@ -21,7 +21,7 @@
 use std::io::Write as _;
 
 use ppda_crypto::{Aes128, CtrDrbg};
-use ppda_ct::{Delivery, FaultPlan, LinkConditions, MiniCastResult};
+use ppda_ct::{Delivery, FaultPlan, LinkConditions, LinkConditionsCache, MiniCastResult};
 use ppda_field::Gf;
 use ppda_sim::{derive_stream, SimDuration, SimTime, Xoshiro256};
 use ppda_sss::{
@@ -510,6 +510,12 @@ pub struct RoundExecutor<'p, 't> {
     /// executor's rounds: lossy rounds repeat the same few survivor
     /// patterns, so each distinct subset pays its O(t²) basis once.
     weight_cache: WeightCache<Field>,
+    /// Link tables per `(attenuation, loss)` operating point, memoized
+    /// across the executor's rounds: the fading mixtures draw the calm
+    /// state for a large fraction of rounds and the fault layer's loss is
+    /// a constant, so the O(n²) table rebuild would otherwise repeat the
+    /// exact same work every round (see [`LinkConditionsCache`]).
+    conditions: LinkConditionsCache,
 }
 
 impl<'p, 't> RoundExecutor<'p, 't> {
@@ -523,6 +529,7 @@ impl<'p, 't> RoundExecutor<'p, 't> {
             plan,
             failed_eff: Vec::with_capacity(config.n_nodes),
             weight_cache: plan.survivor_weight_cache(),
+            conditions: LinkConditionsCache::new(),
             scratch: RoundScratch {
                 domain: Vec::with_capacity(32),
                 lane_secrets: Vec::with_capacity(lanes),
@@ -701,6 +708,7 @@ impl<'p, 't> RoundExecutor<'p, 't> {
             scratch,
             failed_eff,
             weight_cache,
+            conditions: conditions_cache,
         } = self;
         let plan: &RoundPlan<'_> = plan;
         let config = plan.config();
@@ -732,15 +740,13 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         };
         // The fault layer sits *under* the link conditions: loss scales
         // every PRR, extra attenuation shifts the fading draw. Zero plans
-        // build a bit-identical table.
-        let conditions = match rf.as_ref() {
-            Some(rf) => LinkConditions::degraded(
-                plan.topology(),
-                attenuation_db + rf.extra_attenuation_db(),
-                rf.loss(),
-            ),
-            None => LinkConditions::new(plan.topology(), attenuation_db),
+        // build a bit-identical table (`degraded` at loss 0 ≡ `new`), so
+        // both paths share one cache keyed on the operating point.
+        let (total_db, loss) = match rf.as_ref() {
+            Some(rf) => (attenuation_db + rf.extra_attenuation_db(), rf.loss()),
+            None => (attenuation_db, 0.0),
         };
+        let conditions = conditions_cache.get(plan.topology(), total_db, loss);
 
         let mut live_source_mask = 0u128;
         let mut expected = vec![Elem::ZERO; lanes];
@@ -806,7 +812,7 @@ impl<'p, 't> RoundExecutor<'p, 't> {
             let strict = plan.variant.strict_completion;
             let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0x5A1));
             plan.sharing_schedule
-                .run_with(&conditions, &mut rng, failed, |v, have| {
+                .run_with(conditions, &mut rng, failed, |v, have| {
                     if strict {
                         have.iter().all(|&h| h)
                     } else if is_destination[v] {
@@ -912,7 +918,7 @@ impl<'p, 't> RoundExecutor<'p, 't> {
             let usable = &scratch.usable;
             let mut rng = Xoshiro256::seed_from(derive_stream(seed, 0x5A2));
             plan.recon_schedule
-                .run_with(&conditions, &mut rng, failed, move |_, have| {
+                .run_with(conditions, &mut rng, failed, move |_, have| {
                     if strict {
                         have.iter().all(|&h| h)
                     } else {

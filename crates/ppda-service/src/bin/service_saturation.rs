@@ -1,0 +1,172 @@
+//! Fleet saturation sweep: rounds/s of the campaign engine as the
+//! deployment count and worker-pool size grow.
+//!
+//! ```text
+//! cargo run -p ppda-service --release --bin service_saturation -- \
+//!     [--deployments N[,N..]] [--rounds R] [--workers W[,W..]] \
+//!     [--chunk C] [--seed S] [--json PATH]
+//! ```
+//!
+//! Every sweep point builds a fleet of `N` small grid deployments
+//! (compiled once) and advances each by `R` rounds over `W` workers,
+//! reporting wall-clock rounds/s, the per-point speedup over the
+//! 1-worker baseline of the same fleet, and how many spans were stolen.
+//! `--json PATH` writes the whole sweep as one machine-readable document
+//! (the `BENCH_7.json` perf-trajectory format documented in
+//! EXPERIMENTS.md), including the host's available parallelism — on a
+//! single-core host the multi-worker rows measure scheduling overhead,
+//! not speedup, and the JSON says so.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ppda_metrics::Table;
+use ppda_mpc::ProtocolConfig;
+use ppda_service::{CampaignEngine, DeploymentSpec};
+use ppda_topology::Topology;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_list(value: &str, what: &str) -> Vec<u64> {
+    value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{what} must be a comma-separated list of numbers"))
+        })
+        .collect()
+}
+
+/// `n` small deployments on 3×3 grids, each with its own seed so no two
+/// round streams coincide.
+fn fleet(n: u64, seed: u64) -> Vec<DeploymentSpec> {
+    (0..n)
+        .map(|site| {
+            let topology = Topology::grid(3, 3, 15.0, seed.wrapping_add(site));
+            let config = ProtocolConfig::builder(topology.len())
+                .sources(3)
+                .build()
+                .expect("grid config is valid");
+            let mut spec = DeploymentSpec::new(format!("site-{site}"), topology, config);
+            spec.seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(site);
+            spec
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deployments = arg_value(&args, "--deployments")
+        .map(|v| parse_list(&v, "--deployments"))
+        .unwrap_or_else(|| vec![256, 1024]);
+    let rounds: u64 = arg_value(&args, "--rounds")
+        .map(|v| v.parse().expect("--rounds must be a number"))
+        .unwrap_or(4);
+    let workers: Vec<usize> = arg_value(&args, "--workers")
+        .map(|v| {
+            parse_list(&v, "--workers")
+                .into_iter()
+                .map(|w| w as usize)
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let chunk: u64 = arg_value(&args, "--chunk")
+        .map(|v| v.parse().expect("--chunk must be a number"))
+        .unwrap_or(32);
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed must be a number"))
+        .unwrap_or(0xBA7C);
+    let json_path = arg_value(&args, "--json");
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "=== campaign engine saturation ({rounds} rounds/deployment, chunk {chunk}, \
+         host parallelism {host_threads}) ==="
+    );
+
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n_deps in &deployments {
+        let specs = fleet(n_deps, seed);
+        let mut table = Table::new(vec![
+            "deployments",
+            "workers",
+            "rounds",
+            "rounds/s",
+            "speedup",
+            "steals",
+            "node ok",
+        ]);
+        let mut baseline_rps: Option<f64> = None;
+        for &n_workers in &workers {
+            let engine = CampaignEngine::builder()
+                .workers(n_workers)
+                .chunk(chunk)
+                .deployments(specs.clone())
+                .build()
+                .expect("fleet compiles");
+            let start = Instant::now();
+            let stats = engine.advance(rounds).expect("advance runs");
+            let elapsed = start.elapsed().as_secs_f64();
+            let rps = stats.rounds as f64 / elapsed;
+            let speedup = rps / baseline_rps.unwrap_or(rps);
+            if baseline_rps.is_none() {
+                baseline_rps = Some(rps);
+            }
+            let node_ok = engine.snapshot().merged().node_success();
+            table.row(vec![
+                n_deps.to_string(),
+                n_workers.to_string(),
+                stats.rounds.to_string(),
+                format!("{rps:.0}"),
+                format!("{speedup:.2}"),
+                stats.steals.to_string(),
+                format!("{node_ok:.2}"),
+            ]);
+            if json_path.is_some() {
+                let mut row = String::new();
+                write!(
+                    row,
+                    concat!(
+                        "    {{\"deployments\": {}, \"workers\": {}, \"rounds\": {}, ",
+                        "\"rounds_per_sec\": {:.1}, \"speedup_vs_1_worker\": {:.3}, ",
+                        "\"steals\": {}, \"node_success\": {:.4}}}"
+                    ),
+                    n_deps, n_workers, stats.rounds, rps, speedup, stats.steals, node_ok,
+                )
+                .expect("writing to a String cannot fail");
+                json_rows.push(row);
+            }
+        }
+        print!("{table}");
+        println!();
+    }
+
+    if let Some(path) = json_path {
+        let doc = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"service_saturation\",\n",
+                "  \"rounds_per_deployment\": {},\n",
+                "  \"chunk\": {},\n",
+                "  \"seed\": {},\n",
+                "  \"host_parallelism\": {},\n",
+                "  \"rows\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            rounds,
+            chunk,
+            seed,
+            host_threads,
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

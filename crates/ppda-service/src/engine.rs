@@ -1,0 +1,596 @@
+//! The campaign engine: a fleet of independent deployments multiplexed
+//! over a fixed worker pool.
+//!
+//! Each deployment is compiled **once** into a [`Deployment`] (plan,
+//! chains, schedules, cipher contexts) and then shared read-only by every
+//! worker; what gets scheduled are [`Span`]s of round indices, executed
+//! by per-span [`RoundDriver`]s that own all mutable scratch. Metrics
+//! drain into per-worker accumulator shards — a worker only locks its
+//! *own* shard, once per span — so [`CampaignEngine::snapshot`] can merge
+//! a live fleet-wide view at any time without stopping the workers.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ppda_metrics::CampaignAccumulator;
+use ppda_mpc::{
+    Deployment, FaultPlan, MpcError, ProtocolConfig, ProtocolKind, RoundDriver, RoundObserver,
+    RoundReport,
+};
+use ppda_topology::Topology;
+
+use crate::scheduler::{deal_spans, run_spans, Span, SpanRunner};
+
+/// How a deployment's round index maps to `(round_id, seed)` coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// The sequential epoch clock: round `i` runs exactly the coordinates
+    /// a fresh [`RoundDriver`]'s `i`-th step would use (advancing round
+    /// id, per-round seed derived from the deployment seed). The engine's
+    /// out-of-order execution is byte-identical to driving the deployment
+    /// single-threaded.
+    Epoch,
+    /// A fixed round id with seeds striped `seed + i` — the classic
+    /// Monte-Carlo campaign layout of `ppda-bench`'s `run_campaign`.
+    SeedStripe {
+        /// The round id every iteration runs under.
+        round_id: u32,
+    },
+}
+
+/// Everything needed to (re)compile and clock one deployment of the
+/// fleet. Plain data: checkpoints serialize exactly this (plus the round
+/// clock and accumulated metrics).
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    /// Human-readable label, surfaced in snapshots and errors.
+    pub name: String,
+    /// The network the deployment runs on.
+    pub topology: Topology,
+    /// Per-round protocol configuration.
+    pub config: ProtocolConfig,
+    /// Protocol variant to compile.
+    pub protocol: ProtocolKind,
+    /// Fault model applied to every round.
+    pub faults: FaultPlan,
+    /// Base seed of the deployment's round clock.
+    pub seed: u64,
+    /// Round-index → coordinate mapping.
+    pub clock: ClockMode,
+}
+
+impl DeploymentSpec {
+    /// A spec with the same defaults as [`Deployment::builder`]: S4, no
+    /// faults, seed 0, and the sequential [`ClockMode::Epoch`] clock.
+    pub fn new(name: impl Into<String>, topology: Topology, config: ProtocolConfig) -> Self {
+        DeploymentSpec {
+            name: name.into(),
+            topology,
+            config,
+            protocol: ProtocolKind::S4,
+            faults: FaultPlan::none(),
+            seed: 0,
+            clock: ClockMode::Epoch,
+        }
+    }
+
+    /// The `(round_id, seed)` coordinates of round `index` under this
+    /// spec's clock.
+    pub fn coordinates(&self, index: u64) -> (u32, u64) {
+        match self.clock {
+            ClockMode::Epoch => {
+                let round_id = self.config.round_id.wrapping_add(index as u32);
+                (round_id, ppda_sim::derive_stream(self.seed, index))
+            }
+            ClockMode::SeedStripe { round_id } => (round_id, self.seed.wrapping_add(index)),
+        }
+    }
+}
+
+/// A compiled deployment slot: the shared read-only plan plus its live
+/// round-clock position.
+struct Slot {
+    spec: DeploymentSpec,
+    deployment: Deployment<'static>,
+    /// Rounds completed across all advances (the next round index while
+    /// the engine is healthy; see [`CampaignEngine::advance`] on errors).
+    completed: AtomicU64,
+}
+
+/// A round of one deployment failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A deployment's round returned an error. With concurrent workers
+    /// the reported round is deterministic: the erroring round with the
+    /// lowest round index (ties broken by lowest deployment id),
+    /// regardless of worker count or steal order.
+    Round {
+        /// Slot index of the deployment.
+        deployment: usize,
+        /// The deployment's name.
+        name: String,
+        /// The failing round's index on the deployment's clock.
+        round_index: u64,
+        /// The underlying round error.
+        source: MpcError,
+    },
+    /// A previous `advance` errored part-way: per-deployment round
+    /// streams may have holes, so the engine refuses further work (and
+    /// checkpoints). Snapshots remain available for post-mortem.
+    Tainted,
+    /// An advance would push a deployment's round index past `u32::MAX`,
+    /// the scheduler's per-round key budget.
+    RoundIndexOverflow {
+        /// Slot index of the deployment.
+        deployment: usize,
+        /// The index that would have been exceeded.
+        index: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Round {
+                deployment,
+                name,
+                round_index,
+                source,
+            } => write!(
+                f,
+                "deployment {deployment} ({name}) failed at round index {round_index}: {source}"
+            ),
+            EngineError::Tainted => {
+                write!(f, "engine is tainted by an earlier failed advance")
+            }
+            EngineError::RoundIndexOverflow { deployment, index } => write!(
+                f,
+                "deployment {deployment} round index {index} exceeds the scheduler budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Round { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Tallies of one [`CampaignEngine::advance`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct AdvanceStats {
+    /// Rounds executed in this advance (across all deployments).
+    pub rounds: u64,
+    /// Spans stolen across worker deques (0 = perfectly balanced deal).
+    pub steals: u64,
+    /// Rounds executed per worker, indexed by worker.
+    pub per_worker: Vec<u64>,
+}
+
+/// Frozen per-deployment view of the fleet's progress and metrics.
+#[derive(Debug, Clone)]
+pub struct DeploymentSnapshot {
+    /// The deployment's name.
+    pub name: String,
+    /// Rounds completed so far.
+    pub completed: u64,
+    /// All metrics accumulated so far (merged across worker shards).
+    pub metrics: CampaignAccumulator,
+}
+
+/// A point-in-time merge of every deployment's metrics. Taken without
+/// stopping the workers: progress made while the snapshot walks the
+/// shards may or may not be included, but never double-counted.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    deployments: Vec<DeploymentSnapshot>,
+}
+
+impl FleetSnapshot {
+    /// Per-deployment snapshots, in slot order.
+    pub fn deployments(&self) -> &[DeploymentSnapshot] {
+        &self.deployments
+    }
+
+    /// Total rounds completed across the fleet.
+    pub fn total_rounds(&self) -> u64 {
+        self.deployments.iter().map(|d| d.completed).sum()
+    }
+
+    /// One accumulator over the whole fleet.
+    pub fn merged(&self) -> CampaignAccumulator {
+        let mut all = CampaignAccumulator::new();
+        for d in &self.deployments {
+            all.absorb(&d.metrics);
+        }
+        all
+    }
+}
+
+/// Builds a [`CampaignEngine`], compiling every spec once.
+#[derive(Debug, Default)]
+pub struct CampaignEngineBuilder {
+    workers: Option<usize>,
+    chunk: u64,
+    specs: Vec<DeploymentSpec>,
+}
+
+impl CampaignEngineBuilder {
+    /// Fixed worker-pool size (default: the host's available
+    /// parallelism). Clamped to at least 1.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Rounds per scheduled span (default 32). Smaller spans steal and
+    /// rebalance at finer grain; larger spans amortize per-span driver
+    /// setup over more rounds. Clamped to at least 1.
+    pub fn chunk(mut self, rounds: u64) -> Self {
+        self.chunk = rounds.max(1);
+        self
+    }
+
+    /// Add one deployment to the fleet.
+    pub fn deployment(mut self, spec: DeploymentSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Add a batch of deployments to the fleet.
+    pub fn deployments(mut self, specs: impl IntoIterator<Item = DeploymentSpec>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Compile every spec and assemble the engine.
+    ///
+    /// # Errors
+    ///
+    /// The first spec whose configuration fails to compile
+    /// (see [`Deployment::builder`]).
+    pub fn build(self) -> Result<CampaignEngine, MpcError> {
+        assert!(
+            self.specs.len() <= u32::MAX as usize,
+            "the scheduler keys deployments as u32"
+        );
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let chunk = if self.chunk == 0 { 32 } else { self.chunk };
+        let mut slots = Vec::with_capacity(self.specs.len());
+        for spec in self.specs {
+            let deployment = Deployment::builder()
+                .topology(spec.topology.clone())
+                .config(spec.config.clone())
+                .protocol(spec.protocol)
+                .faults(spec.faults.clone())
+                .seed(spec.seed)
+                .build()?;
+            slots.push(Slot {
+                spec,
+                deployment,
+                completed: AtomicU64::new(0),
+            });
+        }
+        let n = slots.len();
+        Ok(CampaignEngine {
+            slots,
+            shards: (0..workers)
+                .map(|_| Mutex::new(vec![CampaignAccumulator::new(); n]))
+                .collect(),
+            workers,
+            chunk,
+            gate: Mutex::new(()),
+            tainted: AtomicBool::new(false),
+        })
+    }
+}
+
+/// A long-running multi-deployment campaign engine.
+///
+/// See the [crate docs](crate) for the execution model and a full
+/// example; the short version:
+///
+/// 1. describe each deployment as a [`DeploymentSpec`];
+/// 2. [`builder`](CampaignEngine::builder) → [`CampaignEngineBuilder::build`]
+///    compiles every spec once;
+/// 3. [`advance`](CampaignEngine::advance) runs `n` more rounds of
+///    *every* deployment over the worker pool;
+/// 4. [`snapshot`](CampaignEngine::snapshot) merges fleet-wide metrics at
+///    any time, even mid-advance.
+pub struct CampaignEngine {
+    slots: Vec<Slot>,
+    /// Per-worker accumulator shards, `shards[worker][deployment]`. The
+    /// hot path never touches them: a worker locks its own shard once per
+    /// finished span to merge the span's local accumulator.
+    shards: Vec<Mutex<Vec<CampaignAccumulator>>>,
+    workers: usize,
+    chunk: u64,
+    /// Serializes advances (the round clocks move once per advance).
+    gate: Mutex<()>,
+    tainted: AtomicBool,
+}
+
+impl fmt::Debug for CampaignEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignEngine")
+            .field("deployments", &self.slots.len())
+            .field("workers", &self.workers)
+            .field("chunk", &self.chunk)
+            .field("tainted", &self.tainted.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl CampaignEngine {
+    /// Start building an engine.
+    pub fn builder() -> CampaignEngineBuilder {
+        CampaignEngineBuilder::default()
+    }
+
+    /// Number of deployments in the fleet.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The fixed worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Rounds per scheduled span.
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+
+    /// The spec of deployment `dep`.
+    pub fn spec(&self, dep: usize) -> &DeploymentSpec {
+        &self.slots[dep].spec
+    }
+
+    /// Rounds deployment `dep` has completed so far (live gauge).
+    pub fn completed(&self, dep: usize) -> u64 {
+        self.slots[dep].completed.load(Ordering::Relaxed)
+    }
+
+    /// Whether an earlier advance errored part-way (the engine then
+    /// refuses further advances and checkpoints).
+    pub fn is_tainted(&self) -> bool {
+        self.tainted.load(Ordering::Relaxed)
+    }
+
+    /// Run `rounds` more rounds of **every** deployment over the worker
+    /// pool, stealing spans across workers as they drain.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Round`] — a deployment's round failed. The
+    ///   scheduler stops scheduling rounds past the failure and surfaces
+    ///   the erroring round with the lowest `(round index, deployment)`
+    ///   key — deterministic for any worker count. The engine is tainted
+    ///   afterwards.
+    /// * [`EngineError::Tainted`] — a previous advance failed.
+    /// * [`EngineError::RoundIndexOverflow`] — a deployment's clock would
+    ///   pass `u32::MAX` rounds.
+    pub fn advance(&self, rounds: u64) -> Result<AdvanceStats, EngineError> {
+        self.advance_inner(rounds, None)
+    }
+
+    /// [`advance`](CampaignEngine::advance), additionally returning every
+    /// executed round's [`RoundReport`] grouped by deployment and ordered
+    /// by round index. Differential suites use this to prove the engine's
+    /// streams byte-identical to single-threaded drivers; it buffers
+    /// every report, so prefer `advance` for real campaigns.
+    ///
+    /// # Errors
+    ///
+    /// See [`advance`](CampaignEngine::advance).
+    pub fn advance_recorded(&self, rounds: u64) -> Result<Vec<Vec<RoundReport>>, EngineError> {
+        let recorder = Mutex::new(Vec::new());
+        self.advance_inner(rounds, Some(&recorder))?;
+        let mut recorded = recorder.into_inner().expect("recorder poisoned");
+        recorded.sort_by_key(|&(dep, index, _)| (dep, index));
+        let mut per_dep: Vec<Vec<RoundReport>> =
+            (0..self.slots.len()).map(|_| Vec::new()).collect();
+        for (dep, _, report) in recorded {
+            per_dep[dep as usize].push(report);
+        }
+        Ok(per_dep)
+    }
+
+    fn advance_inner(
+        &self,
+        rounds: u64,
+        recorder: Option<&RoundRecorder>,
+    ) -> Result<AdvanceStats, EngineError> {
+        let _gate = self.gate.lock().expect("advance gate poisoned");
+        if self.is_tainted() {
+            return Err(EngineError::Tainted);
+        }
+
+        let mut spans = Vec::new();
+        for (dep, slot) in self.slots.iter().enumerate() {
+            let base = slot.completed.load(Ordering::Relaxed);
+            let end = base + rounds;
+            if end > u32::MAX as u64 {
+                return Err(EngineError::RoundIndexOverflow {
+                    deployment: dep,
+                    index: end,
+                });
+            }
+            let mut start = base;
+            while start < end {
+                let len = self.chunk.min(end - start);
+                spans.push(Span {
+                    dep: dep as u32,
+                    start,
+                    len,
+                });
+                start += len;
+            }
+        }
+
+        let runner = EngineRunner {
+            engine: self,
+            recorder,
+        };
+        let outcome = run_spans(deal_spans(spans, self.workers), &runner);
+        let stats = AdvanceStats {
+            rounds: outcome.executed(),
+            steals: outcome.steals(),
+            per_worker: outcome.workers.iter().map(|w| w.executed).collect(),
+        };
+        match outcome.error {
+            None => Ok(stats),
+            Some((_, e)) => {
+                self.tainted.store(true, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Merge a point-in-time fleet-wide view of progress and metrics.
+    /// Never blocks the round loop: workers only hold a shard lock for
+    /// the brief per-span merge, and this walks the shards one at a time.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let mut merged: Vec<CampaignAccumulator> = self
+            .slots
+            .iter()
+            .map(|_| CampaignAccumulator::new())
+            .collect();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            for (acc, part) in merged.iter_mut().zip(shard.iter()) {
+                acc.absorb(part);
+            }
+        }
+        FleetSnapshot {
+            deployments: self
+                .slots
+                .iter()
+                .zip(merged)
+                .map(|(slot, metrics)| DeploymentSnapshot {
+                    name: slot.spec.name.clone(),
+                    completed: slot.completed.load(Ordering::Relaxed),
+                    metrics,
+                })
+                .collect(),
+        }
+    }
+
+    /// Internal: quiesced views for checkpointing (spec, completed,
+    /// merged metrics per deployment). Takes the advance gate so the
+    /// counters and shards are stable while encoding.
+    #[cfg(feature = "serde")]
+    pub(crate) fn quiesced_state(
+        &self,
+    ) -> Result<Vec<(DeploymentSpec, u64, CampaignAccumulator)>, EngineError> {
+        let _gate = self.gate.lock().expect("advance gate poisoned");
+        if self.is_tainted() {
+            return Err(EngineError::Tainted);
+        }
+        let snapshot = self.snapshot();
+        Ok(self
+            .slots
+            .iter()
+            .zip(snapshot.deployments)
+            .map(|(slot, d)| (slot.spec.clone(), d.completed, d.metrics))
+            .collect())
+    }
+
+    /// Internal: seed a freshly-built engine with restored state.
+    #[cfg(feature = "serde")]
+    pub(crate) fn restore_progress(
+        &mut self,
+        progress: impl IntoIterator<Item = (u64, CampaignAccumulator)>,
+    ) {
+        let shard0 = self.shards[0].get_mut().expect("shard poisoned");
+        for (dep, (completed, metrics)) in progress.into_iter().enumerate() {
+            self.slots[dep]
+                .completed
+                .store(completed, Ordering::Relaxed);
+            shard0[dep] = metrics;
+        }
+    }
+}
+
+/// Shared sink for recorded rounds: `(deployment, round index, report)`
+/// triples, sorted after the run.
+type RoundRecorder = Mutex<Vec<(u32, u64, RoundReport)>>;
+
+/// The [`SpanRunner`] that executes engine spans: a fresh driver and a
+/// span-local accumulator per span, merged into the worker's shard once
+/// at span end.
+struct EngineRunner<'e> {
+    engine: &'e CampaignEngine,
+    recorder: Option<&'e RoundRecorder>,
+}
+
+struct SpanState<'d> {
+    driver: RoundDriver<'d>,
+    acc: CampaignAccumulator,
+    recorded: Vec<(u32, u64, RoundReport)>,
+}
+
+impl<'e> SpanRunner for EngineRunner<'e> {
+    type State = SpanState<'e>;
+    type Error = EngineError;
+
+    fn begin(&self, _worker: usize, dep: u32) -> SpanState<'e> {
+        SpanState {
+            driver: self.engine.slots[dep as usize].deployment.driver(),
+            acc: CampaignAccumulator::new(),
+            recorded: Vec::new(),
+        }
+    }
+
+    fn round(&self, state: &mut SpanState<'e>, dep: u32, index: u64) -> Result<(), EngineError> {
+        let slot = &self.engine.slots[dep as usize];
+        let (round_id, seed) = slot.spec.coordinates(index);
+        let report =
+            state
+                .driver
+                .round_at(round_id, seed)
+                .map_err(|source| EngineError::Round {
+                    deployment: dep as usize,
+                    name: slot.spec.name.clone(),
+                    round_index: index,
+                    source,
+                })?;
+        state.acc.on_round(&report);
+        slot.completed.fetch_add(1, Ordering::Relaxed);
+        if self.recorder.is_some() {
+            state.recorded.push((dep, index, report));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, worker: usize, dep: u32, state: SpanState<'e>) {
+        let mut shard = self.engine.shards[worker].lock().expect("shard poisoned");
+        shard[dep as usize].merge(state.acc);
+        drop(shard);
+        if let Some(recorder) = self.recorder {
+            if !state.recorded.is_empty() {
+                recorder
+                    .lock()
+                    .expect("recorder poisoned")
+                    .extend(state.recorded);
+            }
+        }
+    }
+}

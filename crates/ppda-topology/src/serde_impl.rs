@@ -56,7 +56,12 @@ impl<'a> Reader<'a> {
 
 impl Topology {
     /// Encode to the versioned byte format behind the serde impls.
-    fn to_blob(&self) -> Vec<u8> {
+    ///
+    /// Public so hand-rolled container formats (e.g. campaign checkpoints)
+    /// can embed a topology as one length-prefixed field without going
+    /// through a [`Serializer`]. The format is byte-exact-stable across
+    /// runs; [`Topology::from_blob`] inverts it.
+    pub fn to_blob(&self) -> Vec<u8> {
         let n = self.len();
         let mut out = Vec::with_capacity(1 + 4 + self.name.len() + (2 * n + 2 * n * n + 7) * 8);
         out.push(FORMAT_VERSION);
@@ -82,8 +87,14 @@ impl Topology {
         out
     }
 
-    /// Decode the versioned byte format behind the serde impls.
-    fn from_blob(bytes: &[u8]) -> Result<Self, String> {
+    /// Decode the versioned byte format produced by
+    /// [`Topology::to_blob`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on version mismatch, truncation, trailing
+    /// bytes or a non-UTF-8 name.
+    pub fn from_blob(bytes: &[u8]) -> Result<Self, String> {
         let mut r = Reader { bytes };
         let version = r.u8()?;
         if version != FORMAT_VERSION {

@@ -9,7 +9,9 @@
 //! topology, the protocol configuration, the variant
 //! ([`mpc::ProtocolKind::S3`] naive / [`mpc::ProtocolKind::S4`] scalable)
 //! and an optional fault model, compiles the round plan once, and streams
-//! rounds from a [`mpc::RoundDriver`].
+//! rounds from a [`mpc::RoundDriver`]. Fleets of deployments are
+//! multiplexed over a work-stealing worker pool by the
+//! [`service::CampaignEngine`].
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use ppda_field as field;
 pub use ppda_metrics as metrics;
 pub use ppda_mpc as mpc;
 pub use ppda_radio as radio;
+pub use ppda_service as service;
 pub use ppda_sim as sim;
 pub use ppda_sss as sss;
 pub use ppda_topology as topology;
