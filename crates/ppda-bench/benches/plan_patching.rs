@@ -1,0 +1,68 @@
+//! Measures what incremental membership patching buys: applying a
+//! [`MembershipDelta`] to a compiled [`RoundPlan`] versus recompiling
+//! the plan from scratch for the new view (what a deployment without
+//! `RoundPlan::apply` would have to do on every membership change). The
+//! patch path re-elects from the retained bootstrap ranking, splices the
+//! sharing chain and reuses every retained pairwise cipher; the
+//! recompile re-derives all n² keys and re-runs the hop BFS. Recorded
+//! ratios live in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ppda_bench::TestbedSetup;
+use ppda_mpc::{MembershipDelta, ProtocolKind, RoundPlan};
+
+fn bench_plan_patching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_patching");
+    group.sample_size(20);
+
+    for setup in [TestbedSetup::flocklab(), TestbedSetup::dcube()] {
+        let topology = setup.topology();
+        let config = setup.config(topology.len()).unwrap();
+        let n = topology.len() as u16;
+        // Churn the top-ranked aggregator: its departure forces a
+        // re-election and a chain splice — the most expensive patch.
+        let base = RoundPlan::new(&topology, &config, ProtocolKind::S4).unwrap();
+        let victim = base.destinations()[0];
+        let leave = MembershipDelta {
+            round: config.round_id,
+            joins: vec![],
+            leaves: vec![victim],
+        };
+        let rejoin = MembershipDelta {
+            round: config.round_id,
+            joins: vec![victim],
+            leaves: vec![],
+        };
+
+        // One leave + one rejoin per iteration keeps the plan state
+        // cycling, so every apply does real splice work.
+        let mut plan = base.clone().into_owned();
+        group.bench_function(format!("patch_leave_rejoin/{}", setup.name), |bench| {
+            bench.iter(|| {
+                let a = plan.apply(&leave).unwrap();
+                let b = plan.apply(&rejoin).unwrap();
+                (a, b)
+            })
+        });
+
+        // The baseline: recompile the whole plan for each of the two views.
+        let mut without = vec![true; n as usize];
+        without[victim as usize] = false;
+        let full = vec![true; n as usize];
+        group.bench_function(format!("recompile_leave_rejoin/{}", setup.name), |bench| {
+            bench.iter(|| {
+                let a =
+                    RoundPlan::new_with_membership(&topology, &config, ProtocolKind::S4, &without)
+                        .unwrap();
+                let b = RoundPlan::new_with_membership(&topology, &config, ProtocolKind::S4, &full)
+                    .unwrap();
+                (a, b)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_patching);
+criterion_main!(benches);

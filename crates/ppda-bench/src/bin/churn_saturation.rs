@@ -1,0 +1,161 @@
+//! Churn saturation sweep: how the cost of keeping a compiled
+//! [`RoundPlan`] current scales with membership event rate, patching
+//! versus recompiling.
+//!
+//! ```text
+//! cargo run -p ppda-bench --release --bin churn_saturation -- \
+//!     [--testbed flocklab|dcube|both] [--events N] [--sources K] \
+//!     [--json PATH]
+//! ```
+//!
+//! `--sources` defaults to each testbed's smallest sweep point (3 on
+//! FlockLab, 5 on D-Cube) — the operating point a periodic sensing
+//! deployment runs at, matching the `plan_amortization` bench.
+//!
+//! For each testbed the sweep walks two deterministic leave/rejoin
+//! event streams — `uniform` churns every node in turn (the realistic
+//! mix: most nodes are not aggregators, so most patches touch only the
+//! membership vector), `aggregators` churns only the elected aggregator
+//! set (the worst case: every event forces a re-election and a chain
+//! splice) — and times two maintenance strategies over each stream:
+//!
+//! * **patch** — one [`RoundPlan::apply`] per event: re-elect from the
+//!   retained bootstrap ranking, splice the sharing chain, reuse every
+//!   retained pairwise cipher.
+//! * **recompile** — one [`RoundPlan::new_with_membership`] per event:
+//!   the full n² pairwise key derivation, hop BFS and chain compilation
+//!   a plan-per-view deployment pays.
+//!
+//! `--json PATH` writes the run in the `BENCH_*.json` perf-trajectory
+//! format (see EXPERIMENTS.md): one record per (testbed, strategy pair)
+//! with per-event costs and the patch speedup.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ppda_bench::{arg_value, TestbedSetup};
+use ppda_metrics::Table;
+use ppda_mpc::{MembershipDelta, ProtocolKind, RoundPlan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let testbed = arg_value(&args, "--testbed").unwrap_or_else(|| "both".into());
+    let events: u32 = arg_value(&args, "--events")
+        .map(|v| v.parse().expect("--events must be a number"))
+        .unwrap_or(200);
+    assert!(events >= 2, "--events must be at least 2");
+    let sources_override: Option<usize> =
+        arg_value(&args, "--sources").map(|v| v.parse().expect("--sources must be a number"));
+    let json_path = arg_value(&args, "--json");
+    let mut json_rows: Vec<String> = Vec::new();
+
+    let setups: Vec<TestbedSetup> = match testbed.as_str() {
+        "both" => vec![TestbedSetup::flocklab(), TestbedSetup::dcube()],
+        name => vec![TestbedSetup::by_name(name)
+            .unwrap_or_else(|| panic!("unknown testbed {name} (flocklab|dcube)"))],
+    };
+
+    let mut table = Table::new(vec![
+        "testbed",
+        "sources",
+        "stream",
+        "events",
+        "patch µs/event",
+        "recompile µs/event",
+        "speedup",
+    ]);
+    for setup in &setups {
+        let topology = setup.topology();
+        let sources = sources_override.unwrap_or(setup.source_sweep[0]);
+        let config = setup.config(sources).expect("sweep point is valid");
+        let n = topology.len();
+        let base = RoundPlan::new(&topology, &config, ProtocolKind::S4).expect("plan compiles");
+        let aggregators: Vec<u16> = base.destinations().to_vec();
+        let everyone: Vec<u16> = (0..n as u16).collect();
+
+        for (stream, pool) in [("uniform", &everyone), ("aggregators", &aggregators)] {
+            // Alternate a leave and a rejoin of each pool node in turn,
+            // so each event changes the view by exactly one node.
+            let deltas: Vec<MembershipDelta> = (0..events)
+                .map(|i| {
+                    let node = pool[(i as usize / 2) % pool.len()];
+                    let mut delta = MembershipDelta::at(config.round_id + i);
+                    if i % 2 == 0 {
+                        delta.leaves.push(node);
+                    } else {
+                        delta.joins.push(node);
+                    }
+                    delta
+                })
+                .collect();
+
+            // Strategy 1: incremental patching on one long-lived plan.
+            let mut patched = base.clone().into_owned();
+            let start = Instant::now();
+            for delta in &deltas {
+                patched.apply(delta).expect("patch applies");
+            }
+            let patch_elapsed = start.elapsed().as_secs_f64();
+
+            // Strategy 2: recompile the plan for every new view.
+            let mut live = vec![true; n];
+            let start = Instant::now();
+            for delta in &deltas {
+                for &v in &delta.joins {
+                    live[v as usize] = true;
+                }
+                for &v in &delta.leaves {
+                    live[v as usize] = false;
+                }
+                RoundPlan::new_with_membership(&topology, &config, ProtocolKind::S4, &live)
+                    .expect("recompile succeeds");
+            }
+            let recompile_elapsed = start.elapsed().as_secs_f64();
+
+            let patch_us = 1e6 * patch_elapsed / events as f64;
+            let recompile_us = 1e6 * recompile_elapsed / events as f64;
+            let speedup = recompile_elapsed / patch_elapsed;
+            table.row(vec![
+                setup.name.to_string(),
+                sources.to_string(),
+                stream.to_string(),
+                events.to_string(),
+                format!("{patch_us:.1}"),
+                format!("{recompile_us:.1}"),
+                format!("{speedup:.1}x"),
+            ]);
+            if json_path.is_some() {
+                let mut row = String::new();
+                write!(
+                    row,
+                    concat!(
+                        "    {{\"testbed\": \"{}\", \"sources\": {}, \"stream\": \"{}\", ",
+                        "\"nodes\": {}, \"events\": {}, \"patch_us_per_event\": {:.2}, ",
+                        "\"recompile_us_per_event\": {:.2}, \"patch_speedup\": {:.2}}}"
+                    ),
+                    setup.name, sources, stream, n, events, patch_us, recompile_us, speedup,
+                )
+                .expect("writing to a String cannot fail");
+                json_rows.push(row);
+            }
+        }
+    }
+    println!("\n=== churn saturation — plan maintenance cost per membership event ===");
+    print!("{table}");
+
+    if let Some(path) = json_path {
+        let doc = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"churn_saturation\",\n",
+                "  \"events\": {},\n",
+                "  \"rows\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            events,
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}

@@ -256,6 +256,8 @@ pub fn run_campaign_faulty(
         clock: ClockMode::SeedStripe {
             round_id: config.round_id,
         },
+        membership: Vec::new(),
+        trickle: Default::default(),
     };
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())

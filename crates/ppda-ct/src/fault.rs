@@ -151,6 +151,9 @@ impl FaultPlan {
             plan: self,
             round_id,
             stream: derive_stream(derive_stream(self.seed, round_seed), round_id as u64),
+            // One pass over the windows up front; per-node churn checks in
+            // the round hot loop become a bit test instead of a scan.
+            churn_mask: self.churn.down_mask(round_id),
         }
     }
 }
@@ -166,6 +169,8 @@ pub struct RoundFaults<'p> {
     plan: &'p FaultPlan,
     round_id: u32,
     stream: u64,
+    /// Precomputed churn bits for this round (node ids < 128).
+    churn_mask: u128,
 }
 
 impl RoundFaults<'_> {
@@ -184,9 +189,19 @@ impl RoundFaults<'_> {
         self.plan.loss
     }
 
+    /// Scheduled churn bits for this round: bit `v` set ⇔ node `v` is in
+    /// a down window (node ids < 128).
+    pub fn churn_mask(&self) -> u128 {
+        self.churn_mask
+    }
+
     /// Is `node` out for this round (dropout draw or scheduled churn)?
     pub fn node_down(&self, node: usize) -> bool {
-        if self.plan.churn.is_down(node, self.round_id) {
+        if node < 128 {
+            if self.churn_mask >> node & 1 == 1 {
+                return true;
+            }
+        } else if self.plan.churn.is_down(node, self.round_id) {
             return true;
         }
         self.plan.dropout > 0.0
@@ -310,6 +325,19 @@ mod tests {
         assert!(plan.realize(15, 1).node_down(5));
         assert!(!plan.realize(9, 1).node_down(5));
         assert!(!plan.realize(15, 1).node_down(4));
+    }
+
+    #[test]
+    fn churn_mask_matches_node_down() {
+        let churn = ChurnSchedule::from_windows([(5, 10, 20), (7, 12, 14), (0, 0, 1)]);
+        let plan = FaultPlan::none().with_churn(churn.clone());
+        for round in 0..24 {
+            let rf = plan.realize(round, 1);
+            assert_eq!(rf.churn_mask(), churn.down_mask(round));
+            for node in 0..16 {
+                assert_eq!(rf.node_down(node), churn.is_down(node, round));
+            }
+        }
     }
 
     #[test]

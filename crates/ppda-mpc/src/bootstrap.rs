@@ -20,6 +20,11 @@ use crate::error::MpcError;
 pub struct Bootstrap {
     keys: PairwiseKeys,
     aggregators: Vec<u16>,
+    /// Full centrality ranking of every node, most central first. The
+    /// aggregator set is a prefix of this; retaining the rest makes
+    /// aggregator *re-election* under churn a ranked-list walk instead of
+    /// a bootstrap re-run.
+    ranking: Vec<u16>,
     hops: Vec<Vec<Option<u32>>>,
     link_threshold: f64,
 }
@@ -68,15 +73,17 @@ impl Bootstrap {
             })
             .collect();
         ranked.sort();
-        let aggregators: Vec<u16> = ranked
+        let ranking: Vec<u16> = ranked.iter().map(|&(_, _, v)| v as u16).collect();
+        let aggregators: Vec<u16> = ranking
             .iter()
+            .copied()
             .take(config.aggregator_count())
-            .map(|&(_, _, v)| v as u16)
             .collect();
 
         Ok(Bootstrap {
             keys: PairwiseKeys::derive(&config.master_key, n as u16),
             aggregators,
+            ranking,
             hops,
             link_threshold: config.link_threshold,
         })
@@ -90,6 +97,32 @@ impl Bootstrap {
     /// The designated aggregator nodes, most central first.
     pub fn aggregators(&self) -> &[u16] {
         &self.aggregators
+    }
+
+    /// Full centrality ranking of every node, most central first (the
+    /// aggregator set is its prefix).
+    pub fn ranking(&self) -> &[u16] {
+        &self.ranking
+    }
+
+    /// Elect up to `count` aggregators from the current membership: the
+    /// `count` most central nodes that are still live, in ranking order.
+    /// Nodes with `live[v] == false` (or beyond `live`'s length) are
+    /// skipped — this is the churn-time re-election path, a ranked-list
+    /// walk with no bootstrap re-run.
+    pub fn elect(&self, count: usize, live: &[bool]) -> Vec<u16> {
+        self.ranking
+            .iter()
+            .copied()
+            .filter(|&v| live.get(v as usize).copied().unwrap_or(false))
+            .take(count)
+            .collect()
+    }
+
+    /// Hop distances from one node to every node at the bootstrap link
+    /// threshold (the per-origin slice of the hop table).
+    pub fn hops_from(&self, from: usize) -> &[Option<u32>] {
+        &self.hops[from]
     }
 
     /// Hop distance between two nodes at the bootstrap link threshold.
@@ -208,6 +241,36 @@ mod tests {
         let b = Bootstrap::run(&t, &config(26)).unwrap();
         assert!(b.keys().key(0, 25).is_ok());
         assert!(b.keys().key(25, 0).is_ok());
+    }
+
+    #[test]
+    fn ranking_prefixes_aggregators_and_covers_all_nodes() {
+        let t = Topology::flocklab();
+        let b = Bootstrap::run(&t, &config(26)).unwrap();
+        assert_eq!(b.ranking().len(), 26);
+        assert_eq!(&b.ranking()[..b.aggregators().len()], b.aggregators());
+        let mut all = b.ranking().to_vec();
+        all.sort_unstable();
+        assert_eq!(all, (0..26u16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn elect_skips_dead_nodes_in_ranking_order() {
+        let t = Topology::flocklab();
+        let b = Bootstrap::run(&t, &config(26)).unwrap();
+        let all_live = vec![true; 26];
+        assert_eq!(b.elect(11, &all_live), b.aggregators());
+        // Kill the most central node: the set shifts down the ranking.
+        let mut live = all_live.clone();
+        live[b.ranking()[0] as usize] = false;
+        let elected = b.elect(11, &live);
+        assert_eq!(elected.len(), 11);
+        assert!(!elected.contains(&b.ranking()[0]));
+        assert_eq!(elected, &b.ranking()[1..12]);
+        // Fewer live nodes than seats: take what's there.
+        let two_live: Vec<bool> = (0..26).map(|v| v == 3 || v == 8).collect();
+        let elected = b.elect(11, &two_live);
+        assert_eq!(elected.len(), 2);
     }
 
     #[test]

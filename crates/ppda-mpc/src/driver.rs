@@ -49,12 +49,13 @@ use std::borrow::Cow;
 use std::fmt;
 
 use ppda_ct::FaultPlan;
-use ppda_sim::{derive_stream, ChurnSchedule};
+use ppda_sim::{derive_stream, ChurnSchedule, MembershipEvent, TrickleConfig};
 use ppda_topology::Topology;
 
 use crate::config::ProtocolConfig;
 use crate::error::MpcError;
-use crate::execute::{readings_into, RoundExecutor};
+use crate::execute::{readings_into, ExecState};
+use crate::membership::{MembershipDelta, MembershipTimeline, PlanPatch};
 use crate::outcome::RoundReport;
 use crate::plan::{ProtocolKind, RoundPlan};
 
@@ -153,6 +154,11 @@ pub struct DriverStats {
     /// capacity — nonzero means the campaign churned through more survivor
     /// patterns than the cache retains.
     pub weight_cache_evictions: u64,
+    /// Rounds that began by patching the plan for a membership change
+    /// (one per patched round, however many deltas the round absorbed;
+    /// see [`RoundReport::membership_patch`]). Always 0 for deployments
+    /// without a membership event stream.
+    pub plan_patches: u64,
 }
 
 impl DriverStats {
@@ -168,6 +174,9 @@ impl DriverStats {
         }
         self.total_schedule_ms += report.outcome.scheduled_round_ms();
         self.total_energy_mj += report.outcome.mean_energy_mj();
+        if report.patch.is_some() {
+            self.plan_patches += 1;
+        }
     }
 
     /// Fraction of rounds whose survivor set reached the threshold
@@ -179,6 +188,70 @@ impl DriverStats {
             self.recovered_rounds as f64 / self.rounds as f64
         }
     }
+}
+
+/// How a membership-driven [`RoundDriver`] keeps its plan current as
+/// compiled [`MembershipDelta`]s come due.
+///
+/// # Example
+///
+/// ```
+/// use ppda_mpc::MembershipMode;
+/// // Patching is the production default; the recompile oracle exists
+/// // for differential testing.
+/// assert_eq!(MembershipMode::default(), MembershipMode::Patch);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MembershipMode {
+    /// Incrementally patch the compiled plan ([`RoundPlan::apply`]):
+    /// destinations are re-elected from the retained centrality ranking,
+    /// the sharing chain is re-spliced and surviving AES-CCM contexts are
+    /// reused — the `n²` pairwise keys and hop sweeps never re-run. The
+    /// production path.
+    #[default]
+    Patch,
+    /// Recompile the entire plan from scratch for every delta
+    /// ([`RoundPlan::new_with_membership`]), full bootstrap included.
+    /// This is the reference oracle the differential suite drives against
+    /// [`MembershipMode::Patch`]: both modes must produce byte-identical
+    /// round reports.
+    Recompile,
+}
+
+/// Where a driver's plan lives: borrowed from the deployment (static
+/// membership — the common case, zero-copy fan-out) or owned so
+/// membership deltas can patch it in place.
+#[derive(Debug)]
+enum DriverPlan<'d> {
+    Shared(&'d RoundPlan<'d>),
+    Owned(Box<RoundPlan<'static>>),
+}
+
+impl DriverPlan<'_> {
+    fn get(&self) -> &RoundPlan<'_> {
+        match self {
+            DriverPlan::Shared(plan) => plan,
+            DriverPlan::Owned(plan) => plan,
+        }
+    }
+
+    fn owned_mut(&mut self) -> &mut RoundPlan<'static> {
+        match self {
+            DriverPlan::Owned(plan) => plan,
+            DriverPlan::Shared(_) => unreachable!("membership-driven drivers own their plan"),
+        }
+    }
+}
+
+/// A driver's walk along its deployment's compiled membership timeline.
+#[derive(Debug)]
+struct MembershipCursor {
+    timeline: MembershipTimeline,
+    /// Index of the next unapplied delta.
+    next: usize,
+    /// Highest round id this driver has executed (or tried to): once the
+    /// plan is patched past a round, earlier rounds are unreachable.
+    floor: Option<u32>,
 }
 
 /// Builder for a [`Deployment`] (see [`Deployment::builder`]).
@@ -213,6 +286,9 @@ pub struct DeploymentBuilder<'t> {
     protocol: ProtocolKind,
     faults: FaultPlan,
     seed: u64,
+    membership: Option<Vec<MembershipEvent>>,
+    trickle: TrickleConfig,
+    mode: MembershipMode,
 }
 
 impl<'t> DeploymentBuilder<'t> {
@@ -270,6 +346,37 @@ impl<'t> DeploymentBuilder<'t> {
         self
     }
 
+    /// Live membership events the deployment experiences (joins, leaves,
+    /// crashes, rejoins). Setting this — even to an empty stream — turns
+    /// every driver into a membership-driven one: at
+    /// [`build`](DeploymentBuilder::build) time the events are compiled
+    /// into a [`MembershipTimeline`] (Trickle dissemination delay and
+    /// crash-detection lag folded in), and drivers patch their plan
+    /// incrementally as the compiled deltas come due.
+    #[must_use]
+    pub fn membership(mut self, events: Vec<MembershipEvent>) -> Self {
+        self.membership = Some(events);
+        self
+    }
+
+    /// Trickle timer parameters governing how fast membership events
+    /// disseminate (default: [`TrickleConfig::default`]). Only meaningful
+    /// together with [`membership`](DeploymentBuilder::membership).
+    #[must_use]
+    pub fn trickle(mut self, trickle: TrickleConfig) -> Self {
+        self.trickle = trickle;
+        self
+    }
+
+    /// How membership-driven drivers keep their plan current (default:
+    /// [`MembershipMode::Patch`]). [`MembershipMode::Recompile`] is the
+    /// slow reference oracle for differential testing.
+    #[must_use]
+    pub fn membership_mode(mut self, mode: MembershipMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Compile the deployment: run the bootstrap and build the
     /// [`RoundPlan`] once, for arbitrarily many rounds and drivers.
     ///
@@ -281,6 +388,10 @@ impl<'t> DeploymentBuilder<'t> {
     ///   configured one.
     /// * [`MpcError::TopologyDisconnected`] if the network is not
     ///   connected at the configured link threshold.
+    /// * [`MpcError::MembershipExhausted`] if the membership events leave
+    ///   no live destination at the deployment's first round, and
+    ///   [`MpcError::InputMismatch`] if one names a node outside the
+    ///   deployment.
     pub fn build(self) -> Result<Deployment<'t>, MpcError> {
         let topology = self.topology.ok_or_else(|| MpcError::InvalidConfig {
             what: "deployment needs a topology (DeploymentBuilder::topology)".into(),
@@ -292,8 +403,54 @@ impl<'t> DeploymentBuilder<'t> {
             Cow::Borrowed(t) => RoundPlan::new(t, &config, self.protocol)?,
             Cow::Owned(t) => RoundPlan::new_owned(t, config, self.protocol)?,
         };
+        let (timeline, churn_plan) = match &self.membership {
+            None => (None, None),
+            Some(events) => {
+                let timeline = MembershipTimeline::compile(
+                    plan.bootstrap(),
+                    plan.config(),
+                    events,
+                    &self.trickle,
+                    self.seed,
+                )?;
+                // Bring the plan to the timeline's *initial* view once,
+                // here, so Deployment::driver stays infallible. Each mode
+                // gets there through its own machinery — the differential
+                // suite covers the initial view for free.
+                let initial = timeline.initial().to_vec();
+                let owned = match self.mode {
+                    MembershipMode::Patch => {
+                        let mut patched = plan.clone().into_owned();
+                        let absent: Vec<u16> = initial
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &live)| !live)
+                            .map(|(v, _)| v as u16)
+                            .collect();
+                        if !absent.is_empty() {
+                            patched.apply(&MembershipDelta {
+                                round: patched.config().round_id,
+                                joins: Vec::new(),
+                                leaves: absent,
+                            })?;
+                        }
+                        patched
+                    }
+                    MembershipMode::Recompile => RoundPlan::new_with_membership(
+                        plan.topology(),
+                        plan.config(),
+                        self.protocol,
+                        &initial,
+                    )?,
+                };
+                (Some(timeline), Some(Box::new(owned)))
+            }
+        };
         Ok(Deployment {
             plan,
+            timeline,
+            churn_plan,
+            mode: self.mode,
             faults: self.faults,
             seed: self.seed,
         })
@@ -338,6 +495,13 @@ impl<'t> DeploymentBuilder<'t> {
 #[derive(Debug, Clone)]
 pub struct Deployment<'t> {
     plan: RoundPlan<'t>,
+    /// Compiled membership schedule, when the deployment was built with a
+    /// live event stream.
+    timeline: Option<MembershipTimeline>,
+    /// The plan already brought to the timeline's initial view — what
+    /// membership-driven drivers clone and then patch forward.
+    churn_plan: Option<Box<RoundPlan<'static>>>,
+    mode: MembershipMode,
     faults: FaultPlan,
     seed: u64,
 }
@@ -353,16 +517,40 @@ impl<'t> Deployment<'t> {
             protocol: ProtocolKind::S4,
             faults: FaultPlan::none(),
             seed: 0,
+            membership: None,
+            trickle: TrickleConfig::default(),
+            mode: MembershipMode::default(),
         }
     }
 
     /// A fresh round driver over this deployment's compiled plan. Each
     /// driver owns its per-round scratch buffers, so concurrent drivers
     /// (one per campaign worker) never contend.
+    ///
+    /// Membership-driven deployments hand the driver its own *owned* copy
+    /// of the plan (already at the timeline's initial view) plus a cursor
+    /// over the compiled deltas; the driver fast-forwards the cursor
+    /// deterministically as its rounds advance, so a fresh driver started
+    /// at any round index reproduces the sequential stream byte-for-byte.
     pub fn driver(&self) -> RoundDriver<'_> {
         let config = self.plan.config();
+        let (plan, membership) = match (&self.churn_plan, &self.timeline) {
+            (Some(patched), Some(timeline)) => (
+                DriverPlan::Owned(patched.clone()),
+                Some(MembershipCursor {
+                    timeline: timeline.clone(),
+                    next: 0,
+                    floor: None,
+                }),
+            ),
+            _ => (DriverPlan::Shared(&self.plan), None),
+        };
+        let exec = ExecState::new(plan.get());
         RoundDriver {
-            executor: self.plan.executor(),
+            plan,
+            exec,
+            membership,
+            mode: self.mode,
             faults: self.faults.clone(),
             base_seed: self.seed,
             stats: DriverStats::default(),
@@ -372,9 +560,22 @@ impl<'t> Deployment<'t> {
         }
     }
 
-    /// The compiled round plan.
+    /// The compiled round plan (the full-membership compile; drivers of a
+    /// membership-driven deployment patch their own copies forward).
     pub fn plan(&self) -> &RoundPlan<'t> {
         &self.plan
+    }
+
+    /// The compiled membership timeline, when the deployment was built
+    /// with a live event stream ([`DeploymentBuilder::membership`]);
+    /// `None` for static deployments.
+    pub fn membership(&self) -> Option<&MembershipTimeline> {
+        self.timeline.as_ref()
+    }
+
+    /// How membership-driven drivers keep their plan current.
+    pub fn membership_mode(&self) -> MembershipMode {
+        self.mode
     }
 
     /// The deployment's topology.
@@ -459,7 +660,12 @@ impl<'t> Deployment<'t> {
 /// # }
 /// ```
 pub struct RoundDriver<'d> {
-    executor: RoundExecutor<'d, 'd>,
+    plan: DriverPlan<'d>,
+    exec: ExecState,
+    /// Walk along the deployment's membership timeline; `None` for
+    /// static deployments (the plan is then always `Shared`).
+    membership: Option<MembershipCursor>,
+    mode: MembershipMode,
     faults: FaultPlan,
     base_seed: u64,
     stats: DriverStats,
@@ -474,8 +680,8 @@ pub struct RoundDriver<'d> {
 impl fmt::Debug for RoundDriver<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RoundDriver")
-            .field("protocol", &self.executor.plan().protocol())
-            .field("lanes", &self.executor.lanes())
+            .field("protocol", &self.plan.get().protocol())
+            .field("lanes", &self.lanes())
             .field("base_seed", &self.base_seed)
             .field("stats", &self.stats)
             .field("observers", &self.observers.len())
@@ -484,14 +690,17 @@ impl fmt::Debug for RoundDriver<'_> {
 }
 
 impl<'d> RoundDriver<'d> {
-    /// The compiled plan this driver executes over.
-    pub fn plan(&self) -> &'d RoundPlan<'d> {
-        self.executor.plan()
+    /// The plan this driver executes over — *its* plan, which for a
+    /// membership-driven driver reflects every delta patched in so far
+    /// (the deployment's [`plan`](Deployment::plan) stays the
+    /// full-membership compile).
+    pub fn plan(&self) -> &RoundPlan<'_> {
+        self.plan.get()
     }
 
     /// Lane width B of every round this driver runs.
     pub fn lanes(&self) -> usize {
-        self.executor.lanes()
+        self.plan.get().config().batch
     }
 
     /// Cumulative statistics over every round this driver ran.
@@ -502,8 +711,8 @@ impl<'d> RoundDriver<'d> {
     /// The round id the *next* [`step`](RoundDriver::step) will run under.
     /// Fresh per round, so CCM nonces and share randomness never repeat.
     pub fn round_id(&self) -> u32 {
-        self.executor
-            .plan()
+        self.plan
+            .get()
             .config()
             .round_id
             .wrapping_add(self.stats.rounds as u32)
@@ -523,9 +732,12 @@ impl<'d> RoundDriver<'d> {
     }
 
     /// The survivor-mask weight cache, for holders that outlive this
-    /// driver (sessions swap a long-lived cache in and out).
+    /// driver (sessions swap a long-lived cache in and out; sessions
+    /// never run membership-driven plans, so the cache always exists).
     pub(crate) fn weight_cache_mut(&mut self) -> &mut ppda_sss::WeightCache<crate::Field> {
-        self.executor.weight_cache_mut()
+        self.exec
+            .weight_cache_opt_mut()
+            .expect("plan keeps at least threshold destinations")
     }
 
     fn next_seed(&self) -> u64 {
@@ -599,12 +811,7 @@ impl<'d> RoundDriver<'d> {
     ///
     /// See [`RoundDriver::round_at_with`].
     pub fn step_at(&mut self, index: u64) -> Result<RoundReport, MpcError> {
-        let round_id = self
-            .executor
-            .plan()
-            .config()
-            .round_id
-            .wrapping_add(index as u32);
+        let round_id = self.plan.get().config().round_id.wrapping_add(index as u32);
         let seed = derive_stream(self.base_seed, index);
         self.run_round(round_id, seed, None, None)
     }
@@ -626,6 +833,78 @@ impl<'d> RoundDriver<'d> {
         self.run_round(round_id, seed, Some(readings), Some(failed))
     }
 
+    /// Bring the plan up to date with every membership delta due at or
+    /// before `round_id`, returning the absorbed patch record (if any
+    /// delta applied). Incremental patching only moves forward: a round
+    /// before one the plan was already patched for is a typed error.
+    fn advance_membership(&mut self, round_id: u32) -> Result<Option<PlanPatch>, MpcError> {
+        let Some(cursor) = self.membership.as_mut() else {
+            return Ok(None);
+        };
+        if let Some(floor) = cursor.floor {
+            if round_id < floor {
+                return Err(MpcError::MembershipRegression {
+                    patched_to: floor,
+                    requested: round_id,
+                });
+            }
+        }
+        cursor.floor = Some(round_id);
+        let mut absorbed: Option<PlanPatch> = None;
+        while let Some(delta) = cursor.timeline.deltas().get(cursor.next) {
+            if delta.round > round_id {
+                break;
+            }
+            let patch = match self.mode {
+                MembershipMode::Patch => self.plan.owned_mut().apply(delta)?,
+                MembershipMode::Recompile => {
+                    // The oracle path: rebuild everything from scratch for
+                    // the view in force at the delta's round. The patch
+                    // record is synthesized (a full rebuild reuses
+                    // nothing), but the resulting plan must be
+                    // byte-identical to the patched one.
+                    let live = cursor.timeline.view_at(delta.round);
+                    let old = self.plan.owned_mut();
+                    let rebuilt = RoundPlan::new_with_membership(
+                        old.topology(),
+                        old.config(),
+                        old.protocol(),
+                        &live,
+                    )?;
+                    let patch = PlanPatch {
+                        round: delta.round,
+                        joined: delta.joins.len() as u32,
+                        left: delta.leaves.len() as u32,
+                        destinations_changed: rebuilt.destinations() != old.destinations(),
+                        destinations: rebuilt.destinations().len() as u32,
+                        slots_rebuilt: rebuilt.sharing_chain_len() as u32,
+                        ccm_reused: 0,
+                        ccm_created: rebuilt.sharing_chain_len() as u32,
+                    };
+                    *old = rebuilt;
+                    patch
+                }
+            };
+            if patch.destinations_changed {
+                self.exec.sync(self.plan.get());
+            }
+            // Only deltas effective at exactly this round are reported;
+            // older ones (a fresh driver fast-forwarding to mid-stream,
+            // or a caller that skipped rounds) apply silently. This
+            // keeps a driver resumed at any round byte-identical to one
+            // that streamed every round — the basis of the campaign
+            // engine's span-parallel execution.
+            if delta.round == round_id {
+                match absorbed.as_mut() {
+                    Some(acc) => acc.absorb(&patch),
+                    None => absorbed = Some(patch),
+                }
+            }
+            cursor.next += 1;
+        }
+        Ok(absorbed)
+    }
+
     /// The single internal path every public surface funnels into.
     fn run_round(
         &mut self,
@@ -634,7 +913,8 @@ impl<'d> RoundDriver<'d> {
         readings: Option<&[u64]>,
         failed: Option<&[bool]>,
     ) -> Result<RoundReport, MpcError> {
-        let plan = self.executor.plan();
+        let patch = self.advance_membership(round_id)?;
+        let plan = self.plan.get();
         let config = plan.config();
         let readings = match readings {
             Some(r) => r,
@@ -655,18 +935,20 @@ impl<'d> RoundDriver<'d> {
             None => &self.all_live,
         };
         let out =
-            self.executor
-                .run_epoch_degraded(round_id, seed, readings, failed, &self.faults)?;
+            self.exec
+                .run_epoch_degraded(plan, round_id, seed, readings, failed, &self.faults)?;
         let report = RoundReport {
             round_id,
             seed,
             outcome: out.round,
             degraded: out.degraded,
+            patch,
         };
         self.stats.record(&report);
-        let cache = self.executor.weight_cache();
-        self.stats.weight_cache_masks = cache.cached();
-        self.stats.weight_cache_evictions = cache.evictions();
+        if let Some(cache) = self.exec.weight_cache_opt() {
+            self.stats.weight_cache_masks = cache.cached();
+            self.stats.weight_cache_evictions = cache.evictions();
+        }
         for observer in &mut self.observers {
             observer.on_round(&report);
         }

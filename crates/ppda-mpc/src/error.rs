@@ -56,6 +56,20 @@ pub enum MpcError {
         /// How many more surviving shares the threshold needed.
         missing: usize,
     },
+    /// A membership change emptied the destination set: no live node is
+    /// left to hold shares, so no plan can be patched or compiled for
+    /// this view.
+    MembershipExhausted,
+    /// A membership-driven driver was asked for a round *before* one it
+    /// already patched the plan for; incremental patching only moves
+    /// forward. Use a fresh driver (they fast-forward deterministically)
+    /// to revisit earlier rounds.
+    MembershipRegression {
+        /// The round id the driver has already patched up to.
+        patched_to: u32,
+        /// The earlier round that was requested.
+        requested: u32,
+    },
     /// Propagated SSS-layer failure.
     Sss(SssError),
 }
@@ -82,6 +96,22 @@ impl fmt::Display for MpcError {
                 write!(
                     f,
                     "aggregation failed: {missing} surviving sum share(s) short of the threshold"
+                )
+            }
+            MpcError::MembershipExhausted => {
+                write!(
+                    f,
+                    "membership change left no live destination to hold shares"
+                )
+            }
+            MpcError::MembershipRegression {
+                patched_to,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "round {requested} precedes the plan's patched state (round {patched_to}); \
+                     membership-driven drivers only advance"
                 )
             }
             MpcError::Sss(e) => write!(f, "secret-sharing error: {e}"),
@@ -128,6 +158,15 @@ mod tests {
         };
         assert!(wide.to_string().contains("64"));
         assert!(wide.to_string().contains("23"));
+        assert!(MpcError::MembershipExhausted
+            .to_string()
+            .contains("no live destination"));
+        let reg = MpcError::MembershipRegression {
+            patched_to: 9,
+            requested: 4,
+        };
+        assert!(reg.to_string().contains('9'));
+        assert!(reg.to_string().contains('4'));
         let e = MpcError::from(SssError::InconsistentShares);
         assert!(e.to_string().contains("secret-sharing"));
         assert!(std::error::Error::source(&e).is_some());

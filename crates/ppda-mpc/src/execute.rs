@@ -502,14 +502,27 @@ struct RoundScratch {
 #[derive(Debug, Clone)]
 pub struct RoundExecutor<'p, 't> {
     plan: &'p RoundPlan<'t>,
+    state: ExecState,
+}
+
+/// The plan-agnostic half of an executor: scratch buffers plus the
+/// per-caller caches. Split from [`RoundExecutor`] so a holder that
+/// *owns* (and patches) its plan — the membership-driven
+/// [`RoundDriver`](crate::RoundDriver) — can run rounds without a
+/// self-referential borrow: every run method takes the plan as a
+/// parameter.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecState {
     scratch: RoundScratch,
     /// Effective failure mask of a degraded round: caller's mask OR'd
-    /// with the fault plan's dropout/churn draws.
+    /// with non-member nodes and the fault plan's dropout/churn draws.
     failed_eff: Vec<bool>,
     /// Lagrange weights per survivor mask, memoized across the
     /// executor's rounds: lossy rounds repeat the same few survivor
     /// patterns, so each distinct subset pays its O(t²) basis once.
-    weight_cache: WeightCache<Field>,
+    /// `None` when churn has left fewer destinations than the threshold
+    /// (no reconstruction is possible, so no weights are needed).
+    weight_cache: Option<WeightCache<Field>>,
     /// Link tables per `(attenuation, loss)` operating point, memoized
     /// across the executor's rounds: the fading mixtures draw the calm
     /// state for a large fraction of rounds and the fault layer's loss is
@@ -518,15 +531,14 @@ pub struct RoundExecutor<'p, 't> {
     conditions: LinkConditionsCache,
 }
 
-impl<'p, 't> RoundExecutor<'p, 't> {
-    pub(crate) fn new(plan: &'p RoundPlan<'t>) -> Self {
+impl ExecState {
+    pub(crate) fn new(plan: &RoundPlan<'_>) -> Self {
         let config = plan.config();
         let lanes = config.batch;
         let n_sources = config.sources.len();
         let n_dests = plan.destinations.len();
         let n_slots = plan.slots.len();
-        RoundExecutor {
-            plan,
+        ExecState {
             failed_eff: Vec::with_capacity(config.n_nodes),
             weight_cache: plan.survivor_weight_cache(),
             conditions: LinkConditionsCache::new(),
@@ -552,6 +564,40 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         }
     }
 
+    /// Re-fit the destination-scoped buffers after a plan patch changed
+    /// the destination set (slot count, sum slabs, weight-cache basis).
+    /// Buffers keyed on sources or lanes are untouched — those axes never
+    /// churn.
+    pub(crate) fn sync(&mut self, plan: &RoundPlan<'_>) {
+        let lanes = plan.config().batch;
+        let n_dests = plan.destinations.len();
+        let n_slots = plan.slots.len();
+        self.scratch.sealed.resize(n_slots, Vec::new());
+        self.scratch.slot_live.resize(n_slots, false);
+        self.scratch.sum_ys.resize(n_dests * lanes, Elem::ZERO);
+        self.scratch.sum_mask.resize(n_dests, 0);
+        self.scratch.sum_live.resize(n_dests, false);
+        self.scratch.usable.resize(n_dests, false);
+        self.weight_cache = plan.survivor_weight_cache();
+    }
+
+    pub(crate) fn weight_cache_opt(&self) -> Option<&WeightCache<Field>> {
+        self.weight_cache.as_ref()
+    }
+
+    pub(crate) fn weight_cache_opt_mut(&mut self) -> Option<&mut WeightCache<Field>> {
+        self.weight_cache.as_mut()
+    }
+}
+
+impl<'p, 't> RoundExecutor<'p, 't> {
+    pub(crate) fn new(plan: &'p RoundPlan<'t>) -> Self {
+        RoundExecutor {
+            plan,
+            state: ExecState::new(plan),
+        }
+    }
+
     /// The plan this executor runs over.
     pub fn plan(&self) -> &'p RoundPlan<'t> {
         self.plan
@@ -560,17 +606,6 @@ impl<'p, 't> RoundExecutor<'p, 't> {
     /// The lane width B of every round this executor runs.
     pub fn lanes(&self) -> usize {
         self.plan.config().batch
-    }
-
-    /// The survivor-mask weight cache, for holders that outlive this
-    /// executor (sessions swap a long-lived cache in and out so the
-    /// memoized bases survive per-epoch executors).
-    pub(crate) fn weight_cache_mut(&mut self) -> &mut WeightCache<Field> {
-        &mut self.weight_cache
-    }
-
-    pub(crate) fn weight_cache(&self) -> &WeightCache<Field> {
-        &self.weight_cache
     }
 
     /// Run one batched round with deterministically generated readings
@@ -627,7 +662,8 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         failed: &[bool],
     ) -> Result<BatchAggregationOutcome, MpcError> {
         Ok(self
-            .run_epoch_inner(round_id, seed, secrets, failed, None)?
+            .state
+            .run_epoch_inner(self.plan, round_id, seed, secrets, failed, None)?
             .0)
     }
 
@@ -684,8 +720,25 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         failed: &[bool],
         faults: &FaultPlan,
     ) -> Result<DegradedBatchOutcome, MpcError> {
+        self.state
+            .run_epoch_degraded(self.plan, round_id, seed, secrets, failed, faults)
+    }
+}
+
+impl ExecState {
+    /// See [`RoundExecutor::run_epoch_degraded`]; the plan is explicit so
+    /// plan-owning holders can call through without a stored borrow.
+    pub(crate) fn run_epoch_degraded(
+        &mut self,
+        plan: &RoundPlan<'_>,
+        round_id: u32,
+        seed: u64,
+        secrets: &[u64],
+        failed: &[bool],
+        faults: &FaultPlan,
+    ) -> Result<DegradedBatchOutcome, MpcError> {
         let (round, degraded) =
-            self.run_epoch_inner(round_id, seed, secrets, failed, Some(faults))?;
+            self.run_epoch_inner(plan, round_id, seed, secrets, failed, Some(faults))?;
         Ok(DegradedBatchOutcome {
             round,
             degraded: degraded.expect("fault-injected rounds produce a report"),
@@ -695,22 +748,21 @@ impl<'p, 't> RoundExecutor<'p, 't> {
     /// The shared round pipeline. `faults: None` is the plain path;
     /// `Some(plan)` applies the fault layer and returns the degraded
     /// report alongside the outcome.
-    fn run_epoch_inner(
+    pub(crate) fn run_epoch_inner(
         &mut self,
+        plan: &RoundPlan<'_>,
         round_id: u32,
         seed: u64,
         secrets: &[u64],
         failed: &[bool],
         faults: Option<&FaultPlan>,
     ) -> Result<(BatchAggregationOutcome, Option<DegradedOutcome>), MpcError> {
-        let RoundExecutor {
-            plan,
+        let ExecState {
             scratch,
             failed_eff,
             weight_cache,
             conditions: conditions_cache,
         } = self;
-        let plan: &RoundPlan<'_> = plan;
         let config = plan.config();
         let lanes = config.batch;
         let n = config.n_nodes;
@@ -718,15 +770,25 @@ impl<'p, 't> RoundExecutor<'p, 't> {
 
         let rf = faults.map(|f| f.realize(round_id, seed));
         let mut report = FaultReport::default();
-        // Dropout and churn extend the caller's failure mask for this
-        // round; the zero plan leaves it untouched (and unallocated).
-        let failed: &[bool] = if let Some(rf) = rf.as_ref() {
+        // Non-members sit outside this round entirely; dropout and churn
+        // then extend the mask further for the round. A member-complete
+        // plan with a zero fault plan leaves the caller's mask untouched
+        // (and unallocated).
+        let membership = plan.membership.as_deref();
+        let failed: &[bool] = if rf.is_some() || membership.is_some() {
             failed_eff.clear();
             failed_eff.extend_from_slice(failed);
-            for (v, f) in failed_eff.iter_mut().enumerate() {
-                if !*f && rf.node_down(v) {
-                    *f = true;
-                    report.nodes_dropped += 1;
+            if let Some(live) = membership {
+                for (f, &l) in failed_eff.iter_mut().zip(live) {
+                    *f |= !l;
+                }
+            }
+            if let Some(rf) = rf.as_ref() {
+                for (v, f) in failed_eff.iter_mut().enumerate() {
+                    if !*f && rf.node_down(v) {
+                        *f = true;
+                        report.nodes_dropped += 1;
+                    }
                 }
             }
             failed_eff
@@ -985,7 +1047,7 @@ impl<'p, 't> RoundExecutor<'p, 't> {
                         lanes,
                         config.degree,
                         &plan.recon_weights,
-                        weight_cache,
+                        weight_cache.as_mut(),
                         &mut scratch.recon_xs,
                         &mut scratch.recon_slab,
                         &mut scratch.recon_out,
@@ -1123,7 +1185,7 @@ fn aggregate_lanes(
     lanes: usize,
     degree: usize,
     weights: &ReconstructionPlan<Field>,
-    cache: &mut WeightCache<Field>,
+    cache: Option<&mut WeightCache<Field>>,
     recon_xs: &mut Vec<Elem>,
     recon_slab: &mut Vec<Elem>,
     recon_out: &mut Vec<Elem>,
@@ -1189,6 +1251,11 @@ fn aggregate_lanes(
         // cache selects for this mask — same xs, same weights a fresh
         // `basis_at_zero` would produce.
         let survivor_mask = members.iter().fold(0u128, |m, &di| m | (1u128 << di));
+        // A plan below the reconstruction threshold carries no cache —
+        // and can never reach degree + 1 members anyway.
+        let Some(cache) = cache else {
+            return (None, 0);
+        };
         let Ok(basis) = cache.weights(survivor_mask) else {
             return (None, 0);
         };
@@ -1335,7 +1402,17 @@ mod tests {
         let mut cache = WeightCache::new(&dest_xs, 2).unwrap();
         let (mut xs, mut slab, mut out) = (Vec::new(), Vec::new(), Vec::new());
         let (agg, bits) = aggregate_lanes(
-            &held, &sum_ys, &sum_mask, &dest_xs, 2, 1, &w, &mut cache, &mut xs, &mut slab, &mut out,
+            &held,
+            &sum_ys,
+            &sum_mask,
+            &dest_xs,
+            2,
+            1,
+            &w,
+            Some(&mut cache),
+            &mut xs,
+            &mut slab,
+            &mut out,
         );
         assert_eq!(agg, Some(vec![10, 30]));
         assert_eq!(bits, 3);
@@ -1357,7 +1434,7 @@ mod tests {
             1,
             1,
             &w,
-            &mut cache,
+            Some(&mut cache),
             &mut xs,
             &mut slab,
             &mut out,
@@ -1381,12 +1458,32 @@ mod tests {
         let mut cache = WeightCache::new(&dest_xs, 2).unwrap();
         let (mut xs, mut slab, mut out) = (Vec::new(), Vec::new(), Vec::new());
         let first = aggregate_lanes(
-            &held, &sum_ys, &sum_mask, &dest_xs, 2, 1, &w, &mut cache, &mut xs, &mut slab, &mut out,
+            &held,
+            &sum_ys,
+            &sum_mask,
+            &dest_xs,
+            2,
+            1,
+            &w,
+            Some(&mut cache),
+            &mut xs,
+            &mut slab,
+            &mut out,
         );
         assert_eq!(first.0, Some(vec![9, 21]));
         assert_eq!(cache.cached(), 1);
         let again = aggregate_lanes(
-            &held, &sum_ys, &sum_mask, &dest_xs, 2, 1, &w, &mut cache, &mut xs, &mut slab, &mut out,
+            &held,
+            &sum_ys,
+            &sum_mask,
+            &dest_xs,
+            2,
+            1,
+            &w,
+            Some(&mut cache),
+            &mut xs,
+            &mut slab,
+            &mut out,
         );
         assert_eq!(first, again);
         assert_eq!(cache.cached(), 1, "second resolution must hit the cache");

@@ -67,6 +67,7 @@ mod config;
 mod driver;
 mod error;
 mod execute;
+mod membership;
 mod outcome;
 mod plan;
 mod s3;
@@ -75,9 +76,12 @@ mod session;
 
 pub use bootstrap::Bootstrap;
 pub use config::{ProtocolConfig, ProtocolConfigBuilder};
-pub use driver::{Deployment, DeploymentBuilder, DriverStats, RoundDriver, RoundObserver};
+pub use driver::{
+    Deployment, DeploymentBuilder, DriverStats, MembershipMode, RoundDriver, RoundObserver,
+};
 pub use error::MpcError;
 pub use execute::RoundExecutor;
+pub use membership::{MembershipDelta, MembershipTimeline, PlanPatch};
 pub use outcome::{
     AggregationOutcome, BatchAggregationOutcome, BatchNodeResult, DegradedBatchOutcome,
     DegradedOutcome, DegradedRound, FaultReport, NodeResult, PhaseStats, RecoveryStatus,
@@ -87,7 +91,7 @@ pub use plan::{ProtocolKind, RoundPlan};
 // The fault/churn model consumed by every driven round, re-exported so
 // protocol users need not depend on the transport/sim crates directly.
 pub use ppda_ct::{Delivery, FaultPlan};
-pub use ppda_sim::ChurnSchedule;
+pub use ppda_sim::{ChurnSchedule, MembershipEvent, MembershipEventKind, TrickleConfig};
 pub use s3::S3Protocol;
 pub use s4::S4Protocol;
 pub use session::{AggregationSession, SessionProtocol, SessionStats};

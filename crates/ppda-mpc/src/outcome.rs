@@ -5,6 +5,7 @@ use core::fmt;
 use ppda_sim::SimDuration;
 
 use crate::error::MpcError;
+use crate::membership::PlanPatch;
 
 /// Allocation-free mean over a sample stream; `None` when it is empty.
 fn mean_of(values: impl Iterator<Item = f64>) -> Option<f64> {
@@ -498,6 +499,11 @@ pub struct RoundReport {
     pub outcome: BatchAggregationOutcome,
     /// Survivor set, threshold verdict and observed faults.
     pub degraded: DegradedOutcome,
+    /// What the plan patch that preceded this round did, when the round
+    /// began by applying one or more membership deltas (`None` for the
+    /// overwhelmingly common unpatched round). Several deltas landing
+    /// before one round are absorbed into a single record.
+    pub patch: Option<PlanPatch>,
 }
 
 impl RoundReport {
@@ -547,6 +553,13 @@ impl RoundReport {
     /// survivor set is below the threshold.
     pub fn require_recovered(&self) -> Result<(), MpcError> {
         self.degraded.require_recovered()
+    }
+
+    /// The membership patch this round began with, if any: what
+    /// [`RoundPlan::apply`](crate::RoundPlan::apply) rebuilt (or merely
+    /// re-masked) before the round executed.
+    pub fn membership_patch(&self) -> Option<&PlanPatch> {
+        self.patch.as_ref()
     }
 
     /// Convert a 1-lane report into the scalar outcome pair; `None` for
@@ -785,8 +798,10 @@ mod tests {
             seed: 77,
             outcome: batch_outcome(2, vec![batch_node(Some(vec![42, 43]), false)]),
             degraded: degraded(RecoveryStatus::Recovered { margin: 1 }),
+            patch: None,
         };
         assert_eq!(report.lanes(), 2);
+        assert!(report.membership_patch().is_none());
         assert!(report.correct());
         assert!(report.recovered());
         assert_eq!(report.survivors(), &[1, 4, 6, 8]);
@@ -810,6 +825,7 @@ mod tests {
             seed: 5,
             outcome: batch_outcome(1, vec![batch_node(None, false)]),
             degraded: degraded(RecoveryStatus::Failed { missing: 2 }),
+            patch: None,
         };
         assert!(!report.recovered());
         assert_eq!(report.aggregates(), None);

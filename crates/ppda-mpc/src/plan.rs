@@ -11,6 +11,7 @@
 //! [`RoundPlan::run_epoch`].
 
 use std::borrow::Cow;
+use std::collections::HashMap;
 
 use ppda_crypto::{Aes128, Ccm};
 use ppda_ct::{ChainSpec, MiniCastConfig, MiniCastSchedule};
@@ -22,6 +23,7 @@ use ppda_topology::Topology;
 use crate::bootstrap::Bootstrap;
 use crate::config::ProtocolConfig;
 use crate::error::MpcError;
+use crate::membership::{MembershipDelta, PlanPatch};
 use crate::{Elem, Field};
 
 /// Cycles of schedule slack beyond NTX in S4's perimeter-scope rounds.
@@ -136,6 +138,10 @@ pub struct RoundPlan<'t> {
     kind: ProtocolKind,
     pub(crate) variant: Variant,
     pub(crate) bootstrap: Bootstrap,
+    /// Current membership view (`None` = every configured node is a
+    /// member). Non-member nodes never contribute readings and never hold
+    /// shares; destinations below are elected from the members only.
+    pub(crate) membership: Option<Vec<bool>>,
     /// Share destinations: all nodes (S3) or the aggregator set (S4).
     pub(crate) destinations: Vec<u16>,
     /// `share_x(destinations[i])`, precomputed.
@@ -188,7 +194,7 @@ impl<'t> RoundPlan<'t> {
         config: &ProtocolConfig,
         kind: ProtocolKind,
     ) -> Result<RoundPlan<'t>, MpcError> {
-        Self::compile(Cow::Borrowed(topology), config.clone(), kind)
+        Self::compile(Cow::Borrowed(topology), config.clone(), kind, None)
     }
 
     /// Compile a plan that owns its topology (for long-lived holders).
@@ -201,75 +207,70 @@ impl<'t> RoundPlan<'t> {
         config: ProtocolConfig,
         kind: ProtocolKind,
     ) -> Result<RoundPlan<'static>, MpcError> {
-        RoundPlan::compile(Cow::Owned(topology), config, kind)
+        RoundPlan::compile(Cow::Owned(topology), config, kind, None)
+    }
+
+    /// Compile a plan from scratch for a specific membership view
+    /// (`live[v]` ⇔ node `v` is currently a member).
+    ///
+    /// This is the *full-recompile* reference implementation that
+    /// [`RoundPlan::apply`] is differentially tested against: applying a
+    /// membership delta to a compiled plan must be byte-identical to
+    /// recompiling with this constructor — and strictly cheaper, since
+    /// `apply` skips the bootstrap (pairwise keys, hop tables, centrality
+    /// ranking) and reuses surviving AES-CCM contexts.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundPlan::new`]; additionally
+    /// [`MpcError::MembershipExhausted`] when `live` leaves no
+    /// destination, and [`MpcError::InputMismatch`] when `live` does not
+    /// cover exactly the configured node count.
+    pub fn new_with_membership(
+        topology: &Topology,
+        config: &ProtocolConfig,
+        kind: ProtocolKind,
+        live: &[bool],
+    ) -> Result<RoundPlan<'static>, MpcError> {
+        RoundPlan::compile(
+            Cow::Owned(topology.clone()),
+            config.clone(),
+            kind,
+            Some(live.to_vec()),
+        )
     }
 
     fn compile(
         topology: Cow<'t, Topology>,
         config: ProtocolConfig,
         kind: ProtocolKind,
+        membership: Option<Vec<bool>>,
     ) -> Result<RoundPlan<'t>, MpcError> {
         let variant = kind.variant();
         let n = config.n_nodes;
         let bootstrap = Bootstrap::run(&topology, &config)?;
-
-        let destinations: Vec<u16> = if variant.trim_to_aggregators {
-            bootstrap.aggregators().to_vec()
-        } else {
-            (0..n as u16).collect()
-        };
-        let dest_xs: Vec<Elem> = destinations
-            .iter()
-            .map(|&d| share_x::<Field>(d as usize))
-            .collect();
-        let mut is_destination = vec![false; n];
-        let mut dest_index = vec![0usize; n];
-        for (di, &d) in destinations.iter().enumerate() {
-            is_destination[d as usize] = true;
-            dest_index[d as usize] = di;
-        }
-
-        // Sharing chain: for every configured source, one sub-slot per
-        // destination other than itself. The schedule is fixed a priori;
-        // failed sources simply leave their sub-slots dark at run time.
-        let mut slots = Vec::with_capacity(config.sources.len() * destinations.len());
-        for (src_index, &src) in config.sources.iter().enumerate() {
-            for (dst_index, &dst) in destinations.iter().enumerate() {
-                if dst == src {
-                    continue; // the source keeps its own share locally
-                }
-                slots.push(ShareSlotSpec {
-                    src,
-                    dst,
-                    src_index,
-                    dst_index,
+        if let Some(live) = &membership {
+            if live.len() != n {
+                return Err(MpcError::InputMismatch {
+                    what: format!(
+                        "membership mask covers {} nodes, config expects {n}",
+                        live.len()
+                    ),
                 });
             }
         }
-        // Per-destination slot index (CSR layout): the completion
-        // predicate of an aggregator checks only the slots addressed to it
-        // instead of scanning the whole chain on every reception.
-        let mut dest_slot_offsets = Vec::with_capacity(destinations.len() + 1);
-        let mut slots_by_dest = Vec::with_capacity(slots.len());
-        dest_slot_offsets.push(0);
-        for &d in &destinations {
-            for (j, slot) in slots.iter().enumerate() {
-                if slot.dst == d {
-                    slots_by_dest.push(j);
-                }
-            }
-            dest_slot_offsets.push(slots_by_dest.len());
+
+        let destinations = elect_destinations(variant, &config, &bootstrap, membership.as_deref());
+        if destinations.is_empty() {
+            return Err(MpcError::MembershipExhausted);
         }
-        let slot_ccm: Vec<Ccm> = slots
+        let tables = build_dest_tables(&destinations, n);
+        let layout = build_slot_layout(&config, &destinations);
+        let slot_ccm: Vec<Ccm> = layout
+            .slots
             .iter()
-            .map(|s| {
-                let key = bootstrap
-                    .keys()
-                    .key(s.src, s.dst)
-                    .map_err(ppda_sss::SssError::from)?;
-                Ccm::new(key, config.tag_len).map_err(ppda_sss::SssError::from)
-            })
-            .collect::<Result<_, ppda_sss::SssError>>()?;
+            .map(|s| slot_cipher(&bootstrap, &config, s))
+            .collect::<Result<_, MpcError>>()?;
         let master_cipher = Aes128::new(&config.master_key);
 
         let ntx_sharing = if variant.full_coverage {
@@ -283,73 +284,18 @@ impl<'t> RoundPlan<'t> {
             config.ntx_reconstruction
         };
 
-        // Frames carry the whole lane batch: B field elements per share
-        // packet (B = 1 is the paper's scalar layout). FrameSpec rejects
-        // lane widths that overflow the 127-byte 802.15.4 PSDU.
-        let share_frame = FrameSpec::new(
-            config.batch * <Field as PrimeField>::ENCODED_LEN,
-            config.tag_len,
-        )
-        .map_err(|e| MpcError::InvalidConfig {
-            what: e.to_string(),
-        })?;
-        let owners: Vec<u16> = slots.iter().map(|s| s.src).collect();
-        let sharing_chain =
-            ChainSpec::new(share_frame, owners).map_err(|e| MpcError::InvalidConfig {
-                what: e.to_string(),
-            })?;
-        // S3 needs the full-coverage schedule (join wave + NTX + slack);
-        // S4's whole point is a perimeter-scope round that ends right after
-        // the NTX repetitions.
-        let max_cycles = (!variant.full_coverage).then_some(ntx_sharing + PERIMETER_SLACK_CYCLES);
-        let sharing_schedule = MiniCastSchedule::new(
+        let sharing_schedule =
+            build_sharing_schedule(&topology, &config, variant, &layout.slots, ntx_sharing)?;
+        let recon_schedule = build_recon_schedule(
             &topology,
-            sharing_chain,
-            MiniCastConfig {
-                ntx: ntx_sharing,
-                link_threshold: config.link_threshold,
-                max_cycles,
-                // Early sleep requires the completion-tracking machinery
-                // S4 introduces; the naive build just follows the schedule.
-                early_radio_off: !variant.strict_completion,
-                ..MiniCastConfig::default()
-            },
-        );
+            &config,
+            variant,
+            &destinations,
+            ntx_reconstruction,
+        )?;
 
-        let sum_frame =
-            FrameSpec::new(SumBatch::<Field>::encoded_len(config.batch), 0).map_err(|e| {
-                MpcError::InvalidConfig {
-                    what: e.to_string(),
-                }
-            })?;
-        // Reconstruction data must reach *every* node (all of them need
-        // the aggregate), so even S4 keeps the full-length schedule here —
-        // the chain is only |A| sub-slots, so this is cheap; the low NTX
-        // and any-(k+1) predicate still apply.
-        let recon_chain = ChainSpec::new(sum_frame, destinations.clone()).map_err(|e| {
-            MpcError::InvalidConfig {
-                what: e.to_string(),
-            }
-        })?;
-        let recon_schedule = MiniCastSchedule::new(
-            &topology,
-            recon_chain,
-            MiniCastConfig {
-                ntx: ntx_reconstruction,
-                link_threshold: config.link_threshold,
-                early_radio_off: !variant.strict_completion,
-                ..MiniCastConfig::default()
-            },
-        );
-
-        // The canonical reconstruction subset: when a node holds every
-        // destination's sum share (the common case), it reconstructs from
-        // the threshold shares with the lowest x — precompute those weights.
         let threshold = config.degree + 1;
-        let mut sorted_xs = dest_xs.clone();
-        sorted_xs.sort_unstable();
-        let recon_weights = ReconstructionPlan::new(&sorted_xs[..threshold.min(sorted_xs.len())])
-            .map_err(MpcError::from)?;
+        let recon_weights = build_recon_weights(&tables.dest_xs, threshold)?;
 
         Ok(RoundPlan {
             topology,
@@ -357,13 +303,14 @@ impl<'t> RoundPlan<'t> {
             kind,
             variant,
             bootstrap,
+            membership,
             destinations,
-            dest_xs,
-            is_destination,
-            dest_index,
-            slots_by_dest,
-            dest_slot_offsets,
-            slots,
+            dest_xs: tables.dest_xs,
+            is_destination: tables.is_destination,
+            dest_index: tables.dest_index,
+            slots_by_dest: layout.slots_by_dest,
+            dest_slot_offsets: layout.dest_slot_offsets,
+            slots: layout.slots,
             slot_ccm,
             master_cipher,
             sharing_schedule,
@@ -375,6 +322,127 @@ impl<'t> RoundPlan<'t> {
         })
     }
 
+    /// Incrementally patch the compiled plan for a membership change.
+    ///
+    /// Re-runs only the bootstrap slices the delta invalidates:
+    ///
+    /// * the destination set is re-elected from the retained centrality
+    ///   ranking ([`Bootstrap::elect`]) — no hop-table or key re-run;
+    /// * when the destination set is unchanged (the common case for S4:
+    ///   churn away from the aggregator set), nothing structural is
+    ///   rebuilt — the patch only updates the membership mask;
+    /// * otherwise the sharing chain is re-spliced, both phases'
+    ///   MiniCast schedules recompiled for the new chain, the Lagrange
+    ///   weights recomputed for the new survivor universe, and surviving
+    ///   `(src, dst)` AES-CCM contexts *reused* — key schedules expand
+    ///   only for pairs that did not exist before.
+    ///
+    /// The result is byte-identical to a full
+    /// [`RoundPlan::new_with_membership`] recompile for the same view
+    /// (enforced by the differential suite), at a fraction of the cost:
+    /// the `n²` pairwise-key derivation and the `n` BFS hop sweeps are
+    /// never repeated.
+    ///
+    /// On error the plan is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcError::InputMismatch`] if the delta names a node outside
+    ///   the deployment.
+    /// * [`MpcError::MembershipExhausted`] if the change leaves no live
+    ///   destination.
+    /// * [`MpcError::InvalidConfig`] if the re-spliced chain violates a
+    ///   frame or chain constraint.
+    pub fn apply(&mut self, delta: &MembershipDelta) -> Result<PlanPatch, MpcError> {
+        let n = self.config.n_nodes;
+        for &v in delta.joins.iter().chain(delta.leaves.iter()) {
+            if v as usize >= n {
+                return Err(MpcError::InputMismatch {
+                    what: format!("membership delta names node {v} in a {n}-node deployment"),
+                });
+            }
+        }
+        let mut live = self.membership.clone().unwrap_or_else(|| vec![true; n]);
+        for &v in &delta.joins {
+            live[v as usize] = true;
+        }
+        for &v in &delta.leaves {
+            live[v as usize] = false;
+        }
+
+        let destinations =
+            elect_destinations(self.variant, &self.config, &self.bootstrap, Some(&live));
+        if destinations.is_empty() {
+            return Err(MpcError::MembershipExhausted);
+        }
+        let mut patch = PlanPatch {
+            round: delta.round,
+            joined: delta.joins.len() as u32,
+            left: delta.leaves.len() as u32,
+            destinations_changed: false,
+            destinations: destinations.len() as u32,
+            slots_rebuilt: 0,
+            ccm_reused: 0,
+            ccm_created: 0,
+        };
+        if destinations == self.destinations {
+            self.membership = Some(live);
+            return Ok(patch);
+        }
+        patch.destinations_changed = true;
+
+        // Rebuild the destination-scoped slices into locals first; the
+        // plan mutates only once everything has succeeded.
+        let tables = build_dest_tables(&destinations, n);
+        let layout = build_slot_layout(&self.config, &destinations);
+        patch.slots_rebuilt = layout.slots.len() as u32;
+        let pool: HashMap<(u16, u16), &Ccm> = self
+            .slots
+            .iter()
+            .zip(self.slot_ccm.iter())
+            .map(|(s, c)| ((s.src, s.dst), c))
+            .collect();
+        let mut slot_ccm = Vec::with_capacity(layout.slots.len());
+        for s in &layout.slots {
+            if let Some(&ccm) = pool.get(&(s.src, s.dst)) {
+                slot_ccm.push(ccm.clone());
+                patch.ccm_reused += 1;
+            } else {
+                slot_ccm.push(slot_cipher(&self.bootstrap, &self.config, s)?);
+                patch.ccm_created += 1;
+            }
+        }
+        let sharing_schedule = build_sharing_schedule(
+            &self.topology,
+            &self.config,
+            self.variant,
+            &layout.slots,
+            self.ntx_sharing,
+        )?;
+        let recon_schedule = build_recon_schedule(
+            &self.topology,
+            &self.config,
+            self.variant,
+            &destinations,
+            self.ntx_reconstruction,
+        )?;
+        let recon_weights = build_recon_weights(&tables.dest_xs, self.threshold)?;
+
+        self.membership = Some(live);
+        self.destinations = destinations;
+        self.dest_xs = tables.dest_xs;
+        self.is_destination = tables.is_destination;
+        self.dest_index = tables.dest_index;
+        self.slots_by_dest = layout.slots_by_dest;
+        self.dest_slot_offsets = layout.dest_slot_offsets;
+        self.slots = layout.slots;
+        self.slot_ccm = slot_ccm;
+        self.sharing_schedule = sharing_schedule;
+        self.recon_schedule = recon_schedule;
+        self.recon_weights = recon_weights;
+        Ok(patch)
+    }
+
     /// Detach the plan from the borrowed topology (clones it once).
     pub fn into_owned(self) -> RoundPlan<'static> {
         RoundPlan {
@@ -383,6 +451,7 @@ impl<'t> RoundPlan<'t> {
             kind: self.kind,
             variant: self.variant,
             bootstrap: self.bootstrap,
+            membership: self.membership,
             destinations: self.destinations,
             dest_xs: self.dest_xs,
             is_destination: self.is_destination,
@@ -422,9 +491,15 @@ impl<'t> RoundPlan<'t> {
     }
 
     /// The share destination set: every node (S3) or the designated
-    /// aggregators (S4).
+    /// aggregators (S4), elected from the current membership.
     pub fn destinations(&self) -> &[u16] {
         &self.destinations
+    }
+
+    /// The current membership view (`None` = every configured node is a
+    /// member). Patched by [`RoundPlan::apply`].
+    pub fn membership(&self) -> Option<&[bool]> {
+        self.membership.as_deref()
     }
 
     /// Sub-slots in the sharing chain.
@@ -445,10 +520,12 @@ impl<'t> RoundPlan<'t> {
     }
 
     /// A fresh survivor-mask weight cache over this plan's destination
-    /// x-set (mask bit `di` ↔ destination `di`).
-    pub(crate) fn survivor_weight_cache(&self) -> ppda_sss::WeightCache<Field> {
-        ppda_sss::WeightCache::new(&self.dest_xs, self.threshold)
-            .expect("plan guarantees 0 < threshold <= destinations <= 128")
+    /// x-set (mask bit `di` ↔ destination `di`). `None` when churn has
+    /// shrunk the destination set below the reconstruction threshold —
+    /// such rounds cannot reconstruct at all (they fail with
+    /// [`MpcError::AggregationFailed`]), so no cache is needed.
+    pub(crate) fn survivor_weight_cache(&self) -> Option<ppda_sss::WeightCache<Field>> {
+        ppda_sss::WeightCache::new(&self.dest_xs, self.threshold).ok()
     }
 
     /// A per-caller round executor holding reusable scratch buffers
@@ -458,6 +535,203 @@ impl<'t> RoundPlan<'t> {
     pub fn executor(&self) -> crate::execute::RoundExecutor<'_, 't> {
         crate::execute::RoundExecutor::new(self)
     }
+}
+
+/// The destination set for a membership view: all members (S3) or the
+/// most central live members (S4). With no view, this reduces to the
+/// bootstrap's static election.
+fn elect_destinations(
+    variant: Variant,
+    config: &ProtocolConfig,
+    bootstrap: &Bootstrap,
+    live: Option<&[bool]>,
+) -> Vec<u16> {
+    match live {
+        None if variant.trim_to_aggregators => bootstrap.aggregators().to_vec(),
+        None => (0..config.n_nodes as u16).collect(),
+        Some(live) if variant.trim_to_aggregators => {
+            bootstrap.elect(config.aggregator_count(), live)
+        }
+        Some(live) => (0..config.n_nodes as u16)
+            .filter(|&v| live[v as usize])
+            .collect(),
+    }
+}
+
+struct DestTables {
+    dest_xs: Vec<Elem>,
+    is_destination: Vec<bool>,
+    dest_index: Vec<usize>,
+}
+
+fn build_dest_tables(destinations: &[u16], n: usize) -> DestTables {
+    let dest_xs: Vec<Elem> = destinations
+        .iter()
+        .map(|&d| share_x::<Field>(d as usize))
+        .collect();
+    let mut is_destination = vec![false; n];
+    let mut dest_index = vec![0usize; n];
+    for (di, &d) in destinations.iter().enumerate() {
+        is_destination[d as usize] = true;
+        dest_index[d as usize] = di;
+    }
+    DestTables {
+        dest_xs,
+        is_destination,
+        dest_index,
+    }
+}
+
+struct SlotLayout {
+    slots: Vec<ShareSlotSpec>,
+    slots_by_dest: Vec<usize>,
+    dest_slot_offsets: Vec<usize>,
+}
+
+/// Sharing chain: for every configured source, one sub-slot per
+/// destination other than itself. The schedule is fixed a priori; failed
+/// or non-member sources simply leave their sub-slots dark at run time.
+fn build_slot_layout(config: &ProtocolConfig, destinations: &[u16]) -> SlotLayout {
+    let mut slots = Vec::with_capacity(config.sources.len() * destinations.len());
+    for (src_index, &src) in config.sources.iter().enumerate() {
+        for (dst_index, &dst) in destinations.iter().enumerate() {
+            if dst == src {
+                continue; // the source keeps its own share locally
+            }
+            slots.push(ShareSlotSpec {
+                src,
+                dst,
+                src_index,
+                dst_index,
+            });
+        }
+    }
+    // Per-destination slot index (CSR layout): the completion predicate
+    // of an aggregator checks only the slots addressed to it instead of
+    // scanning the whole chain on every reception.
+    let mut dest_slot_offsets = Vec::with_capacity(destinations.len() + 1);
+    let mut slots_by_dest = Vec::with_capacity(slots.len());
+    dest_slot_offsets.push(0);
+    for &d in destinations {
+        for (j, slot) in slots.iter().enumerate() {
+            if slot.dst == d {
+                slots_by_dest.push(j);
+            }
+        }
+        dest_slot_offsets.push(slots_by_dest.len());
+    }
+    SlotLayout {
+        slots,
+        slots_by_dest,
+        dest_slot_offsets,
+    }
+}
+
+/// One sub-slot's AES-CCM context: the pairwise key of a `(src, dst)`
+/// pair is deployment-scoped, so the AES key schedule expands once per
+/// pair instead of once per sealed packet per round.
+fn slot_cipher(
+    bootstrap: &Bootstrap,
+    config: &ProtocolConfig,
+    slot: &ShareSlotSpec,
+) -> Result<Ccm, MpcError> {
+    let key = bootstrap
+        .keys()
+        .key(slot.src, slot.dst)
+        .map_err(ppda_sss::SssError::from)?;
+    Ccm::new(key, config.tag_len)
+        .map_err(ppda_sss::SssError::from)
+        .map_err(MpcError::from)
+}
+
+/// Compile the sharing-phase MiniCast schedule for a slot chain.
+///
+/// Frames carry the whole lane batch: B field elements per share packet
+/// (B = 1 is the paper's scalar layout). FrameSpec rejects lane widths
+/// that overflow the 127-byte 802.15.4 PSDU.
+fn build_sharing_schedule(
+    topology: &Topology,
+    config: &ProtocolConfig,
+    variant: Variant,
+    slots: &[ShareSlotSpec],
+    ntx_sharing: u32,
+) -> Result<MiniCastSchedule, MpcError> {
+    let share_frame = FrameSpec::new(
+        config.batch * <Field as PrimeField>::ENCODED_LEN,
+        config.tag_len,
+    )
+    .map_err(|e| MpcError::InvalidConfig {
+        what: e.to_string(),
+    })?;
+    let owners: Vec<u16> = slots.iter().map(|s| s.src).collect();
+    let sharing_chain =
+        ChainSpec::new(share_frame, owners).map_err(|e| MpcError::InvalidConfig {
+            what: e.to_string(),
+        })?;
+    // S3 needs the full-coverage schedule (join wave + NTX + slack);
+    // S4's whole point is a perimeter-scope round that ends right after
+    // the NTX repetitions.
+    let max_cycles = (!variant.full_coverage).then_some(ntx_sharing + PERIMETER_SLACK_CYCLES);
+    Ok(MiniCastSchedule::new(
+        topology,
+        sharing_chain,
+        MiniCastConfig {
+            ntx: ntx_sharing,
+            link_threshold: config.link_threshold,
+            max_cycles,
+            // Early sleep requires the completion-tracking machinery S4
+            // introduces; the naive build just follows the schedule.
+            early_radio_off: !variant.strict_completion,
+            ..MiniCastConfig::default()
+        },
+    ))
+}
+
+/// Compile the reconstruction-phase MiniCast schedule.
+///
+/// Reconstruction data must reach *every* node (all of them need the
+/// aggregate), so even S4 keeps the full-length schedule here — the
+/// chain is only |A| sub-slots, so this is cheap; the low NTX and
+/// any-(k+1) predicate still apply.
+fn build_recon_schedule(
+    topology: &Topology,
+    config: &ProtocolConfig,
+    variant: Variant,
+    destinations: &[u16],
+    ntx_reconstruction: u32,
+) -> Result<MiniCastSchedule, MpcError> {
+    let sum_frame =
+        FrameSpec::new(SumBatch::<Field>::encoded_len(config.batch), 0).map_err(|e| {
+            MpcError::InvalidConfig {
+                what: e.to_string(),
+            }
+        })?;
+    let recon_chain =
+        ChainSpec::new(sum_frame, destinations.to_vec()).map_err(|e| MpcError::InvalidConfig {
+            what: e.to_string(),
+        })?;
+    Ok(MiniCastSchedule::new(
+        topology,
+        recon_chain,
+        MiniCastConfig {
+            ntx: ntx_reconstruction,
+            link_threshold: config.link_threshold,
+            early_radio_off: !variant.strict_completion,
+            ..MiniCastConfig::default()
+        },
+    ))
+}
+
+/// The canonical reconstruction subset: when a node holds every
+/// destination's sum share (the common case), it reconstructs from the
+/// threshold shares with the lowest x — precompute those weights.
+fn build_recon_weights(
+    dest_xs: &[Elem],
+    threshold: usize,
+) -> Result<ReconstructionPlan<Field>, MpcError> {
+    let mut sorted_xs = dest_xs.to_vec();
+    sorted_xs.sort_unstable();
+    ReconstructionPlan::new(&sorted_xs[..threshold.min(sorted_xs.len())]).map_err(MpcError::from)
 }
 
 #[cfg(test)]

@@ -94,7 +94,10 @@ impl AggregationSession {
             .protocol(protocol)
             .seed(seed)
             .build()?;
-        let recon_cache = deployment.plan().survivor_weight_cache();
+        let recon_cache = deployment
+            .plan()
+            .survivor_weight_cache()
+            .expect("full-membership plans keep at least threshold destinations");
         Ok(AggregationSession {
             deployment,
             seed,

@@ -18,14 +18,21 @@
 use std::fmt;
 
 use ppda_metrics::CampaignAccumulator;
-use ppda_mpc::{ChurnSchedule, FaultPlan, MpcError, ProtocolConfig, ProtocolKind};
+use ppda_mpc::{
+    ChurnSchedule, FaultPlan, MembershipEvent, MembershipEventKind, MpcError, ProtocolConfig,
+    ProtocolKind, TrickleConfig,
+};
 use ppda_radio::FadingProfile;
 use ppda_topology::Topology;
 use serde::{Deserialize, Deserializer, Error as _, Serialize, Serializer};
 
 use crate::engine::{CampaignEngine, ClockMode, DeploymentSpec, EngineError};
 
-const FORMAT_VERSION: u8 = 1;
+/// Current blob version. Version 2 appended the membership event
+/// stream and Trickle parameters to every spec; version-1 blobs (no
+/// membership) still restore.
+const FORMAT_VERSION: u8 = 2;
+const OLDEST_SUPPORTED_VERSION: u8 = 1;
 
 /// A serialized, self-contained image of a quiesced engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -194,9 +201,28 @@ fn encode_spec(out: &mut Vec<u8>, spec: &DeploymentSpec) {
         put_u32(out, w.from_round);
         put_u32(out, w.until_round);
     }
+
+    // Version 2: the online-membership event stream plus the Trickle
+    // parameters that govern its dissemination.
+    put_u64(out, spec.membership.len() as u64);
+    for ev in &spec.membership {
+        put_u32(out, ev.round);
+        out.extend_from_slice(&ev.node.to_le_bytes());
+        out.push(match ev.kind {
+            MembershipEventKind::Join => 0,
+            MembershipEventKind::Leave => 1,
+            MembershipEventKind::Crash => 2,
+            MembershipEventKind::Rejoin => 3,
+        });
+    }
+    let t = &spec.trickle;
+    put_u32(out, t.i_min);
+    put_u32(out, t.doublings);
+    put_u32(out, t.k);
+    put_u32(out, t.crash_detection);
 }
 
-fn decode_spec(r: &mut Reader<'_>) -> Result<DeploymentSpec, CheckpointError> {
+fn decode_spec(r: &mut Reader<'_>, version: u8) -> Result<DeploymentSpec, CheckpointError> {
     let name = r.string()?;
     let topology = Topology::from_blob(r.bytes_field()?).map_err(CheckpointError::Format)?;
     let protocol = match r.u8()? {
@@ -284,6 +310,37 @@ fn decode_spec(r: &mut Reader<'_>) -> Result<DeploymentSpec, CheckpointError> {
         churn: ChurnSchedule::from_windows(windows),
     };
 
+    // Version-1 blobs predate online membership: restore them as
+    // membership-free specs with the default Trickle parameters.
+    let mut membership = Vec::new();
+    let mut trickle = TrickleConfig::default();
+    if version >= 2 {
+        let n_events = r.u64()? as usize;
+        membership.reserve(n_events.min(4096));
+        for _ in 0..n_events {
+            let round = r.u32()?;
+            let node = r.u16()?;
+            let kind = match r.u8()? {
+                0 => MembershipEventKind::Join,
+                1 => MembershipEventKind::Leave,
+                2 => MembershipEventKind::Crash,
+                3 => MembershipEventKind::Rejoin,
+                other => {
+                    return Err(CheckpointError::Format(format!(
+                        "unknown membership event tag {other}"
+                    )))
+                }
+            };
+            membership.push(MembershipEvent { round, node, kind });
+        }
+        trickle = TrickleConfig {
+            i_min: r.u32()?,
+            doublings: r.u32()?,
+            k: r.u32()?,
+            crash_detection: r.u32()?,
+        };
+    }
+
     Ok(DeploymentSpec {
         name,
         topology,
@@ -292,6 +349,8 @@ fn decode_spec(r: &mut Reader<'_>) -> Result<DeploymentSpec, CheckpointError> {
         faults,
         seed,
         clock,
+        membership,
+        trickle,
     })
 }
 
@@ -330,7 +389,7 @@ impl Checkpoint {
     pub fn restore(&self) -> Result<CampaignEngine, CheckpointError> {
         let mut r = Reader { bytes: &self.blob };
         let version = r.u8()?;
-        if version != FORMAT_VERSION {
+        if !(OLDEST_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(CheckpointError::Format(format!(
                 "unsupported checkpoint version {version}"
             )));
@@ -341,7 +400,7 @@ impl Checkpoint {
         let mut specs = Vec::with_capacity(n.min(4096));
         let mut progress = Vec::with_capacity(n.min(4096));
         for _ in 0..n {
-            let spec = decode_spec(&mut r)?;
+            let spec = decode_spec(&mut r, version)?;
             let completed = r.u64()?;
             let metrics = CampaignAccumulator::from_blob(r.bytes_field()?)
                 .map_err(CheckpointError::Format)?;
@@ -386,7 +445,10 @@ impl<'de> Deserialize<'de> for Checkpoint {
         let blob = Vec::<u8>::deserialize(deserializer)?;
         // Validate the header eagerly so a wrong payload fails at
         // deserialization, not at a later restore.
-        if blob.first() != Some(&FORMAT_VERSION) {
+        let supported = blob
+            .first()
+            .is_some_and(|&v| (OLDEST_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&v));
+        if !supported {
             return Err(D::Error::custom("not a campaign checkpoint"));
         }
         Ok(Checkpoint { blob })

@@ -15,8 +15,8 @@ use std::sync::Mutex;
 
 use ppda_metrics::CampaignAccumulator;
 use ppda_mpc::{
-    Deployment, FaultPlan, MpcError, ProtocolConfig, ProtocolKind, RoundDriver, RoundObserver,
-    RoundReport,
+    Deployment, FaultPlan, MembershipEvent, MpcError, ProtocolConfig, ProtocolKind, RoundDriver,
+    RoundObserver, RoundReport, TrickleConfig,
 };
 use ppda_topology::Topology;
 
@@ -58,6 +58,14 @@ pub struct DeploymentSpec {
     pub seed: u64,
     /// Round-index → coordinate mapping.
     pub clock: ClockMode,
+    /// Live membership events (joins, leaves, crashes, rejoins) the
+    /// deployment experiences; empty for a static membership. Non-empty
+    /// streams make every per-span driver membership-driven: it patches
+    /// its plan as the compiled deltas come due (see
+    /// [`DeploymentBuilder::membership`](ppda_mpc::DeploymentBuilder::membership)).
+    pub membership: Vec<MembershipEvent>,
+    /// Trickle timer parameters governing membership dissemination.
+    pub trickle: TrickleConfig,
 }
 
 impl DeploymentSpec {
@@ -72,6 +80,8 @@ impl DeploymentSpec {
             faults: FaultPlan::none(),
             seed: 0,
             clock: ClockMode::Epoch,
+            membership: Vec::new(),
+            trickle: TrickleConfig::default(),
         }
     }
 
@@ -128,6 +138,22 @@ pub enum EngineError {
         /// The index that would have been exceeded.
         index: u64,
     },
+    /// Worker code panicked while running a round. The panic was caught
+    /// at the span boundary — the rest of the fleet's spans kept running,
+    /// and the pool shut down cleanly — and surfaced like a round error:
+    /// the panicking round with the lowest `(round index, deployment)`
+    /// key wins, deterministically for any worker count. The engine is
+    /// tainted afterwards.
+    WorkerPanicked {
+        /// Slot index of the deployment whose round panicked.
+        deployment: usize,
+        /// The deployment's name.
+        name: String,
+        /// The round index being attempted when the panic unwound.
+        round_index: u64,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -148,6 +174,16 @@ impl fmt::Display for EngineError {
             EngineError::RoundIndexOverflow { deployment, index } => write!(
                 f,
                 "deployment {deployment} round index {index} exceeds the scheduler budget"
+            ),
+            EngineError::WorkerPanicked {
+                deployment,
+                name,
+                round_index,
+                message,
+            } => write!(
+                f,
+                "worker panicked running deployment {deployment} ({name}) at round index \
+                 {round_index}: {message}"
             ),
         }
     }
@@ -220,6 +256,7 @@ pub struct CampaignEngineBuilder {
     workers: Option<usize>,
     chunk: u64,
     specs: Vec<DeploymentSpec>,
+    panic_probe: Option<(u32, u64)>,
 }
 
 impl CampaignEngineBuilder {
@@ -250,6 +287,16 @@ impl CampaignEngineBuilder {
         self
     }
 
+    /// Test hook: panic inside the worker pool when round `index` of
+    /// deployment `dep` is executed. The panic-containment regression
+    /// suite uses this to prove a panicking round surfaces as
+    /// [`EngineError::WorkerPanicked`] instead of tearing the pool down.
+    #[doc(hidden)]
+    pub fn panic_probe(mut self, dep: u32, index: u64) -> Self {
+        self.panic_probe = Some((dep, index));
+        self
+    }
+
     /// Compile every spec and assemble the engine.
     ///
     /// # Errors
@@ -269,13 +316,18 @@ impl CampaignEngineBuilder {
         let chunk = if self.chunk == 0 { 32 } else { self.chunk };
         let mut slots = Vec::with_capacity(self.specs.len());
         for spec in self.specs {
-            let deployment = Deployment::builder()
+            let mut builder = Deployment::builder()
                 .topology(spec.topology.clone())
                 .config(spec.config.clone())
                 .protocol(spec.protocol)
                 .faults(spec.faults.clone())
-                .seed(spec.seed)
-                .build()?;
+                .seed(spec.seed);
+            if !spec.membership.is_empty() {
+                builder = builder
+                    .membership(spec.membership.clone())
+                    .trickle(spec.trickle);
+            }
+            let deployment = builder.build()?;
             slots.push(Slot {
                 spec,
                 deployment,
@@ -292,6 +344,7 @@ impl CampaignEngineBuilder {
             chunk,
             gate: Mutex::new(()),
             tainted: AtomicBool::new(false),
+            panic_probe: self.panic_probe,
         })
     }
 }
@@ -319,6 +372,8 @@ pub struct CampaignEngine {
     /// Serializes advances (the round clocks move once per advance).
     gate: Mutex<()>,
     tainted: AtomicBool,
+    /// Test hook: `(dep, index)` whose round panics inside the pool.
+    panic_probe: Option<(u32, u64)>,
 }
 
 impl fmt::Debug for CampaignEngine {
@@ -455,11 +510,26 @@ impl CampaignEngine {
             steals: outcome.steals(),
             per_worker: outcome.workers.iter().map(|w| w.executed).collect(),
         };
-        match outcome.error {
-            None => Ok(stats),
-            Some((_, e)) => {
+        // Typed round errors and caught panics compete on the same
+        // deterministic key; the lower one is the run's failure.
+        let error_key = outcome.error.as_ref().map(|&(key, _)| key);
+        let panic_key = outcome.panic.as_ref().map(|&(key, _)| key);
+        match (error_key, panic_key) {
+            (None, None) => Ok(stats),
+            (Some(ek), pk) if pk.is_none_or(|pk| ek <= pk) => {
                 self.tainted.store(true, Ordering::Relaxed);
-                Err(e)
+                Err(outcome.error.expect("error key came from an error").1)
+            }
+            _ => {
+                self.tainted.store(true, Ordering::Relaxed);
+                let (key, message) = outcome.panic.expect("panic key came from a panic");
+                let dep = (key & u32::MAX as u64) as usize;
+                Err(EngineError::WorkerPanicked {
+                    deployment: dep,
+                    name: self.slots[dep].spec.name.clone(),
+                    round_index: key >> 32,
+                    message,
+                })
             }
         }
     }
@@ -560,6 +630,9 @@ impl<'e> SpanRunner for EngineRunner<'e> {
     }
 
     fn round(&self, state: &mut SpanState<'e>, dep: u32, index: u64) -> Result<(), EngineError> {
+        if self.engine.panic_probe == Some((dep, index)) {
+            panic!("synthetic worker panic (probe at deployment {dep}, round index {index})");
+        }
         let slot = &self.engine.slots[dep as usize];
         let (round_id, seed) = slot.spec.coordinates(index);
         let report =

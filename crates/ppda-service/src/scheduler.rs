@@ -25,7 +25,9 @@
 //! Because round outcomes are pure functions of their coordinates, the
 //! surfaced `(key, error)` pair is identical for every worker count.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -105,6 +107,12 @@ pub(crate) struct RunOutcome<E> {
     pub workers: Vec<WorkerStats>,
     /// The erroring round with the lowest key, if any round failed.
     pub error: Option<(u64, E)>,
+    /// The panicking round with the lowest key, if runner code panicked:
+    /// `(key, panic message)`. Panics are caught per span so one broken
+    /// deployment cannot take down the whole fleet's worker pool; like
+    /// errors they lower the floor, so the surfaced minimum is
+    /// deterministic for any worker count.
+    pub panic: Option<(u64, String)>,
 }
 
 impl<E> RunOutcome<E> {
@@ -120,10 +128,23 @@ impl<E> RunOutcome<E> {
 }
 
 /// One worker's result: tallies plus its locally-best (minimum-key)
-/// error.
+/// error and panic.
 struct WorkerOutcome<E> {
     stats: WorkerStats,
     error: Option<(u64, E)>,
+    panic: Option<(u64, String)>,
+}
+
+/// Best-effort human-readable panic payload (the common `&str`/`String`
+/// payloads verbatim, a placeholder otherwise).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Execute every span in `queues` (one deque per worker) on
@@ -159,16 +180,22 @@ pub(crate) fn run_spans<R: SpanRunner>(
         })
     };
 
-    // The run's error is the minimum key over the workers' local minima.
+    // The run's error is the minimum key over the workers' local minima;
+    // panics are selected the same way, independently.
     let winner = outcomes
         .iter()
         .enumerate()
         .filter_map(|(i, o)| o.error.as_ref().map(|(key, _)| (*key, i)))
         .min();
     let error = winner.map(|(_, i)| outcomes[i].error.take().expect("winner has an error"));
+    let panic = outcomes
+        .iter_mut()
+        .filter_map(|o| o.panic.take())
+        .min_by_key(|&(key, _)| key);
     RunOutcome {
         workers: outcomes.into_iter().map(|o| o.stats).collect(),
         error,
+        panic,
     }
 }
 
@@ -180,6 +207,7 @@ fn worker_loop<R: SpanRunner>(
 ) -> WorkerOutcome<R::Error> {
     let mut stats = WorkerStats::default();
     let mut best: Option<(u64, R::Error)> = None;
+    let mut best_panic: Option<(u64, String)> = None;
     loop {
         // Own work from the front; steal from a victim's back.
         let mut next = queues[worker].lock().expect("queue poisoned").pop_front();
@@ -195,25 +223,46 @@ fn worker_loop<R: SpanRunner>(
         }
         let Some(span) = next else { break };
 
-        let mut state = runner.begin(worker, span.dep);
-        for index in span.start..span.start + span.len {
-            let key = round_key(span.dep, index);
-            if !floor.allows(key) {
-                continue;
-            }
-            match runner.round(&mut state, span.dep, index) {
-                Ok(()) => stats.executed += 1,
-                Err(e) => {
-                    floor.sink(key);
-                    if best.as_ref().is_none_or(|(k, _)| key < *k) {
-                        best = Some((key, e));
+        // The whole span runs inside one catch_unwind so a panicking
+        // runner (a poisoned deployment, a bug in observer code) is
+        // contained: the worker keeps draining other spans, and the
+        // panic surfaces through the same floor machinery as a typed
+        // round error. `at` tracks the round being attempted so the
+        // panic is attributed to a precise key.
+        let at = Cell::new(span.start);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut state = runner.begin(worker, span.dep);
+            for index in span.start..span.start + span.len {
+                at.set(index);
+                let key = round_key(span.dep, index);
+                if !floor.allows(key) {
+                    continue;
+                }
+                match runner.round(&mut state, span.dep, index) {
+                    Ok(()) => stats.executed += 1,
+                    Err(e) => {
+                        floor.sink(key);
+                        if best.as_ref().is_none_or(|(k, _)| key < *k) {
+                            best = Some((key, e));
+                        }
                     }
                 }
             }
+            runner.finish(worker, span.dep, state);
+        }));
+        if let Err(payload) = caught {
+            let key = round_key(span.dep, at.get());
+            floor.sink(key);
+            if best_panic.as_ref().is_none_or(|(k, _)| key < *k) {
+                best_panic = Some((key, panic_message(payload)));
+            }
         }
-        runner.finish(worker, span.dep, state);
     }
-    WorkerOutcome { stats, error: best }
+    WorkerOutcome {
+        stats,
+        error: best,
+        panic: best_panic,
+    }
 }
 
 /// Deal `spans` round-robin into `workers` deques (span `i` to deque
@@ -236,9 +285,11 @@ mod tests {
     use std::collections::HashSet;
     use std::sync::atomic::AtomicUsize;
 
-    /// Records executed (dep, index) pairs; errors on a configured set.
+    /// Records executed (dep, index) pairs; errors on one configured
+    /// set, panics on another.
     struct SyntheticRunner {
         fail: HashSet<(u32, u64)>,
+        panics: HashSet<(u32, u64)>,
         executed: Mutex<Vec<(u32, u64)>>,
         begins: AtomicUsize,
         finishes: AtomicUsize,
@@ -248,10 +299,16 @@ mod tests {
         fn new(fail: impl IntoIterator<Item = (u32, u64)>) -> Self {
             SyntheticRunner {
                 fail: fail.into_iter().collect(),
+                panics: HashSet::new(),
                 executed: Mutex::new(Vec::new()),
                 begins: AtomicUsize::new(0),
                 finishes: AtomicUsize::new(0),
             }
+        }
+
+        fn with_panics(mut self, panics: impl IntoIterator<Item = (u32, u64)>) -> Self {
+            self.panics = panics.into_iter().collect();
+            self
         }
     }
 
@@ -264,6 +321,9 @@ mod tests {
         }
 
         fn round(&self, _state: &mut (), dep: u32, index: u64) -> Result<(), (u32, u64)> {
+            if self.panics.contains(&(dep, index)) {
+                panic!("synthetic panic at ({dep}, {index})");
+            }
             if self.fail.contains(&(dep, index)) {
                 return Err((dep, index));
             }
@@ -385,6 +445,65 @@ mod tests {
         assert!(outcome.error.is_none());
         assert_eq!(outcome.executed(), 4 * 40);
         assert!(outcome.steals() >= 3, "idle workers never stole");
+    }
+
+    #[test]
+    fn a_panic_is_contained_and_surfaces_at_its_round_key() {
+        // A std panic hook would spam stderr for every caught panic;
+        // silence it for the duration of the run.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for workers in [1usize, 2, 4] {
+            let runner = SyntheticRunner::new([]).with_panics([(1, 3)]);
+            let outcome = run_spans(deal_spans(fleet_spans(), workers), &runner);
+            assert!(outcome.error.is_none());
+            let (key, message) = outcome.panic.expect("the panic must surface");
+            assert_eq!(key, round_key(1, 3));
+            assert!(message.contains("synthetic panic at (1, 3)"), "{message}");
+            // The panic lowers the floor like an error: every round
+            // strictly below it still executed — the pool survived.
+            let executed = runner.executed.into_inner().unwrap();
+            for dep in 0..4u32 {
+                for index in 0..3u64 {
+                    assert!(executed.contains(&(dep, index)), "({dep}, {index}) skipped");
+                }
+            }
+            // The panicking span aborted before its `finish`; every
+            // other begun span finished normally.
+            let begins = runner.begins.into_inner();
+            let finishes = runner.finishes.into_inner();
+            assert_eq!(begins, finishes + 1);
+        }
+        std::panic::set_hook(hook);
+    }
+
+    #[test]
+    fn the_lowest_key_failure_wins_whether_error_or_panic() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for workers in [1usize, 2, 4] {
+            // Error below panic: the error is the run's minimum; the
+            // floor may mask the panic entirely, but never with a
+            // lower key than the error's.
+            let runner = SyntheticRunner::new([(0, 5)]).with_panics([(2, 5)]);
+            let outcome = run_spans(deal_spans(fleet_spans(), workers), &runner);
+            let (error_key, (dep, index)) = outcome.error.expect("error surfaces");
+            assert_eq!((dep, index), (0, 5));
+            assert_eq!(error_key, round_key(0, 5));
+            if let Some((panic_key, _)) = outcome.panic {
+                assert!(panic_key > error_key);
+            }
+
+            // Panic below error: roles swap.
+            let runner = SyntheticRunner::new([(2, 5)]).with_panics([(0, 5)]);
+            let outcome = run_spans(deal_spans(fleet_spans(), workers), &runner);
+            let (panic_key, _) = outcome.panic.expect("panic surfaces");
+            assert_eq!(panic_key, round_key(0, 5));
+            if let Some((error_key, _)) = outcome.error {
+                assert!(error_key > panic_key);
+            }
+        }
+        std::panic::set_hook(hook);
     }
 
     #[test]

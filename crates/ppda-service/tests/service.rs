@@ -4,8 +4,11 @@
 //! cycle must change nothing about subsequent rounds.
 
 use ppda_metrics::CampaignAccumulator;
-use ppda_mpc::{Deployment, FaultPlan, ProtocolConfig, ProtocolKind, RoundObserver, RoundReport};
-use ppda_service::{CampaignEngine, ClockMode, DeploymentSpec};
+use ppda_mpc::{
+    Deployment, FaultPlan, MembershipEvent, ProtocolConfig, ProtocolKind, RoundObserver,
+    RoundReport,
+};
+use ppda_service::{CampaignEngine, ClockMode, DeploymentSpec, EngineError};
 use ppda_topology::Topology;
 
 /// A deliberately heterogeneous fleet: different topologies, protocol
@@ -62,6 +65,23 @@ fn fleet() -> Vec<DeploymentSpec> {
     spec.seed = 1000;
     specs.push(spec);
 
+    // Online membership: node 6 is provisioned late (join-first nodes
+    // start absent), node 8 leaves and later rejoins, node 7 crashes.
+    let topology = Topology::grid(3, 3, 15.0, 69);
+    let config = ProtocolConfig::builder(topology.len())
+        .sources(3)
+        .build()
+        .expect("churny config");
+    let mut spec = DeploymentSpec::new("churny", topology, config);
+    spec.membership = vec![
+        MembershipEvent::leave(2, 8),
+        MembershipEvent::join(4, 6),
+        MembershipEvent::crash(6, 7),
+        MembershipEvent::rejoin(12, 8),
+    ];
+    spec.seed = 0xC0FFEE;
+    specs.push(spec);
+
     specs
 }
 
@@ -72,14 +92,18 @@ fn baseline(
     from: u64,
     rounds: u64,
 ) -> (Vec<RoundReport>, CampaignAccumulator) {
-    let deployment = Deployment::builder()
+    let mut builder = Deployment::builder()
         .topology(spec.topology.clone())
         .config(spec.config.clone())
         .protocol(spec.protocol)
         .faults(spec.faults.clone())
-        .seed(spec.seed)
-        .build()
-        .expect("spec compiles");
+        .seed(spec.seed);
+    if !spec.membership.is_empty() {
+        builder = builder
+            .membership(spec.membership.clone())
+            .trickle(spec.trickle);
+    }
+    let deployment = builder.build().expect("spec compiles");
     let mut driver = deployment.driver();
     let mut acc = CampaignAccumulator::new();
     let mut reports = Vec::new();
@@ -158,10 +182,10 @@ fn advance_stats_account_for_every_round() {
         .build()
         .expect("fleet compiles");
     let stats = engine.advance(8).expect("advance runs");
-    assert_eq!(stats.rounds, 5 * 8);
+    assert_eq!(stats.rounds, 6 * 8);
     assert_eq!(stats.per_worker.len(), 3);
-    assert_eq!(stats.per_worker.iter().sum::<u64>(), 5 * 8);
-    assert_eq!(engine.snapshot().total_rounds(), 5 * 8);
+    assert_eq!(stats.per_worker.iter().sum::<u64>(), 6 * 8);
+    assert_eq!(engine.snapshot().total_rounds(), 6 * 8);
 }
 
 #[test]
@@ -180,6 +204,41 @@ fn worker_count_does_not_change_results() {
     }
     assert_same_metrics(&merged[0], &merged[1]);
     assert_same_metrics(&merged[0], &merged[2]);
+}
+
+#[test]
+fn a_panicking_round_surfaces_as_worker_panicked_and_taints() {
+    // Silence the default panic hook: the probe's panic is expected and
+    // caught inside the worker pool.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let engine = CampaignEngine::builder()
+        .workers(2)
+        .chunk(2)
+        .deployments(fleet())
+        .panic_probe(1, 3)
+        .build()
+        .expect("fleet compiles");
+    let err = engine.advance(6).expect_err("the probe must fire");
+    std::panic::set_hook(hook);
+
+    match err {
+        EngineError::WorkerPanicked {
+            deployment,
+            name,
+            round_index,
+            message,
+        } => {
+            assert_eq!(deployment, 1);
+            assert_eq!(name, "plain-s3");
+            assert_eq!(round_index, 3);
+            assert!(message.contains("synthetic worker panic"), "{message}");
+        }
+        other => panic!("expected WorkerPanicked, got: {other}"),
+    }
+    // The round stream has a hole, so the engine refuses to continue.
+    assert!(engine.is_tainted());
+    assert!(matches!(engine.advance(1), Err(EngineError::Tainted)));
 }
 
 #[cfg(feature = "serde")]
@@ -250,7 +309,69 @@ mod checkpointing {
         assert_eq!(back, checkpoint);
         let restored = back.restore().expect("restore");
         assert_eq!(restored.len(), engine.len());
-        assert_eq!(restored.snapshot().total_rounds(), 5 * 3);
+        assert_eq!(restored.snapshot().total_rounds(), 6 * 3);
+    }
+
+    #[test]
+    fn membership_specs_round_trip_through_checkpoints() {
+        let specs = fleet();
+        let engine = CampaignEngine::builder()
+            .workers(2)
+            .deployments(specs.clone())
+            .build()
+            .expect("fleet compiles");
+        engine.advance(4).expect("advance runs");
+        let restored = Checkpoint::capture(&engine)
+            .expect("checkpoint")
+            .restore()
+            .expect("restore");
+        for (dep, spec) in specs.iter().enumerate() {
+            assert_eq!(restored.spec(dep).membership, spec.membership);
+            assert_eq!(restored.spec(dep).trickle, spec.trickle);
+        }
+        // The churny deployment keeps producing the exact rounds an
+        // uninterrupted engine would after the restore.
+        let churny = specs.iter().position(|s| s.name == "churny").unwrap();
+        let (reports, _) = baseline(&specs[churny], 4, 6);
+        let recorded = restored.advance_recorded(6).expect("post-restore leg");
+        assert_eq!(recorded[churny], reports);
+    }
+
+    #[test]
+    fn version_1_checkpoints_still_restore() {
+        // A fresh, membership-free, single-deployment engine: its v2
+        // blob is a v1 blob plus a fixed 24-byte per-spec appendix
+        // (membership count 0 as u64, four u32 Trickle params) sitting
+        // right before the trailing `completed` u64 and the
+        // length-prefixed (empty) accumulator. Strip the appendix and
+        // rewind the version byte to synthesize the v1 encoding.
+        let spec = {
+            let topology = Topology::grid(3, 3, 15.0, 9);
+            let config = ProtocolConfig::builder(topology.len())
+                .sources(3)
+                .build()
+                .expect("grid config");
+            DeploymentSpec::new("legacy", topology, config)
+        };
+        let engine = CampaignEngine::builder()
+            .workers(1)
+            .deployment(spec.clone())
+            .build()
+            .expect("spec compiles");
+        let v2 = Checkpoint::capture(&engine).expect("checkpoint");
+        let bytes = v2.as_bytes();
+
+        let metrics_len = 8 + CampaignAccumulator::new().to_blob().len();
+        let appendix_at = bytes.len() - (24 + 8 + metrics_len);
+        let mut v1 = bytes.to_vec();
+        v1.drain(appendix_at..appendix_at + 24);
+        v1[0] = 1;
+
+        let restored = Checkpoint::from_bytes(v1).restore().expect("v1 restores");
+        assert_eq!(restored.spec(0).name, "legacy");
+        assert!(restored.spec(0).membership.is_empty());
+        assert_eq!(restored.spec(0).trickle, spec.trickle);
+        restored.advance(2).expect("restored engine runs");
     }
 
     #[test]

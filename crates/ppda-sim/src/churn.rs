@@ -92,16 +92,41 @@ impl ChurnSchedule {
     }
 
     /// Nodes scheduled down in `round`, ascending and deduplicated.
+    ///
+    /// Allocates a fresh `Vec`; per-round hot paths should use
+    /// [`ChurnSchedule::down_mask`] (node ids < 128) or
+    /// [`ChurnSchedule::iter_down_in_round`] instead.
     pub fn down_in_round(&self, round: u32) -> Vec<u16> {
-        let mut down: Vec<u16> = self
-            .windows
-            .iter()
-            .filter(|w| round >= w.from_round && round < w.until_round)
-            .map(|w| w.node)
-            .collect();
+        let mut down: Vec<u16> = self.iter_down_in_round(round).collect();
         down.sort_unstable();
-        down.dedup();
         down
+    }
+
+    /// Nodes scheduled down in `round` as a bit mask (bit `v` set ⇔ node
+    /// `v` is down), covering node ids 0..128 — the workspace-wide node
+    /// cap. Allocation-free; one pass over the windows.
+    pub fn down_mask(&self, round: u32) -> u128 {
+        let mut mask = 0u128;
+        for w in &self.windows {
+            if round >= w.from_round && round < w.until_round && w.node < 128 {
+                mask |= 1u128 << w.node;
+            }
+        }
+        mask
+    }
+
+    /// Allocation-free iterator over the nodes scheduled down in `round`,
+    /// deduplicated (in window order, not sorted).
+    pub fn iter_down_in_round(&self, round: u32) -> impl Iterator<Item = u16> + '_ {
+        self.windows.iter().enumerate().filter_map(move |(i, w)| {
+            let covers = |w: &ChurnWindow| round >= w.from_round && round < w.until_round;
+            // Emit each down node at its first covering window only.
+            (covers(w)
+                && !self.windows[..i]
+                    .iter()
+                    .any(|p| p.node == w.node && covers(p)))
+            .then_some(w.node)
+        })
     }
 }
 
@@ -137,6 +162,32 @@ mod tests {
         assert!(churn.is_down(2, 5));
         assert_eq!(churn.down_in_round(3), vec![2, 9]);
         assert_eq!(churn.down_in_round(5), vec![2]);
+    }
+
+    #[test]
+    fn mask_and_iterator_agree_with_down_in_round() {
+        let churn = ChurnSchedule::from_windows([(2, 0, 4), (2, 2, 6), (9, 3, 4), (127, 1, 2)]);
+        for round in 0..8 {
+            let vec = churn.down_in_round(round);
+            let mask = churn.down_mask(round);
+            let mut from_mask: Vec<u16> = (0..128u16).filter(|&v| mask >> v & 1 == 1).collect();
+            from_mask.sort_unstable();
+            assert_eq!(from_mask, vec, "round {round}");
+            let mut from_iter: Vec<u16> = churn.iter_down_in_round(round).collect();
+            from_iter.sort_unstable();
+            assert_eq!(from_iter, vec, "round {round}");
+        }
+    }
+
+    #[test]
+    fn mask_matches_is_down_per_node() {
+        let churn = ChurnSchedule::from_windows([(0, 1, 3), (5, 2, 9), (5, 0, 1)]);
+        for round in 0..10 {
+            let mask = churn.down_mask(round);
+            for node in 0..16usize {
+                assert_eq!(mask >> node & 1 == 1, churn.is_down(node, round));
+            }
+        }
     }
 
     #[test]

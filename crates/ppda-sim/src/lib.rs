@@ -13,6 +13,10 @@
 //! * [`Simulator`] — a thin executor binding a clock to an event queue.
 //! * [`ChurnSchedule`] — deterministic per-round node outage windows,
 //!   consumed by the fault-injection layers above.
+//! * [`MembershipEvent`] / [`Trickle`] / [`disseminate`] — online
+//!   membership changes (join, leave, crash, rejoin) and the
+//!   RFC-6206-style Trickle dissemination model that turns them into
+//!   per-round membership views with realistic propagation delay.
 //!
 //! # Example
 //!
@@ -34,12 +38,17 @@
 
 mod churn;
 mod events;
+mod membership;
 mod rng;
 mod time;
 mod trace;
 
 pub use churn::{ChurnSchedule, ChurnWindow};
 pub use events::EventQueue;
+pub use membership::{
+    disseminate, Dissemination, MembershipEvent, MembershipEventKind, Trickle, TrickleConfig,
+    TrickleTick,
+};
 pub use rng::{derive_stream, Xoshiro256};
 pub use time::{SimDuration, SimTime};
 pub use trace::{NullTrace, TraceEvent, TraceSink, VecTrace};

@@ -1,0 +1,573 @@
+//! Online membership events and Trickle-governed dissemination.
+//!
+//! Long-lived IoT deployments are not static: nodes join after
+//! provisioning, leave for maintenance, crash without warning and rejoin
+//! after a battery swap. A [`MembershipEvent`] records one such change on
+//! the round-id axis. Events do not take effect instantly — the network
+//! learns about them through a Trickle-style dissemination protocol
+//! (RFC 6206: exponentially growing beacon intervals with redundancy
+//! suppression), so a membership change becomes *effective* only once the
+//! whole network has converged on the new view. [`disseminate`] models
+//! that propagation deterministically: given the hop distances from the
+//! announcing node, it replays the per-ring Trickle timers and returns
+//! when each node first hears the update and when the network as a whole
+//! has converged.
+//!
+//! The protocol layers above (ppda-mpc) consume this to turn an event
+//! stream into per-round membership views with realistic propagation
+//! delay; everything here is pure and seed-deterministic, like the rest
+//! of the simulation core.
+
+use crate::rng::{derive_stream, Xoshiro256};
+
+/// What kind of membership change a [`MembershipEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MembershipEventKind {
+    /// A newly provisioned node enters the deployment. Nodes whose first
+    /// event is a join are absent from the initial membership.
+    Join,
+    /// A node leaves gracefully (announces its own departure).
+    Leave,
+    /// A node dies silently; neighbors detect the silence after a
+    /// detection lag before the departure can be announced.
+    Crash,
+    /// A previously departed or crashed node comes back.
+    Rejoin,
+}
+
+impl MembershipEventKind {
+    /// `true` for events that add the node to the membership.
+    pub fn is_arrival(self) -> bool {
+        matches!(
+            self,
+            MembershipEventKind::Join | MembershipEventKind::Rejoin
+        )
+    }
+
+    /// `true` for events that remove the node from the membership.
+    pub fn is_departure(self) -> bool {
+        !self.is_arrival()
+    }
+
+    /// Display name of the event kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            MembershipEventKind::Join => "join",
+            MembershipEventKind::Leave => "leave",
+            MembershipEventKind::Crash => "crash",
+            MembershipEventKind::Rejoin => "rejoin",
+        }
+    }
+}
+
+/// One membership change at a point on the round-id axis.
+///
+/// # Example
+///
+/// ```
+/// use ppda_sim::{MembershipEvent, MembershipEventKind};
+/// let ev = MembershipEvent::crash(12, 5);
+/// assert_eq!(ev.round, 12);
+/// assert_eq!(ev.node, 5);
+/// assert!(ev.kind.is_departure());
+/// assert_eq!(ev.kind, MembershipEventKind::Crash);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MembershipEvent {
+    /// Round id at which the change occurs at the node itself.
+    pub round: u32,
+    /// The affected node.
+    pub node: u16,
+    /// What happened.
+    pub kind: MembershipEventKind,
+}
+
+impl MembershipEvent {
+    /// A new node joins the deployment in `round`.
+    pub fn join(round: u32, node: u16) -> Self {
+        MembershipEvent {
+            round,
+            node,
+            kind: MembershipEventKind::Join,
+        }
+    }
+
+    /// `node` leaves gracefully in `round`.
+    pub fn leave(round: u32, node: u16) -> Self {
+        MembershipEvent {
+            round,
+            node,
+            kind: MembershipEventKind::Leave,
+        }
+    }
+
+    /// `node` crashes silently in `round`.
+    pub fn crash(round: u32, node: u16) -> Self {
+        MembershipEvent {
+            round,
+            node,
+            kind: MembershipEventKind::Crash,
+        }
+    }
+
+    /// `node` rejoins in `round`.
+    pub fn rejoin(round: u32, node: u16) -> Self {
+        MembershipEvent {
+            round,
+            node,
+            kind: MembershipEventKind::Rejoin,
+        }
+    }
+}
+
+/// Trickle timer parameters (RFC 6206), on a round-granular clock.
+///
+/// Mirrors the classic embedded configuration — a minimum interval, a
+/// doubling cap and a redundancy constant `k` — with rounds as the time
+/// unit: control traffic piggybacks on the per-round TDMA schedule, so
+/// sub-round timing is invisible to the protocol layer.
+///
+/// # Example
+///
+/// ```
+/// use ppda_sim::TrickleConfig;
+/// let cfg = TrickleConfig::default();
+/// assert_eq!(cfg.i_max(), cfg.i_min << cfg.doublings);
+/// let fast = TrickleConfig { i_min: 2, doublings: 3, ..cfg };
+/// assert_eq!(fast.i_max(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrickleConfig {
+    /// Minimum interval `I_min`, in rounds (≥ 1). Fresh information
+    /// resets a node's interval to this.
+    pub i_min: u32,
+    /// Number of doublings before the interval saturates:
+    /// `I_max = I_min << doublings`.
+    pub doublings: u32,
+    /// Redundancy constant `k`: a node suppresses its own transmission
+    /// after hearing `k` consistent ones in the current interval.
+    pub k: u32,
+    /// Rounds of silence before neighbors detect a crashed node (graceful
+    /// departures announce themselves and skip this lag).
+    pub crash_detection: u32,
+}
+
+impl Default for TrickleConfig {
+    fn default() -> Self {
+        TrickleConfig {
+            i_min: 1,
+            doublings: 6,
+            k: 2,
+            crash_detection: 2,
+        }
+    }
+}
+
+impl TrickleConfig {
+    /// The saturated maximum interval `I_min << doublings`, in rounds.
+    pub fn i_max(&self) -> u32 {
+        self.i_min.saturating_shl(self.doublings)
+    }
+}
+
+/// What one [`Trickle::tick`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrickleTick {
+    /// The node transmitted its beacon this round.
+    pub transmitted: bool,
+    /// The node reached its transmit point but was suppressed by
+    /// redundancy (heard ≥ k consistent beacons this interval).
+    pub suppressed: bool,
+}
+
+/// One node's Trickle timer state (RFC 6206 §4.2) on the round clock.
+///
+/// # Example
+///
+/// ```
+/// use ppda_sim::{Trickle, TrickleConfig, Xoshiro256};
+/// let cfg = TrickleConfig { i_min: 2, doublings: 3, ..TrickleConfig::default() };
+/// let mut rng = Xoshiro256::seed_from(7);
+/// let mut t = Trickle::new(cfg, &mut rng);
+/// // A quiet node transmits within its first interval, then the
+/// // interval doubles toward I_max.
+/// let fired = (0..64).filter(|_| t.tick(&mut rng).transmitted).count();
+/// assert!(fired >= 1);
+/// assert_eq!(t.interval(), cfg.i_max());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trickle {
+    cfg: TrickleConfig,
+    /// Current interval length `I`, in rounds.
+    i_cur: u32,
+    /// Consistent transmissions heard this interval.
+    c: u32,
+    /// Transmit point within the interval, drawn from `[I/2, I)`.
+    t: u32,
+    /// Rounds elapsed in the current interval.
+    elapsed: u32,
+}
+
+/// Draw a transmit point uniformly from `[i/2, i)`.
+fn draw_t(i: u32, rng: &mut Xoshiro256) -> u32 {
+    let lo = i / 2;
+    let span = i - lo;
+    if span <= 1 {
+        lo
+    } else {
+        lo + rng.below(span as u64) as u32
+    }
+}
+
+impl Trickle {
+    /// Start a timer at the minimum interval (the state right after the
+    /// node heard something new).
+    pub fn new(cfg: TrickleConfig, rng: &mut Xoshiro256) -> Self {
+        let i_cur = cfg.i_min.max(1);
+        Trickle {
+            cfg,
+            i_cur,
+            c: 0,
+            t: draw_t(i_cur, rng),
+            elapsed: 0,
+        }
+    }
+
+    /// Current interval length, in rounds.
+    pub fn interval(&self) -> u32 {
+        self.i_cur
+    }
+
+    /// Note a consistent transmission heard this interval (counts toward
+    /// the redundancy constant `k`).
+    pub fn hear_consistent(&mut self) {
+        self.c = self.c.saturating_add(1);
+    }
+
+    /// Note an inconsistent transmission (new information): reset the
+    /// interval to `I_min` per RFC 6206 §4.2 step 6.
+    pub fn hear_inconsistent(&mut self, rng: &mut Xoshiro256) {
+        if self.i_cur > self.cfg.i_min.max(1) {
+            self.i_cur = self.cfg.i_min.max(1);
+            self.begin_interval(rng);
+        }
+    }
+
+    fn begin_interval(&mut self, rng: &mut Xoshiro256) {
+        self.c = 0;
+        self.elapsed = 0;
+        self.t = draw_t(self.i_cur, rng);
+    }
+
+    /// Advance the timer by one round: transmit at `t` unless suppressed
+    /// (`c ≥ k`), double the interval (up to `I_max`) at the interval
+    /// boundary.
+    pub fn tick(&mut self, rng: &mut Xoshiro256) -> TrickleTick {
+        let mut out = TrickleTick {
+            transmitted: false,
+            suppressed: false,
+        };
+        if self.elapsed == self.t {
+            if self.c < self.cfg.k {
+                out.transmitted = true;
+            } else {
+                out.suppressed = true;
+            }
+        }
+        self.elapsed += 1;
+        if self.elapsed >= self.i_cur {
+            self.i_cur = (self.i_cur.saturating_mul(2)).min(self.cfg.i_max().max(1));
+            self.begin_interval(rng);
+        }
+        out
+    }
+}
+
+/// How a membership announcement spread through the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dissemination {
+    /// Per node: rounds after the announcement until the node first holds
+    /// the update (`Some(0)` at the origin; `None` for unreachable nodes).
+    pub heard_after: Vec<Option<u32>>,
+    /// Rounds after the announcement until every reachable node holds the
+    /// update (`None` when some node is unreachable from the origin).
+    pub converged_after: Option<u32>,
+    /// Total beacon transmissions spent on this update.
+    pub transmissions: u32,
+    /// Transmissions saved by Trickle's redundancy suppression.
+    pub suppressed: u32,
+}
+
+/// Model the Trickle-governed spread of one announcement.
+///
+/// `hops_from_origin[v]` is the hop distance from the announcing node to
+/// `v` (`Some(0)` at the origin, `None` if unreachable). The update
+/// crosses one hop ring per Trickle transmit: every node in a ring resets
+/// its timer to `I_min` on first hearing the update and transmits at a
+/// point drawn from `[I/2, I)` unless `k` earlier transmissions in its
+/// ring already covered it. The next ring hears the update one round
+/// after the ring's earliest transmission.
+///
+/// Deterministic in `(hops, cfg, seed)`; per-ring draws come from
+/// [`derive_stream`] sub-streams of `seed`.
+///
+/// # Example
+///
+/// ```
+/// use ppda_sim::{disseminate, TrickleConfig};
+/// // A 4-node line: origin at one end.
+/// let hops = vec![Some(0), Some(1), Some(2), Some(3)];
+/// let cfg = TrickleConfig::default(); // i_min = 1: one round per hop
+/// let d = disseminate(&hops, &cfg, 42);
+/// assert_eq!(d.heard_after, vec![Some(0), Some(1), Some(2), Some(3)]);
+/// assert_eq!(d.converged_after, Some(3));
+/// ```
+pub fn disseminate(
+    hops_from_origin: &[Option<u32>],
+    cfg: &TrickleConfig,
+    seed: u64,
+) -> Dissemination {
+    let n = hops_from_origin.len();
+    let mut heard_after: Vec<Option<u32>> = vec![None; n];
+    let max_hop = hops_from_origin.iter().flatten().copied().max();
+    let Some(max_hop) = max_hop else {
+        return Dissemination {
+            heard_after,
+            converged_after: None,
+            transmissions: 0,
+            suppressed: 0,
+        };
+    };
+
+    let mut transmissions = 0u32;
+    let mut suppressed = 0u32;
+    // Cumulative delay at which ring `h` first holds the update.
+    let mut ring_delay = 0u32;
+    for h in 0..=max_hop {
+        // Nodes at exactly hop `h`, in id order for determinism.
+        let ring: Vec<usize> = (0..n).filter(|&v| hops_from_origin[v] == Some(h)).collect();
+        for &v in &ring {
+            heard_after[v] = Some(ring_delay);
+        }
+        if h == max_hop {
+            break;
+        }
+        // Each ring member restarts Trickle at I_min on hearing the
+        // update and picks its transmit point; members that hear k
+        // earlier transmissions first are suppressed.
+        let mut rng = Xoshiro256::seed_from(derive_stream(seed, h as u64));
+        let mut points: Vec<(u32, usize)> = ring
+            .iter()
+            .map(|&v| (draw_t(cfg.i_min.max(1), &mut rng), v))
+            .collect();
+        points.sort_unstable();
+        let mut first_fire = None;
+        for &(t, _) in &points {
+            // Transmissions strictly before `t` are audible by then.
+            let heard = points
+                .iter()
+                .take_while(|&&(u, _)| u < t)
+                .count()
+                .min(points.len());
+            if (heard as u32) < cfg.k.max(1) {
+                transmissions += 1;
+                if first_fire.is_none() {
+                    first_fire = Some(t);
+                }
+            } else {
+                suppressed += 1;
+            }
+        }
+        let fire = first_fire.expect("every non-empty ring fires at least once");
+        // One round for the beacon to cross into the next ring.
+        ring_delay += fire + 1;
+    }
+
+    let reachable = hops_from_origin.iter().all(|h| h.is_some());
+    let converged_after = if reachable {
+        heard_after.iter().flatten().copied().max()
+    } else {
+        None
+    };
+    Dissemination {
+        heard_after,
+        converged_after,
+        transmissions,
+        suppressed,
+    }
+}
+
+/// `u32::checked_shl` with saturation at `u32::MAX` (helper for
+/// [`TrickleConfig::i_max`]).
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> u32;
+}
+
+impl SaturatingShl for u32 {
+    fn saturating_shl(self, rhs: u32) -> u32 {
+        self.checked_shl(rhs)
+            .filter(|&v| (v >> rhs) == self)
+            .unwrap_or(u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_constructors_carry_coordinates() {
+        let cases = [
+            (MembershipEvent::join(1, 2), MembershipEventKind::Join),
+            (MembershipEvent::leave(3, 4), MembershipEventKind::Leave),
+            (MembershipEvent::crash(5, 6), MembershipEventKind::Crash),
+            (MembershipEvent::rejoin(7, 8), MembershipEventKind::Rejoin),
+        ];
+        for (ev, kind) in cases {
+            assert_eq!(ev.kind, kind);
+            assert_eq!(ev.kind.is_arrival(), !ev.kind.is_departure());
+        }
+        assert!(MembershipEventKind::Join.is_arrival());
+        assert!(MembershipEventKind::Rejoin.is_arrival());
+        assert!(MembershipEventKind::Leave.is_departure());
+        assert!(MembershipEventKind::Crash.is_departure());
+        assert_eq!(MembershipEventKind::Crash.name(), "crash");
+    }
+
+    #[test]
+    fn trickle_interval_doubles_to_i_max() {
+        let cfg = TrickleConfig {
+            i_min: 2,
+            doublings: 3,
+            ..TrickleConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from(1);
+        let mut t = Trickle::new(cfg, &mut rng);
+        assert_eq!(t.interval(), 2);
+        for _ in 0..200 {
+            t.tick(&mut rng);
+        }
+        assert_eq!(t.interval(), cfg.i_max());
+        assert_eq!(cfg.i_max(), 16);
+    }
+
+    #[test]
+    fn trickle_reset_returns_to_i_min() {
+        let cfg = TrickleConfig {
+            i_min: 2,
+            doublings: 4,
+            ..TrickleConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from(2);
+        let mut t = Trickle::new(cfg, &mut rng);
+        for _ in 0..100 {
+            t.tick(&mut rng);
+        }
+        assert!(t.interval() > cfg.i_min);
+        t.hear_inconsistent(&mut rng);
+        assert_eq!(t.interval(), cfg.i_min);
+    }
+
+    #[test]
+    fn trickle_suppression_respects_k() {
+        let cfg = TrickleConfig {
+            i_min: 4,
+            k: 1,
+            ..TrickleConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut t = Trickle::new(cfg, &mut rng);
+        t.hear_consistent();
+        // c = 1 ≥ k = 1: the transmit point must suppress within the
+        // first interval.
+        let mut saw_suppression = false;
+        for _ in 0..4 {
+            let tick = t.tick(&mut rng);
+            assert!(!tick.transmitted, "suppressed node must not transmit");
+            saw_suppression |= tick.suppressed;
+        }
+        assert!(saw_suppression);
+    }
+
+    #[test]
+    fn dissemination_is_deterministic_and_hop_monotone() {
+        let hops: Vec<Option<u32>> = vec![Some(2), Some(1), Some(0), Some(1), Some(2), Some(3)];
+        let cfg = TrickleConfig::default();
+        let a = disseminate(&hops, &cfg, 99);
+        let b = disseminate(&hops, &cfg, 99);
+        assert_eq!(a, b);
+        // Larger hop distance never hears earlier.
+        for (v, &hv) in hops.iter().enumerate() {
+            for (w, &hw) in hops.iter().enumerate() {
+                if hv.unwrap() <= hw.unwrap() {
+                    assert!(
+                        a.heard_after[v].unwrap() <= a.heard_after[w].unwrap(),
+                        "{v} {w}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            a.converged_after,
+            a.heard_after.iter().flatten().copied().max()
+        );
+    }
+
+    #[test]
+    fn unit_i_min_crosses_one_hop_per_round() {
+        // I = 1 pins the transmit point to t = 0: the update crosses
+        // exactly one hop ring per round, whatever the seed.
+        let hops: Vec<Option<u32>> = (0..7).map(|h| Some(h as u32)).collect();
+        let cfg = TrickleConfig {
+            i_min: 1,
+            ..TrickleConfig::default()
+        };
+        for seed in [0u64, 1, 0xABCD] {
+            let d = disseminate(&hops, &cfg, seed);
+            for (v, h) in d.heard_after.iter().enumerate() {
+                assert_eq!(*h, Some(v as u32));
+            }
+            assert_eq!(d.converged_after, Some(6));
+        }
+    }
+
+    #[test]
+    fn wide_rings_suppress_redundant_beacons() {
+        // 1 origin, 20 nodes at hop 1, 1 node at hop 2: with k = 2 and a
+        // wide I_min, most of the middle ring gets suppressed.
+        let mut hops = vec![Some(0)];
+        hops.extend(std::iter::repeat_n(Some(1), 20));
+        hops.push(Some(2));
+        let cfg = TrickleConfig {
+            i_min: 8,
+            k: 2,
+            ..TrickleConfig::default()
+        };
+        let d = disseminate(&hops, &cfg, 5);
+        assert!(d.suppressed > 0, "wide ring must suppress");
+        assert!(d.transmissions < 22, "suppression must save beacons");
+        assert!(d.converged_after.is_some());
+    }
+
+    #[test]
+    fn unreachable_nodes_never_converge() {
+        let hops = vec![Some(0), Some(1), None];
+        let d = disseminate(&hops, &TrickleConfig::default(), 7);
+        assert_eq!(d.heard_after[2], None);
+        assert_eq!(d.converged_after, None);
+        // Fully empty hop map: nothing to do.
+        let empty = disseminate(&[None, None], &TrickleConfig::default(), 7);
+        assert_eq!(empty.converged_after, None);
+        assert_eq!(empty.transmissions, 0);
+    }
+
+    #[test]
+    fn i_max_saturates() {
+        let cfg = TrickleConfig {
+            i_min: 1 << 30,
+            doublings: 10,
+            ..TrickleConfig::default()
+        };
+        assert_eq!(cfg.i_max(), u32::MAX);
+    }
+}

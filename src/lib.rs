@@ -56,9 +56,9 @@ pub use ppda_topology as topology;
 pub mod prelude {
     pub use ppda_ct::FaultPlan;
     pub use ppda_mpc::{
-        Deployment, DeploymentBuilder, DriverStats, MpcError, ProtocolConfig, ProtocolKind,
-        RecoveryStatus, RoundDriver, RoundObserver, RoundReport,
+        Deployment, DeploymentBuilder, DriverStats, MembershipMode, MpcError, PlanPatch,
+        ProtocolConfig, ProtocolKind, RecoveryStatus, RoundDriver, RoundObserver, RoundReport,
     };
-    pub use ppda_sim::ChurnSchedule;
+    pub use ppda_sim::{ChurnSchedule, MembershipEvent, MembershipEventKind, TrickleConfig};
     pub use ppda_topology::Topology;
 }

@@ -1,0 +1,302 @@
+//! Online-membership conformance: incremental plan patching must be
+//! indistinguishable from recompiling the plan from scratch.
+//!
+//! Contracts enforced here:
+//!
+//! 1. **Patch ≡ recompile, byte for byte** — a driver in the default
+//!    [`MembershipMode::Patch`] produces the same outcome and degraded
+//!    report streams as the [`MembershipMode::Recompile`] oracle, for
+//!    every membership event kind (join, leave, crash, rejoin), both
+//!    protocol variants, lane widths B ∈ {1, 4} and both testbed
+//!    topologies. Only the patch *cost accounting* (slots rebuilt, CCMs
+//!    reused) may differ: a full recompile reuses nothing.
+//! 2. **Aggregator death re-elects from the retained ranking** — when an
+//!    S4 aggregator crashes, the patched plan swaps in the next-ranked
+//!    node and the round still recovers.
+//! 3. **Membership-driven drivers only move forward** — rewinding a
+//!    patched driver is [`MpcError::MembershipRegression`], not silent
+//!    corruption.
+//! 4. **Patching is visible** — applied deltas surface as
+//!    [`RoundReport::membership_patch`] and count into
+//!    [`DriverStats::plan_patches`].
+
+use ppda::prelude::*;
+
+/// Trickle tuned for short test windows: minimal intervals so a
+/// membership announcement converges within a handful of rounds.
+fn fast_trickle() -> TrickleConfig {
+    TrickleConfig {
+        i_min: 1,
+        doublings: 2,
+        k: 2,
+        crash_detection: 1,
+    }
+}
+
+/// One event of every kind, on the three highest node ids (valid on
+/// both testbeds). The join-first node starts absent.
+fn all_kinds(n: u16) -> Vec<MembershipEvent> {
+    vec![
+        MembershipEvent::leave(3, n - 2),
+        MembershipEvent::crash(5, n - 3),
+        MembershipEvent::join(6, n - 1),
+        MembershipEvent::rejoin(10, n - 2),
+    ]
+}
+
+fn churn_deployment(
+    topology: &Topology,
+    protocol: ProtocolKind,
+    batch: usize,
+    events: Vec<MembershipEvent>,
+    mode: MembershipMode,
+) -> Deployment<'_> {
+    let config = ProtocolConfig::builder(topology.len())
+        .sources(topology.len())
+        .batch(batch)
+        .build()
+        .expect("config builds");
+    Deployment::builder()
+        .topology(topology.clone())
+        .config(config)
+        .protocol(protocol)
+        .seed(0xD1FF)
+        .membership(events)
+        .trickle(fast_trickle())
+        .membership_mode(mode)
+        .build()
+        .expect("deployment compiles")
+}
+
+/// Drive `rounds` epochs and return the report stream plus the stats.
+fn stream(deployment: &Deployment, rounds: usize) -> (Vec<RoundReport>, DriverStats) {
+    let mut driver = deployment.driver();
+    let reports = (0..rounds)
+        .map(|_| driver.step().expect("round runs"))
+        .collect();
+    (reports, driver.stats())
+}
+
+/// The acceptance differential: every event kind, streamed through both
+/// modes, must yield identical outcomes — and the patch records must
+/// agree on everything except reuse accounting.
+fn assert_patch_matches_recompile(topology: &Topology, protocol: ProtocolKind, batch: usize) {
+    let n = topology.len() as u16;
+    let rounds = 18;
+    let patched = churn_deployment(
+        topology,
+        protocol,
+        batch,
+        all_kinds(n),
+        MembershipMode::Patch,
+    );
+    let oracle = churn_deployment(
+        topology,
+        protocol,
+        batch,
+        all_kinds(n),
+        MembershipMode::Recompile,
+    );
+    let (patched, patched_stats) = stream(&patched, rounds);
+    let (recompiled, oracle_stats) = stream(&oracle, rounds);
+
+    // The event stream must actually land inside the window (leave,
+    // crash and join converge early; the late rejoin may not).
+    assert!(
+        patched_stats.plan_patches >= 3,
+        "only {} deltas became effective in {rounds} rounds",
+        patched_stats.plan_patches
+    );
+    assert_eq!(patched_stats.plan_patches, oracle_stats.plan_patches);
+
+    for (p, r) in patched.iter().zip(&recompiled) {
+        assert_eq!(p.round_id, r.round_id);
+        assert_eq!(p.seed, r.seed);
+        assert_eq!(p.outcome, r.outcome, "outcome diverged at {}", p.round_id);
+        assert_eq!(
+            p.degraded, r.degraded,
+            "degraded report diverged at {}",
+            p.round_id
+        );
+        match (p.membership_patch(), r.membership_patch()) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.round, b.round);
+                assert_eq!(a.joined, b.joined);
+                assert_eq!(a.left, b.left);
+                assert_eq!(a.destinations, b.destinations);
+                assert_eq!(a.destinations_changed, b.destinations_changed);
+            }
+            _ => panic!("patch presence diverged at {}", p.round_id),
+        }
+    }
+}
+
+#[test]
+fn patch_matches_recompile_flocklab_s3() {
+    let t = Topology::flocklab();
+    assert_patch_matches_recompile(&t, ProtocolKind::S3, 1);
+    assert_patch_matches_recompile(&t, ProtocolKind::S3, 4);
+}
+
+#[test]
+fn patch_matches_recompile_flocklab_s4() {
+    let t = Topology::flocklab();
+    assert_patch_matches_recompile(&t, ProtocolKind::S4, 1);
+    assert_patch_matches_recompile(&t, ProtocolKind::S4, 4);
+}
+
+#[test]
+fn patch_matches_recompile_dcube_s3() {
+    let t = Topology::dcube();
+    assert_patch_matches_recompile(&t, ProtocolKind::S3, 1);
+    assert_patch_matches_recompile(&t, ProtocolKind::S3, 4);
+}
+
+#[test]
+fn patch_matches_recompile_dcube_s4() {
+    let t = Topology::dcube();
+    assert_patch_matches_recompile(&t, ProtocolKind::S4, 1);
+    assert_patch_matches_recompile(&t, ProtocolKind::S4, 4);
+}
+
+#[test]
+fn leave_patches_reuse_pairwise_ccms() {
+    // A leave only shrinks the destination set: every retained
+    // (source, destination) pair keeps its derived cipher, so the patch
+    // must account real reuse — the whole point of patching over
+    // recompiling. S3 makes every node a destination, so any leave
+    // shrinks the set.
+    let topology = Topology::flocklab();
+    let n = topology.len() as u16;
+    let deployment = churn_deployment(
+        &topology,
+        ProtocolKind::S3,
+        1,
+        vec![MembershipEvent::leave(3, n - 2)],
+        MembershipMode::Patch,
+    );
+    let (reports, stats) = stream(&deployment, 12);
+    assert_eq!(stats.plan_patches, 1);
+    let patch = reports
+        .iter()
+        .find_map(|r| r.membership_patch())
+        .expect("the leave becomes effective");
+    assert_eq!(patch.left, 1);
+    assert_eq!(patch.joined, 0);
+    assert!(patch.destinations_changed);
+    assert!(
+        patch.ccm_reused > 0,
+        "a leave-only patch must reuse retained pairwise ciphers"
+    );
+}
+
+#[test]
+fn aggregator_death_re_elects_from_retained_ranking() {
+    let topology = Topology::flocklab();
+    let config = ProtocolConfig::builder(topology.len())
+        .sources(topology.len())
+        .build()
+        .expect("config builds");
+    // Find the top-ranked S4 aggregator from a static deployment first.
+    let static_deployment = Deployment::builder()
+        .topology(topology.clone())
+        .config(config.clone())
+        .protocol(ProtocolKind::S4)
+        .seed(0xD1FF)
+        .build()
+        .expect("static deployment compiles");
+    let victim = static_deployment.plan().destinations()[0];
+
+    let deployment = churn_deployment(
+        &topology,
+        ProtocolKind::S4,
+        1,
+        vec![MembershipEvent::crash(3, victim)],
+        MembershipMode::Patch,
+    );
+    let (reports, stats) = stream(&deployment, 12);
+    assert_eq!(stats.plan_patches, 1);
+    let patched_round = reports
+        .iter()
+        .find(|r| r.membership_patch().is_some())
+        .expect("the crash becomes effective");
+    let patch = patched_round.membership_patch().unwrap();
+    assert!(patch.destinations_changed);
+    // Every round — before, at and after the re-election — recovers and
+    // agrees on the correct sum.
+    for report in &reports {
+        assert!(report.correct(), "round {} wrong", report.round_id);
+        assert!(
+            report.recovered(),
+            "round {} below threshold",
+            report.round_id
+        );
+    }
+}
+
+#[test]
+fn membership_driven_drivers_only_advance() {
+    let topology = Topology::flocklab();
+    let n = topology.len() as u16;
+    let deployment = churn_deployment(
+        &topology,
+        ProtocolKind::S4,
+        1,
+        vec![MembershipEvent::leave(3, n - 2)],
+        MembershipMode::Patch,
+    );
+    let mut driver = deployment.driver();
+    driver.round_at(8, 0xFEED).expect("forward round runs");
+    let err = driver.round_at(5, 0xFEED).expect_err("rewind must fail");
+    match err {
+        MpcError::MembershipRegression {
+            patched_to,
+            requested,
+        } => {
+            assert_eq!(patched_to, 8);
+            assert_eq!(requested, 5);
+        }
+        other => panic!("expected MembershipRegression, got {other}"),
+    }
+    // Static drivers (no membership) can replay any round id freely.
+    let static_driver = Deployment::builder()
+        .topology(topology.clone())
+        .config(
+            ProtocolConfig::builder(topology.len())
+                .sources(topology.len())
+                .build()
+                .unwrap(),
+        )
+        .protocol(ProtocolKind::S4)
+        .seed(0xD1FF)
+        .build()
+        .expect("static deployment compiles");
+    let mut static_driver = static_driver.driver();
+    static_driver.round_at(8, 0xFEED).expect("forward");
+    static_driver.round_at(5, 0xFEED).expect("rewind is fine");
+}
+
+#[test]
+fn fresh_drivers_fast_forward_to_identical_reports() {
+    // A driver created mid-campaign must replay the exact same rounds a
+    // continuously streaming driver produced — the property the
+    // campaign engine's span-parallel execution rests on.
+    let topology = Topology::flocklab();
+    let n = topology.len() as u16;
+    let deployment = churn_deployment(
+        &topology,
+        ProtocolKind::S4,
+        1,
+        all_kinds(n),
+        MembershipMode::Patch,
+    );
+    let (continuous, _) = stream(&deployment, 16);
+    for start in [0usize, 5, 9, 13] {
+        let mut fresh = deployment.driver();
+        for (i, expected) in continuous.iter().enumerate().skip(start) {
+            let report = fresh.step_at(i as u64).expect("fast-forwarded round runs");
+            assert_eq!(&report, expected, "round {} diverged from start {start}", i);
+        }
+    }
+}

@@ -209,3 +209,113 @@ fn sum_shares_hide_individual_contributions() {
         reconstruct(&total_b, &mut rng)
     );
 }
+
+#[test]
+fn membership_metadata_is_secret_independent() {
+    // Trickle beacons, convergence times and plan patches are pure
+    // functions of the topology, the event stream and the deployment
+    // seed — NEVER of the master key the readings derive from. Two
+    // deployments differing only in their master key (and therefore in
+    // every secret reading) must disseminate, patch and re-elect
+    // identically, so a colluder watching the membership control plane
+    // learns zero bits about any reading.
+    use ppda::prelude::*;
+
+    let topology = Topology::flocklab();
+    let n = topology.len() as u16;
+    let events = vec![
+        MembershipEvent::leave(3, n - 2),
+        MembershipEvent::crash(5, n - 3),
+        MembershipEvent::rejoin(10, n - 2),
+    ];
+    let run = |key: [u8; 16]| {
+        let config = ppda::mpc::ProtocolConfig::builder(topology.len())
+            .sources(6)
+            .master_key(key)
+            .build()
+            .unwrap();
+        let deployment = Deployment::builder()
+            .topology(topology.clone())
+            .config(config)
+            .protocol(ProtocolKind::S4)
+            .seed(0xD15C)
+            .membership(events.clone())
+            .build()
+            .unwrap();
+        let deltas = deployment
+            .membership()
+            .expect("timeline compiled")
+            .deltas()
+            .to_vec();
+        let mut driver = deployment.driver();
+        let reports: Vec<RoundReport> = (0..16).map(|_| driver.step().unwrap()).collect();
+        let patches: Vec<Option<PlanPatch>> = reports.iter().map(|r| r.patch).collect();
+        let sums: Vec<Vec<u64>> = reports
+            .iter()
+            .map(|r| r.outcome.expected_sums.clone())
+            .collect();
+        (deltas, patches, sums)
+    };
+
+    let (deltas_a, patches_a, sums_a) = run([0x11; 16]);
+    let (deltas_b, patches_b, sums_b) = run([0xEE; 16]);
+    assert_eq!(deltas_a, deltas_b, "dissemination must ignore secrets");
+    assert_eq!(patches_a, patches_b, "patching must ignore secrets");
+    assert_ne!(sums_a, sums_b, "sanity: the readings really differ");
+}
+
+#[test]
+fn churn_never_shrinks_the_secrecy_margin() {
+    // Membership churn only ever removes destinations from (or restores
+    // them to) the elected set — it can hand a fixed collusion no extra
+    // share points. Walk a churny S4 run and check the live destination
+    // set against the static baseline at every round: the colluders'
+    // view never grows, the margin never shrinks, and a fresh worst-case
+    // collusion of k current aggregators still learns nothing.
+    use ppda::prelude::*;
+
+    let topology = Topology::flocklab();
+    let (config, aggregators) = aggregator_setup(&topology);
+    let k = config.degree;
+    let colluders: Vec<u16> = aggregators[..k].to_vec();
+    let baseline = SecrecyAnalysis::new(k, &aggregators, &colluders);
+    assert!(baseline.secret_hidden());
+
+    let events = vec![
+        MembershipEvent::crash(2, aggregators[0]),
+        MembershipEvent::leave(4, aggregators[1]),
+        MembershipEvent::rejoin(9, aggregators[0]),
+    ];
+    let deployment = Deployment::builder()
+        .topology(topology.clone())
+        .config(config)
+        .protocol(ProtocolKind::S4)
+        .seed(0xD15C)
+        .membership(events)
+        .build()
+        .unwrap();
+    let mut driver = deployment.driver();
+    let mut patched_rounds = 0;
+    for _ in 0..16 {
+        let report = driver.step().unwrap();
+        if report.membership_patch().is_some() {
+            patched_rounds += 1;
+        }
+        let destinations = driver.plan().destinations().to_vec();
+        let now = SecrecyAnalysis::new(k, &destinations, &colluders);
+        assert!(
+            now.observed_points() <= baseline.observed_points(),
+            "churn cannot add observations"
+        );
+        assert!(
+            now.margin() >= baseline.margin(),
+            "churn cannot shrink the secrecy margin"
+        );
+        assert!(now.secret_hidden());
+
+        // Even a fresh collusion of k *current* aggregators stays blind.
+        let worst: Vec<u16> = destinations[..k.min(destinations.len())].to_vec();
+        assert!(SecrecyAnalysis::new(k, &destinations, &worst).secret_hidden());
+    }
+    assert!(patched_rounds >= 2, "the churn must actually re-elect");
+}

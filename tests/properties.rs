@@ -123,6 +123,80 @@ proptest! {
         }
     }
 
+    /// Incremental plan patching equals full recompilation for *any*
+    /// membership event stream: same outcomes, same degraded reports,
+    /// patches applied at the same rounds.
+    #[test]
+    fn plan_patching_matches_recompile_for_random_event_streams(
+        count in 0usize..8,
+        rounds in prop::collection::vec(1u32..12, 8),
+        nodes in prop::collection::vec(3u16..9, 8),
+        kinds in prop::collection::vec(0usize..4, 8),
+        seed in any::<u64>(),
+    ) {
+        use ppda::prelude::*;
+
+        // Nodes 0..3 (the sources) stay members throughout, so the
+        // destination set never empties; nodes 3..9 churn freely —
+        // including streams that drop the round below threshold.
+        let mut events: Vec<MembershipEvent> = (0..count)
+            .map(|i| MembershipEvent {
+                round: rounds[i],
+                node: nodes[i],
+                kind: [
+                    MembershipEventKind::Join,
+                    MembershipEventKind::Leave,
+                    MembershipEventKind::Crash,
+                    MembershipEventKind::Rejoin,
+                ][kinds[i]],
+            })
+            .collect();
+        events.sort_by_key(|e| e.round);
+
+        let trickle = TrickleConfig { i_min: 1, doublings: 2, k: 2, crash_detection: 1 };
+        let build = |mode: MembershipMode| {
+            Deployment::builder()
+                .topology(grid9())
+                .config(grid9_config().sources(3).build().unwrap())
+                .protocol(ProtocolKind::S4)
+                .seed(seed)
+                .membership(events.clone())
+                .trickle(trickle)
+                .membership_mode(mode)
+                .build()
+                .expect("churny deployment compiles")
+        };
+        let patched_deployment = build(MembershipMode::Patch);
+        let oracle_deployment = build(MembershipMode::Recompile);
+        let mut patched = patched_deployment.driver();
+        let mut oracle = oracle_deployment.driver();
+        for _ in 0..14 {
+            let p = patched.step().expect("patched round runs");
+            let r = oracle.step().expect("recompiled round runs");
+            prop_assert_eq!(p.round_id, r.round_id);
+            prop_assert_eq!(&p.outcome, &r.outcome);
+            prop_assert_eq!(&p.degraded, &r.degraded);
+            prop_assert_eq!(
+                p.membership_patch().is_some(),
+                r.membership_patch().is_some()
+            );
+
+            // Safety under arbitrary churn: a below-threshold round
+            // escalates to AggregationFailed — it never silently yields
+            // a wrong sum, and no live node ever reports one.
+            if let RecoveryStatus::Failed { missing } = p.recovery() {
+                prop_assert!(missing > 0);
+                prop_assert!(p.degraded.require_recovered().is_err());
+            }
+            for node in p.outcome.live_nodes() {
+                if let Some(sums) = &node.aggregates {
+                    prop_assert_eq!(sums, &p.outcome.expected_sums);
+                }
+            }
+        }
+        prop_assert_eq!(patched.stats().plan_patches, oracle.stats().plan_patches);
+    }
+
     /// Batched reconstruction over the canonical weights equals per-lane
     /// scalar reconstruction for every lane.
     #[test]
