@@ -124,6 +124,30 @@ impl TestbedSetup {
             .batch(batch)
             .build()
     }
+
+    /// [`config_batched`](Self::config_batched) with fragmentation
+    /// enabled, so lane widths past the single-frame cap (B > 23 at the
+    /// default tag length) compile into multi-frame chains instead of
+    /// failing with [`MpcError::BatchTooWide`](ppda_mpc::MpcError).
+    /// Batches that fit one frame are unaffected — the flag only changes
+    /// what happens past the cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn config_wide(&self, sources: usize, batch: usize) -> Result<ProtocolConfig, MpcError> {
+        let topology = self.topology();
+        ProtocolConfig::builder(topology.len())
+            .sources(sources)
+            .ntx_sharing(self.s4_ntx)
+            .ntx_reconstruction(self.s4_ntx)
+            .full_coverage_ntx(self.s3_ntx)
+            .aggregator_redundancy(self.redundancy)
+            .fading(self.fading)
+            .batch(batch)
+            .fragmentation(true)
+            .build()
+    }
 }
 
 /// Aggregated results of a Monte-Carlo campaign.

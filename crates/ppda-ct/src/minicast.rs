@@ -283,7 +283,16 @@ impl LinkConditionsCache {
     /// first request for this operating point and replayed bit-identically
     /// afterwards. `topology` must be the same network on every call.
     pub fn get(&mut self, topology: &Topology, attenuation_db: f64, loss: f64) -> &LinkConditions {
-        let key = (attenuation_db.to_bits(), loss.to_bits());
+        debug_assert!(
+            !attenuation_db.is_nan() && !loss.is_nan(),
+            "NaN operating point would never hit its own cache entry"
+        );
+        // Keying on raw bit patterns would file 0.0 and -0.0 as distinct
+        // entries (they build identical tables — `0.0 == -0.0`), wasting
+        // MRU slots on the most common operating point; canonicalize the
+        // negative-zero spelling away. `x + 0.0` maps -0.0 to +0.0 and is
+        // the identity on every other non-NaN value.
+        let key = ((attenuation_db + 0.0).to_bits(), (loss + 0.0).to_bits());
         if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
             self.hits += 1;
             // Move-to-front so recurring points outlive one-off draws.
@@ -442,14 +451,37 @@ impl MiniCastSchedule {
         let slot = self.chain.slot_duration();
         let airtime = self.chain.frame().airtime();
         let cycle_dur = self.chain.cycle_duration();
+        // Fragmented packets occupy `frags` frames per sub-slot: a
+        // transmitter sends (and a receiver draws reception for) each
+        // fragment individually, and a packet counts as received only when
+        // every fragment arrived. `frags == 1` is the classic single-frame
+        // chain and takes the exact code path (and RNG draw sequence)
+        // below.
+        let frags = self.chain.fragments();
+        let frag_full: u64 = if frags as usize >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << frags) - 1
+        };
+        let tx_air = airtime * u64::from(frags);
 
         // State.
         let mut have = vec![vec![false; l]; n];
         let mut rx_at: Vec<Vec<Option<SimTime>>> = vec![vec![None; l]; n];
+        // Per-(node, packet) fragment receipt bitmaps; only allocated and
+        // consulted on fragmented chains.
+        let mut frag_have: Vec<Vec<u64>> = if frags > 1 {
+            vec![vec![0u64; l]; n]
+        } else {
+            Vec::new()
+        };
         for (j, &owner) in self.chain.owners().iter().enumerate() {
             if !failed[owner as usize] {
                 have[owner as usize][j] = true;
                 rx_at[owner as usize][j] = Some(SimTime::ZERO);
+                if frags > 1 {
+                    frag_have[owner as usize][j] = frag_full;
+                }
             }
         }
         let mut joined = vec![false; n];
@@ -515,8 +547,8 @@ impl MiniCastSchedule {
                     is_tx_scratch[v] = tx;
                     if tx {
                         tx_list.push(v);
-                        ledgers[v].add_tx(airtime);
-                        ledgers[v].add_listen(slot.saturating_sub(airtime));
+                        ledgers[v].add_tx(tx_air);
+                        ledgers[v].add_listen(slot.saturating_sub(tx_air));
                     }
                 }
                 let any_tx = !tx_list.is_empty();
@@ -551,16 +583,48 @@ impl MiniCastSchedule {
                             0.0
                         };
                         if !have[v][j] {
-                            if p > 0.0 && rng.chance(p) {
-                                have[v][j] = true;
-                                rx_at[v][j] = Some(slot_start + slot);
-                                heard[v] = true;
-                                ledgers[v].add_rx(airtime);
-                                ledgers[v].add_listen(slot.saturating_sub(airtime));
-                                if predicate_met_at[v].is_none() && predicate(v, &have[v]) {
-                                    predicate_met_at[v] = Some(slot_start + slot);
+                            if frags == 1 {
+                                if p > 0.0 && rng.chance(p) {
+                                    have[v][j] = true;
+                                    rx_at[v][j] = Some(slot_start + slot);
+                                    heard[v] = true;
+                                    ledgers[v].add_rx(airtime);
+                                    ledgers[v].add_listen(slot.saturating_sub(airtime));
+                                    if predicate_met_at[v].is_none() && predicate(v, &have[v]) {
+                                        predicate_met_at[v] = Some(slot_start + slot);
+                                    }
+                                    continue;
                                 }
-                                continue;
+                            } else if p > 0.0 {
+                                // Fragmented packet: each still-missing
+                                // fragment is an independent reception
+                                // opportunity this sub-slot (transmitters
+                                // hold complete packets, so every fragment
+                                // is on the air). The packet completes only
+                                // once the receipt bitmap fills — losing
+                                // one fragment forfeits the whole packet
+                                // for this sub-slot, never splices.
+                                let mut new_rx = 0u64;
+                                for f in 0..frags {
+                                    let bit = 1u64 << f;
+                                    if frag_have[v][j] & bit == 0 && rng.chance(p) {
+                                        frag_have[v][j] |= bit;
+                                        new_rx += 1;
+                                    }
+                                }
+                                if new_rx > 0 {
+                                    heard[v] = true;
+                                    ledgers[v].add_rx(airtime * new_rx);
+                                    ledgers[v].add_listen(slot.saturating_sub(airtime * new_rx));
+                                    if frag_have[v][j] == frag_full {
+                                        have[v][j] = true;
+                                        rx_at[v][j] = Some(slot_start + slot);
+                                        if predicate_met_at[v].is_none() && predicate(v, &have[v]) {
+                                            predicate_met_at[v] = Some(slot_start + slot);
+                                        }
+                                    }
+                                    continue;
+                                }
                             }
                         } else {
                             // Overhearing a known packet still synchronizes.
@@ -1080,5 +1144,125 @@ mod tests {
         }
         assert_eq!(cache.builds(), 9, "calm built once, one-offs once each");
         assert_eq!(cache.hits(), 8, "every calm revisit is a hit");
+    }
+
+    #[test]
+    fn conditions_cache_canonicalizes_negative_zero() {
+        // Regression: raw `f64::to_bits` keys filed 0.0 and -0.0 as two
+        // distinct entries even though they build identical tables,
+        // wasting MRU slots on the most common (calm) operating point.
+        let t = Topology::line(4, 30.0, 1);
+        let mut cache = LinkConditionsCache::new();
+        cache.get(&t, 0.0, 0.0);
+        cache.get(&t, -0.0, 0.0);
+        cache.get(&t, 0.0, -0.0);
+        cache.get(&t, -0.0, -0.0);
+        assert_eq!(cache.builds(), 1, "every zero spelling is one entry");
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn fragmented_chain_covers_at_high_ntx() {
+        // A 3-fragment all-to-all chain still reaches everyone — each
+        // fragment rides the same flood, just over more draws.
+        let t = Topology::flocklab();
+        let owners: Vec<u16> = (0..t.len() as u16).collect();
+        let chain = ChainSpec::with_fragments(frame(), owners, 3).unwrap();
+        let mc = MiniCast::new(
+            &t,
+            chain,
+            MiniCastConfig {
+                ntx: 12,
+                ..Default::default()
+            },
+        );
+        let r = mc.run(&mut Xoshiro256::seed_from(42));
+        assert!(r.coverage() > 0.99, "coverage {}", r.coverage());
+        assert!(r.all_complete());
+    }
+
+    #[test]
+    fn fragmented_chain_costs_proportionally_more_time_and_energy() {
+        let t = Topology::flocklab();
+        let owners: Vec<u16> = (0..t.len() as u16).collect();
+        let cfg = MiniCastConfig {
+            ntx: 6,
+            ..Default::default()
+        };
+        let plain = MiniCast::new(&t, ChainSpec::new(frame(), owners.clone()).unwrap(), cfg)
+            .run(&mut Xoshiro256::seed_from(17));
+        let frag = MiniCast::new(
+            &t,
+            ChainSpec::with_fragments(frame(), owners, 4).unwrap(),
+            cfg,
+        )
+        .run(&mut Xoshiro256::seed_from(17));
+        // The TDMA schedule is honest: 4 fragments per packet quadruple
+        // the scheduled round duration...
+        assert_eq!(
+            frag.scheduled_duration().as_micros(),
+            4 * plain.scheduled_duration().as_micros()
+        );
+        // ...and the radio pays for it.
+        assert!(
+            frag.mean_radio_on_ms() > 2.0 * plain.mean_radio_on_ms(),
+            "fragmented {} vs plain {}",
+            frag.mean_radio_on_ms(),
+            plain.mean_radio_on_ms()
+        );
+    }
+
+    #[test]
+    fn fragmented_packet_needs_every_fragment() {
+        // Under a heavily degraded channel a multi-fragment packet is
+        // strictly harder to land than a single-frame one: per sub-slot,
+        // completion needs *all* fragments.
+        let t = Topology::line(6, 30.0, 3);
+        let owners: Vec<u16> = (0..t.len() as u16).collect();
+        let cfg = MiniCastConfig {
+            ntx: 2,
+            initiator: Some(0),
+            max_cycles: Some(3),
+            ..Default::default()
+        };
+        let lossy = LinkConditions::degraded(&t, 0.0, 0.5);
+        let failed = vec![false; t.len()];
+        let mut plain_cov = 0.0;
+        let mut frag_cov = 0.0;
+        for seed in 0..16u64 {
+            let plain =
+                MiniCastSchedule::new(&t, ChainSpec::new(frame(), owners.clone()).unwrap(), cfg);
+            plain_cov += plain
+                .run_with(&lossy, &mut Xoshiro256::seed_from(seed), &failed, |_, _| {
+                    false
+                })
+                .coverage();
+            let frag = MiniCastSchedule::new(
+                &t,
+                ChainSpec::with_fragments(frame(), owners.clone(), 8).unwrap(),
+                cfg,
+            );
+            frag_cov += frag
+                .run_with(&lossy, &mut Xoshiro256::seed_from(seed), &failed, |_, _| {
+                    false
+                })
+                .coverage();
+        }
+        assert!(
+            frag_cov < plain_cov,
+            "8-fragment packets must be harder to complete: {frag_cov} vs {plain_cov}"
+        );
+    }
+
+    #[test]
+    fn fragmented_rounds_are_deterministic() {
+        let t = Topology::flocklab();
+        let owners: Vec<u16> = (0..t.len() as u16).collect();
+        let chain = ChainSpec::with_fragments(frame(), owners, 5).unwrap();
+        let mc = MiniCast::new(&t, chain, MiniCastConfig::default());
+        let a = mc.run(&mut Xoshiro256::seed_from(5));
+        let b = mc.run(&mut Xoshiro256::seed_from(5));
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.cycles_run, b.cycles_run);
     }
 }

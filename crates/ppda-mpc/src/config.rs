@@ -1,11 +1,72 @@
 //! Protocol configuration.
 
 use ppda_field::PrimeField;
-use ppda_radio::{FadingProfile, FrameSpec};
-use ppda_sss::SumBatch;
+use ppda_radio::{fragment_frame, FadingProfile, FrameSpec, FrameTooLong};
+use ppda_sss::{SharePacket, SumBatch};
 
 use crate::error::MpcError;
 use crate::Field;
+
+/// Wire datagram lengths of the two phases at lane width `batch` and CCM
+/// tag length `tag_len`: the sealed share payload (B lane encodings + MIC)
+/// and the encoded sum batch (node + round + B lanes + contributor mask).
+/// Both the build-time frame-budget check and the fragmenting transport
+/// layout derive from these, so they can never disagree about what
+/// actually goes on the air.
+pub(crate) fn phase_datagram_lens(batch: usize, tag_len: usize) -> (usize, usize) {
+    (
+        SharePacket::<Field>::sealed_len_batch(batch, tag_len),
+        SumBatch::<Field>::encoded_len(batch),
+    )
+}
+
+/// The per-frame layout and fragment count of the sharing phase: the
+/// classic single frame (`B·4`-byte payload + MIC) when the batch fits one
+/// PSDU, otherwise — with fragmentation enabled — the uniform fragment
+/// frame and the number of fragments per packet.
+pub(crate) fn share_frame_layout(
+    batch: usize,
+    tag_len: usize,
+    fragmentation: bool,
+) -> Result<(FrameSpec, u32), MpcError> {
+    match FrameSpec::new(batch * <Field as PrimeField>::ENCODED_LEN, tag_len) {
+        Ok(frame) => Ok((frame, 1)),
+        Err(e) => {
+            let (share_len, _) = phase_datagram_lens(batch, tag_len);
+            fragmented_layout(share_len, fragmentation, e)
+        }
+    }
+}
+
+/// The per-frame layout and fragment count of the reconstruction phase
+/// (the sharing twin of [`share_frame_layout`]; sum packets travel in
+/// plaintext, so the MIC length is 0).
+pub(crate) fn sum_frame_layout(
+    batch: usize,
+    fragmentation: bool,
+) -> Result<(FrameSpec, u32), MpcError> {
+    let (_, sum_len) = phase_datagram_lens(batch, 0);
+    match FrameSpec::new(sum_len, 0) {
+        Ok(frame) => Ok((frame, 1)),
+        Err(e) => fragmented_layout(sum_len, fragmentation, e),
+    }
+}
+
+fn fragmented_layout(
+    datagram_len: usize,
+    fragmentation: bool,
+    frame_err: FrameTooLong,
+) -> Result<(FrameSpec, u32), MpcError> {
+    if !fragmentation {
+        return Err(MpcError::InvalidConfig {
+            what: frame_err.to_string(),
+        });
+    }
+    let (frame, count) = fragment_frame(datagram_len).map_err(|e| MpcError::InvalidConfig {
+        what: e.to_string(),
+    })?;
+    Ok((frame, count as u32))
+}
 
 /// Configuration shared by both protocol variants.
 ///
@@ -54,9 +115,17 @@ pub struct ProtocolConfig {
     pub fading: FadingProfile,
     /// Lane width B: readings each source contributes per round. The B
     /// values share one sealed packet per (source, destination) and one
-    /// transport round; B = 1 is the paper's scalar protocol. Upper bound
-    /// is whatever fits the 802.15.4 frame (checked at plan compile).
+    /// transport round; B = 1 is the paper's scalar protocol. Without
+    /// [`fragmentation`](Self::fragmentation) the upper bound is whatever
+    /// fits one 802.15.4 frame (23 lanes at the default tag length).
     pub batch: usize,
+    /// Whether packets wider than one 802.15.4 frame may be fragmented
+    /// across consecutive frames (see [`ppda_radio::fragment`]). Off by
+    /// default: the fragmented transport honestly costs proportionally
+    /// more airtime and energy per round, so opting into B > 23 is an
+    /// explicit deployment decision. Has no effect on batches that fit a
+    /// single frame — their wire format and schedules are unchanged.
+    pub fragmentation: bool,
 }
 
 impl ProtocolConfig {
@@ -78,6 +147,7 @@ impl ProtocolConfig {
             max_reading: 1 << 16,
             fading: FadingProfile::office(),
             batch: 1,
+            fragmentation: false,
         }
     }
 
@@ -89,6 +159,25 @@ impl ProtocolConfig {
     /// The contributor mask expected when every configured source shares.
     pub fn full_source_mask(&self) -> u128 {
         self.sources.iter().fold(0u128, |m, &s| m | (1u128 << s))
+    }
+
+    /// Frames per sealed share packet: 1 while the batch fits one
+    /// 802.15.4 frame, the per-packet fragment count once
+    /// [`fragmentation`](Self::fragmentation) carries it across several.
+    /// (0 only for hand-assembled configurations no builder would
+    /// produce.)
+    pub fn share_fragments(&self) -> u32 {
+        share_frame_layout(self.batch, self.tag_len, self.fragmentation)
+            .map(|(_, count)| count)
+            .unwrap_or(0)
+    }
+
+    /// Frames per sum-share packet (the reconstruction-phase twin of
+    /// [`share_fragments`](Self::share_fragments)).
+    pub fn sum_fragments(&self) -> u32 {
+        sum_frame_layout(self.batch, self.fragmentation)
+            .map(|(_, count)| count)
+            .unwrap_or(0)
     }
 }
 
@@ -109,14 +198,18 @@ pub struct ProtocolConfigBuilder {
     max_reading: u64,
     fading: FadingProfile,
     batch: usize,
+    fragmentation: bool,
 }
 
 impl ProtocolConfigBuilder {
-    /// Whether a lane batch of `batch` fits both phases' 802.15.4 frames
-    /// at CCM tag length `tag_len`.
-    fn batch_fits_frames(batch: usize, tag_len: usize) -> bool {
-        FrameSpec::new(batch * <Field as PrimeField>::ENCODED_LEN, tag_len).is_ok()
-            && FrameSpec::new(SumBatch::<Field>::encoded_len(batch), 0).is_ok()
+    /// Whether a lane batch of `batch` is transportable at CCM tag length
+    /// `tag_len`: both phases' datagrams (sealed share payload *and*
+    /// encoded sum batch, via [`phase_datagram_lens`]) must lay out as
+    /// frames — one each without fragmentation, at most 64 fragments each
+    /// with it.
+    fn batch_fits_transport(batch: usize, tag_len: usize, fragmentation: bool) -> bool {
+        share_frame_layout(batch, tag_len, fragmentation).is_ok()
+            && sum_frame_layout(batch, fragmentation).is_ok()
     }
 
     /// Use `count` sources spread evenly over the node id space (the
@@ -204,9 +297,20 @@ impl ProtocolConfigBuilder {
 
     /// Lane width B: readings each source contributes per round (default 1,
     /// the paper's scalar protocol). Validated against the 802.15.4 frame
-    /// budget at [`build`](ProtocolConfigBuilder::build) time.
+    /// budget at [`build`](ProtocolConfigBuilder::build) time; widths past
+    /// one frame additionally need
+    /// [`fragmentation`](ProtocolConfigBuilder::fragmentation).
     pub fn batch(mut self, lanes: usize) -> Self {
         self.batch = lanes;
+        self
+    }
+
+    /// Allow packets wider than one 802.15.4 frame to be fragmented
+    /// across consecutive frames, lifting the single-frame lane cap (23
+    /// lanes at the default tag length) up to the fragment-layer limit.
+    /// Default off; see [`ProtocolConfig::fragmentation`].
+    pub fn fragmentation(mut self, enabled: bool) -> Self {
+        self.fragmentation = enabled;
         self
     }
 
@@ -279,14 +383,15 @@ impl ProtocolConfigBuilder {
                 what: "batch lane width must be at least 1".into(),
             });
         }
-        // The whole lane batch travels in one 802.15.4 frame per packet,
-        // in both phases: the sealed share payload (B field elements +
-        // MIC) and the sum-share packet must each fit the PSDU. Checked
-        // here, where the lane width is chosen, instead of surfacing as a
-        // frame error at plan compile time.
-        if !Self::batch_fits_frames(self.batch, self.tag_len) {
+        // Both phases' datagrams — the sealed share payload (B field
+        // elements + MIC) and the encoded sum batch — must be
+        // transportable: one 802.15.4 frame each by default, or at most
+        // 64 fragments each when fragmentation is enabled. Checked here,
+        // where the lane width is chosen, instead of surfacing as a frame
+        // error at plan compile time.
+        if !Self::batch_fits_transport(self.batch, self.tag_len, self.fragmentation) {
             let max_lanes = (1..=self.batch)
-                .take_while(|&b| Self::batch_fits_frames(b, self.tag_len))
+                .take_while(|&b| Self::batch_fits_transport(b, self.tag_len, self.fragmentation))
                 .last()
                 .unwrap_or(0);
             return Err(MpcError::BatchTooWide {
@@ -317,6 +422,7 @@ impl ProtocolConfigBuilder {
             max_reading: self.max_reading,
             fading: self.fading,
             batch: self.batch,
+            fragmentation: self.fragmentation,
         })
     }
 }
@@ -467,6 +573,96 @@ mod tests {
         assert!(matches!(
             ProtocolConfig::builder(10).tag_len(16).batch(26).build(),
             Err(MpcError::BatchTooWide { max_lanes: 23, .. })
+        ));
+    }
+
+    #[test]
+    fn both_phase_datagrams_derive_from_the_wire_formats() {
+        // The shared helper must agree with the actual encoders, not a
+        // re-derivation: sealed share = B·4 + tag, sum batch =
+        // node(2) + round(4) + B·4 + mask(16).
+        let (share, sum) = phase_datagram_lens(23, 4);
+        assert_eq!(share, 23 * 4 + 4);
+        assert_eq!(sum, 2 + 4 + 23 * 4 + 16);
+        // At the default tag length the *sum* packet is the binding
+        // single-frame constraint: at B = 23 the sum is already at the
+        // 116-byte PSDU payload limit while the share frame has slack.
+        assert_eq!(sum, 114);
+        assert!(share < sum);
+        // One lane past the boundary overflows the sum bound first.
+        let (share24, sum24) = phase_datagram_lens(24, 4);
+        assert!(share24 <= 116, "share frame alone would still fit");
+        assert!(sum24 > 116, "sum packet is what breaks at 24 lanes");
+    }
+
+    #[test]
+    fn fragmentation_lifts_the_lane_cap() {
+        // 24 lanes: rejected unfragmented (see the boundary test above),
+        // accepted with fragmentation — and the *sum* phase is what
+        // fragments first.
+        let c = ProtocolConfig::builder(10)
+            .batch(24)
+            .fragmentation(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.batch, 24);
+        assert_eq!(c.share_fragments(), 1, "share still fits one frame");
+        assert_eq!(c.sum_fragments(), 2);
+        // The deliverable widths: B = 64 and B = 256.
+        let c = ProtocolConfig::builder(10)
+            .batch(64)
+            .fragmentation(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.share_fragments(), 3); // 64·4 + 4 = 260 B
+        assert_eq!(c.sum_fragments(), 3); // 2+4+256+16 = 278 B
+        let c = ProtocolConfig::builder(10)
+            .batch(256)
+            .fragmentation(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.share_fragments(), 10); // 1028 B
+        assert_eq!(c.sum_fragments(), 10); // 1046 B
+    }
+
+    #[test]
+    fn fragmentation_is_inert_below_the_single_frame_cap() {
+        // Enabling the flag must not change anything about batches that
+        // already fit one frame: same layout, fragment count 1, and the
+        // configs differ only in the flag itself.
+        let plain = ProtocolConfig::builder(10).batch(23).build().unwrap();
+        let flagged = ProtocolConfig::builder(10)
+            .batch(23)
+            .fragmentation(true)
+            .build()
+            .unwrap();
+        assert_eq!(flagged.share_fragments(), 1);
+        assert_eq!(flagged.sum_fragments(), 1);
+        let mut unflagged = flagged.clone();
+        unflagged.fragmentation = false;
+        assert_eq!(unflagged, plain);
+    }
+
+    #[test]
+    fn fragment_layer_has_its_own_lane_cap() {
+        // 64 fragments × 110 bytes bound the sum datagram:
+        // 2+4+B·4+16 ≤ 7040 ⇒ B ≤ 1754.
+        assert!(ProtocolConfig::builder(10)
+            .batch(1754)
+            .fragmentation(true)
+            .build()
+            .is_ok());
+        let err = ProtocolConfig::builder(10)
+            .batch(2000)
+            .fragmentation(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::BatchTooWide {
+                lanes: 2000,
+                max_lanes: 1754
+            }
         ));
     }
 

@@ -42,6 +42,13 @@ pub enum MpcError {
     /// budget: either the sealed share payload or the sum-share packet
     /// would overflow the 127-byte PSDU. Raised at configuration build
     /// time so a deployment never compiles a plan it cannot transmit.
+    ///
+    /// The escape hatch for wider batches is
+    /// [`ProtocolConfigBuilder::fragmentation`](crate::ProtocolConfigBuilder::fragmentation):
+    /// with fragmentation enabled, packets span multiple frames (at the
+    /// honest cost of proportionally longer rounds) and this error only
+    /// appears past the fragment layer's own cap of 64 fragments per
+    /// packet (1754 lanes at the default tag length).
     BatchTooWide {
         /// The requested lane width.
         lanes: usize,
@@ -89,7 +96,8 @@ impl fmt::Display for MpcError {
                 write!(
                     f,
                     "lane width {lanes} overflows the 802.15.4 frame budget \
-                     (at most {max_lanes} lanes fit)"
+                     (at most {max_lanes} lanes fit); enable fragmentation to \
+                     carry wider batches across multiple frames"
                 )
             }
             MpcError::AggregationFailed { missing } => {
@@ -158,6 +166,10 @@ mod tests {
         };
         assert!(wide.to_string().contains("64"));
         assert!(wide.to_string().contains("23"));
+        assert!(
+            wide.to_string().contains("fragmentation"),
+            "the error must point at the escape hatch"
+        );
         assert!(MpcError::MembershipExhausted
             .to_string()
             .contains("no live destination"));

@@ -23,6 +23,7 @@ use std::io::Write as _;
 use ppda_crypto::{Aes128, CtrDrbg};
 use ppda_ct::{Delivery, FaultPlan, LinkConditions, LinkConditionsCache, MiniCastResult};
 use ppda_field::Gf;
+use ppda_radio::{Fragmenter, Reassembler};
 use ppda_sim::{derive_stream, SimDuration, SimTime, Xoshiro256};
 use ppda_sss::{
     open_share_lanes, seal_share_lanes, split_secret, BatchSplitter, ReconstructionPlan, Share,
@@ -85,7 +86,7 @@ pub(crate) fn readings_into(
     }
 }
 
-fn phase_stats(result: &MiniCastResult, chain_len: usize, ntx: u32) -> PhaseStats {
+fn phase_stats(result: &MiniCastResult, chain_len: usize, ntx: u32, fragments: u32) -> PhaseStats {
     PhaseStats {
         chain_len,
         cycles_scheduled: result.cycles_scheduled,
@@ -93,7 +94,45 @@ fn phase_stats(result: &MiniCastResult, chain_len: usize, ntx: u32) -> PhaseStat
         scheduled_duration: result.scheduled_duration(),
         coverage: result.coverage(),
         ntx,
+        fragments,
     }
+}
+
+/// Run one sealed datagram through the fragment codec — cut into
+/// per-frame fragments, reassembled at the receiver — leaving the
+/// reassembled bytes in `out`. Fragmented plans route every delivered
+/// multi-frame packet through here so the codec is exercised on the hot
+/// path, not just modeled in the chain timing.
+fn fragment_round_trip(
+    fragmenter: &mut Fragmenter,
+    reassembler: &mut Reassembler,
+    src: u16,
+    datagram: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), MpcError> {
+    let frames = fragmenter
+        .fragment(datagram)
+        .map_err(|e| MpcError::InputMismatch {
+            what: format!("fragmenting sealed packet: {e}"),
+        })?;
+    out.clear();
+    for frame in &frames {
+        if let Some(whole) =
+            reassembler
+                .accept(src, frame)
+                .map_err(|e| MpcError::InputMismatch {
+                    what: format!("reassembling sealed packet: {e}"),
+                })?
+        {
+            *out = whole;
+        }
+    }
+    if out.is_empty() {
+        return Err(MpcError::InputMismatch {
+            what: "fragment reassembly did not complete".into(),
+        });
+    }
+    Ok(())
 }
 
 /// Record `source`'s contribution in a mask, with the scalar
@@ -426,11 +465,17 @@ impl RoundPlan<'_> {
             protocol: self.variant.name,
             expected_sum: expected.value(),
             nodes,
-            sharing: phase_stats(&sharing_result, self.slots.len(), self.ntx_sharing),
+            sharing: phase_stats(
+                &sharing_result,
+                self.slots.len(),
+                self.ntx_sharing,
+                self.sharing_schedule.chain().fragments(),
+            ),
             reconstruction: phase_stats(
                 &recon_result,
                 self.destinations.len(),
                 self.ntx_reconstruction,
+                self.recon_schedule.chain().fragments(),
             ),
             degree: config.degree,
             aggregator_count: self.destinations.len(),
@@ -455,6 +500,12 @@ struct RoundScratch {
     /// Per sub-slot: the sealed frame payload.
     sealed: Vec<Vec<u8>>,
     slot_live: Vec<bool>,
+    /// Fragment codec state for sealed packets wider than one frame
+    /// (inert while the plan's chains are unfragmented).
+    fragmenter: Fragmenter,
+    reassembler: Reassembler,
+    /// Reassembled datagram of the fragmented packet being opened.
+    frag_buf: Vec<u8>,
     /// Decrypted payload and decoded lanes of the packet being opened.
     open_payload: Vec<u8>,
     open_lanes: Vec<Elem>,
@@ -550,6 +601,9 @@ impl ExecState {
                 share_live: vec![false; n_sources],
                 sealed: vec![Vec::new(); n_slots],
                 slot_live: vec![false; n_slots],
+                fragmenter: Fragmenter::default(),
+                reassembler: Reassembler::default(),
+                frag_buf: Vec::new(),
                 open_payload: Vec::with_capacity(lanes * 8),
                 open_lanes: Vec::with_capacity(lanes),
                 sum_ys: vec![Elem::ZERO; n_dests * lanes],
@@ -889,6 +943,7 @@ impl ExecState {
         };
 
         // ---- Local sum accumulation ---------------------------------------
+        let share_frags = plan.sharing_schedule.chain().fragments();
         for (di, &d) in plan.destinations.iter().enumerate() {
             scratch.sum_live[di] = false;
             scratch.sum_mask[di] = 0;
@@ -936,6 +991,21 @@ impl ExecState {
                         Delivery::OnTime => {}
                     }
                 }
+                // Multi-frame packets cross the fragment codec before they
+                // decode; single-frame packets keep the pre-fragmentation
+                // wire format (and code path) exactly.
+                let sealed: &[u8] = if share_frags > 1 {
+                    fragment_round_trip(
+                        &mut scratch.fragmenter,
+                        &mut scratch.reassembler,
+                        slot.src,
+                        &scratch.sealed[j],
+                        &mut scratch.frag_buf,
+                    )?;
+                    &scratch.frag_buf
+                } else {
+                    &scratch.sealed[j]
+                };
                 open_share_lanes(
                     &plan.slot_ccm[j],
                     slot.src,
@@ -943,7 +1013,7 @@ impl ExecState {
                     round_id,
                     plan.dest_xs[di],
                     lanes,
-                    &scratch.sealed[j],
+                    sealed,
                     &mut scratch.open_payload,
                     &mut scratch.open_lanes,
                 )?;
@@ -1097,11 +1167,17 @@ impl ExecState {
                 lanes,
                 expected_sums: expected.iter().map(|e| e.value()).collect(),
                 nodes,
-                sharing: phase_stats(&sharing_result, plan.slots.len(), plan.ntx_sharing),
+                sharing: phase_stats(
+                    &sharing_result,
+                    plan.slots.len(),
+                    plan.ntx_sharing,
+                    plan.sharing_schedule.chain().fragments(),
+                ),
                 reconstruction: phase_stats(
                     &recon_result,
                     plan.destinations.len(),
                     plan.ntx_reconstruction,
+                    plan.recon_schedule.chain().fragments(),
                 ),
                 degree: config.degree,
                 aggregator_count: plan.destinations.len(),

@@ -43,6 +43,9 @@ pub struct PhaseStats {
     pub coverage: f64,
     /// NTX used in this phase.
     pub ntx: u32,
+    /// 802.15.4 frames per packet in this phase (1 = unfragmented; the
+    /// phase's slot and cycle durations already include the factor).
+    pub fragments: u32,
 }
 
 /// The outcome at one node.
@@ -583,6 +586,15 @@ impl fmt::Display for RoundReport {
             "protocol {} lanes {}",
             self.outcome.protocol, self.outcome.lanes
         )?;
+        // Only fragmented rounds carry the extra line, so every report a
+        // pre-fragmentation golden froze renders byte-identically.
+        if self.outcome.sharing.fragments > 1 || self.outcome.reconstruction.fragments > 1 {
+            writeln!(
+                f,
+                "fragments sharing {} reconstruction {}",
+                self.outcome.sharing.fragments, self.outcome.reconstruction.fragments
+            )?;
+        }
         write!(f, "expected")?;
         for sum in &self.outcome.expected_sums {
             write!(f, " {sum}")?;
@@ -615,6 +627,7 @@ mod tests {
             scheduled_duration: SimDuration::from_millis(100),
             coverage: 1.0,
             ntx: 6,
+            fragments: 1,
         }
     }
 

@@ -15,9 +15,8 @@ use std::collections::HashMap;
 
 use ppda_crypto::{Aes128, Ccm};
 use ppda_ct::{ChainSpec, MiniCastConfig, MiniCastSchedule};
-use ppda_field::{share_x, PrimeField};
-use ppda_radio::FrameSpec;
-use ppda_sss::{ReconstructionPlan, SumBatch};
+use ppda_field::share_x;
+use ppda_sss::ReconstructionPlan;
 use ppda_topology::Topology;
 
 use crate::bootstrap::Bootstrap;
@@ -647,8 +646,10 @@ fn slot_cipher(
 /// Compile the sharing-phase MiniCast schedule for a slot chain.
 ///
 /// Frames carry the whole lane batch: B field elements per share packet
-/// (B = 1 is the paper's scalar layout). FrameSpec rejects lane widths
-/// that overflow the 127-byte 802.15.4 PSDU.
+/// (B = 1 is the paper's scalar layout). Batches past one 127-byte
+/// 802.15.4 PSDU compile — with `config.fragmentation` — to a fragmented
+/// chain whose sub-slots span one frame per fragment; without the flag
+/// they are rejected (normally already at config build time).
 fn build_sharing_schedule(
     topology: &Topology,
     config: &ProtocolConfig,
@@ -656,18 +657,14 @@ fn build_sharing_schedule(
     slots: &[ShareSlotSpec],
     ntx_sharing: u32,
 ) -> Result<MiniCastSchedule, MpcError> {
-    let share_frame = FrameSpec::new(
-        config.batch * <Field as PrimeField>::ENCODED_LEN,
-        config.tag_len,
-    )
-    .map_err(|e| MpcError::InvalidConfig {
-        what: e.to_string(),
-    })?;
+    let (share_frame, fragments) =
+        crate::config::share_frame_layout(config.batch, config.tag_len, config.fragmentation)?;
     let owners: Vec<u16> = slots.iter().map(|s| s.src).collect();
-    let sharing_chain =
-        ChainSpec::new(share_frame, owners).map_err(|e| MpcError::InvalidConfig {
+    let sharing_chain = ChainSpec::with_fragments(share_frame, owners, fragments).map_err(|e| {
+        MpcError::InvalidConfig {
             what: e.to_string(),
-        })?;
+        }
+    })?;
     // S3 needs the full-coverage schedule (join wave + NTX + slack);
     // S4's whole point is a perimeter-scope round that ends right after
     // the NTX repetitions.
@@ -700,14 +697,10 @@ fn build_recon_schedule(
     destinations: &[u16],
     ntx_reconstruction: u32,
 ) -> Result<MiniCastSchedule, MpcError> {
-    let sum_frame =
-        FrameSpec::new(SumBatch::<Field>::encoded_len(config.batch), 0).map_err(|e| {
-            MpcError::InvalidConfig {
-                what: e.to_string(),
-            }
-        })?;
-    let recon_chain =
-        ChainSpec::new(sum_frame, destinations.to_vec()).map_err(|e| MpcError::InvalidConfig {
+    let (sum_frame, fragments) =
+        crate::config::sum_frame_layout(config.batch, config.fragmentation)?;
+    let recon_chain = ChainSpec::with_fragments(sum_frame, destinations.to_vec(), fragments)
+        .map_err(|e| MpcError::InvalidConfig {
             what: e.to_string(),
         })?;
     Ok(MiniCastSchedule::new(

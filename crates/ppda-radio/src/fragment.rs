@@ -1,0 +1,638 @@
+//! Datagram fragmentation across multiple 802.15.4 frames.
+//!
+//! One PSDU carries at most 116 bytes of payload+MIC, which caps the
+//! protocol's lane width at 23 four-byte shares per packet. This module
+//! lifts that ceiling the way 6LoWPAN does on the same radio: a *datagram*
+//! (the full sealed share batch or encoded sum packet) is split into
+//! fixed-position chunks, each prefixed with a small header carrying a
+//! datagram tag and the fragment's position, and reassembled per source on
+//! the receiving side.
+//!
+//! Semantics follow the 6LoWPAN discipline:
+//!
+//! * every fragment of a datagram shares one 16-bit `tag`; a new tag from
+//!   the same source abandons any half-assembled predecessor — losing a
+//!   single fragment loses the whole datagram, never yields a spliced one;
+//! * fragments may arrive in any order and may be duplicated (Glossy-style
+//!   floods retransmit); duplicates are counted and ignored;
+//! * chunk positions are fixed by the fragment index, so reassembly is a
+//!   bounded copy with a 64-bit completion bitmap — no allocation churn
+//!   beyond the datagram buffer itself.
+//!
+//! The chunk size is the largest payload that still fits a full-size frame
+//! after the header ([`MAX_FRAGMENT_DATA`] = 110 bytes), so a fragmented
+//! datagram occupies `ceil(len / 110)` maximum-length frames. Datagrams
+//! that fit a single unfragmented frame should bypass this module entirely
+//! (see [`frames_for_datagram`]): the on-wire format of sub-116-byte
+//! packets is unchanged.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use crate::frame::{FrameSpec, MAX_PSDU_LEN};
+use crate::phy;
+
+/// Per-fragment header length in bytes: tag (2) | index (1) | count (1) |
+/// datagram length (2), all big-endian.
+pub const FRAGMENT_HEADER_LEN: usize = 6;
+
+/// Maximum datagram bytes one fragment carries: a full 127-byte PSDU minus
+/// MAC header, CRC and the fragment header (the CCM tag travels *inside*
+/// the datagram, not per fragment).
+pub const MAX_FRAGMENT_DATA: usize =
+    MAX_PSDU_LEN - phy::MHR_LEN - phy::MFR_LEN - FRAGMENT_HEADER_LEN;
+
+/// Maximum fragments per datagram. The transport tracks per-packet
+/// fragment receipt in a 64-bit bitmap, so this is a hard protocol limit,
+/// not a tuning knob.
+pub const MAX_FRAGMENTS: usize = 64;
+
+/// Largest datagram the fragment layer can carry:
+/// [`MAX_FRAGMENTS`] × [`MAX_FRAGMENT_DATA`] = 7040 bytes.
+pub const MAX_DATAGRAM_LEN: usize = MAX_FRAGMENTS * MAX_FRAGMENT_DATA;
+
+/// Errors raised by the fragmentation codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FragmentError {
+    /// The datagram exceeds [`MAX_DATAGRAM_LEN`].
+    DatagramTooLong {
+        /// The offending datagram length.
+        len: usize,
+    },
+    /// A received frame is shorter than the fragment header.
+    Truncated {
+        /// The received frame length.
+        len: usize,
+    },
+    /// A header field is inconsistent (zero/oversized count, index out of
+    /// range, count disagreeing with the datagram length, or metadata
+    /// changing mid-datagram).
+    BadHeader {
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A fragment's chunk length disagrees with its index position.
+    WrongChunkLen {
+        /// The fragment index.
+        index: u8,
+        /// The chunk length the index position dictates.
+        expected: usize,
+        /// The chunk length received.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FragmentError::DatagramTooLong { len } => write!(
+                f,
+                "datagram of {len} bytes exceeds the fragment-layer limit of \
+                 {MAX_DATAGRAM_LEN} bytes ({MAX_FRAGMENTS} fragments)"
+            ),
+            FragmentError::Truncated { len } => write!(
+                f,
+                "frame of {len} bytes is shorter than the {FRAGMENT_HEADER_LEN}-byte \
+                 fragment header"
+            ),
+            FragmentError::BadHeader { what } => write!(f, "bad fragment header: {what}"),
+            FragmentError::WrongChunkLen {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "fragment {index} carries {got} bytes where its position dictates {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
+/// The header prefixed to every fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentHeader {
+    /// Datagram tag: all fragments of one datagram share it, consecutive
+    /// datagrams from one source differ (wrapping counter).
+    pub tag: u16,
+    /// This fragment's position, `0..count`.
+    pub index: u8,
+    /// Total fragments in the datagram.
+    pub count: u8,
+    /// Total datagram length in bytes.
+    pub datagram_len: u16,
+}
+
+impl FragmentHeader {
+    /// Serialize to the on-wire big-endian layout.
+    pub fn to_bytes(self) -> [u8; FRAGMENT_HEADER_LEN] {
+        let [t0, t1] = self.tag.to_be_bytes();
+        let [l0, l1] = self.datagram_len.to_be_bytes();
+        [t0, t1, self.index, self.count, l0, l1]
+    }
+
+    /// Split a received frame into its header and chunk payload.
+    ///
+    /// # Errors
+    ///
+    /// [`FragmentError::Truncated`] if the frame is shorter than the
+    /// header.
+    pub fn parse(frame: &[u8]) -> Result<(Self, &[u8]), FragmentError> {
+        if frame.len() < FRAGMENT_HEADER_LEN {
+            return Err(FragmentError::Truncated { len: frame.len() });
+        }
+        let (head, chunk) = frame.split_at(FRAGMENT_HEADER_LEN);
+        let header = FragmentHeader {
+            tag: u16::from_be_bytes([head[0], head[1]]),
+            index: head[2],
+            count: head[3],
+            datagram_len: u16::from_be_bytes([head[4], head[5]]),
+        };
+        Ok((header, chunk))
+    }
+}
+
+/// Number of fragments a datagram of `len` bytes splits into when routed
+/// through the fragment codec: `ceil(len / 110)`, at least 1.
+///
+/// # Errors
+///
+/// [`FragmentError::DatagramTooLong`] past [`MAX_DATAGRAM_LEN`].
+pub fn fragment_count(len: usize) -> Result<usize, FragmentError> {
+    if len > MAX_DATAGRAM_LEN {
+        return Err(FragmentError::DatagramTooLong { len });
+    }
+    Ok(len.div_ceil(MAX_FRAGMENT_DATA).max(1))
+}
+
+/// Number of TDMA frames a datagram occupies on the chain: 1 when it fits
+/// a single unfragmented frame (payload + MIC ≤ 116 bytes, the original
+/// wire format), otherwise the headered [`fragment_count`].
+///
+/// # Errors
+///
+/// [`FragmentError::DatagramTooLong`] past [`MAX_DATAGRAM_LEN`].
+pub fn frames_for_datagram(len: usize) -> Result<usize, FragmentError> {
+    if FrameSpec::new(len, 0).is_ok() {
+        return Ok(1);
+    }
+    fragment_count(len)
+}
+
+/// The uniform per-fragment [`FrameSpec`] and fragment count for a
+/// datagram of `len` bytes routed through the codec.
+///
+/// TDMA sub-slots are sized uniformly, so every fragment slot budgets the
+/// *largest* chunk (header + `min(len, 110)` bytes); the final, possibly
+/// shorter fragment still occupies a full sub-slot. The MIC length is 0 —
+/// any authentication tag travels inside the datagram.
+///
+/// # Errors
+///
+/// [`FragmentError::DatagramTooLong`] past [`MAX_DATAGRAM_LEN`].
+pub fn fragment_frame(len: usize) -> Result<(FrameSpec, usize), FragmentError> {
+    let count = fragment_count(len)?;
+    let chunk = len.min(MAX_FRAGMENT_DATA);
+    let frame = FrameSpec::new(FRAGMENT_HEADER_LEN + chunk, 0)
+        .expect("header + chunk is at most 116 bytes");
+    Ok((frame, count))
+}
+
+/// Splits datagrams into tagged fragments.
+///
+/// # Example
+///
+/// ```
+/// use ppda_radio::{Fragmenter, Reassembler, MAX_FRAGMENT_DATA};
+/// let datagram = vec![0xAB; 3 * MAX_FRAGMENT_DATA + 7];
+/// let mut tx = Fragmenter::new();
+/// let mut rx = Reassembler::new();
+/// let frames = tx.fragment(&datagram).unwrap();
+/// assert_eq!(frames.len(), 4);
+/// let mut out = None;
+/// for frame in &frames {
+///     if let Some(d) = rx.accept(3, frame).unwrap() {
+///         out = Some(d);
+///     }
+/// }
+/// assert_eq!(out.as_deref(), Some(&datagram[..]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fragmenter {
+    next_tag: u16,
+    datagrams: u64,
+    frames: u64,
+}
+
+impl Fragmenter {
+    /// A fresh fragmenter (tags start at 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Split `datagram` into headered fragments under a fresh tag.
+    ///
+    /// Chunk positions are fixed: fragment `i` carries bytes
+    /// `i*110 .. min((i+1)*110, len)`. An empty datagram yields one
+    /// header-only fragment.
+    ///
+    /// # Errors
+    ///
+    /// [`FragmentError::DatagramTooLong`] past [`MAX_DATAGRAM_LEN`].
+    pub fn fragment(&mut self, datagram: &[u8]) -> Result<Vec<Vec<u8>>, FragmentError> {
+        let count = fragment_count(datagram.len())?;
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        let mut frames = Vec::with_capacity(count);
+        for index in 0..count {
+            let start = index * MAX_FRAGMENT_DATA;
+            let end = (start + MAX_FRAGMENT_DATA).min(datagram.len());
+            let header = FragmentHeader {
+                tag,
+                index: index as u8,
+                count: count as u8,
+                datagram_len: datagram.len() as u16,
+            };
+            let mut frame = Vec::with_capacity(FRAGMENT_HEADER_LEN + (end - start));
+            frame.extend_from_slice(&header.to_bytes());
+            frame.extend_from_slice(&datagram[start..end]);
+            frames.push(frame);
+        }
+        self.datagrams += 1;
+        self.frames += count as u64;
+        Ok(frames)
+    }
+
+    /// Datagrams fragmented so far.
+    pub fn datagrams(&self) -> u64 {
+        self.datagrams
+    }
+
+    /// Fragments emitted so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    tag: u16,
+    count: u8,
+    datagram_len: usize,
+    have: u64,
+    buf: Vec<u8>,
+}
+
+/// Reassembles fragments into datagrams, with per-source state.
+///
+/// One `Partial` buffer is kept per source at a time. A fragment carrying
+/// a *new* tag from a source that still has an incomplete datagram drops
+/// the old state (whole-datagram loss — counted in [`dropped`]); a
+/// fragment of the most recently *delivered* datagram is treated as a
+/// duplicate, so flood-style retransmissions after completion are benign.
+///
+/// [`dropped`]: Reassembler::dropped
+#[derive(Debug, Clone, Default)]
+pub struct Reassembler {
+    partial: HashMap<u16, Partial>,
+    delivered: HashMap<u16, u16>,
+    completed: u64,
+    dropped: u64,
+    duplicates: u64,
+}
+
+impl Reassembler {
+    /// A fresh reassembler with no per-source state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one received frame from `src`; returns the completed datagram
+    /// when this fragment was the last missing piece.
+    ///
+    /// # Errors
+    ///
+    /// [`FragmentError`] on malformed frames (truncated header,
+    /// inconsistent count/index/length, chunk size disagreeing with the
+    /// index position). Well-formed duplicates and stale-tag drops are
+    /// *not* errors; they return `Ok(None)` and bump the counters.
+    pub fn accept(&mut self, src: u16, frame: &[u8]) -> Result<Option<Vec<u8>>, FragmentError> {
+        let (h, chunk) = FragmentHeader::parse(frame)?;
+        let len = h.datagram_len as usize;
+        let count = fragment_count(len)?;
+        if h.count as usize != count {
+            return Err(FragmentError::BadHeader {
+                what: "fragment count disagrees with the datagram length",
+            });
+        }
+        if h.index >= h.count {
+            return Err(FragmentError::BadHeader {
+                what: "fragment index out of range",
+            });
+        }
+        let start = h.index as usize * MAX_FRAGMENT_DATA;
+        let expected = len.min(start + MAX_FRAGMENT_DATA) - start;
+        if chunk.len() != expected {
+            return Err(FragmentError::WrongChunkLen {
+                index: h.index,
+                expected,
+                got: chunk.len(),
+            });
+        }
+
+        if self.delivered.get(&src) == Some(&h.tag) {
+            self.duplicates += 1;
+            return Ok(None);
+        }
+        if self.partial.get(&src).is_some_and(|p| p.tag != h.tag) {
+            self.partial.remove(&src);
+            self.dropped += 1;
+        }
+        let p = self.partial.entry(src).or_insert_with(|| Partial {
+            tag: h.tag,
+            count: h.count,
+            datagram_len: len,
+            have: 0,
+            buf: vec![0; len],
+        });
+        if p.count != h.count || p.datagram_len != len {
+            return Err(FragmentError::BadHeader {
+                what: "fragment metadata changed mid-datagram",
+            });
+        }
+        let bit = 1u64 << h.index;
+        if p.have & bit != 0 {
+            self.duplicates += 1;
+            return Ok(None);
+        }
+        p.have |= bit;
+        p.buf[start..start + expected].copy_from_slice(chunk);
+        let full = if usize::from(p.count) == MAX_FRAGMENTS {
+            u64::MAX
+        } else {
+            (1u64 << p.count) - 1
+        };
+        if p.have == full {
+            if let Some(done) = self.partial.remove(&src) {
+                self.delivered.insert(src, done.tag);
+                self.completed += 1;
+                return Ok(Some(done.buf));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Datagrams fully reassembled and delivered.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Incomplete datagrams abandoned when a newer tag arrived.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Well-formed fragments ignored as already received.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Sources with a half-assembled datagram pending.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(len: usize) -> (Vec<u8>, Vec<Vec<u8>>) {
+        let datagram: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        let mut tx = Fragmenter::new();
+        let frames = tx.fragment(&datagram).unwrap();
+        (datagram, frames)
+    }
+
+    fn feed_all(rx: &mut Reassembler, src: u16, frames: &[Vec<u8>]) -> Option<Vec<u8>> {
+        let mut out = None;
+        for frame in frames {
+            if let Some(d) = rx.accept(src, frame).unwrap() {
+                out = Some(d);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn header_wire_format_round_trips() {
+        let h = FragmentHeader {
+            tag: 0xBEEF,
+            index: 3,
+            count: 7,
+            datagram_len: 1046,
+        };
+        let bytes = h.to_bytes();
+        assert_eq!(bytes, [0xBE, 0xEF, 3, 7, 0x04, 0x16]);
+        let mut frame = bytes.to_vec();
+        frame.extend_from_slice(&[1, 2, 3]);
+        let (parsed, chunk) = FragmentHeader::parse(&frame).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(chunk, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn sizes_and_counts() {
+        assert_eq!(MAX_FRAGMENT_DATA, 110);
+        assert_eq!(MAX_DATAGRAM_LEN, 7040);
+        assert_eq!(fragment_count(0).unwrap(), 1);
+        assert_eq!(fragment_count(110).unwrap(), 1);
+        assert_eq!(fragment_count(111).unwrap(), 2);
+        assert_eq!(fragment_count(7040).unwrap(), 64);
+        assert!(matches!(
+            fragment_count(7041),
+            Err(FragmentError::DatagramTooLong { len: 7041 })
+        ));
+        // Transport view: ≤116 bytes ships unfragmented in the original
+        // wire format.
+        assert_eq!(frames_for_datagram(116).unwrap(), 1);
+        assert_eq!(frames_for_datagram(117).unwrap(), 2);
+        assert_eq!(frames_for_datagram(260).unwrap(), 3);
+        assert_eq!(frames_for_datagram(1046).unwrap(), 10);
+    }
+
+    #[test]
+    fn fragment_frame_budgets_the_largest_chunk() {
+        let (frame, count) = fragment_frame(260).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(frame.payload_len(), FRAGMENT_HEADER_LEN + MAX_FRAGMENT_DATA);
+        assert_eq!(frame.mic_len(), 0);
+        assert_eq!(frame.psdu_len(), MAX_PSDU_LEN);
+        let (small, count) = fragment_frame(40).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(small.payload_len(), FRAGMENT_HEADER_LEN + 40);
+    }
+
+    #[test]
+    fn in_order_round_trip() {
+        for len in [0, 1, 109, 110, 111, 220, 221, 1046, 4096, 7040] {
+            let (datagram, frames) = round_trip(len);
+            let mut rx = Reassembler::new();
+            let out = feed_all(&mut rx, 9, &frames).expect("completes");
+            assert_eq!(out, datagram, "len {len}");
+            assert_eq!(rx.completed(), 1);
+            assert_eq!(rx.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn reordered_and_duplicated_fragments_round_trip() {
+        let (datagram, frames) = round_trip(1000);
+        let mut rx = Reassembler::new();
+        // Reverse order, each fragment twice.
+        let mut out = None;
+        for frame in frames.iter().rev() {
+            for _ in 0..2 {
+                if let Some(d) = rx.accept(4, frame).unwrap() {
+                    out = Some(d);
+                }
+            }
+        }
+        assert_eq!(out.as_deref(), Some(&datagram[..]));
+        // 9 fragments: 8 pre-completion duplicates + 1 post-delivery.
+        assert_eq!(rx.duplicates(), frames.len() as u64);
+        assert_eq!(rx.dropped(), 0);
+    }
+
+    #[test]
+    fn missing_fragment_means_whole_datagram_loss() {
+        let mut tx = Fragmenter::new();
+        let first_datagram: Vec<u8> = (0..500u32).map(|i| (i % 256) as u8).collect();
+        let second_datagram: Vec<u8> = (0..500u32).map(|i| ((i * 7) % 256) as u8).collect();
+        let first = tx.fragment(&first_datagram).unwrap();
+        let second = tx.fragment(&second_datagram).unwrap();
+        let mut rx = Reassembler::new();
+        // Drop one fragment of the first datagram...
+        for frame in &first[1..] {
+            assert_eq!(rx.accept(2, frame).unwrap(), None);
+        }
+        assert_eq!(rx.pending(), 1);
+        // ...the next datagram's tag abandons it; nothing spliced.
+        let out = feed_all(&mut rx, 2, &second);
+        assert_eq!(out.as_deref(), Some(&second_datagram[..]));
+        assert_eq!(rx.dropped(), 1);
+        assert_eq!(rx.completed(), 1);
+    }
+
+    #[test]
+    fn sources_reassemble_independently() {
+        let (da, fa) = round_trip(300);
+        let (db, fb) = round_trip(421);
+        let mut rx = Reassembler::new();
+        // Interleave two sources fragment by fragment.
+        let mut got = HashMap::new();
+        for i in 0..fa.len().max(fb.len()) {
+            if let Some(f) = fa.get(i) {
+                if let Some(d) = rx.accept(1, f).unwrap() {
+                    got.insert(1, d);
+                }
+            }
+            if let Some(f) = fb.get(i) {
+                if let Some(d) = rx.accept(2, f).unwrap() {
+                    got.insert(2, d);
+                }
+            }
+        }
+        assert_eq!(got[&1], da);
+        assert_eq!(got[&2], db);
+        assert_eq!(rx.dropped(), 0);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        let mut rx = Reassembler::new();
+        assert!(matches!(
+            rx.accept(0, &[1, 2, 3]),
+            Err(FragmentError::Truncated { len: 3 })
+        ));
+        // count disagreeing with datagram_len (300 bytes needs 3).
+        let h = FragmentHeader {
+            tag: 0,
+            index: 0,
+            count: 2,
+            datagram_len: 300,
+        };
+        let mut frame = h.to_bytes().to_vec();
+        frame.extend_from_slice(&[0; MAX_FRAGMENT_DATA]);
+        assert!(matches!(
+            rx.accept(0, &frame),
+            Err(FragmentError::BadHeader { .. })
+        ));
+        // Index out of range.
+        let h = FragmentHeader {
+            tag: 0,
+            index: 3,
+            count: 3,
+            datagram_len: 300,
+        };
+        let mut frame = h.to_bytes().to_vec();
+        frame.extend_from_slice(&[0; 80]);
+        assert!(matches!(
+            rx.accept(0, &frame),
+            Err(FragmentError::BadHeader { .. })
+        ));
+        // Chunk length not matching the index position.
+        let h = FragmentHeader {
+            tag: 0,
+            index: 0,
+            count: 3,
+            datagram_len: 300,
+        };
+        let mut frame = h.to_bytes().to_vec();
+        frame.extend_from_slice(&[0; 40]);
+        assert!(matches!(
+            rx.accept(0, &frame),
+            Err(FragmentError::WrongChunkLen {
+                index: 0,
+                expected: MAX_FRAGMENT_DATA,
+                got: 40
+            })
+        ));
+        // Errors don't corrupt counters.
+        assert_eq!(rx.completed(), 0);
+        assert_eq!(rx.duplicates(), 0);
+    }
+
+    #[test]
+    fn tags_advance_and_wrap() {
+        let mut tx = Fragmenter::new();
+        tx.next_tag = u16::MAX;
+        let a = tx.fragment(&[0; 200]).unwrap();
+        let b = tx.fragment(&[0; 200]).unwrap();
+        let (ha, _) = FragmentHeader::parse(&a[0]).unwrap();
+        let (hb, _) = FragmentHeader::parse(&b[0]).unwrap();
+        assert_eq!(ha.tag, u16::MAX);
+        assert_eq!(hb.tag, 0);
+        assert_eq!(tx.datagrams(), 2);
+        assert_eq!(tx.frames(), 4);
+    }
+
+    #[test]
+    fn error_display_mentions_the_numbers() {
+        assert!(FragmentError::DatagramTooLong { len: 9000 }
+            .to_string()
+            .contains("9000"));
+        assert!(FragmentError::Truncated { len: 2 }
+            .to_string()
+            .contains('2'));
+        let e = FragmentError::WrongChunkLen {
+            index: 1,
+            expected: 110,
+            got: 7,
+        };
+        assert!(e.to_string().contains("110"));
+        assert!(e.to_string().contains('7'));
+    }
+}

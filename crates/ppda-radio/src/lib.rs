@@ -13,6 +13,8 @@
 //!   concurrent transmissions work.
 //! * [`EnergyLedger`] — per-node radio-on bookkeeping (tx / rx / idle
 //!   listening) and energy conversion with datasheet currents.
+//! * [`fragment`] — 6LoWPAN-style datagram fragmentation/reassembly so
+//!   payloads wider than one 127-byte PSDU can span multiple frames.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,10 +22,15 @@
 pub mod channel;
 mod energy;
 mod fading;
+pub mod fragment;
 mod frame;
 pub mod phy;
 
 pub use channel::{capture_receives, combine_same_packet, PathLossModel};
 pub use energy::{EnergyLedger, RadioCurrents};
 pub use fading::FadingProfile;
+pub use fragment::{
+    fragment_frame, frames_for_datagram, FragmentError, FragmentHeader, Fragmenter, Reassembler,
+    FRAGMENT_HEADER_LEN, MAX_DATAGRAM_LEN, MAX_FRAGMENTS, MAX_FRAGMENT_DATA,
+};
 pub use frame::{FrameSpec, FrameTooLong, MAX_PSDU_LEN};

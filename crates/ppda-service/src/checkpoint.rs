@@ -29,9 +29,10 @@ use serde::{Deserialize, Deserializer, Error as _, Serialize, Serializer};
 use crate::engine::{CampaignEngine, ClockMode, DeploymentSpec, EngineError};
 
 /// Current blob version. Version 2 appended the membership event
-/// stream and Trickle parameters to every spec; version-1 blobs (no
-/// membership) still restore.
-const FORMAT_VERSION: u8 = 2;
+/// stream and Trickle parameters to every spec; version 3 appended the
+/// config's fragmentation flag. Older blobs (no membership / no flag)
+/// still restore.
+const FORMAT_VERSION: u8 = 3;
 const OLDEST_SUPPORTED_VERSION: u8 = 1;
 
 /// A serialized, self-contained image of a quiesced engine.
@@ -220,6 +221,9 @@ fn encode_spec(out: &mut Vec<u8>, spec: &DeploymentSpec) {
     put_u32(out, t.doublings);
     put_u32(out, t.k);
     put_u32(out, t.crash_detection);
+
+    // Version 3: the fragmentation flag (wide lane batches span frames).
+    out.push(u8::from(c.fragmentation));
 }
 
 fn decode_spec(r: &mut Reader<'_>, version: u8) -> Result<DeploymentSpec, CheckpointError> {
@@ -269,7 +273,7 @@ fn decode_spec(r: &mut Reader<'_>, version: u8) -> Result<DeploymentSpec, Checkp
         harsh_range: (r.f64()?, r.f64()?),
     };
     let batch = r.u64()? as usize;
-    let config = ProtocolConfig {
+    let mut config = ProtocolConfig {
         n_nodes,
         sources,
         degree,
@@ -284,6 +288,9 @@ fn decode_spec(r: &mut Reader<'_>, version: u8) -> Result<DeploymentSpec, Checkp
         max_reading,
         fading,
         batch,
+        // Version ≤ 2 blobs predate the fragmenting transport: every
+        // batch they could compile fits one frame, so the flag is off.
+        fragmentation: false,
     };
 
     let fault_seed = r.u64()?;
@@ -339,6 +346,9 @@ fn decode_spec(r: &mut Reader<'_>, version: u8) -> Result<DeploymentSpec, Checkp
             k: r.u32()?,
             crash_detection: r.u32()?,
         };
+    }
+    if version >= 3 {
+        config.fragmentation = r.u8()? != 0;
     }
 
     Ok(DeploymentSpec {

@@ -337,14 +337,13 @@ mod checkpointing {
         assert_eq!(recorded[churny], reports);
     }
 
-    #[test]
-    fn version_1_checkpoints_still_restore() {
-        // A fresh, membership-free, single-deployment engine: its v2
-        // blob is a v1 blob plus a fixed 24-byte per-spec appendix
-        // (membership count 0 as u64, four u32 Trickle params) sitting
-        // right before the trailing `completed` u64 and the
-        // length-prefixed (empty) accumulator. Strip the appendix and
-        // rewind the version byte to synthesize the v1 encoding.
+    /// A fresh, membership-free, single-deployment engine whose current
+    /// (v3) checkpoint blob this strips back down to an older encoding:
+    /// the per-spec appendices sit right before the trailing `completed`
+    /// u64 and the length-prefixed (empty) accumulator — v2 added a
+    /// 24-byte appendix (membership count 0 as u64, four u32 Trickle
+    /// params), v3 a single fragmentation-flag byte after it.
+    fn legacy_checkpoint_fixture() -> (DeploymentSpec, Vec<u8>, usize) {
         let spec = {
             let topology = Topology::grid(3, 3, 15.0, 9);
             let config = ProtocolConfig::builder(topology.len())
@@ -358,19 +357,44 @@ mod checkpointing {
             .deployment(spec.clone())
             .build()
             .expect("spec compiles");
-        let v2 = Checkpoint::capture(&engine).expect("checkpoint");
-        let bytes = v2.as_bytes();
-
+        let current = Checkpoint::capture(&engine).expect("checkpoint");
+        let bytes = current.as_bytes().to_vec();
         let metrics_len = 8 + CampaignAccumulator::new().to_blob().len();
-        let appendix_at = bytes.len() - (24 + 8 + metrics_len);
-        let mut v1 = bytes.to_vec();
-        v1.drain(appendix_at..appendix_at + 24);
+        let trailer_len = 8 + metrics_len;
+        (spec, bytes, trailer_len)
+    }
+
+    #[test]
+    fn version_1_checkpoints_still_restore() {
+        let (spec, bytes, trailer_len) = legacy_checkpoint_fixture();
+        // Strip both the v3 flag byte and the v2 appendix, rewind the
+        // version byte to synthesize the v1 encoding.
+        let appendix_at = bytes.len() - (25 + trailer_len);
+        let mut v1 = bytes;
+        v1.drain(appendix_at..appendix_at + 25);
         v1[0] = 1;
 
         let restored = Checkpoint::from_bytes(v1).restore().expect("v1 restores");
         assert_eq!(restored.spec(0).name, "legacy");
         assert!(restored.spec(0).membership.is_empty());
         assert_eq!(restored.spec(0).trickle, spec.trickle);
+        assert!(!restored.spec(0).config.fragmentation);
+        restored.advance(2).expect("restored engine runs");
+    }
+
+    #[test]
+    fn version_2_checkpoints_still_restore() {
+        let (spec, bytes, trailer_len) = legacy_checkpoint_fixture();
+        // Strip only the v3 fragmentation byte to synthesize v2.
+        let flag_at = bytes.len() - (1 + trailer_len);
+        let mut v2 = bytes;
+        v2.drain(flag_at..flag_at + 1);
+        v2[0] = 2;
+
+        let restored = Checkpoint::from_bytes(v2).restore().expect("v2 restores");
+        assert_eq!(restored.spec(0).name, "legacy");
+        assert_eq!(restored.spec(0).trickle, spec.trickle);
+        assert!(!restored.spec(0).config.fragmentation);
         restored.advance(2).expect("restored engine runs");
     }
 

@@ -147,14 +147,14 @@ impl<P: PrimeField> SharePacket<P> {
 ///
 /// `out` is cleared and receives `ciphertext ‖ tag`.
 ///
+/// Wide batches (fragmented transport) can exceed one 802.15.4 frame, so
+/// the payload buffer grows with the lane count: batches up to 32 lanes
+/// (one frame plus margin) encode on the stack, wider ones take one heap
+/// allocation per call.
+///
 /// # Errors
 ///
 /// Propagates sealing failures from `ppda-crypto`.
-///
-/// # Panics
-///
-/// Panics if the lane payload exceeds the 802.15.4 frame bound (128
-/// bytes); deployments validate lane counts at plan-compile time.
 pub fn seal_share_lanes<P: PrimeField>(
     ccm: &Ccm,
     src: u16,
@@ -164,9 +164,15 @@ pub fn seal_share_lanes<P: PrimeField>(
     ys: &[Gf<P>],
     out: &mut Vec<u8>,
 ) -> Result<(), SssError> {
-    let mut payload = [0u8; 128];
     let len = ys.len() * P::ENCODED_LEN;
-    assert!(len <= payload.len(), "lane payload exceeds frame bounds");
+    let mut stack = [0u8; 128];
+    let mut heap;
+    let payload: &mut [u8] = if len <= stack.len() {
+        &mut stack[..len]
+    } else {
+        heap = vec![0u8; len];
+        &mut heap
+    };
     for (chunk, &y) in payload.chunks_exact_mut(P::ENCODED_LEN).zip(ys) {
         y.write_bytes(chunk);
     }
@@ -174,7 +180,7 @@ pub fn seal_share_lanes<P: PrimeField>(
     ccm.seal_into(
         &nonce,
         &SharePacket::<P>::aad(src, dst, round),
-        &payload[..len],
+        payload,
         out,
     )?;
     Ok(())
@@ -517,6 +523,26 @@ mod tests {
             open_share_lanes(&ccm, 1, 3, 9, x, 16, &sealed, &mut scratch, &mut out),
             Err(SssError::Crypto(_))
         ));
+    }
+
+    #[test]
+    fn wide_lane_batch_exceeding_one_frame_round_trips() {
+        // 64 lanes = 256 payload bytes: past the single-frame budget, the
+        // regime the fragmenting transport carries. The sealing path must
+        // not be capped at one PSDU.
+        let ccm = Ccm::new(keys().key(2, 4).unwrap(), 4).unwrap();
+        let x = share_x::<Mersenne31>(4);
+        let ys: Vec<Gf31> = (0..64).map(|i| Gf31::new(7_000_000 + i * 13)).collect();
+        let mut sealed = Vec::new();
+        seal_share_lanes(&ccm, 2, 4, 5, x, &ys, &mut sealed).unwrap();
+        assert_eq!(
+            sealed.len(),
+            SharePacket::<Mersenne31>::sealed_len_batch(64, 4)
+        );
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        open_share_lanes(&ccm, 2, 4, 5, x, 64, &sealed, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, ys);
     }
 
     #[test]
