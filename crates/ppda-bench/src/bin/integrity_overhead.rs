@@ -1,0 +1,151 @@
+//! Integrity-overhead sweep: what transcript commitments and the sum
+//! audit cost on the host, measured as rounds/s and values/s with
+//! integrity on versus off at several lane widths.
+//!
+//! ```text
+//! cargo run -p ppda-bench --release --bin integrity_overhead -- \
+//!     [--testbed flocklab|dcube|both] [--sources K] [--iterations N] \
+//!     [--repeats R] [--seed S] [--batches 1,16,64] [--json PATH]
+//! ```
+//!
+//! Each sweep point runs the same fault-free S4 campaign under both
+//! [`IntegrityMode::Off`] (the pre-integrity pipeline, bit-exact) and
+//! [`IntegrityMode::On`] (every source commits a transcript digest over
+//! its share slab; every round's sum audit recomputes the committed
+//! aggregates) and reports the throughput of both plus the relative
+//! rounds/s overhead. The two modes are interleaved `--repeats` times
+//! and the best throughput of each is kept, so slow-machine drift
+//! cancels instead of showing up as phantom (even negative) overhead. The audit work is a
+//! digest over `dests × lanes` field encodings plus one field re-sum,
+//! small next to the round's AES-CCM sealing and MiniCast flooding, so
+//! the overhead should stay in single digits (the perf-smoke lane warns
+//! past 10% at B = 1).
+//!
+//! `--json PATH` writes the run in the `BENCH_*.json` perf-trajectory
+//! format (see EXPERIMENTS.md): one record per (testbed, B) sweep point.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ppda_bench::{arg_value, run_campaign, Protocol, TestbedSetup};
+use ppda_metrics::Table;
+use ppda_mpc::IntegrityMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let testbed = arg_value(&args, "--testbed").unwrap_or_else(|| "both".into());
+    let sources_override: Option<usize> =
+        arg_value(&args, "--sources").map(|v| v.parse().expect("--sources must be a number"));
+    let iterations: u64 = arg_value(&args, "--iterations")
+        .map(|v| v.parse().expect("--iterations must be a number"))
+        .unwrap_or(60);
+    let repeats: usize = arg_value(&args, "--repeats")
+        .map(|v| v.parse().expect("--repeats must be a number"))
+        .unwrap_or(3);
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed must be a number"))
+        .unwrap_or(7);
+    let batches: Vec<usize> = arg_value(&args, "--batches")
+        .map(|v| {
+            v.split(',')
+                .map(|b| b.trim().parse().expect("--batches must be numbers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 16, 64]);
+    let json_path = arg_value(&args, "--json");
+    let mut json_rows: Vec<String> = Vec::new();
+
+    let setups: Vec<TestbedSetup> = match testbed.as_str() {
+        "both" => vec![TestbedSetup::flocklab(), TestbedSetup::dcube()],
+        name => vec![TestbedSetup::by_name(name)
+            .unwrap_or_else(|| panic!("unknown testbed {name} (flocklab|dcube)"))],
+    };
+    let backend = ppda_field::packed::backend_name::<ppda_mpc::Field>();
+
+    let mut table = Table::new(vec![
+        "testbed",
+        "B",
+        "rounds/s off",
+        "rounds/s on",
+        "values/s off",
+        "values/s on",
+        "overhead %",
+    ]);
+    for setup in &setups {
+        let topology = setup.topology();
+        let sources = sources_override.unwrap_or(6);
+        for &batch in &batches {
+            let throughput = |mode: IntegrityMode| {
+                let mut config = setup
+                    .config_wide(sources, batch)
+                    .unwrap_or_else(|e| panic!("B={batch} on {}: {e}", setup.name));
+                config.integrity = mode;
+                let start = Instant::now();
+                let result = run_campaign(Protocol::S4, &topology, &config, iterations, seed)
+                    .unwrap_or_else(|e| panic!("campaign B={batch} on {}: {e}", setup.name));
+                let elapsed = start.elapsed().as_secs_f64();
+                result.rounds as f64 / elapsed
+            };
+            let mut rounds_off = 0.0f64;
+            let mut rounds_on = 0.0f64;
+            for _ in 0..repeats {
+                rounds_off = rounds_off.max(throughput(IntegrityMode::Off));
+                rounds_on = rounds_on.max(throughput(IntegrityMode::On));
+            }
+            let overhead_pct = (rounds_off / rounds_on - 1.0) * 100.0;
+            table.row(vec![
+                setup.name.to_string(),
+                batch.to_string(),
+                format!("{rounds_off:.1}"),
+                format!("{rounds_on:.1}"),
+                format!("{:.0}", rounds_off * batch as f64),
+                format!("{:.0}", rounds_on * batch as f64),
+                format!("{overhead_pct:.1}"),
+            ]);
+            if json_path.is_some() {
+                let mut row = String::new();
+                write!(
+                    row,
+                    concat!(
+                        "    {{\"testbed\": \"{}\", \"sources\": {}, \"batch\": {}, ",
+                        "\"rounds_per_sec_off\": {:.2}, \"rounds_per_sec_on\": {:.2}, ",
+                        "\"values_per_sec_off\": {:.2}, \"values_per_sec_on\": {:.2}, ",
+                        "\"overhead_pct\": {:.2}}}"
+                    ),
+                    setup.name,
+                    sources,
+                    batch,
+                    rounds_off,
+                    rounds_on,
+                    rounds_off * batch as f64,
+                    rounds_on * batch as f64,
+                    overhead_pct,
+                )
+                .expect("writing to a String cannot fail");
+                json_rows.push(row);
+            }
+        }
+    }
+    println!("\n=== integrity overhead — commitments + sum audit, on vs off ({backend}) ===");
+    print!("{table}");
+
+    if let Some(path) = json_path {
+        let doc = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"integrity_overhead\",\n",
+                "  \"backend\": \"{}\",\n",
+                "  \"iterations\": {},\n",
+                "  \"repeats\": {},\n",
+                "  \"rows\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            backend,
+            iterations,
+            repeats,
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Transcript-committed sums and a cheating-aggregator detector.
+//!
+//! Everything below `ppda-mpc` assumes an honest-but-curious world: a
+//! passive collusion learns nothing beyond the aggregate, but a Byzantine
+//! aggregator can report any sum it likes. This crate closes that gap
+//! with three pieces:
+//!
+//! * [`Transcript`] — a deterministic, domain-separated absorb/challenge
+//!   byte hash built on the repo's own AES-128 (single-permutation
+//!   Davies–Meyer compression), KAT-pinned so stored commitments never
+//!   drift;
+//! * [`ShareCommitment`] — each source binds a 16-byte digest over its
+//!   full per-lane share vector into the round at sharing time;
+//! * [`SumAudit`] — any `t+1` survivor set recomputes the committed
+//!   aggregate and renders an [`IntegrityVerdict`].
+//!
+//! [`TamperPlan`] is the adversary: a seeded, pure-function model of a
+//! cheating aggregator (sum forgery, lane swaps, bit flips) so detection
+//! is testable end to end. [`IntegrityMode`] is the config switch; `Off`
+//! is byte-identical to a build without this crate.
+//!
+//! # Example: commitment catches a forged sum
+//!
+//! ```
+//! use ppda_integrity::{IntegrityVerdict, ShareCommitment, SumAudit};
+//!
+//! // A source commits to its share bytes at sharing time.
+//! let shares = [3u8, 1, 4, 1, 5, 9, 2, 6];
+//! let commitment = ShareCommitment::commit(1, 0, &shares);
+//! assert!(commitment.verify(1, &shares));
+//!
+//! // Later, survivors audit what the aggregator reported.
+//! let mut audit = SumAudit::new(1);
+//! audit.set_survivors(2);
+//! audit.check_lane(0, b"committed", b"reported!", Some(4));
+//! assert_eq!(
+//!     audit.verdict(),
+//!     IntegrityVerdict::Tampered { lane: 0, aggregator: Some(4) },
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod commit;
+mod tamper;
+mod transcript;
+
+pub use commit::{CommitContext, IntegrityMode, IntegrityVerdict, ShareCommitment, SumAudit};
+pub use tamper::{RoundTampering, TamperAction, TamperPlan};
+pub use transcript::Transcript;

@@ -1,6 +1,7 @@
 //! Protocol configuration.
 
 use ppda_field::PrimeField;
+use ppda_integrity::IntegrityMode;
 use ppda_radio::{fragment_frame, FadingProfile, FrameSpec, FrameTooLong};
 use ppda_sss::{SharePacket, SumBatch};
 
@@ -126,6 +127,11 @@ pub struct ProtocolConfig {
     /// explicit deployment decision. Has no effect on batches that fit a
     /// single frame — their wire format and schedules are unchanged.
     pub fragmentation: bool,
+    /// Whether rounds carry transcript commitments and run the sum audit
+    /// (see [`ppda_integrity`]). Off by default: commitments cost extra
+    /// AES work per source per round, and `Off` is byte-identical to the
+    /// pre-integrity protocol — no packet grows, no RNG draw shifts.
+    pub integrity: IntegrityMode,
 }
 
 impl ProtocolConfig {
@@ -148,6 +154,7 @@ impl ProtocolConfig {
             fading: FadingProfile::office(),
             batch: 1,
             fragmentation: false,
+            integrity: IntegrityMode::Off,
         }
     }
 
@@ -199,6 +206,7 @@ pub struct ProtocolConfigBuilder {
     fading: FadingProfile,
     batch: usize,
     fragmentation: bool,
+    integrity: IntegrityMode,
 }
 
 impl ProtocolConfigBuilder {
@@ -314,6 +322,14 @@ impl ProtocolConfigBuilder {
         self
     }
 
+    /// Carry transcript commitments and audit reported sums (see
+    /// [`ppda_integrity`]). Default [`IntegrityMode::Off`], which is
+    /// byte-identical to the pre-integrity protocol.
+    pub fn integrity(mut self, mode: IntegrityMode) -> Self {
+        self.integrity = mode;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -423,6 +439,7 @@ impl ProtocolConfigBuilder {
             fading: self.fading,
             batch: self.batch,
             fragmentation: self.fragmentation,
+            integrity: self.integrity,
         })
     }
 }
@@ -664,6 +681,23 @@ mod tests {
                 max_lanes: 1754
             }
         ));
+    }
+
+    #[test]
+    fn integrity_defaults_off_and_is_config_inert() {
+        // The mode is carried verbatim, defaults Off, and flipping it is
+        // the *only* difference between the two configs — the integrity
+        // subsystem must never perturb any other configuration knob.
+        let plain = ProtocolConfig::builder(10).build().unwrap();
+        assert_eq!(plain.integrity, IntegrityMode::Off);
+        let audited = ProtocolConfig::builder(10)
+            .integrity(IntegrityMode::On)
+            .build()
+            .unwrap();
+        assert_eq!(audited.integrity, IntegrityMode::On);
+        let mut off = audited.clone();
+        off.integrity = IntegrityMode::Off;
+        assert_eq!(off, plain);
     }
 
     #[test]

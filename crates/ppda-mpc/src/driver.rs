@@ -49,6 +49,7 @@ use std::borrow::Cow;
 use std::fmt;
 
 use ppda_ct::FaultPlan;
+use ppda_integrity::TamperPlan;
 use ppda_sim::{derive_stream, ChurnSchedule, MembershipEvent, TrickleConfig};
 use ppda_topology::Topology;
 
@@ -159,6 +160,15 @@ pub struct DriverStats {
     /// see [`RoundReport::membership_patch`]). Always 0 for deployments
     /// without a membership event stream.
     pub plan_patches: u64,
+    /// Rounds whose sum audit actually ran (the config enabled integrity
+    /// and a `t+1` survivor quorum held commitments). Always 0 with
+    /// integrity off.
+    pub audited_rounds: u64,
+    /// Audited rounds whose verdict was
+    /// [`IntegrityVerdict::Tampered`](crate::IntegrityVerdict::Tampered):
+    /// some aggregator's reported sums disagreed with the share
+    /// commitments.
+    pub tampered_rounds: u64,
 }
 
 impl DriverStats {
@@ -176,6 +186,14 @@ impl DriverStats {
         self.total_energy_mj += report.outcome.mean_energy_mj();
         if report.patch.is_some() {
             self.plan_patches += 1;
+        }
+        match report.integrity() {
+            crate::IntegrityVerdict::Unchecked => {}
+            crate::IntegrityVerdict::Verified => self.audited_rounds += 1,
+            crate::IntegrityVerdict::Tampered { .. } => {
+                self.audited_rounds += 1;
+                self.tampered_rounds += 1;
+            }
         }
     }
 
@@ -285,6 +303,7 @@ pub struct DeploymentBuilder<'t> {
     config: Option<ProtocolConfig>,
     protocol: ProtocolKind,
     faults: FaultPlan,
+    tamper: TamperPlan,
     seed: u64,
     membership: Option<Vec<MembershipEvent>>,
     trickle: TrickleConfig,
@@ -335,6 +354,18 @@ impl<'t> DeploymentBuilder<'t> {
     #[must_use]
     pub fn churn(mut self, churn: ChurnSchedule) -> Self {
         self.faults.churn = churn;
+        self
+    }
+
+    /// Cheating-aggregator model every driven round runs under (default:
+    /// [`TamperPlan::none`], which is byte-identical to honest
+    /// execution). Combine with
+    /// [`ProtocolConfigBuilder::integrity`](crate::ProtocolConfigBuilder::integrity)
+    /// so the sum audit catches the injected forgeries; with integrity
+    /// off, tampering silently corrupts aggregates.
+    #[must_use]
+    pub fn tamper(mut self, tamper: TamperPlan) -> Self {
+        self.tamper = tamper;
         self
     }
 
@@ -452,6 +483,7 @@ impl<'t> DeploymentBuilder<'t> {
             churn_plan,
             mode: self.mode,
             faults: self.faults,
+            tamper: self.tamper,
             seed: self.seed,
         })
     }
@@ -503,6 +535,7 @@ pub struct Deployment<'t> {
     churn_plan: Option<Box<RoundPlan<'static>>>,
     mode: MembershipMode,
     faults: FaultPlan,
+    tamper: TamperPlan,
     seed: u64,
 }
 
@@ -516,6 +549,7 @@ impl<'t> Deployment<'t> {
             config: None,
             protocol: ProtocolKind::S4,
             faults: FaultPlan::none(),
+            tamper: TamperPlan::none(),
             seed: 0,
             membership: None,
             trickle: TrickleConfig::default(),
@@ -552,6 +586,7 @@ impl<'t> Deployment<'t> {
             membership,
             mode: self.mode,
             faults: self.faults.clone(),
+            tamper: self.tamper.clone(),
             base_seed: self.seed,
             stats: DriverStats::default(),
             observers: Vec::new(),
@@ -596,6 +631,13 @@ impl<'t> Deployment<'t> {
     /// The fault model driven rounds run under.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// The cheating-aggregator model driven rounds run under
+    /// ([`TamperPlan::none`] unless [`DeploymentBuilder::tamper`] set
+    /// one).
+    pub fn tamper(&self) -> &TamperPlan {
+        &self.tamper
     }
 
     /// The base seed of the automatic round clock.
@@ -667,6 +709,7 @@ pub struct RoundDriver<'d> {
     membership: Option<MembershipCursor>,
     mode: MembershipMode,
     faults: FaultPlan,
+    tamper: TamperPlan,
     base_seed: u64,
     stats: DriverStats,
     observers: Vec<Box<dyn RoundObserver + 'd>>,
@@ -934,9 +977,20 @@ impl<'d> RoundDriver<'d> {
             Some(f) => f,
             None => &self.all_live,
         };
-        let out =
-            self.exec
-                .run_epoch_degraded(plan, round_id, seed, readings, failed, &self.faults)?;
+        let tamper = if self.tamper.is_zero() {
+            None
+        } else {
+            Some(&self.tamper)
+        };
+        let out = self.exec.run_epoch_degraded(
+            plan,
+            round_id,
+            seed,
+            readings,
+            failed,
+            &self.faults,
+            tamper,
+        )?;
         let report = RoundReport {
             round_id,
             seed,

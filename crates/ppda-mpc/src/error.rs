@@ -77,6 +77,20 @@ pub enum MpcError {
         /// The earlier round that was requested.
         requested: u32,
     },
+    /// The sum audit caught a reported aggregate that disagrees with the
+    /// sources' share commitments: some aggregator forged, swapped or
+    /// corrupted a sum share after honest accumulation. Raised by
+    /// [`DegradedOutcome::require_verified`](crate::DegradedOutcome::require_verified)
+    /// when a round's verdict is
+    /// [`IntegrityVerdict::Tampered`](crate::IntegrityVerdict::Tampered);
+    /// the round's aggregate must be discarded.
+    IntegrityViolation {
+        /// First batch lane whose reported aggregate mismatched.
+        lane: u16,
+        /// The first aggregator whose reported sum share disagreed with
+        /// the committed recomputation, when one is identifiable.
+        aggregator: Option<u16>,
+    },
     /// Propagated SSS-layer failure.
     Sss(SssError),
 }
@@ -121,6 +135,14 @@ impl fmt::Display for MpcError {
                     "round {requested} precedes the plan's patched state (round {patched_to}); \
                      membership-driven drivers only advance"
                 )
+            }
+            MpcError::IntegrityViolation { lane, aggregator } => {
+                write!(f, "integrity violation: reported aggregate on lane {lane} ")?;
+                match aggregator {
+                    Some(a) => write!(f, "(first mismatch at aggregator {a}) "),
+                    None => Ok(()),
+                }?;
+                write!(f, "disagrees with the share commitments")
             }
             MpcError::Sss(e) => write!(f, "secret-sharing error: {e}"),
         }
@@ -179,6 +201,19 @@ mod tests {
         };
         assert!(reg.to_string().contains('9'));
         assert!(reg.to_string().contains('4'));
+        let violation = MpcError::IntegrityViolation {
+            lane: 2,
+            aggregator: Some(11),
+        };
+        assert!(violation.to_string().contains("integrity violation"));
+        assert!(violation.to_string().contains("lane 2"));
+        assert!(violation.to_string().contains("aggregator 11"));
+        let anon = MpcError::IntegrityViolation {
+            lane: 0,
+            aggregator: None,
+        };
+        assert!(anon.to_string().contains("share commitments"));
+        assert!(!anon.to_string().contains("aggregator"));
         let e = MpcError::from(SssError::InconsistentShares);
         assert!(e.to_string().contains("secret-sharing"));
         assert!(std::error::Error::source(&e).is_some());

@@ -23,11 +23,12 @@ use std::io::Write as _;
 use ppda_crypto::{Aes128, CtrDrbg};
 use ppda_ct::{Delivery, FaultPlan, LinkConditions, LinkConditionsCache, MiniCastResult};
 use ppda_field::Gf;
+use ppda_integrity::{IntegrityVerdict, ShareCommitment, SumAudit, TamperAction, TamperPlan};
 use ppda_radio::{Fragmenter, Reassembler};
 use ppda_sim::{derive_stream, SimDuration, SimTime, Xoshiro256};
 use ppda_sss::{
-    open_share_lanes, seal_share_lanes, split_secret, BatchSplitter, ReconstructionPlan, Share,
-    SharePacket, SumAccumulator, SumPacket, WeightCache,
+    open_share_lanes, seal_share_lanes, split_secret, BatchSplitter, CommitPacket,
+    ReconstructionPlan, Share, SharePacket, SumAccumulator, SumPacket, WeightCache,
 };
 use rand::RngCore;
 
@@ -515,6 +516,13 @@ struct RoundScratch {
     sum_mask: Vec<u128>,
     sum_live: Vec<bool>,
     usable: Vec<bool>,
+    /// Integrity workspace: the slab-encoding buffer a source's share
+    /// vector is serialized into before committing, the per-source
+    /// commitments carried through the round (`None` for dead sources or
+    /// integrity-off rounds), and the commitment packet wire buffer.
+    commit_bytes: Vec<u8>,
+    commitments: Vec<Option<ShareCommitment>>,
+    commit_wire: Vec<u8>,
     /// Reconstruction workspace: chosen subset rows and per-lane output.
     recon_xs: Vec<Elem>,
     recon_slab: Vec<Elem>,
@@ -610,6 +618,9 @@ impl ExecState {
                 sum_mask: vec![0; n_dests],
                 sum_live: vec![false; n_dests],
                 usable: vec![false; n_dests],
+                commit_bytes: Vec::new(),
+                commitments: vec![None; n_sources],
+                commit_wire: Vec::new(),
                 recon_xs: Vec::with_capacity(plan.threshold),
                 recon_slab: Vec::with_capacity(plan.threshold * lanes),
                 recon_out: Vec::with_capacity(lanes),
@@ -717,7 +728,7 @@ impl<'p, 't> RoundExecutor<'p, 't> {
     ) -> Result<BatchAggregationOutcome, MpcError> {
         Ok(self
             .state
-            .run_epoch_inner(self.plan, round_id, seed, secrets, failed, None)?
+            .run_epoch_inner(self.plan, round_id, seed, secrets, failed, None, None)?
             .0)
     }
 
@@ -775,13 +786,50 @@ impl<'p, 't> RoundExecutor<'p, 't> {
         faults: &FaultPlan,
     ) -> Result<DegradedBatchOutcome, MpcError> {
         self.state
-            .run_epoch_degraded(self.plan, round_id, seed, secrets, failed, faults)
+            .run_epoch_degraded(self.plan, round_id, seed, secrets, failed, faults, None)
+    }
+
+    /// Run one batched round under both fault injection *and* a cheating
+    /// aggregator: after honest accumulation, `tamper` mutates reported
+    /// sum shares in place (sum forgery, lane swaps, bit flips) before
+    /// reconstruction, exactly where a Byzantine holder would cheat.
+    ///
+    /// With integrity enabled in the config, the round's sum audit
+    /// compares every reported sum share against the sources' transcript
+    /// commitments and the outcome carries the verdict — a tampered
+    /// round reports [`IntegrityVerdict::Tampered`] while the same seeds
+    /// with [`TamperPlan::none`] report [`IntegrityVerdict::Verified`].
+    /// With integrity off, tampering silently corrupts aggregates (the
+    /// honest-but-curious model's blind spot this PR closes).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoundExecutor::run_epoch_degraded`].
+    pub fn run_epoch_tampered(
+        &mut self,
+        round_id: u32,
+        seed: u64,
+        secrets: &[u64],
+        failed: &[bool],
+        faults: &FaultPlan,
+        tamper: &TamperPlan,
+    ) -> Result<DegradedBatchOutcome, MpcError> {
+        self.state.run_epoch_degraded(
+            self.plan,
+            round_id,
+            seed,
+            secrets,
+            failed,
+            faults,
+            Some(tamper),
+        )
     }
 }
 
 impl ExecState {
     /// See [`RoundExecutor::run_epoch_degraded`]; the plan is explicit so
     /// plan-owning holders can call through without a stored borrow.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_epoch_degraded(
         &mut self,
         plan: &RoundPlan<'_>,
@@ -790,9 +838,10 @@ impl ExecState {
         secrets: &[u64],
         failed: &[bool],
         faults: &FaultPlan,
+        tamper: Option<&TamperPlan>,
     ) -> Result<DegradedBatchOutcome, MpcError> {
         let (round, degraded) =
-            self.run_epoch_inner(plan, round_id, seed, secrets, failed, Some(faults))?;
+            self.run_epoch_inner(plan, round_id, seed, secrets, failed, Some(faults), tamper)?;
         Ok(DegradedBatchOutcome {
             round,
             degraded: degraded.expect("fault-injected rounds produce a report"),
@@ -801,7 +850,11 @@ impl ExecState {
 
     /// The shared round pipeline. `faults: None` is the plain path;
     /// `Some(plan)` applies the fault layer and returns the degraded
-    /// report alongside the outcome.
+    /// report alongside the outcome. `tamper` mutates aggregator sum
+    /// shares after honest accumulation (a cheating-aggregator model);
+    /// the sum audit — active whenever the config enables integrity —
+    /// runs either way and renders the round's verdict.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_epoch_inner(
         &mut self,
         plan: &RoundPlan<'_>,
@@ -810,6 +863,7 @@ impl ExecState {
         secrets: &[u64],
         failed: &[bool],
         faults: Option<&FaultPlan>,
+        tamper: Option<&TamperPlan>,
     ) -> Result<(BatchAggregationOutcome, Option<DegradedOutcome>), MpcError> {
         let ExecState {
             scratch,
@@ -917,6 +971,37 @@ impl ExecState {
                 ys,
                 &mut scratch.sealed[j],
             )?;
+        }
+
+        // ---- Share commitments (integrity on) -----------------------------
+        // Each live source binds a transcript digest over its full share
+        // slab into the round, and the commitment crosses the wire format
+        // once so the carried bytes are exactly what a radio would flood.
+        // Off-mode rounds skip this block entirely: no digest, no packet,
+        // no RNG draw — byte-identical to the pre-integrity pipeline.
+        if config.integrity.is_on() {
+            for (si, ctx) in plan.commit_ctx.iter().enumerate() {
+                scratch.commitments[si] = None;
+                if !scratch.share_live[si] {
+                    continue;
+                }
+                scratch.commit_bytes.clear();
+                for y in &scratch.share_slabs[si] {
+                    scratch.commit_bytes.extend_from_slice(&y.to_bytes());
+                }
+                let commitment = ctx.commit(round_id, &scratch.commit_bytes);
+                let pkt = CommitPacket {
+                    src: commitment.src,
+                    round: round_id,
+                    digest: commitment.digest,
+                };
+                pkt.encode_into(&mut scratch.commit_wire);
+                let carried = CommitPacket::decode(&scratch.commit_wire)?;
+                scratch.commitments[si] = Some(ShareCommitment {
+                    src: carried.src,
+                    digest: carried.digest,
+                });
+            }
         }
 
         let sharing_result = {
@@ -1029,10 +1114,104 @@ impl ExecState {
             scratch.sum_mask[di] = mask;
         }
 
+        // ---- Aggregator tampering (test adversary) ------------------------
+        // The cheating-aggregator model: after honest accumulation, a
+        // seeded adversary mutates reported sum shares in place — forging
+        // a lane, swapping two lanes, or flipping a bit — exactly where a
+        // Byzantine holder would cheat before flooding its sum packet.
+        // Draws are pure functions of (plan seed, round seed, round id,
+        // aggregator), so every round replays exactly.
+        let tampering = tamper
+            .filter(|t| !t.is_zero())
+            .map(|t| t.realize(round_id, seed));
+        if let Some(rt) = tampering.as_ref() {
+            for (di, &d) in plan.destinations.iter().enumerate() {
+                if !scratch.sum_live[di] {
+                    continue;
+                }
+                let row = di * lanes;
+                match rt.action(d as usize, lanes) {
+                    Some(TamperAction::ForgeSum { lane, delta }) => {
+                        scratch.sum_ys[row + lane as usize] += Elem::new(u64::from(delta));
+                    }
+                    Some(TamperAction::LaneSwap { a, b }) => {
+                        scratch.sum_ys.swap(row + a as usize, row + b as usize);
+                    }
+                    Some(TamperAction::BitFlip { lane, bit }) => {
+                        let forged = scratch.sum_ys[row + lane as usize].value() ^ (1 << bit);
+                        scratch.sum_ys[row + lane as usize] = Elem::new(forged);
+                    }
+                    None => {}
+                }
+            }
+        }
+
         // ---- Reconstruction phase ------------------------------------------
         for di in 0..plan.destinations.len() {
             scratch.usable[di] = scratch.sum_live[di] && scratch.sum_mask[di] == live_source_mask;
         }
+
+        // ---- Sum audit (integrity on) -------------------------------------
+        // Any t+1 survivor set re-derives each aggregator's honest sum
+        // share from the committed share slabs and compares it against
+        // what the aggregator actually reported. A clean round renders
+        // `Verified`; the first lane whose reported share disagrees with
+        // the committed recomputation renders `Tampered`.
+        let integrity = if config.integrity.is_on() {
+            let mut audit = SumAudit::new(config.degree);
+            audit.set_survivors(scratch.usable.iter().filter(|&&u| u).count());
+            if audit.quorum() {
+                // Spot-check one source's digest per round (rotating with
+                // the round id): recomputing every digest would double
+                // the transcript work for a check that only fails if a
+                // share slab was corrupted after commit time, and the
+                // committed-sum comparison below covers the reported
+                // aggregates themselves every round.
+                let n_sources = config.sources.len();
+                let spot = (0..n_sources)
+                    .map(|k| (round_id as usize + k) % n_sources)
+                    .find(|&si| scratch.commitments[si].is_some());
+                if let Some(si) = spot {
+                    let c = scratch.commitments[si].expect("spot-checked commitment exists");
+                    scratch.commit_bytes.clear();
+                    for y in &scratch.share_slabs[si] {
+                        scratch.commit_bytes.extend_from_slice(&y.to_bytes());
+                    }
+                    if !c.verify(round_id, &scratch.commit_bytes) {
+                        audit.flag(0, None);
+                    }
+                }
+                for (di, &d) in plan.destinations.iter().enumerate() {
+                    if !scratch.sum_live[di] {
+                        continue;
+                    }
+                    let row = di * lanes;
+                    'lane: for lane in 0..lanes {
+                        let mut committed = Elem::ZERO;
+                        for (si, &src) in config.sources.iter().enumerate() {
+                            if scratch.sum_mask[di] & (1u128 << src) == 0 {
+                                continue;
+                            }
+                            if scratch.commitments[si].is_none() {
+                                // A contribution with no surviving
+                                // commitment cannot be audited.
+                                continue 'lane;
+                            }
+                            committed += scratch.share_slabs[si][di * lanes + lane];
+                        }
+                        audit.check_lane(
+                            lane as u16,
+                            &committed.to_bytes(),
+                            &scratch.sum_ys[row + lane].to_bytes(),
+                            Some(d),
+                        );
+                    }
+                }
+            }
+            audit.verdict()
+        } else {
+            IntegrityVerdict::Unchecked
+        };
         // The degraded round's survivor set: destinations whose sum share
         // covers every live source — the shares the network can still
         // reconstruct the full aggregate from.
@@ -1158,6 +1337,7 @@ impl ExecState {
                 nodes_recovered,
                 live_nodes,
                 faults: report,
+                integrity,
             }
         });
 
@@ -1182,6 +1362,7 @@ impl ExecState {
                 degree: config.degree,
                 aggregator_count: plan.destinations.len(),
                 source_count: config.sources.len(),
+                integrity,
             },
             degraded,
         ))

@@ -91,6 +91,10 @@ pub use plan::{ProtocolKind, RoundPlan};
 // The fault/churn model consumed by every driven round, re-exported so
 // protocol users need not depend on the transport/sim crates directly.
 pub use ppda_ct::{Delivery, FaultPlan};
+// The integrity subsystem's surface, re-exported for the same reason:
+// the config switch, the per-round verdict, and the cheating-aggregator
+// model driven rounds (and tests) inject with.
+pub use ppda_integrity::{IntegrityMode, IntegrityVerdict, ShareCommitment, SumAudit, TamperPlan};
 pub use ppda_sim::{ChurnSchedule, MembershipEvent, MembershipEventKind, TrickleConfig};
 pub use s3::S3Protocol;
 pub use s4::S4Protocol;

@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use ppda_integrity::IntegrityVerdict;
 use ppda_sim::SimDuration;
 
 use crate::error::MpcError;
@@ -208,6 +209,10 @@ pub struct BatchAggregationOutcome {
     pub aggregator_count: usize,
     /// Number of configured sources.
     pub source_count: usize,
+    /// The sum audit's verdict ([`IntegrityVerdict::Unchecked`] unless
+    /// the config enables integrity and a `t+1` survivor quorum held
+    /// commitments).
+    pub integrity: IntegrityVerdict,
 }
 
 impl BatchAggregationOutcome {
@@ -360,6 +365,10 @@ pub struct DegradedOutcome {
     pub live_nodes: usize,
     /// Observed fault events.
     pub faults: FaultReport,
+    /// The sum audit's verdict: whether the reported aggregates matched
+    /// the transcript commitments ([`IntegrityVerdict::Unchecked`] when
+    /// integrity is off or no `t+1` quorum survived).
+    pub integrity: IntegrityVerdict,
 }
 
 impl DegradedOutcome {
@@ -387,6 +396,23 @@ impl DegradedOutcome {
         match self.recovery {
             RecoveryStatus::Recovered { .. } => Ok(()),
             RecoveryStatus::Failed { missing } => Err(MpcError::AggregationFailed { missing }),
+        }
+    }
+
+    /// Turn a tampered round into a typed error. Unchecked and verified
+    /// rounds pass — an `Unchecked` round made no integrity claim to
+    /// violate.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::IntegrityViolation`] with the first mismatching lane
+    /// when the sum audit caught a forged aggregate.
+    pub fn require_verified(&self) -> Result<(), MpcError> {
+        match self.integrity {
+            IntegrityVerdict::Tampered { lane, aggregator } => {
+                Err(MpcError::IntegrityViolation { lane, aggregator })
+            }
+            IntegrityVerdict::Verified | IntegrityVerdict::Unchecked => Ok(()),
         }
     }
 }
@@ -423,7 +449,20 @@ impl fmt::Display for DegradedOutcome {
             self.faults.sums_missing,
             self.faults.sums_delayed,
             self.faults.duplicates,
-        )
+        )?;
+        // Only audited rounds carry the extra line, so every report a
+        // pre-integrity golden froze renders byte-identically.
+        match self.integrity {
+            IntegrityVerdict::Unchecked => Ok(()),
+            IntegrityVerdict::Verified => writeln!(f, "integrity verified"),
+            IntegrityVerdict::Tampered { lane, aggregator } => {
+                write!(f, "integrity tampered lane={lane} aggregator=")?;
+                match aggregator {
+                    Some(a) => writeln!(f, "{a}"),
+                    None => writeln!(f, "-"),
+                }
+            }
+        }
     }
 }
 
@@ -535,6 +574,13 @@ impl RoundReport {
         &self.degraded.survivors
     }
 
+    /// The round's sum-audit verdict:
+    /// [`IntegrityVerdict::Unchecked`] unless the config enables
+    /// integrity and a `t+1` survivor quorum held commitments.
+    pub fn integrity(&self) -> IntegrityVerdict {
+        self.degraded.integrity
+    }
+
     /// The expected per-lane aggregates over live sources.
     pub fn expected_sums(&self) -> &[u64] {
         &self.outcome.expected_sums
@@ -556,6 +602,17 @@ impl RoundReport {
     /// survivor set is below the threshold.
     pub fn require_recovered(&self) -> Result<(), MpcError> {
         self.degraded.require_recovered()
+    }
+
+    /// Turn a tampered round into a typed error
+    /// (see [`DegradedOutcome::require_verified`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::IntegrityViolation`] when this round's sum audit
+    /// caught a forged aggregate.
+    pub fn require_verified(&self) -> Result<(), MpcError> {
+        self.degraded.require_verified()
     }
 
     /// The membership patch this round began with, if any: what
@@ -730,6 +787,7 @@ mod tests {
             degree: 2,
             aggregator_count: 5,
             source_count: 3,
+            integrity: IntegrityVerdict::Unchecked,
         }
     }
 
@@ -770,6 +828,7 @@ mod tests {
                 sums_delayed: 1,
                 duplicates: 4,
             },
+            integrity: IntegrityVerdict::Unchecked,
         }
     }
 
@@ -802,6 +861,34 @@ mod tests {
         );
         let failed = degraded(RecoveryStatus::Failed { missing: 2 }).to_string();
         assert!(failed.starts_with("recovery failed missing=2\n"));
+    }
+
+    #[test]
+    fn integrity_line_only_renders_for_audited_rounds() {
+        // Unchecked (every pre-integrity golden) renders no extra line.
+        let unchecked = degraded(RecoveryStatus::Recovered { margin: 1 }).to_string();
+        assert!(!unchecked.contains("integrity"));
+
+        let mut verified = degraded(RecoveryStatus::Recovered { margin: 1 });
+        verified.integrity = IntegrityVerdict::Verified;
+        assert!(verified.to_string().ends_with("integrity verified\n"));
+
+        let mut tampered = degraded(RecoveryStatus::Recovered { margin: 1 });
+        tampered.integrity = IntegrityVerdict::Tampered {
+            lane: 3,
+            aggregator: Some(5),
+        };
+        assert!(tampered
+            .to_string()
+            .ends_with("integrity tampered lane=3 aggregator=5\n"));
+
+        tampered.integrity = IntegrityVerdict::Tampered {
+            lane: 0,
+            aggregator: None,
+        };
+        assert!(tampered
+            .to_string()
+            .ends_with("integrity tampered lane=0 aggregator=-\n"));
     }
 
     #[test]

@@ -19,8 +19,8 @@ use std::fmt;
 
 use ppda_metrics::CampaignAccumulator;
 use ppda_mpc::{
-    ChurnSchedule, FaultPlan, MembershipEvent, MembershipEventKind, MpcError, ProtocolConfig,
-    ProtocolKind, TrickleConfig,
+    ChurnSchedule, FaultPlan, IntegrityMode, MembershipEvent, MembershipEventKind, MpcError,
+    ProtocolConfig, ProtocolKind, TrickleConfig,
 };
 use ppda_radio::FadingProfile;
 use ppda_topology::Topology;
@@ -30,9 +30,10 @@ use crate::engine::{CampaignEngine, ClockMode, DeploymentSpec, EngineError};
 
 /// Current blob version. Version 2 appended the membership event
 /// stream and Trickle parameters to every spec; version 3 appended the
-/// config's fragmentation flag. Older blobs (no membership / no flag)
-/// still restore.
-const FORMAT_VERSION: u8 = 3;
+/// config's fragmentation flag; version 4 appended the config's
+/// integrity mode. Older blobs (no membership / no flags) still
+/// restore.
+const FORMAT_VERSION: u8 = 4;
 const OLDEST_SUPPORTED_VERSION: u8 = 1;
 
 /// A serialized, self-contained image of a quiesced engine.
@@ -224,6 +225,9 @@ fn encode_spec(out: &mut Vec<u8>, spec: &DeploymentSpec) {
 
     // Version 3: the fragmentation flag (wide lane batches span frames).
     out.push(u8::from(c.fragmentation));
+
+    // Version 4: the integrity mode (transcript-committed sums).
+    out.push(u8::from(c.integrity.is_on()));
 }
 
 fn decode_spec(r: &mut Reader<'_>, version: u8) -> Result<DeploymentSpec, CheckpointError> {
@@ -291,6 +295,9 @@ fn decode_spec(r: &mut Reader<'_>, version: u8) -> Result<DeploymentSpec, Checkp
         // Version ≤ 2 blobs predate the fragmenting transport: every
         // batch they could compile fits one frame, so the flag is off.
         fragmentation: false,
+        // Version ≤ 3 blobs predate the integrity subsystem, whose off
+        // mode is byte-identical to what those engines ran.
+        integrity: IntegrityMode::Off,
     };
 
     let fault_seed = r.u64()?;
@@ -349,6 +356,13 @@ fn decode_spec(r: &mut Reader<'_>, version: u8) -> Result<DeploymentSpec, Checkp
     }
     if version >= 3 {
         config.fragmentation = r.u8()? != 0;
+    }
+    if version >= 4 {
+        config.integrity = if r.u8()? != 0 {
+            IntegrityMode::On
+        } else {
+            IntegrityMode::Off
+        };
     }
 
     Ok(DeploymentSpec {

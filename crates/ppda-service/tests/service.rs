@@ -338,11 +338,12 @@ mod checkpointing {
     }
 
     /// A fresh, membership-free, single-deployment engine whose current
-    /// (v3) checkpoint blob this strips back down to an older encoding:
+    /// (v4) checkpoint blob this strips back down to an older encoding:
     /// the per-spec appendices sit right before the trailing `completed`
     /// u64 and the length-prefixed (empty) accumulator — v2 added a
     /// 24-byte appendix (membership count 0 as u64, four u32 Trickle
-    /// params), v3 a single fragmentation-flag byte after it.
+    /// params), v3 a single fragmentation-flag byte after it, v4 a
+    /// single integrity-mode byte after that.
     fn legacy_checkpoint_fixture() -> (DeploymentSpec, Vec<u8>, usize) {
         let spec = {
             let topology = Topology::grid(3, 3, 15.0, 9);
@@ -367,11 +368,12 @@ mod checkpointing {
     #[test]
     fn version_1_checkpoints_still_restore() {
         let (spec, bytes, trailer_len) = legacy_checkpoint_fixture();
-        // Strip both the v3 flag byte and the v2 appendix, rewind the
-        // version byte to synthesize the v1 encoding.
-        let appendix_at = bytes.len() - (25 + trailer_len);
+        // Strip the v4 integrity byte, the v3 flag byte and the v2
+        // appendix, rewind the version byte to synthesize the v1
+        // encoding.
+        let appendix_at = bytes.len() - (26 + trailer_len);
         let mut v1 = bytes;
-        v1.drain(appendix_at..appendix_at + 25);
+        v1.drain(appendix_at..appendix_at + 26);
         v1[0] = 1;
 
         let restored = Checkpoint::from_bytes(v1).restore().expect("v1 restores");
@@ -379,22 +381,64 @@ mod checkpointing {
         assert!(restored.spec(0).membership.is_empty());
         assert_eq!(restored.spec(0).trickle, spec.trickle);
         assert!(!restored.spec(0).config.fragmentation);
+        assert!(!restored.spec(0).config.integrity.is_on());
         restored.advance(2).expect("restored engine runs");
     }
 
     #[test]
     fn version_2_checkpoints_still_restore() {
         let (spec, bytes, trailer_len) = legacy_checkpoint_fixture();
-        // Strip only the v3 fragmentation byte to synthesize v2.
-        let flag_at = bytes.len() - (1 + trailer_len);
+        // Strip the v3 fragmentation and v4 integrity bytes to
+        // synthesize v2.
+        let flag_at = bytes.len() - (2 + trailer_len);
         let mut v2 = bytes;
-        v2.drain(flag_at..flag_at + 1);
+        v2.drain(flag_at..flag_at + 2);
         v2[0] = 2;
 
         let restored = Checkpoint::from_bytes(v2).restore().expect("v2 restores");
         assert_eq!(restored.spec(0).name, "legacy");
         assert_eq!(restored.spec(0).trickle, spec.trickle);
         assert!(!restored.spec(0).config.fragmentation);
+        assert!(!restored.spec(0).config.integrity.is_on());
+        restored.advance(2).expect("restored engine runs");
+    }
+
+    #[test]
+    fn version_3_checkpoints_still_restore() {
+        let (spec, bytes, trailer_len) = legacy_checkpoint_fixture();
+        // Strip only the v4 integrity byte to synthesize v3.
+        let flag_at = bytes.len() - (1 + trailer_len);
+        let mut v3 = bytes;
+        v3.drain(flag_at..flag_at + 1);
+        v3[0] = 3;
+
+        let restored = Checkpoint::from_bytes(v3).restore().expect("v3 restores");
+        assert_eq!(restored.spec(0).name, "legacy");
+        assert_eq!(restored.spec(0).trickle, spec.trickle);
+        assert!(!restored.spec(0).config.integrity.is_on());
+        restored.advance(2).expect("restored engine runs");
+    }
+
+    #[test]
+    fn integrity_mode_survives_checkpoint_round_trip() {
+        let topology = Topology::grid(3, 3, 15.0, 9);
+        let config = ProtocolConfig::builder(topology.len())
+            .sources(3)
+            .integrity(ppda_mpc::IntegrityMode::On)
+            .build()
+            .expect("grid config");
+        let spec = DeploymentSpec::new("audited", topology, config);
+        let engine = CampaignEngine::builder()
+            .workers(1)
+            .deployment(spec)
+            .build()
+            .expect("spec compiles");
+        engine.advance(2).expect("advance runs");
+        let restored = Checkpoint::capture(&engine)
+            .expect("checkpoint")
+            .restore()
+            .expect("restore");
+        assert!(restored.spec(0).config.integrity.is_on());
         restored.advance(2).expect("restored engine runs");
     }
 

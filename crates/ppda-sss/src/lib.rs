@@ -56,7 +56,8 @@ pub use accumulate::SumAccumulator;
 pub use batch::{split_secret_batch, BatchSplitter, ShareBatch};
 pub use error::SssError;
 pub use packet::{
-    open_share_lanes, seal_share_lanes, SharePacket, SumBatch, SumPacket, MAX_MASK_SOURCES,
+    open_share_lanes, seal_share_lanes, CommitPacket, SharePacket, SumBatch, SumPacket,
+    MAX_MASK_SOURCES,
 };
 pub use share::{reconstruct, reconstruct_checked, split_secret, Share};
 pub use weights::{ReconstructionPlan, WeightCache, DEFAULT_WEIGHT_CAPACITY};

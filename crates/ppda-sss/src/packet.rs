@@ -372,6 +372,64 @@ impl<P: PrimeField> SumBatch<P> {
     }
 }
 
+/// The sharing-phase integrity packet: a source's transcript commitment
+/// to its full per-lane share vector for one round. Carried alongside the
+/// sealed share packets when the deployment enables integrity; absent
+/// from the wire entirely otherwise (the pre-integrity format is
+/// unchanged).
+///
+/// The digest itself is computed by the integrity layer (`ppda-integrity`);
+/// this type only fixes its wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitPacket {
+    /// The committing source's node id.
+    pub src: u16,
+    /// Round identifier.
+    pub round: u32,
+    /// 16-byte transcript digest over the source's share vector.
+    pub digest: [u8; 16],
+}
+
+impl CommitPacket {
+    /// Encoded payload length: src(2) + round(4) + digest(16).
+    pub const ENCODED_LEN: usize = 2 + 4 + 16;
+
+    /// Serialize to the wire form, appending to `out` (cleared first).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(Self::ENCODED_LEN);
+        out.put_u16(self.src);
+        out.put_u32(self.round);
+        out.extend_from_slice(&self.digest);
+    }
+
+    /// Serialize to the wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Deserialize from the wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`SssError::BadPacket`] on truncation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SssError> {
+        if bytes.len() < Self::ENCODED_LEN {
+            return Err(SssError::BadPacket {
+                what: "commit packet truncated",
+            });
+        }
+        let mut buf = bytes;
+        let src = buf.get_u16();
+        let round = buf.get_u32();
+        let mut digest = [0u8; 16];
+        digest.copy_from_slice(&buf[..16]);
+        Ok(CommitPacket { src, round, digest })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,5 +732,33 @@ mod tests {
             SumPacket::<Mersenne31>::decode(&pkt.encode()).unwrap().mask,
             u128::MAX
         );
+    }
+
+    #[test]
+    fn commit_packet_round_trips() {
+        let pkt = CommitPacket {
+            src: 6,
+            round: 0xDEAD_BEEF,
+            digest: *b"0123456789abcdef",
+        };
+        let bytes = pkt.encode();
+        assert_eq!(bytes.len(), CommitPacket::ENCODED_LEN);
+        assert_eq!(CommitPacket::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn truncated_commit_packet_is_rejected() {
+        let pkt = CommitPacket {
+            src: 1,
+            round: 2,
+            digest: [0x5a; 16],
+        };
+        let bytes = pkt.encode();
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                CommitPacket::decode(&bytes[..cut]),
+                Err(SssError::BadPacket { .. })
+            ));
+        }
     }
 }

@@ -38,6 +38,7 @@
 pub use ppda_crypto as crypto;
 pub use ppda_ct as ct;
 pub use ppda_field as field;
+pub use ppda_integrity as integrity;
 pub use ppda_metrics as metrics;
 pub use ppda_mpc as mpc;
 pub use ppda_radio as radio;
@@ -55,6 +56,7 @@ pub use ppda_topology as topology;
 /// [`mpc`] module path.
 pub mod prelude {
     pub use ppda_ct::FaultPlan;
+    pub use ppda_integrity::{IntegrityMode, IntegrityVerdict, TamperPlan, Transcript};
     pub use ppda_mpc::{
         Deployment, DeploymentBuilder, DriverStats, MembershipMode, MpcError, PlanPatch,
         ProtocolConfig, ProtocolKind, RecoveryStatus, RoundDriver, RoundObserver, RoundReport,

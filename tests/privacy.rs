@@ -319,3 +319,145 @@ fn churn_never_shrinks_the_secrecy_margin() {
     }
     assert!(patched_rounds >= 2, "the churn must actually re-elect");
 }
+
+#[test]
+fn tamper_forgeries_are_detected_across_testbeds() {
+    // The active-adversary property the integrity subsystem exists for:
+    // on both real testbed models and both protocol variants, a seeded
+    // cheating aggregator that forges its reported sums is caught by the
+    // sum audit — while the identical deployment (same seeds, same
+    // coordinates) with the adversary removed renders `Verified`.
+    use ppda::prelude::*;
+
+    for topology in [Topology::flocklab(), Topology::dcube()] {
+        for protocol in [ProtocolKind::S3, ProtocolKind::S4] {
+            let config = ppda::mpc::ProtocolConfig::builder(topology.len())
+                .sources(6)
+                .ntx_sharing(7)
+                .ntx_reconstruction(7)
+                .integrity(IntegrityMode::On)
+                .build()
+                .unwrap();
+            let run = |tamper: TamperPlan| {
+                let deployment = Deployment::builder()
+                    .topology(topology.clone())
+                    .config(config.clone())
+                    .protocol(protocol)
+                    .seed(0x7A3)
+                    .tamper(tamper)
+                    .build()
+                    .unwrap();
+                let mut driver = deployment.driver();
+                let reports: Vec<RoundReport> = (0..4).map(|_| driver.step().unwrap()).collect();
+                (reports, driver.stats())
+            };
+
+            let (tampered, stats) = run(TamperPlan::forging(0xBAD, 1.0).with_lane_swap(0.0));
+            for report in &tampered {
+                assert!(
+                    report.integrity().is_tampered(),
+                    "{protocol:?}: an always-forging aggregator must be caught"
+                );
+                assert!(matches!(
+                    report.require_verified(),
+                    Err(ppda::mpc::MpcError::IntegrityViolation { .. })
+                ));
+            }
+            assert_eq!(stats.audited_rounds, 4);
+            assert_eq!(stats.tampered_rounds, 4);
+
+            let (honest, stats) = run(TamperPlan::none());
+            for report in &honest {
+                assert!(
+                    report.integrity().is_verified(),
+                    "{protocol:?}: same seeds without the adversary must verify"
+                );
+                report.require_verified().unwrap();
+            }
+            assert_eq!(stats.audited_rounds, 4);
+            assert_eq!(stats.tampered_rounds, 0);
+        }
+    }
+}
+
+#[test]
+fn honest_integrity_rounds_match_integrity_off_reports() {
+    // Enabling integrity must not perturb the protocol itself: an honest
+    // integrity-on round carries the `Verified` verdict but is otherwise
+    // byte-identical to the same round with integrity off — identical
+    // aggregates, transport statistics, survivor sets and fault reports.
+    use ppda::prelude::*;
+
+    let topology = Topology::flocklab();
+    let run = |mode: IntegrityMode| {
+        let config = ppda::mpc::ProtocolConfig::builder(topology.len())
+            .sources(6)
+            .integrity(mode)
+            .build()
+            .unwrap();
+        let deployment = Deployment::builder()
+            .topology(topology.clone())
+            .config(config)
+            .protocol(ProtocolKind::S4)
+            .faults(ppda::mpc::FaultPlan::lossy(0xFA, 0.05))
+            .seed(0x0FF)
+            .build()
+            .unwrap();
+        let mut driver = deployment.driver();
+        (0..6)
+            .map(|_| driver.step().unwrap())
+            .collect::<Vec<RoundReport>>()
+    };
+
+    let on = run(IntegrityMode::On);
+    let off = run(IntegrityMode::Off);
+    for (a, b) in on.iter().zip(&off) {
+        assert!(a.integrity().is_verified(), "honest rounds must verify");
+        assert_eq!(b.integrity(), IntegrityVerdict::Unchecked);
+        let mut a = a.clone();
+        a.outcome.integrity = IntegrityVerdict::Unchecked;
+        a.degraded.integrity = IntegrityVerdict::Unchecked;
+        assert_eq!(&a, b, "the verdict must be the only difference");
+    }
+}
+
+#[test]
+fn tamper_metadata_is_secret_independent() {
+    // Like fault draws, the tamper layer's decisions (which aggregator
+    // cheats, on which lane, by how much) and the audit's detection
+    // metadata (verdict, flagged lane, flagged aggregator) are pure
+    // functions of seeds and coordinates — NEVER of the secrets. A
+    // colluder watching verdicts learns zero bits about any reading.
+    use ppda::prelude::*;
+
+    let topology = Topology::flocklab();
+    let config = ppda::mpc::ProtocolConfig::builder(topology.len())
+        .sources(6)
+        .integrity(IntegrityMode::On)
+        .build()
+        .unwrap();
+    let plan = RoundPlan::new(&topology, &config, ProtocolKind::S4).unwrap();
+    let faults = ppda::mpc::FaultPlan::none();
+    let tamper = TamperPlan::forging(0xBAD, 0.5).with_bit_flip(0.2);
+    let failed = vec![false; topology.len()];
+    let secrets_a: Vec<u64> = (0..6u64).map(|i| 100 + i).collect();
+    let secrets_b: Vec<u64> = (0..6u64).map(|i| 65_000 - 7 * i).collect();
+    let mut executor = plan.executor();
+    for seed in [4u64, 17, 0xC0FFEE] {
+        let a = executor
+            .run_epoch_tampered(config.round_id, seed, &secrets_a, &failed, &faults, &tamper)
+            .unwrap();
+        let b = executor
+            .run_epoch_tampered(config.round_id, seed, &secrets_b, &failed, &faults, &tamper)
+            .unwrap();
+        assert_eq!(
+            a.degraded.integrity, b.degraded.integrity,
+            "detection metadata must not depend on the secrets (seed {seed})"
+        );
+        assert_eq!(a.degraded.survivors, b.degraded.survivors);
+        assert_ne!(
+            a.round.expected_sums, b.round.expected_sums,
+            "sanity: the readings really differ"
+        );
+    }
+}
